@@ -1,0 +1,104 @@
+"""Ablation: every engine in the repository on one workload.
+
+Not a single paper figure — a cross-cutting comparison of all seven
+engines (LazyLSH, C2LSH, E2LSH, SRS, multi-probe LSH, LSB-forest, linear
+scan) on the Inria-like dataset under l0.5 and l1, reporting overall
+ratio, recall, simulated I/O and index size.  Assertions pin the paper's
+qualitative landscape: the exact scan is perfect but pays the full file;
+LazyLSH is the most accurate hashing method for the fractional metric
+among single-index structures; SRS has the smallest index.
+"""
+
+import numpy as np
+
+from bench_common import (
+    dataset_split,
+    ground_truth,
+    lazy_index,
+    c2lsh_index,
+    srs_index,
+    print_tables,
+)
+from repro.baselines import E2LSH, LSBForest, LinearScan, MultiProbeLSH
+from repro.baselines.e2lsh import E2LSHConfig
+from repro.baselines.lsb import LSBConfig
+from repro.baselines.multiprobe import MultiProbeConfig
+from repro.eval import overall_ratio, recall_at_k
+from repro.eval.harness import ResultTable
+
+DATASET = "inria"
+K = 20
+
+
+def _evaluate(engine, name: str, p: float, size_mb: float) -> list:
+    split = dataset_split(DATASET)
+    true_ids, true_dists = ground_truth(DATASET, K, p)
+    ratios, recalls, ios = [], [], []
+    for qi, query in enumerate(split.queries):
+        result = engine.knn(query, K, p)
+        if result.ids.size < K:
+            # Pad missing results with the worst possible outcome so the
+            # comparison never silently favours engines returning less.
+            recalls.append(result.ids.size / K * recall_at_k(result.ids, true_ids[qi]))
+            ratios.append(np.inf)
+        else:
+            ratios.append(overall_ratio(result.distances, true_dists[qi]))
+            recalls.append(recall_at_k(result.ids, true_ids[qi]))
+        ios.append(result.io.total)
+    return [
+        name,
+        f"l{p:g}",
+        round(float(np.mean(ratios)), 4),
+        round(float(np.mean(recalls)), 3),
+        round(float(np.mean(ios))),
+        round(size_mb, 1),
+    ]
+
+
+def run() -> list[ResultTable]:
+    split = dataset_split(DATASET)
+    data = split.data
+    lazy = lazy_index(DATASET)
+    c2 = c2lsh_index(DATASET)
+    srs = srs_index(DATASET)
+    e2 = E2LSH(E2LSHConfig(c=2.0, seed=7)).build(data)
+    multiprobe = MultiProbeLSH(MultiProbeConfig(seed=7)).build(data)
+    lsb = LSBForest(LSBConfig(seed=7)).build(data)
+    scan = LinearScan(data)
+    table = ResultTable(
+        f"All engines on {DATASET}-like data, k={K}",
+        ["engine", "metric", "ratio", "recall", "avg I/O", "index MB"],
+    )
+    for p in (0.5, 1.0):
+        table.add_row(_evaluate(lazy, "LazyLSH", p, lazy.index_size_mb()))
+        table.add_row(_evaluate(c2, "C2LSH", p, c2.index_size_mb()))
+        table.add_row(_evaluate(srs, "SRS", p, srs.index_size_mb()))
+        table.add_row(_evaluate(e2, "E2LSH", p, e2.index_size_mb()))
+        table.add_row(
+            _evaluate(multiprobe, "MultiProbe", p, multiprobe.index_size_mb())
+        )
+        table.add_row(_evaluate(lsb, "LSB-forest", p, lsb.index_size_mb()))
+        table.add_row(_evaluate(scan, "LinearScan", p, 0.0))
+    return [table]
+
+
+def test_ablation_all_baselines(benchmark, capsys):
+    tables = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_tables(capsys, tables)
+    rows = {(row[0], row[1]): row for row in tables[0].rows}
+    # The exact scan is exact.
+    assert rows[("LinearScan", "l0.5")][2] == 1.0
+    # LazyLSH answers the fractional metric accurately.
+    assert rows[("LazyLSH", "l0.5")][2] < 1.1
+    # SRS has by far the smallest index among the hashing methods.
+    srs_mb = rows[("SRS", "l0.5")][5]
+    assert srs_mb < rows[("LazyLSH", "l0.5")][5]
+    assert srs_mb < rows[("C2LSH", "l0.5")][5]
+    # ...but worse fractional accuracy than LazyLSH (l2-bound structure).
+    assert rows[("LazyLSH", "l0.5")][2] <= rows[("SRS", "l0.5")][2] + 1e-9
+
+
+if __name__ == "__main__":
+    for table in run():
+        print(table.render())
+        print()

@@ -1,0 +1,96 @@
+"""Ablation: the storage argument of Sections 1 and 6.2.
+
+The paper's motivation for single-index methods: E2LSH needs a fresh set
+of compound tables *per search radius* (its index grows as queries reach
+farther), and the strawman "one dedicated index per metric" multiplies
+everything by the number of metrics.  LazyLSH pays one eta_{p_min} bank.
+
+This bench builds all three arrangements over the same data and compares
+simulated storage:
+
+* LazyLSH: one bank serving all six metrics,
+* per-metric C2LSH-style banks (the strawman; each metric would also
+  need its own p-stable family, which does not even exist in closed
+  form for fractional p — the sizes here use the l1 family as a stand-in),
+* E2LSH: levels materialised on demand while answering the query set.
+"""
+
+from bench_common import MC_BUCKETS, MC_SAMPLES, P_SWEEP, print_tables
+from repro import LazyLSH, LazyLSHConfig
+from repro.baselines import E2LSH
+from repro.baselines.e2lsh import E2LSHConfig
+from repro.core.params import ParameterEngine
+from repro.datasets import make_synthetic, sample_queries
+from repro.eval.harness import ResultTable
+from repro.storage.pages import PageLayout
+
+N = 3000
+D = 128
+K = 20
+
+
+def run() -> list[ResultTable]:
+    data = make_synthetic(N, D, value_range=(0, 255), seed=3)
+    split = sample_queries(data, n_queries=3, seed=4)
+    cfg = LazyLSHConfig(
+        c=3.0, p_min=0.5, seed=7, mc_samples=MC_SAMPLES, mc_buckets=MC_BUCKETS
+    )
+    lazy = LazyLSH(cfg).build(split.data)
+
+    # Strawman: one dedicated bank per metric, each sized like a C2LSH
+    # bank for that metric's sensitivity.
+    engine = ParameterEngine(
+        D, c=3.0, epsilon=0.01, beta=lazy.beta,
+        mc_samples=MC_SAMPLES, mc_buckets=MC_BUCKETS, seed=7,
+    )
+    layout = PageLayout()
+    per_metric_mb = 0.0
+    for p in P_SWEEP:
+        eta = engine.metric_params(p).eta
+        per_metric_mb += eta * layout.size_bytes(split.data.shape[0]) / 1024**2
+
+    # E2LSH: build levels by answering the query set.
+    e2 = E2LSH(E2LSHConfig(c=2.0, seed=7)).build(split.data)
+    for query in split.queries:
+        e2.knn(query, K)
+
+    table = ResultTable(
+        f"Storage ablation (|D|={N}, d={D}, six metrics)",
+        ["arrangement", "size (MB)", "vs LazyLSH"],
+    )
+    lazy_mb = lazy.index_size_mb()
+    table.add_row(["LazyLSH single bank (serves all 6)", round(lazy_mb, 1), 1.0])
+    table.add_row(
+        [
+            "one dedicated bank per metric",
+            round(per_metric_mb, 1),
+            round(per_metric_mb / lazy_mb, 2),
+        ]
+    )
+    e2_mb = e2.index_size_mb()
+    table.add_row(
+        [
+            f"E2LSH ({e2.num_levels} radius levels materialised)",
+            round(e2_mb, 1),
+            round(e2_mb / lazy_mb, 2),
+        ]
+    )
+    return [table]
+
+
+def test_ablation_storage(benchmark, capsys):
+    tables = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_tables(capsys, tables)
+    rows = tables[0].rows
+    lazy_mb = rows[0][1]
+    per_metric_mb = rows[1][1]
+    # The strawman costs a multiple of the single LazyLSH bank (paper:
+    # supporting [0.5, 1] costs 2.37x the l1-only bank; six dedicated
+    # banks cost far more than that one shared bank).
+    assert per_metric_mb > 2.0 * lazy_mb
+
+
+if __name__ == "__main__":
+    for table in run():
+        print(table.render())
+        print()

@@ -1,0 +1,100 @@
+"""Appendix C: why the base index must live in l1, not l2.
+
+Two results:
+
+1. An l2 (Gaussian) base index approximating l0.5 balls loses locality
+   sensitivity (p1' < p2') once the dimensionality exceeds ~5 at c = 3 —
+   so SRS-style 2-stable structures cannot serve fractional metrics.
+   The l1 base stays sensitive at every tested dimensionality.
+2. The alternative E2LSH-style radius objective (argmin rho, Eq. 24)
+   also yields a valid radius for the l1 base; the bench compares the
+   two objectives' chosen parameters.
+"""
+
+from bench_common import print_tables
+from repro.core.params import ParameterEngine
+from repro.errors import UnsupportedMetricError
+from repro.eval.harness import ResultTable
+
+P = 0.5
+C = 3.0
+D_SWEEP = (2, 3, 4, 5, 6, 8, 16, 32, 64, 128)
+
+_MC_SAMPLES = 30_000
+_MC_BUCKETS = 100
+
+
+def _gap(d: int, base_p: float) -> float | None:
+    engine = ParameterEngine(
+        d, c=C, epsilon=0.01, beta=1e-4, base_p=base_p,
+        mc_samples=_MC_SAMPLES, mc_buckets=_MC_BUCKETS, seed=7,
+    )
+    try:
+        return engine.metric_params(P).gap
+    except UnsupportedMetricError:
+        return None
+
+
+def run() -> list[ResultTable]:
+    table = ResultTable(
+        f"Appendix C: sensitivity of l1 vs l2 base index for l{P:g} (c={C:g})",
+        ["d", "gap (l1 base)", "gap (l2 base)", "l2 base sensitive"],
+    )
+    l2_boundary = None
+    for d in D_SWEEP:
+        gap1 = _gap(d, 1.0)
+        gap2 = _gap(d, 2.0)
+        table.add_row(
+            [
+                d,
+                round(gap1, 4) if gap1 is not None else "-",
+                round(gap2, 4) if gap2 is not None else "-",
+                "yes" if gap2 is not None else "no",
+            ]
+        )
+        if gap2 is not None:
+            l2_boundary = d
+    objective = ResultTable(
+        "Radius objective ablation (l1 base, d=128): argmax gap vs argmin rho",
+        ["objective", "r_hat * d", "p1'", "p2'", "gap", "eta"],
+    )
+    engine = ParameterEngine(
+        128, c=C, epsilon=0.01, beta=1e-4,
+        mc_samples=_MC_SAMPLES, mc_buckets=_MC_BUCKETS, seed=7,
+    )
+    for name in ("gap", "rho"):
+        params = engine.metric_params(P, objective=name)
+        objective.add_row(
+            [
+                name,
+                round(params.r_hat * 128, 3),
+                round(params.p1_prime, 4),
+                round(params.p2_prime, 4),
+                round(params.gap, 4),
+                params.eta,
+            ]
+        )
+    summary = ResultTable("Appendix C landmarks", ["landmark", "value"])
+    summary.add_row(
+        ["largest d where the l2 base is still sensitive (paper ~5)", l2_boundary]
+    )
+    return [table, objective, summary]
+
+
+def test_appc_l2_base(benchmark, capsys):
+    tables = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_tables(capsys, tables)
+    sensitivity, objective, summary = tables
+    boundary = summary.rows[0][1]
+    # The l2 base fails for fractional metrics beyond single-digit d.
+    assert boundary is not None and boundary <= 8
+    # The l1 base is sensitive at every tested dimensionality.
+    assert all(row[1] != "-" for row in sensitivity.rows)
+    # Both radius objectives produce locality-sensitive parameters.
+    assert all(row[4] > 0 for row in objective.rows)
+
+
+if __name__ == "__main__":
+    for table in run():
+        print(table.render())
+        print()

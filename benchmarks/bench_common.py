@@ -1,0 +1,135 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every bench module regenerates one table or figure of the paper.  This
+module centralises:
+
+* the scaled-down workload definitions (dataset sizes, query counts),
+* process-wide caches of built indexes (several benches share the same
+  LazyLSH/C2LSH index over the same dataset),
+* query-evaluation helpers returning (I/O, overall ratio, recall) series.
+
+Scale note (see DESIGN.md section 7): cardinalities are reduced from the
+paper's millions to thousands so the pure-Python suite completes in
+minutes; all sweep axes (p, k, c, d) match the paper's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import LazyLSH, LazyLSHConfig
+from repro.baselines import C2LSH, SRS
+from repro.baselines.c2lsh import C2LSHConfig
+from repro.baselines.srs import SRSConfig
+from repro.datasets import exact_knn, load_simulated, sample_queries
+from repro.datasets.queries import QuerySplit
+from repro.eval import overall_ratio, recall_at_k
+
+#: Per-dataset cardinality used by the query benches (paper: 60k - 4.4m).
+BENCH_CARDINALITY = {
+    "inria": 6000,
+    "sun": 3000,
+    "labelme": 3000,
+    "mnist": 3000,
+}
+
+#: Queries per dataset (paper: 50).
+N_QUERIES = 6
+
+#: The fractional-metric sweep of Figures 9-12.
+P_SWEEP = (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+#: Monte-Carlo resolution for the parameter engine inside benches.
+MC_SAMPLES = 50_000
+MC_BUCKETS = 150
+
+_SEED = 7
+
+_splits: dict[str, QuerySplit] = {}
+_lazy_indexes: dict[tuple, LazyLSH] = {}
+_c2_indexes: dict[str, C2LSH] = {}
+_srs_indexes: dict[str, SRS] = {}
+_ground_truth: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+
+
+def dataset_split(name: str) -> QuerySplit:
+    """The (data, queries) split of one simulated real dataset, cached."""
+    split = _splits.get(name)
+    if split is None:
+        points = load_simulated(name, n=BENCH_CARDINALITY[name], seed=_SEED)
+        split = sample_queries(points, n_queries=N_QUERIES, seed=_SEED + 1)
+        _splits[name] = split
+    return split
+
+
+def lazy_index(name: str, *, rehashing: str = "query_centric") -> LazyLSH:
+    """A LazyLSH index over dataset ``name`` (paper defaults), cached."""
+    key = (name, rehashing)
+    index = _lazy_indexes.get(key)
+    if index is None:
+        cfg = LazyLSHConfig(
+            c=3.0,
+            p_min=0.5,
+            seed=_SEED,
+            mc_samples=MC_SAMPLES,
+            mc_buckets=MC_BUCKETS,
+        )
+        index = LazyLSH(cfg, rehashing=rehashing).build(dataset_split(name).data)
+        _lazy_indexes[key] = index
+    return index
+
+
+def c2lsh_index(name: str) -> C2LSH:
+    """A C2LSH comparator index over dataset ``name``, cached."""
+    index = _c2_indexes.get(name)
+    if index is None:
+        index = C2LSH(C2LSHConfig(c=3.0, seed=_SEED)).build(dataset_split(name).data)
+        _c2_indexes[name] = index
+    return index
+
+
+def srs_index(name: str) -> SRS:
+    """An SRS comparator index over dataset ``name``, cached."""
+    index = _srs_indexes.get(name)
+    if index is None:
+        index = SRS(SRSConfig(c=3.0, seed=_SEED)).build(dataset_split(name).data)
+        _srs_indexes[name] = index
+    return index
+
+
+def ground_truth(name: str, k: int, p: float) -> tuple[np.ndarray, np.ndarray]:
+    """Exact kNN ids/distances for dataset ``name``'s query set, cached."""
+    key = (name, k, round(p, 6))
+    truth = _ground_truth.get(key)
+    if truth is None:
+        split = dataset_split(name)
+        truth = exact_knn(split.data, split.queries, k, p)
+        _ground_truth[key] = truth
+    return truth
+
+
+def evaluate_engine(engine, name: str, k: int, p: float) -> dict[str, float]:
+    """Average I/O / ratio / recall of ``engine.knn`` over the query set."""
+    split = dataset_split(name)
+    true_ids, true_dists = ground_truth(name, k, p)
+    ios, ratios, recalls = [], [], []
+    for qi, query in enumerate(split.queries):
+        result = engine.knn(query, k, p)
+        ios.append(result.io.total)
+        ratios.append(overall_ratio(result.distances, true_dists[qi]))
+        recalls.append(recall_at_k(result.ids, true_ids[qi]))
+    return {
+        "io": float(np.mean(ios)),
+        "ratio": float(np.mean(ratios)),
+        "recall": float(np.mean(recalls)),
+    }
+
+
+def print_tables(capsys, tables) -> None:
+    """Print result tables past pytest's output capture."""
+    rendered = "\n\n".join(t.render() for t in tables)
+    if capsys is None:
+        print(rendered)
+        return
+    with capsys.disabled():
+        print("\n" + rendered + "\n")

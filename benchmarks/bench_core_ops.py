@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the core operations (multi-round timings).
+
+Not a paper artifact — these track the implementation's own hot paths so
+regressions in the hash bank, window reads or the query loop show up in
+the pytest-benchmark comparison output.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LazyLSH, LazyLSHConfig
+from repro.core.hashing import StableHashBank
+from repro.datasets import make_synthetic, sample_queries
+from repro.storage.inverted_index import InvertedListStore
+from repro.storage.io_stats import IOStats
+
+N = 2000
+D = 64
+
+
+@pytest.fixture(scope="module")
+def split():
+    data = make_synthetic(N, D, value_range=(0, 1000), seed=5)
+    return sample_queries(data, n_queries=2, seed=6)
+
+
+@pytest.fixture(scope="module")
+def index(split):
+    cfg = LazyLSHConfig(c=3.0, p_min=0.5, seed=7, mc_samples=20_000, mc_buckets=100)
+    built = LazyLSH(cfg).build(split.data)
+    for p in (0.5, 1.0):
+        built.metric_params(p)
+    return built
+
+
+def test_hash_bank_throughput(benchmark, split):
+    bank = StableHashBank(D, 500, r0=1.0, c=3.0, t_max=1000.0, seed=1)
+    benchmark(bank.hash_points, split.data)
+
+
+def test_inverted_list_window_read(benchmark):
+    rng = np.random.default_rng(2)
+    store = InvertedListStore(rng.integers(0, 10_000, size=(200, N)).astype(np.int64))
+    stats = IOStats()
+
+    def read_all():
+        for func in range(200):
+            store.read_window(func, 4000, 6000, stats)
+
+    benchmark(read_all)
+
+
+def test_knn_l1_query(benchmark, index, split):
+    benchmark(index.knn, split.queries[0], 10, 1.0)
+
+
+def test_knn_fractional_query(benchmark, index, split):
+    benchmark(index.knn, split.queries[0], 10, 0.5)
+
+
+def test_build_small_index(benchmark, split):
+    cfg = LazyLSHConfig(c=3.0, p_min=1.0, seed=7, mc_samples=20_000, mc_buckets=100)
+
+    def build():
+        return LazyLSH(cfg).build(split.data)
+
+    benchmark.pedantic(build, rounds=3, iterations=1)

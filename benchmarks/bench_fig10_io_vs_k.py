@@ -1,0 +1,56 @@
+"""Figure 10: average I/O per query versus the result cardinality k.
+
+LazyLSH over the four (simulated) real datasets, k sweeping 10..100 for
+each supported lp metric.  The paper reports only a slight increase of
+I/O with k — returning 10x more neighbours costs a few extra I/Os, not
+10x — with the per-metric ordering of Figure 9 preserved.
+"""
+
+import numpy as np
+
+from bench_common import dataset_split, lazy_index, print_tables
+from repro.eval.harness import ResultTable
+
+DATASETS = ("inria", "mnist")
+K_SWEEP = (10, 40, 70, 100)
+P_VALUES = (0.5, 0.7, 1.0)
+
+
+def run() -> list[ResultTable]:
+    tables = []
+    for name in DATASETS:
+        index = lazy_index(name)
+        split = dataset_split(name)
+        table = ResultTable(
+            f"Figure 10 ({name}): avg I/O vs k",
+            ["k"] + [f"l{p:g}" for p in P_VALUES],
+        )
+        for k in K_SWEEP:
+            row = [k]
+            for p in P_VALUES:
+                ios = [index.knn(q, k, p).io.total for q in split.queries]
+                row.append(round(float(np.mean(ios))))
+            table.add_row(row)
+        tables.append(table)
+    return tables
+
+
+def test_fig10_io_vs_k(benchmark, capsys):
+    tables = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_tables(capsys, tables)
+    for table in tables:
+        for col in range(1, len(P_VALUES) + 1):
+            ios = [row[col] for row in table.rows]
+            # Slight increase with k...
+            assert ios[-1] >= ios[0]
+            # ...but nowhere near proportional to the 10x larger k.
+            assert ios[-1] < 5 * ios[0]
+        # The Figure 9 ordering (smaller p costs more) holds per k.
+        for row in table.rows:
+            assert row[1] >= row[len(P_VALUES)]
+
+
+if __name__ == "__main__":
+    for table in run():
+        print(table.render())
+        print()

@@ -1,0 +1,63 @@
+"""Figure 12: the multi-query optimisation (Section 4.3).
+
+For each (simulated) real dataset: I/O of answering six kNN queries
+(l0.5 ... l1.0, same query point) as a shared batch versus the single
+l0.5 query versus six separate queries.  The paper reports the batch
+costing only a few more I/Os than the single l0.5 query.
+"""
+
+import numpy as np
+
+from bench_common import P_SWEEP, dataset_split, lazy_index, print_tables
+from repro import MultiQueryEngine
+from repro.eval.harness import ResultTable
+
+DATASETS = ("inria", "sun", "labelme", "mnist")
+K = 100
+
+
+def run() -> list[ResultTable]:
+    table = ResultTable(
+        f"Figure 12: multi-query I/O, 6 metrics {list(P_SWEEP)}, k={K}",
+        ["dataset", "single l0.5", "batched 6 metrics", "6 separate", "batch/single"],
+    )
+    for name in DATASETS:
+        index = lazy_index(name)
+        engine = MultiQueryEngine(index)
+        split = dataset_split(name)
+        singles, batches, separates = [], [], []
+        for query in split.queries:
+            singles.append(index.knn(query, K, 0.5).io.total)
+            batches.append(engine.knn(query, K, P_SWEEP).io.total)
+            separates.append(
+                sum(index.knn(query, K, p).io.total for p in P_SWEEP)
+            )
+        single = float(np.mean(singles))
+        batch = float(np.mean(batches))
+        table.add_row(
+            [
+                name,
+                round(single),
+                round(batch),
+                round(float(np.mean(separates))),
+                round(batch / single, 3),
+            ]
+        )
+    return [table]
+
+
+def test_fig12_multiquery(benchmark, capsys):
+    tables = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_tables(capsys, tables)
+    for row in tables[0].rows:
+        _name, single, batch, separate, factor = row
+        # The batch costs only slightly more than the single l0.5 query...
+        assert factor < 1.5
+        # ...and far less than processing the metrics separately.
+        assert batch < 0.5 * separate
+
+
+if __name__ == "__main__":
+    for table in run():
+        print(table.render())
+        print()

@@ -1,0 +1,69 @@
+"""Figure 15 (Appendix B.2): overall ratio versus the approximation
+ratio c, per lp space.
+
+Synthetic d=400 data.  The paper reports the ratio staying below 1.1
+even at c = 6 — so large c is a viable speed/accuracy trade — and the
+ratio generally growing with c.
+"""
+
+import numpy as np
+
+from bench_common import MC_BUCKETS, MC_SAMPLES, P_SWEEP, print_tables
+from repro import LazyLSH, LazyLSHConfig
+from repro.datasets import exact_knn, make_synthetic, sample_queries
+from repro.eval import overall_ratio
+from repro.eval.harness import ResultTable
+
+N = 4000
+D = 400
+C_SWEEP = (3.0, 4.0, 5.0, 6.0)
+K = 100
+N_QUERIES = 4
+
+
+def run() -> list[ResultTable]:
+    data = make_synthetic(N, D, seed=3)
+    split = sample_queries(data, n_queries=N_QUERIES, seed=4)
+    truth = {
+        p: exact_knn(split.data, split.queries, K, p) for p in P_SWEEP
+    }
+    table = ResultTable(
+        f"Figure 15: avg overall ratio vs c, |D|={N}, d={D}, k={K}",
+        ["c"] + [f"l{p:g}" for p in P_SWEEP],
+    )
+    for c in C_SWEEP:
+        cfg = LazyLSHConfig(
+            c=c, p_min=0.5, seed=7, mc_samples=MC_SAMPLES, mc_buckets=MC_BUCKETS
+        )
+        index = LazyLSH(cfg).build(split.data)
+        row: list = [int(c)]
+        for p in P_SWEEP:
+            _, true_dists = truth[p]
+            ratios = [
+                overall_ratio(index.knn(q, K, p).distances, true_dists[qi])
+                for qi, q in enumerate(split.queries)
+            ]
+            row.append(round(float(np.mean(ratios)), 4))
+        table.add_row(row)
+    return [table]
+
+
+def test_fig15_ratio_vs_c(benchmark, capsys):
+    tables = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_tables(capsys, tables)
+    rows = tables[0].rows
+    # Even at c = 6 the ratio stays below 1.1 in every space (the
+    # paper's headline finding for this figure).
+    for row in rows:
+        assert all(v < 1.1 for v in row[1:])
+    # Larger c is never dramatically better than smaller c (weak
+    # monotonicity: compare c=3 vs c=6 averaged over spaces).
+    mean_c3 = np.mean(rows[0][1:])
+    mean_c6 = np.mean(rows[-1][1:])
+    assert mean_c6 >= mean_c3 - 0.02
+
+
+if __name__ == "__main__":
+    for table in run():
+        print(table.render())
+        print()

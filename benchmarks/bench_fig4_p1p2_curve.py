@@ -1,0 +1,63 @@
+"""Figure 4: p1' and p2' versus the radius ratio r/delta_lower.
+
+Setting: l0.5 queries over an l1 base index in R^128, c = 2.  The paper's
+figure shows p2' rising smoothly from ~0.15, p1' staying near zero until
+ratio ~1.4, jumping sharply, and crossing p2' around ratio ~1.55.
+"""
+
+import numpy as np
+
+from bench_common import MC_BUCKETS, MC_SAMPLES, print_tables
+from repro.core.params import ParameterEngine
+from repro.eval.harness import ResultTable
+
+D = 128
+C = 2.0
+P = 0.5
+
+
+def run() -> list[ResultTable]:
+    engine = ParameterEngine(
+        D, c=C, epsilon=0.01, beta=1e-4, mc_samples=MC_SAMPLES,
+        mc_buckets=MC_BUCKETS, seed=7,
+    )
+    curve = engine.curve(P)
+    table = ResultTable(
+        f"Figure 4: p1'/p2' vs ratio (l{P:g}, d={D}, c={C:g})",
+        ["ratio", "p1'", "p2'", "p1'-p2'"],
+    )
+    # Sample the curve at the paper's x-axis ticks.
+    for target in np.arange(1.0, 2.01, 0.1):
+        idx = int(np.argmin(np.abs(curve.ratio - target)))
+        table.add_row(
+            [
+                round(float(curve.ratio[idx]), 2),
+                float(curve.p1_prime[idx]),
+                float(curve.p2_prime[idx]),
+                float(curve.gap[idx]),
+            ]
+        )
+    crossing = curve.ratio[np.argmax(curve.gap > 0)] if np.any(curve.gap > 0) else None
+    summary = ResultTable(
+        "Figure 4 landmarks",
+        ["landmark", "value"],
+    )
+    summary.add_row(["first ratio with p1' > p2'", float(crossing)])
+    summary.add_row(["argmax-gap ratio", float(curve.ratio[np.argmax(curve.gap)])])
+    summary.add_row(["max gap", float(curve.gap.max())])
+    return [table, summary]
+
+
+def test_fig4_p1p2_curve(benchmark, capsys):
+    tables = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_tables(capsys, tables)
+    # The paper's qualitative landmarks.
+    landmarks = {row[0]: row[1] for row in tables[1].rows}
+    assert 1.3 < landmarks["first ratio with p1' > p2'"] < 1.8
+    assert landmarks["max gap"] > 0.0
+
+
+if __name__ == "__main__":
+    for table in run():
+        print(table.render())
+        print()

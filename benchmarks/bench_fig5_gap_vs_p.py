@@ -1,0 +1,64 @@
+"""Figure 5: the sensitivity gap (p1' - p2') across lp spaces.
+
+Setting: d = 128, c = 2.  The paper reports the gap peaking at p = 1
+(where the base index lives), shrinking as p moves away, and vanishing
+below p ~ 0.44 and above p ~ 1.18 — the operational support range of a
+single l1 base index.
+"""
+
+import numpy as np
+
+from bench_common import MC_BUCKETS, MC_SAMPLES, print_tables
+from repro.core.params import ParameterEngine
+from repro.errors import UnsupportedMetricError
+from repro.eval.harness import ResultTable
+
+D = 128
+C = 2.0
+
+
+def run() -> list[ResultTable]:
+    engine = ParameterEngine(
+        D, c=C, epsilon=0.01, beta=1e-4, mc_samples=MC_SAMPLES,
+        mc_buckets=MC_BUCKETS, seed=7,
+    )
+    table = ResultTable(
+        f"Figure 5: p1'-p2' vs lp space (d={D}, c={C:g})",
+        ["p", "p1'", "p2'", "gap", "sensitive"],
+    )
+    p_grid = np.round(np.arange(0.40, 1.25, 0.05), 2)
+    boundary_low = None
+    boundary_high = None
+    for p in p_grid:
+        try:
+            params = engine.metric_params(float(p))
+        except UnsupportedMetricError:
+            table.add_row([float(p), "-", "-", "-", "no"])
+            continue
+        table.add_row(
+            [float(p), params.p1_prime, params.p2_prime, params.gap, "yes"]
+        )
+        if boundary_low is None:
+            boundary_low = float(p)
+        boundary_high = float(p)
+    summary = ResultTable("Figure 5 landmarks", ["landmark", "value"])
+    summary.add_row(["smallest sensitive p (paper ~0.44)", boundary_low])
+    summary.add_row(["largest sensitive p (paper ~1.18)", boundary_high])
+    return [table, summary]
+
+
+def test_fig5_gap_vs_p(benchmark, capsys):
+    tables = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_tables(capsys, tables)
+    landmarks = {row[0]: row[1] for row in tables[1].rows}
+    assert 0.40 <= landmarks["smallest sensitive p (paper ~0.44)"] <= 0.55
+    assert 1.05 <= landmarks["largest sensitive p (paper ~1.18)"] <= 1.25
+    # Gap peaks at the base space p = 1.
+    gaps = {row[0]: row[3] for row in tables[0].rows if row[4] == "yes"}
+    assert max(gaps, key=gaps.get) == 1.0
+
+
+if __name__ == "__main__":
+    for table in run():
+        print(table.render())
+        print()

@@ -1,0 +1,65 @@
+"""Figure 6: required hash functions eta_p across lp spaces.
+
+Setting: d = 128, c = 2, epsilon = 0.01, beta = 1e-4.  eta is inversely
+proportional to the squared sensitivity gap, so it explodes as p
+approaches the support boundary (~12,000 at p = 0.5 in the paper) and
+bottoms out near the base space.  The dashed-line observation: the bank
+materialised for one p also serves every p with a smaller eta — e.g.
+eta_0.6 covers 0.6 <= p <= ~1.1.
+"""
+
+import numpy as np
+
+from bench_common import MC_BUCKETS, MC_SAMPLES, print_tables
+from repro.core.params import ParameterEngine
+from repro.errors import UnsupportedMetricError
+from repro.eval.harness import ResultTable
+
+D = 128
+C = 2.0
+
+
+def run() -> list[ResultTable]:
+    engine = ParameterEngine(
+        D, c=C, epsilon=0.01, beta=1e-4, mc_samples=MC_SAMPLES,
+        mc_buckets=MC_BUCKETS, seed=7,
+    )
+    table = ResultTable(
+        f"Figure 6: eta_p vs lp space (d={D}, c={C:g}, eps=0.01, beta=1e-4)",
+        ["p", "eta_p", "theta_p"],
+    )
+    etas = {}
+    for p in np.round(np.arange(0.5, 1.15, 0.05), 2):
+        try:
+            params = engine.metric_params(float(p))
+        except UnsupportedMetricError:
+            table.add_row([float(p), "-", "-"])
+            continue
+        etas[float(p)] = params.eta
+        table.add_row([float(p), params.eta, round(params.theta, 1)])
+    summary = ResultTable("Figure 6 landmarks", ["landmark", "value"])
+    summary.add_row(["eta_0.5 (paper ~12k-13k)", etas.get(0.5)])
+    summary.add_row(["eta_1.0 (paper <1k)", etas.get(1.0)])
+    summary.add_row(
+        ["upper p served by the eta_0.6 bank (paper ~1.1)",
+         engine.supported_upper_p(etas[0.6])],
+    )
+    return [table, summary]
+
+
+def test_fig6_eta_vs_p(benchmark, capsys):
+    tables = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_tables(capsys, tables)
+    landmarks = {row[0]: row[1] for row in tables[1].rows}
+    assert 8_000 < landmarks["eta_0.5 (paper ~12k-13k)"] < 16_000
+    assert landmarks["eta_1.0 (paper <1k)"] < 1_000
+    assert landmarks["upper p served by the eta_0.6 bank (paper ~1.1)"] >= 1.0
+    # eta decreases monotonically from p=0.5 towards the base space.
+    etas = [row[1] for row in tables[0].rows if row[1] != "-" and row[0] <= 1.0]
+    assert all(a >= b for a, b in zip(etas, etas[1:]))
+
+
+if __name__ == "__main__":
+    for table in run():
+        print(table.render())
+        print()

@@ -1,0 +1,71 @@
+"""Figure 7: the sensitivity gap versus dimensionality, per ratio c.
+
+Setting: l0.5 queries, c in {2..6}, d sweeping powers of two.  The paper
+reports the gap (for c = 3) dipping to its minimum near d = 16 and then
+growing slowly with d, and the gap increasing with c at every fixed d —
+the mechanism behind Table 5b/5c's index sizes.
+"""
+
+from bench_common import print_tables
+from repro.core.params import ParameterEngine
+from repro.errors import UnsupportedMetricError
+from repro.eval.harness import ResultTable
+
+P = 0.5
+C_SWEEP = (2.0, 3.0, 4.0, 5.0, 6.0)
+D_SWEEP = (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+# Lighter Monte-Carlo resolution: this bench runs 50 (d, c) cells.
+_MC_SAMPLES = 30_000
+_MC_BUCKETS = 100
+
+
+def run() -> list[ResultTable]:
+    table = ResultTable(
+        f"Figure 7: p1'-p2' vs dimensionality (l{P:g})",
+        ["d"] + [f"c={int(c)}" for c in C_SWEEP],
+    )
+    gaps_by_c: dict[float, dict[int, float]] = {c: {} for c in C_SWEEP}
+    for d in D_SWEEP:
+        row: list = [d]
+        for c in C_SWEEP:
+            engine = ParameterEngine(
+                d, c=c, epsilon=0.01, beta=1e-4,
+                mc_samples=_MC_SAMPLES, mc_buckets=_MC_BUCKETS, seed=7,
+            )
+            try:
+                gap = engine.metric_params(P).gap
+            except UnsupportedMetricError:
+                row.append("-")
+                continue
+            gaps_by_c[c][d] = gap
+            row.append(round(gap, 4))
+        table.add_row(row)
+    summary = ResultTable("Figure 7 landmarks", ["landmark", "value"])
+    c3 = gaps_by_c[3.0]
+    if c3:
+        dip = min(c3, key=c3.get)
+        summary.add_row(["argmin-gap dimensionality for c=3 (paper ~16)", dip])
+    d128 = {c: gaps_by_c[c].get(128) for c in C_SWEEP}
+    summary.add_row(
+        ["gap grows with c at d=128", all(
+            (d128[a] or 0) <= (d128[b] or 1)
+            for a, b in zip(C_SWEEP, C_SWEEP[1:])
+        )]
+    )
+    return [table, summary]
+
+
+def test_fig7_gap_vs_dim(benchmark, capsys):
+    tables = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_tables(capsys, tables)
+    landmarks = {row[0]: row[1] for row in tables[1].rows}
+    dip = landmarks["argmin-gap dimensionality for c=3 (paper ~16)"]
+    assert dip in (4, 8, 16, 32)
+    assert landmarks["gap grows with c at d=128"] is True
+
+
+if __name__ == "__main__":
+    for table in run():
+        print(table.render())
+        print()

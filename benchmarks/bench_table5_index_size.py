@@ -1,0 +1,145 @@
+"""Table 5: index size under different parameter settings (synthetic data).
+
+Four sub-tables sweep (a) cardinality, (b) dimensionality, (c) the
+approximation ratio c — with I/O and overall ratio measured on live
+queries — and (d) the supported lp range.  Cardinalities are scaled 100x
+down from the paper (100k-1.6m -> 1k-16k); every trend the paper reports
+is checked at this scale:
+
+* (a) eta and size grow with |D| (through beta = 100/|D|),
+* (b) eta falls as d grows past ~100 (Figure 7's gap behaviour),
+* (c) eta, size and I/O fall with c while the ratio rises,
+* (d) supporting smaller p costs progressively more hash functions.
+"""
+
+import numpy as np
+
+from bench_common import MC_BUCKETS, MC_SAMPLES, print_tables
+from repro import LazyLSH, LazyLSHConfig
+from repro.core.params import ParameterEngine
+from repro.datasets import exact_knn, make_synthetic, sample_queries
+from repro.eval import overall_ratio
+from repro.eval.harness import ResultTable
+from repro.storage.pages import PageLayout
+
+#: Scaled-down defaults (paper: |D| = 400k, d = 400, c = 3, p >= 0.5).
+DEFAULT_N = 4000
+DEFAULT_D = 400
+DEFAULT_C = 3.0
+
+N_SWEEP = (1000, 2000, 4000, 8000, 16000)
+D_SWEEP = (100, 200, 400, 800, 1600)
+C_SWEEP = (2.0, 3.0, 4.0, 5.0, 6.0)
+P_SWEEP = (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def _eta(d: int, c: float, n: int, p_min: float = 0.5) -> int:
+    beta = min(max(100.0 / n, 1e-4), 0.5)
+    engine = ParameterEngine(
+        d, c=c, epsilon=0.01, beta=beta, mc_samples=MC_SAMPLES,
+        mc_buckets=MC_BUCKETS, seed=7,
+    )
+    return engine.metric_params(p_min).eta
+
+
+def _size_mb(eta: int, n: int) -> float:
+    layout = PageLayout()
+    return eta * layout.size_bytes(n) / (1024.0 * 1024.0)
+
+
+def run_5a() -> ResultTable:
+    table = ResultTable(
+        "Table 5a: index size vs cardinality |D| (d=400, c=3)",
+        ["|D|", "eta_0.5", "size (MB)"],
+    )
+    for n in N_SWEEP:
+        eta = _eta(DEFAULT_D, DEFAULT_C, n)
+        table.add_row([n, eta, round(_size_mb(eta, n), 1)])
+    return table
+
+
+def run_5b() -> ResultTable:
+    table = ResultTable(
+        "Table 5b: index size vs dimensionality d (|D|=4k, c=3)",
+        ["d", "eta_0.5", "size (MB)"],
+    )
+    for d in D_SWEEP:
+        eta = _eta(d, DEFAULT_C, DEFAULT_N)
+        table.add_row([d, eta, round(_size_mb(eta, DEFAULT_N), 1)])
+    return table
+
+
+def run_5c() -> ResultTable:
+    table = ResultTable(
+        "Table 5c: index size / I/O / ratio vs approximation ratio c "
+        "(|D|=4k, d=400, k=100)",
+        ["c", "eta_0.5", "size (MB)", "avg I/O", "avg ratio"],
+    )
+    data = make_synthetic(DEFAULT_N, DEFAULT_D, seed=3)
+    split = sample_queries(data, n_queries=4, seed=4)
+    true_ids, true_dists = exact_knn(split.data, split.queries, 100, 0.5)
+    for c in C_SWEEP:
+        cfg = LazyLSHConfig(
+            c=c, p_min=0.5, seed=7, mc_samples=MC_SAMPLES, mc_buckets=MC_BUCKETS
+        )
+        index = LazyLSH(cfg).build(split.data)
+        ios, ratios = [], []
+        for qi, query in enumerate(split.queries):
+            result = index.knn(query, 100, 0.5)
+            ios.append(result.io.total)
+            ratios.append(overall_ratio(result.distances, true_dists[qi]))
+        table.add_row(
+            [
+                int(c),
+                index.eta,
+                round(index.index_size_mb(), 1),
+                round(float(np.mean(ios))),
+                round(float(np.mean(ratios)), 3),
+            ]
+        )
+    return table
+
+
+def run_5d() -> ResultTable:
+    table = ResultTable(
+        "Table 5d: index size vs supported lp range (|D|=4k, d=400, c=3)",
+        ["p_min", "eta_{p_min}", "size (MB)"],
+    )
+    for p in P_SWEEP:
+        eta = _eta(DEFAULT_D, DEFAULT_C, DEFAULT_N, p_min=p)
+        table.add_row([p, eta, round(_size_mb(eta, DEFAULT_N), 1)])
+    return table
+
+
+def run() -> list[ResultTable]:
+    return [run_5a(), run_5b(), run_5c(), run_5d()]
+
+
+def test_table5_index_size(benchmark, capsys):
+    tables = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_tables(capsys, tables)
+    t5a, t5b, t5c, t5d = tables
+    # (a) eta grows with |D|.
+    etas_a = [row[1] for row in t5a.rows]
+    assert all(a <= b for a, b in zip(etas_a, etas_a[1:]))
+    # (b) eta falls with d on this sweep (all d >= 100, past the dip).
+    etas_b = [row[1] for row in t5b.rows]
+    assert etas_b[0] > etas_b[-1]
+    # (c) size and I/O fall with c; ratio rises overall.
+    sizes_c = [row[2] for row in t5c.rows]
+    ios_c = [row[3] for row in t5c.rows]
+    ratios_c = [row[4] for row in t5c.rows]
+    assert all(a >= b for a, b in zip(sizes_c, sizes_c[1:]))
+    assert ios_c[0] > ios_c[-1]
+    assert ratios_c[-1] >= ratios_c[0]
+    # (d) supporting smaller p needs more functions.
+    etas_d = [row[1] for row in t5d.rows]
+    assert all(a >= b for a, b in zip(etas_d, etas_d[1:]))
+    # Paper: eta_0.5 is ~2.37x eta_1.0.
+    assert 1.5 < etas_d[0] / etas_d[-1] < 4.0
+
+
+if __name__ == "__main__":
+    for table in run():
+        print(table.render())
+        print()

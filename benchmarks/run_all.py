@@ -1,0 +1,92 @@
+"""Run every benchmark standalone and write the tables to ``results/``.
+
+Convenience wrapper around the per-figure modules for users who want the
+paper tables as plain-text files instead of pytest output:
+
+    python benchmarks/run_all.py [--only fig9 table1 ...]
+
+Each module's ``run()`` is executed and its tables saved to
+``benchmarks/results/<module>.txt``; failures are reported but do not
+stop the sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+#: Execution order: cheap parameter benches first, heavy query benches last.
+MODULES = [
+    "bench_fig4_p1p2_curve",
+    "bench_fig5_gap_vs_p",
+    "bench_fig6_eta_vs_p",
+    "bench_fig7_gap_vs_dim",
+    "bench_appc_l2_base",
+    "bench_table5_index_size",
+    "bench_table4_real_index",
+    "bench_fig9_io_vs_p",
+    "bench_fig10_io_vs_k",
+    "bench_fig11_ratio_vs_k",
+    "bench_fig12_multiquery",
+    "bench_fig13_rehashing",
+    "bench_fig14_query_time",
+    "bench_fig15_ratio_vs_c",
+    "bench_fig16_time_vs_dim",
+    "bench_table1_classification",
+    "bench_ablation_storage",
+    "bench_ablation_all_baselines",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="substring filters; run only matching modules",
+    )
+    args = parser.parse_args(argv)
+    sys.path.insert(0, str(BENCH_DIR))
+    results_dir = BENCH_DIR / "results"
+    results_dir.mkdir(exist_ok=True)
+    selected = [
+        name
+        for name in MODULES
+        if args.only is None or any(token in name for token in args.only)
+    ]
+    if not selected:
+        print("no benchmarks match the --only filters", file=sys.stderr)
+        return 2
+    failures = []
+    for name in selected:
+        started = time.perf_counter()
+        print(f"== {name} ...", flush=True)
+        try:
+            module = importlib.import_module(name)
+            tables = module.run()
+        except Exception as exc:  # keep sweeping; report at the end
+            failures.append((name, exc))
+            print(f"   FAILED: {exc}")
+            continue
+        rendered = "\n\n".join(table.render() for table in tables)
+        out_path = results_dir / f"{name}.txt"
+        out_path.write_text(rendered + "\n")
+        print(rendered)
+        print(f"   ({time.perf_counter() - started:.1f}s -> {out_path})\n")
+    if failures:
+        print(f"{len(failures)} benchmark(s) failed:", file=sys.stderr)
+        for name, exc in failures:
+            print(f"  {name}: {exc}", file=sys.stderr)
+        return 1
+    print(f"all {len(selected)} benchmarks completed; tables in {results_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

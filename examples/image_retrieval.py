@@ -1,0 +1,69 @@
+"""Content-based image retrieval with fractional distance metrics.
+
+Simulates the paper's image-retrieval scenario (Inria SIFT features): a
+feature database is indexed once, and retrieval quality under l0.5 —
+reported by Howarth & Ruger (ECIR 2005) to beat l1/l2 for CBIR — is
+compared against l1, using exact search as the reference and C2LSH as the
+baseline engine.
+
+Run:  python examples/image_retrieval.py
+"""
+
+import numpy as np
+
+from repro import LazyLSH, LazyLSHConfig
+from repro.baselines import C2LSH
+from repro.baselines.c2lsh import C2LSHConfig
+from repro.datasets import exact_knn, inria_like, sample_queries
+from repro.eval import overall_ratio, recall_at_k
+from repro.eval.harness import ResultTable
+
+N_POINTS = 6000
+N_QUERIES = 8
+K = 20
+
+
+def main() -> None:
+    print(f"generating Inria-like SIFT features ({N_POINTS} x 128)...")
+    features = inria_like(n=N_POINTS, seed=11)
+    split = sample_queries(features, n_queries=N_QUERIES, seed=3)
+
+    print("building LazyLSH and C2LSH indexes...")
+    lazy = LazyLSH(
+        LazyLSHConfig(c=3.0, p_min=0.5, seed=5, mc_samples=30_000)
+    ).build(split.data)
+    c2 = C2LSH(C2LSHConfig(c=3.0, seed=5)).build(split.data)
+    print(f"  LazyLSH: eta={lazy.eta}, {lazy.index_size_mb():.0f} MB")
+    print(f"  C2LSH:   eta={c2.eta}, {c2.index_size_mb():.0f} MB\n")
+
+    table = ResultTable(
+        f"Top-{K} retrieval quality on Inria-like features",
+        ["metric", "engine", "overall ratio", "recall@k", "avg I/O"],
+    )
+    for p in (0.5, 1.0):
+        true_ids, true_dists = exact_knn(split.data, split.queries, K, p)
+        for engine_name, engine in (("LazyLSH", lazy), ("C2LSH", c2)):
+            ratios, recalls, ios = [], [], []
+            for qi, query in enumerate(split.queries):
+                result = engine.knn(query, K, p)
+                ratios.append(overall_ratio(result.distances, true_dists[qi]))
+                recalls.append(recall_at_k(result.ids, true_ids[qi]))
+                ios.append(result.io.total)
+            table.add_row(
+                [
+                    f"l{p:g}",
+                    engine_name,
+                    float(np.mean(ratios)),
+                    float(np.mean(recalls)),
+                    float(np.mean(ios)),
+                ]
+            )
+    print(table.render())
+    print(
+        "\nLazyLSH answers the fractional-metric queries natively; C2LSH"
+        "\nre-ranks l1 candidates and pays for it in accuracy (Figure 11)."
+    )
+
+
+if __name__ == "__main__":
+    main()

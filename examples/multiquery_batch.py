@@ -1,0 +1,57 @@
+"""Multi-query optimisation: explore six metrics for the price of one.
+
+Reproduces the Section 4.3 / Figure 12 workflow on a simulated SUN-like
+GIST dataset: issuing the same query point under l0.5 ... l1.0 as a batch
+shares almost all sequential I/O with the single l0.5 query.
+
+Run:  python examples/multiquery_batch.py
+"""
+
+from repro import LazyLSH, LazyLSHConfig, MultiQueryEngine
+from repro.datasets import sample_queries, sun_like
+from repro.eval.harness import ResultTable, Timer
+
+P_VALUES = (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+K = 10
+
+
+def main() -> None:
+    print("generating SUN-like GIST features (4000 x 512)...")
+    features = sun_like(n=4000, seed=9)
+    split = sample_queries(features, n_queries=5, seed=4)
+
+    index = LazyLSH(
+        LazyLSHConfig(c=3.0, p_min=0.5, seed=9, mc_samples=30_000)
+    ).build(split.data)
+    engine = MultiQueryEngine(index)
+    print(f"index built: eta={index.eta}\n")
+
+    table = ResultTable(
+        "I/O per query point: six separate queries vs one batch",
+        ["query", "6 separate", "batched", "batch / single-l0.5"],
+    )
+    for qi, query in enumerate(split.queries):
+        separate = sum(
+            index.knn(query, K, p).io.total for p in P_VALUES
+        )
+        with Timer() as timer:
+            batch = engine.knn(query, K, P_VALUES)
+        single = index.knn(query, K, 0.5)
+        table.add_row(
+            [
+                qi,
+                separate,
+                batch.io.total,
+                round(batch.io.total / max(single.io.total, 1), 3),
+            ]
+        )
+    print(table.render())
+    print(
+        "\nBatch cost stays within a few percent of the single l0.5 query"
+        "\n(the paper's Figure 12), because the wider l0.5 windows cover"
+        "\nthe pages every other metric needs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Shared type aliases used across the :mod:`repro` package."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import numpy.typing as npt
+
+#: A dense matrix of points, shape ``(n, d)``.
+PointMatrix = npt.NDArray[np.floating]
+
+#: A single point, shape ``(d,)``.
+PointVector = npt.NDArray[np.floating]
+
+#: Integer identifiers of points (row indices into the dataset).
+IdArray = npt.NDArray[np.integer]
+
+#: Anything accepted as a random seed by :func:`numpy.random.default_rng`.
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def as_rng(seed: SeedLike) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    generator (returned unchanged so callers can share RNG state).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,21 @@
+"""Application layer: the similarity-search workloads Section 6.1 lists
+as LazyLSH's motivation, built on the public index API.
+
+* :mod:`repro.apps.knn_graph` — approximate kNN-graph construction (the
+  substrate of clustering and semi-supervised learning),
+* :mod:`repro.apps.dedup` — near-duplicate detection via MinHash
+  pre-filtering plus ``lp`` verification,
+* :mod:`repro.apps.metric_advisor` — the Table-1 workflow packaged as an
+  API: pick the best ``lp`` metric for a labelled dataset with one index.
+"""
+
+from repro.apps.dedup import find_near_duplicates
+from repro.apps.knn_graph import build_knn_graph
+from repro.apps.metric_advisor import MetricRecommendation, recommend_metric
+
+__all__ = [
+    "MetricRecommendation",
+    "build_knn_graph",
+    "find_near_duplicates",
+    "recommend_metric",
+]

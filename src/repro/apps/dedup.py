@@ -1,0 +1,104 @@
+"""Near-duplicate detection: MinHash pre-filter + ``lp`` verification.
+
+Near-duplicate detection (Bilenko & Mooney, SIGKDD 2003 — cited in
+Section 6.1) over dense vectors: candidate pairs are generated cheaply
+from MinHash signatures of each vector's top-coordinate set (banding, the
+classic LSH-for-Jaccard trick), then verified with the true ``lp``
+distance so the output has no false positives.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro._typing import PointMatrix
+from repro.errors import InvalidParameterError
+from repro.metrics.families import MinHash
+from repro.metrics.lp import lp_distance
+
+
+def _top_coordinate_set(vector: np.ndarray, size: int) -> set[int]:
+    """The ids of a vector's ``size`` largest-magnitude coordinates."""
+    order = np.argsort(np.abs(vector), kind="stable")[::-1][:size]
+    return {int(i) for i in order}
+
+
+def find_near_duplicates(
+    points: PointMatrix,
+    *,
+    threshold: float,
+    p: float = 1.0,
+    num_hashes: int = 64,
+    bands: int = 16,
+    sketch_size: int | None = None,
+    seed: int | None = 7,
+) -> list[tuple[int, int, float]]:
+    """Find all pairs within ``lp`` distance ``threshold``.
+
+    Parameters
+    ----------
+    points:
+        The ``(n, d)`` dataset.
+    threshold:
+        Maximum ``lp`` distance for a pair to count as a near-duplicate.
+    p:
+        The verification metric.
+    num_hashes / bands:
+        MinHash signature length and LSH banding; ``bands`` must divide
+        ``num_hashes``.  More bands = higher candidate recall, more
+        verification work.
+    sketch_size:
+        How many top coordinates form each vector's set sketch; defaults
+        to ``min(16, d)``.
+    seed:
+        Seed for the MinHash family.
+
+    Returns
+    -------
+    list of ``(i, j, distance)`` with ``i < j``, sorted by distance.
+    Verified exactly — no false positives; recall depends on the sketch
+    (near-duplicates share top coordinates, so it is high for genuinely
+    close pairs).
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    n, d = points.shape
+    if n < 2:
+        raise InvalidParameterError("need at least two points")
+    if threshold <= 0:
+        raise InvalidParameterError(f"threshold must be > 0, got {threshold}")
+    if num_hashes < 1 or bands < 1 or num_hashes % bands != 0:
+        raise InvalidParameterError(
+            f"bands ({bands}) must divide num_hashes ({num_hashes})"
+        )
+    if sketch_size is None:
+        sketch_size = min(16, d)
+    if not 1 <= sketch_size <= d:
+        raise InvalidParameterError(
+            f"sketch_size must lie in [1, {d}], got {sketch_size}"
+        )
+    rows_per_band = num_hashes // bands
+    minhash = MinHash(num_hashes, seed=seed)
+    signatures = np.vstack(
+        [minhash.hash_set(_top_coordinate_set(points[i], sketch_size)) for i in range(n)]
+    )
+    candidates: set[tuple[int, int]] = set()
+    for band in range(bands):
+        buckets: dict[tuple, list[int]] = defaultdict(list)
+        band_sig = signatures[:, band * rows_per_band : (band + 1) * rows_per_band]
+        for i in range(n):
+            buckets[tuple(band_sig[i])].append(i)
+        for members in buckets.values():
+            if len(members) < 2:
+                continue
+            for a_idx, i in enumerate(members):
+                for j in members[a_idx + 1 :]:
+                    candidates.add((i, j))
+    verified = []
+    for i, j in candidates:
+        dist = float(lp_distance(points[i], points[j], p))
+        if dist <= threshold:
+            verified.append((i, j, dist))
+    verified.sort(key=lambda pair: pair[2])
+    return verified

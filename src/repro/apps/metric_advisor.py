@@ -1,0 +1,105 @@
+"""The Table-1 workflow as an API: recommend the best ``lp`` metric.
+
+"Before implementing a system, we need an approach that can explore the
+data using different distance metrics, such that we can select a proper
+one to achieve the best mining results" (Section 1).  This module does
+exactly that: one LazyLSH index, approximate 1NN classification accuracy
+per candidate metric on a validation split, and the winner returned with
+the full accuracy profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._typing import SeedLike, as_rng
+from repro.core.config import LazyLSHConfig
+from repro.core.lazylsh import LazyLSH
+from repro.errors import InvalidParameterError
+from repro.eval.knn_classifier import classification_accuracy
+
+
+@dataclass(frozen=True)
+class MetricRecommendation:
+    """Outcome of :func:`recommend_metric`."""
+
+    best_p: float
+    accuracies: dict[float, float]
+    exact_l1_accuracy: float
+    n_validation: int
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        profile = ", ".join(
+            f"l{p:g}={100 * acc:.1f}%" for p, acc in sorted(self.accuracies.items())
+        )
+        return (
+            f"best metric: l{self.best_p:g} "
+            f"(exact l1 = {100 * self.exact_l1_accuracy:.1f}%; {profile})"
+        )
+
+
+def recommend_metric(
+    points: np.ndarray,
+    labels: np.ndarray,
+    *,
+    p_values: tuple[float, ...] = (0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+    validation_fraction: float = 0.2,
+    k: int = 1,
+    config: LazyLSHConfig | None = None,
+    seed: SeedLike = 7,
+) -> MetricRecommendation:
+    """Pick the ``lp`` metric with the best kNN classification accuracy.
+
+    Splits off a validation set, builds ONE LazyLSH index over the
+    training remainder, and scores the approximate-kNN classifier under
+    every candidate metric.  Ties break toward the larger ``p`` (cheaper
+    to query, Figure 9).
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    labels = np.asarray(labels)
+    n = points.shape[0]
+    if labels.shape != (n,):
+        raise InvalidParameterError(
+            f"labels must have shape ({n},), got {labels.shape}"
+        )
+    if not p_values:
+        raise InvalidParameterError("p_values must be non-empty")
+    if not 0.0 < validation_fraction < 1.0:
+        raise InvalidParameterError(
+            f"validation_fraction must lie in (0, 1), got {validation_fraction}"
+        )
+    n_val = max(1, int(round(validation_fraction * n)))
+    if n - n_val < max(k, 2):
+        raise InvalidParameterError(
+            f"not enough points ({n}) for a {validation_fraction:.0%} validation split"
+        )
+    rng = as_rng(seed)
+    order = rng.permutation(n)
+    val_idx, train_idx = order[:n_val], order[n_val:]
+    x_train, y_train = points[train_idx], labels[train_idx]
+    x_val, y_val = points[val_idx], labels[val_idx]
+    cfg = config or LazyLSHConfig(
+        c=3.0, p_min=min(p_values), mc_samples=30_000, mc_buckets=100, seed=7
+    )
+    if cfg.p_min > min(p_values):
+        raise InvalidParameterError(
+            f"config.p_min={cfg.p_min} cannot serve the requested "
+            f"p_values down to {min(p_values)}"
+        )
+    index = LazyLSH(cfg).build(x_train)
+    exact = classification_accuracy(x_train, y_train, x_val, y_val, k=k, p=1.0)
+    accuracies: dict[float, float] = {}
+    for p in p_values:
+        accuracies[float(p)] = classification_accuracy(
+            x_train, y_train, x_val, y_val, k=k, p=float(p), retriever=index
+        )
+    best_p = max(sorted(accuracies), key=lambda p: (accuracies[p], p))
+    return MetricRecommendation(
+        best_p=best_p,
+        accuracies=accuracies,
+        exact_l1_accuracy=exact,
+        n_validation=n_val,
+    )

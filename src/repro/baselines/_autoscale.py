@@ -1,0 +1,51 @@
+"""Data-adaptive scale estimation shared by the classic-LSH baselines.
+
+E2LSH and multi-probe LSH are parameterised in absolute distance units
+(bucket width, initial search radius).  Raw feature datasets span wildly
+different magnitudes, so both baselines estimate the typical
+nearest-neighbour distance from a sample at build time and scale their
+absolute parameters by it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import PointMatrix, SeedLike, as_rng
+from repro.metrics.lp import lp_distance
+
+
+def estimate_nn_distance(
+    data: PointMatrix,
+    p: float,
+    *,
+    sample_size: int = 256,
+    seed: SeedLike = 7,
+) -> float:
+    """Median nearest-neighbour ``lp`` distance of a data sample.
+
+    Samples ``min(sample_size, n)`` points and computes each one's nearest
+    other sample point exactly.  Zero medians (heavily duplicated data)
+    fall back to the smallest positive distance, or 1.0 if every pair
+    coincides.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    n = data.shape[0]
+    if n < 2:
+        return 1.0
+    rng = as_rng(seed)
+    size = min(sample_size, n)
+    sample = data[rng.choice(n, size=size, replace=False)]
+    nn = np.empty(size)
+    for i in range(size):
+        dists = lp_distance(sample, sample[i], p)
+        dists[i] = np.inf
+        nn[i] = dists.min()
+    finite = nn[np.isfinite(nn)]
+    if finite.size == 0:
+        return 1.0
+    median = float(np.median(finite))
+    if median > 0:
+        return median
+    positive = finite[finite > 0]
+    return float(positive.min()) if positive.size else 1.0

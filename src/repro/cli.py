@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+
+``params``
+    Print the per-metric internal parameters (r_hat, p1', p2', eta_p,
+    theta_p) the engine would use for a given geometry — the Section 3.3
+    computation, no data needed.
+
+``build``
+    Build a LazyLSH index over a dataset (a ``.npy`` file or a named
+    generated dataset) and save it with :mod:`repro.persistence`.
+
+``query``
+    Load a saved index and run kNN queries under one or more metrics.
+
+``datasets``
+    List the generated datasets available to ``build``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import LazyLSH, LazyLSHConfig
+from repro.core.params import ParameterEngine
+from repro.datasets import (
+    SIMULATED_DATASET_NAMES,
+    load_simulated,
+    make_synthetic,
+)
+from repro.errors import ReproError, UnsupportedMetricError
+from repro.eval.harness import ResultTable
+from repro.persistence import load_index, save_index
+
+
+def _parse_p_list(text: str) -> list[float]:
+    return [float(part) for part in text.split(",") if part.strip()]
+
+
+def cmd_params(args: argparse.Namespace) -> int:
+    engine = ParameterEngine(
+        args.d,
+        c=args.c,
+        epsilon=args.epsilon,
+        beta=args.beta,
+        mc_samples=args.mc_samples,
+        seed=args.seed,
+    )
+    table = ResultTable(
+        f"LazyLSH parameters (d={args.d}, c={args.c:g}, eps={args.epsilon}, "
+        f"beta={args.beta})",
+        ["p", "r_hat", "p1'", "p2'", "gap", "eta_p", "theta_p"],
+    )
+    for p in _parse_p_list(args.p):
+        try:
+            mp = engine.metric_params(p)
+        except UnsupportedMetricError:
+            table.add_row([p, "-", "-", "-", "-", "-", "not sensitive"])
+            continue
+        table.add_row(
+            [
+                p,
+                round(mp.r_hat, 6),
+                round(mp.p1_prime, 4),
+                round(mp.p2_prime, 4),
+                round(mp.gap, 4),
+                mp.eta,
+                round(mp.theta, 1),
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def _load_dataset(spec: str, n: int | None, seed: int) -> np.ndarray:
+    path = Path(spec)
+    if path.suffix == ".npy" and path.exists():
+        return np.load(path)
+    if spec in SIMULATED_DATASET_NAMES:
+        return load_simulated(spec, n=n, seed=seed)
+    if spec.startswith("synthetic:"):
+        # synthetic:<n>x<d>
+        shape = spec.split(":", 1)[1]
+        n_str, d_str = shape.split("x")
+        return make_synthetic(int(n_str), int(d_str), seed=seed)
+    raise ReproError(
+        f"unknown dataset {spec!r}: expected a .npy path, one of "
+        f"{SIMULATED_DATASET_NAMES}, or synthetic:<n>x<d>"
+    )
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    data = _load_dataset(args.dataset, args.n, args.seed)
+    config = LazyLSHConfig(
+        c=args.c,
+        p_min=args.p_min,
+        seed=args.seed,
+        mc_samples=args.mc_samples,
+    )
+    index = LazyLSH(config).build(data)
+    path = save_index(index, args.output)
+    print(
+        f"built index over {index.num_points} x {index.dimensionality} points: "
+        f"eta={index.eta}, {index.index_size_mb():.1f} MB (simulated), "
+        f"saved to {path}"
+    )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    if args.query_file:
+        queries = np.atleast_2d(np.load(args.query_file))
+    else:
+        queries = index.data[[args.row]]
+    table = ResultTable(
+        f"kNN results (k={args.k})",
+        ["query", "p", "ids", "distances", "seq I/O", "rnd I/O"],
+    )
+    for qi, query in enumerate(queries):
+        for p in _parse_p_list(args.p):
+            result = index.knn(query, args.k, p)
+            table.add_row(
+                [
+                    qi,
+                    p,
+                    " ".join(str(i) for i in result.ids[:8]),
+                    " ".join(f"{d:.1f}" for d in result.distances[:8]),
+                    result.io.sequential,
+                    result.io.random,
+                ]
+            )
+    print(table.render())
+    return 0
+
+
+def cmd_datasets(_args: argparse.Namespace) -> int:
+    print("generated datasets usable with `build`:")
+    for name in SIMULATED_DATASET_NAMES:
+        print(f"  {name}")
+    print("  synthetic:<n>x<d>   (uniform integers, Table 3 workload)")
+    print("  <path>.npy          (your own float matrix)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="LazyLSH reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_params = sub.add_parser("params", help="show per-metric parameters")
+    p_params.add_argument("--d", type=int, required=True, help="dimensionality")
+    p_params.add_argument("--c", type=float, default=3.0, help="approximation ratio")
+    p_params.add_argument("--epsilon", type=float, default=0.01)
+    p_params.add_argument("--beta", type=float, default=1e-4)
+    p_params.add_argument(
+        "--p", default="0.5,0.6,0.7,0.8,0.9,1.0", help="comma-separated metrics"
+    )
+    p_params.add_argument("--mc-samples", type=int, default=50_000)
+    p_params.add_argument("--seed", type=int, default=7)
+    p_params.set_defaults(func=cmd_params)
+
+    p_build = sub.add_parser("build", help="build and save an index")
+    p_build.add_argument("dataset", help=".npy path, dataset name, or synthetic:<n>x<d>")
+    p_build.add_argument("output", help="output index path (.npz)")
+    p_build.add_argument("--n", type=int, default=None, help="cardinality override")
+    p_build.add_argument("--c", type=float, default=3.0)
+    p_build.add_argument("--p-min", type=float, default=0.5)
+    p_build.add_argument("--mc-samples", type=int, default=50_000)
+    p_build.add_argument("--seed", type=int, default=7)
+    p_build.set_defaults(func=cmd_build)
+
+    p_query = sub.add_parser("query", help="query a saved index")
+    p_query.add_argument("index", help="index .npz path")
+    p_query.add_argument("--k", type=int, default=10)
+    p_query.add_argument("--p", default="0.5,1.0", help="comma-separated metrics")
+    p_query.add_argument(
+        "--row", type=int, default=0, help="use this indexed row as the query"
+    )
+    p_query.add_argument(
+        "--query-file", default=None, help=".npy file of query vectors"
+    )
+    p_query.set_defaults(func=cmd_query)
+
+    p_list = sub.add_parser("datasets", help="list generated datasets")
+    p_list.set_defaults(func=cmd_datasets)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

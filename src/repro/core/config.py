@@ -1,0 +1,109 @@
+"""Configuration for the LazyLSH index.
+
+Defaults follow the paper's experimental section: approximation ratio
+``c = 3`` (the value LazyLSH uses against C2LSH), error probability
+``epsilon = 0.01`` and false-positive rate ``beta = 0.0001`` (Figure 6),
+base bucket width ``r0 = 1`` and supported metric range ``p in [0.5, 1.0]``.
+
+``beta`` may be left ``None``, in which case it is resolved at build time to
+``max(100 / n, 1e-4)`` so that the false-positive candidate budget
+``beta * |D|`` stays meaningful on the scaled-down datasets this pure-Python
+reproduction runs on (the C2LSH reference implementation makes the same
+``100 / n`` choice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import InvalidParameterError
+from repro.storage.pages import DEFAULT_ENTRY_SIZE, DEFAULT_PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class LazyLSHConfig:
+    """Build- and query-time parameters of a :class:`~repro.core.LazyLSH`.
+
+    Attributes
+    ----------
+    c:
+        Approximation ratio of the ``Np(q, k, c)`` guarantee.  Must be > 1;
+        the paper sweeps integers 2-6 and defaults to 3.
+    epsilon:
+        Error probability of property P1' (a true neighbour reaches the
+        collision threshold with probability >= 1 - epsilon).
+    beta:
+        False-positive rate of property P2'; ``beta * n`` candidates are
+        tolerated before a query gives up.  ``None`` resolves to
+        ``max(100 / n, 1e-4)`` at build time.
+    r0:
+        Width of the base hash buckets (Eq. 10).
+    p_min:
+        Smallest ``lp`` metric the index must support; ``eta_{p_min}`` hash
+        functions are materialised (Sec. 3.3), which also serves every
+        ``p`` with ``eta_p <= eta_{p_min}``.
+    base_p:
+        Exponent of the base space the index is materialised in.  The paper
+        uses 1 (Cauchy projections); 2 is accepted for the Appendix C
+        analysis.
+    mc_samples / mc_buckets:
+        Monte-Carlo sample count and radius-grid resolution of Algorithm 2.
+        The paper uses 1,000,000 / 1,000; the defaults trade a little
+        table smoothness for start-up speed and can be raised freely.
+    seed:
+        Seed for hash-function generation and Monte-Carlo estimation.
+    page_size / entry_size:
+        Simulated-disk layout (Sec. 5.2 uses 4 KB pages, 8-byte entries).
+    """
+
+    c: float = 3.0
+    epsilon: float = 0.01
+    beta: float | None = None
+    r0: float = 1.0
+    p_min: float = 0.5
+    base_p: float = 1.0
+    mc_samples: int = 200_000
+    mc_buckets: int = 200
+    seed: int | None = 7
+    page_size: int = DEFAULT_PAGE_SIZE
+    entry_size: int = DEFAULT_ENTRY_SIZE
+
+    def __post_init__(self) -> None:
+        if not self.c > 1.0:
+            raise InvalidParameterError(f"approximation ratio c must be > 1, got {self.c}")
+        if not 0.0 < self.epsilon < 1.0:
+            raise InvalidParameterError(
+                f"epsilon must lie in (0, 1), got {self.epsilon}"
+            )
+        if self.beta is not None and not 0.0 < self.beta < 1.0:
+            raise InvalidParameterError(f"beta must lie in (0, 1), got {self.beta}")
+        if self.r0 <= 0:
+            raise InvalidParameterError(f"r0 must be > 0, got {self.r0}")
+        if self.p_min <= 0:
+            raise InvalidParameterError(f"p_min must be > 0, got {self.p_min}")
+        if self.base_p not in (1.0, 2.0):
+            raise InvalidParameterError(
+                "the base index must live in the l1 or l2 space "
+                f"(closed-form collision probabilities), got base_p={self.base_p}"
+            )
+        if self.mc_samples < 1000:
+            raise InvalidParameterError(
+                f"mc_samples must be >= 1000 for a usable estimate, got {self.mc_samples}"
+            )
+        if self.mc_buckets < 2:
+            raise InvalidParameterError(
+                f"mc_buckets must be >= 2, got {self.mc_buckets}"
+            )
+
+    def resolve_beta(self, n: int) -> float:
+        """Concrete false-positive rate for a dataset of cardinality ``n``."""
+        if self.beta is not None:
+            return self.beta
+        if n <= 0:
+            raise InvalidParameterError(f"dataset cardinality must be > 0, got {n}")
+        # Clamp for tiny datasets where 100/n would leave the (0, 1) domain.
+        return min(max(100.0 / n, 1e-4), 0.5)
+
+    def with_updates(self, **changes: object) -> "LazyLSHConfig":
+        """Return a copy with ``changes`` applied (dataclass ``replace``)."""
+        return replace(self, **changes)

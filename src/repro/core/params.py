@@ -1,0 +1,312 @@
+"""Internal-parameter computation of Section 3.3.
+
+Given the geometry ``(d, p, c)`` and the base space of the materialised
+index, this module computes everything LazyLSH needs before touching data:
+
+* the sensitivity curves ``p1'(r)`` / ``p2'(r)`` over the admissible rehash
+  radii (Theorem 1, Eqs. 13-14),
+* the optimal radius ``r_hat = argmax (p1' - p2')`` (Eq. 19) — or the
+  E2LSH-style ``argmin rho`` alternative of Appendix C (Eq. 24),
+* the number of required base hash functions ``eta_p`` (Eq. 20),
+* the collision-count threshold ``theta_p`` (Eq. 22).
+
+All quantities are cached per metric because they are pure functions of the
+configuration; the Monte-Carlo ball-intersection tables they consume are
+cached process-wide (see :mod:`repro.core.montecarlo`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, UnsupportedMetricError
+from repro.metrics.collision import collision_probability
+from repro.metrics.lp import norm_equivalence_bounds, validate_p
+from repro.core.montecarlo import TABLE_CACHE, BallIntersectionTable
+
+
+@dataclass(frozen=True)
+class GapCurve:
+    """Sensitivity curves over the admissible rehash radii for one metric.
+
+    ``ratio`` is the paper's x-axis ``r / delta_lower`` (Figure 4).
+    """
+
+    p: float
+    radii: np.ndarray
+    ratio: np.ndarray
+    p1_prime: np.ndarray
+    p2_prime: np.ndarray
+
+    @property
+    def gap(self) -> np.ndarray:
+        """``p1' - p2'`` per radius; positive means locality-sensitive."""
+        return self.p1_prime - self.p2_prime
+
+    @property
+    def rho(self) -> np.ndarray:
+        """E2LSH quality ``ln(1/p1') / ln(1/p2')`` per radius (Eq. 24).
+
+        Radii where either probability leaves ``(0, 1)`` get ``inf``.
+        """
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rho = np.log(1.0 / self.p1_prime) / np.log(1.0 / self.p2_prime)
+        bad = (
+            (self.p1_prime <= 0.0)
+            | (self.p1_prime >= 1.0)
+            | (self.p2_prime <= 0.0)
+            | (self.p2_prime >= 1.0)
+        )
+        rho = np.where(bad, np.inf, rho)
+        return rho
+
+
+@dataclass(frozen=True)
+class MetricParams:
+    """Resolved per-metric parameters used at build and query time.
+
+    Attributes
+    ----------
+    p:
+        The query metric.
+    r_hat:
+        Optimal rehash radius (base-space radius approximating the unit
+        ``lp`` ball).
+    p1_prime / p2_prime:
+        Sensitivity probabilities at ``r_hat`` (written with hats in the
+        paper).
+    eta:
+        Required number of base hash functions (Eq. 20).
+    theta:
+        Collision-count threshold (Eq. 22); a candidate needs strictly more
+        than ``theta`` collisions.
+    z:
+        The ``sqrt(ln(2/beta) / ln(1/epsilon))`` constant shared by
+        Eqs. 20 and 22.
+    """
+
+    p: float
+    r_hat: float
+    p1_prime: float
+    p2_prime: float
+    eta: int
+    theta: float
+    z: float
+
+    @property
+    def gap(self) -> float:
+        """Sensitivity gap ``p1' - p2'`` at the chosen radius."""
+        return self.p1_prime - self.p2_prime
+
+
+class ParameterEngine:
+    """Computes and caches LazyLSH's internal parameters (Section 3.3).
+
+    Parameters
+    ----------
+    d:
+        Dimensionality of the indexed data.
+    c:
+        Approximation ratio.
+    epsilon:
+        Error probability for property P1'.
+    beta:
+        False-positive rate for property P2' (a concrete float here;
+        :class:`~repro.core.config.LazyLSHConfig` resolves ``None`` before
+        constructing the engine).
+    r0:
+        Base bucket width.
+    base_p:
+        Exponent of the base space (1 = Cauchy index, 2 = Gaussian index
+        for the Appendix C analysis).
+    mc_samples / mc_buckets / seed:
+        Monte-Carlo resolution and seed for Algorithm 2.
+    """
+
+    def __init__(
+        self,
+        d: int,
+        *,
+        c: float = 3.0,
+        epsilon: float = 0.01,
+        beta: float = 1e-4,
+        r0: float = 1.0,
+        base_p: float = 1.0,
+        mc_samples: int = 200_000,
+        mc_buckets: int = 200,
+        seed: int | None = 7,
+    ) -> None:
+        if d < 1:
+            raise InvalidParameterError(f"dimensionality must be >= 1, got {d}")
+        if not c > 1.0:
+            raise InvalidParameterError(f"approximation ratio c must be > 1, got {c}")
+        if not 0.0 < epsilon < 1.0:
+            raise InvalidParameterError(f"epsilon must lie in (0, 1), got {epsilon}")
+        if not 0.0 < beta < 1.0:
+            raise InvalidParameterError(f"beta must lie in (0, 1), got {beta}")
+        if r0 <= 0:
+            raise InvalidParameterError(f"r0 must be > 0, got {r0}")
+        self.d = int(d)
+        self.c = float(c)
+        self.epsilon = float(epsilon)
+        self.beta = float(beta)
+        self.r0 = float(r0)
+        self.base_p = validate_p(base_p, allow_above_two=False)
+        self.mc_samples = int(mc_samples)
+        self.mc_buckets = int(mc_buckets)
+        self.seed = seed
+        self._params_cache: dict[tuple[float, str], MetricParams] = {}
+        # Base sensitivity of h* in its own space: (1, c, p1, p2).
+        self.p1 = collision_probability(1.0, self.r0, self.base_p)
+        self.p2 = collision_probability(self.c, self.r0, self.base_p)
+
+    @property
+    def z(self) -> float:
+        """``z = sqrt(ln(2/beta) / ln(1/epsilon))`` (Eq. 8 / Eq. 20)."""
+        return math.sqrt(math.log(2.0 / self.beta) / math.log(1.0 / self.epsilon))
+
+    def _table(self, p: float) -> BallIntersectionTable:
+        return TABLE_CACHE.get(
+            self.d,
+            p,
+            self.c,
+            self.base_p,
+            self.mc_samples,
+            self.mc_buckets,
+            self.seed,
+        )
+
+    def curve(self, p: float) -> GapCurve:
+        """Sensitivity curves ``p1'(r)``, ``p2'(r)`` for query metric ``p``.
+
+        Implements Eqs. 13-14 with the Monte-Carlo estimate of
+        ``Pr(e4 | e2)`` from Algorithm 2 and the Lemma 2 rescalings
+        ``p(delta_upper, r0*r) = p(1, r0*r/delta_upper)`` and
+        ``p(c*delta_lower, r0*r) = p(c, r0*r/delta_lower)``.
+        """
+        p = validate_p(p)
+        lower, upper = norm_equivalence_bounds(1.0, self.d, p, self.base_p)
+        table = self._table(p)
+        radii = table.radii
+        pr_e4_given_e2 = table.probabilities
+        p1_prime = np.empty_like(radii)
+        p2_prime = np.empty_like(radii)
+        for i, r in enumerate(radii):
+            tail = collision_probability(1.0, self.r0 * r / upper, self.base_p)
+            p1_prime[i] = pr_e4_given_e2[i] * self.p1 + (1.0 - pr_e4_given_e2[i]) * tail
+            p2_prime[i] = collision_probability(
+                self.c, self.r0 * r / lower, self.base_p
+            )
+        return GapCurve(
+            p=p,
+            radii=radii,
+            ratio=radii / lower,
+            p1_prime=p1_prime,
+            p2_prime=p2_prime,
+        )
+
+    def metric_params(self, p: float, *, objective: str = "gap") -> MetricParams:
+        """Resolved parameters for metric ``p``.
+
+        ``objective`` selects the radius: ``"gap"`` maximises ``p1' - p2'``
+        (Eq. 19, the LazyLSH/C2LSH-style choice) and ``"rho"`` minimises
+        ``ln(1/p1')/ln(1/p2')`` (Eq. 24, the E2LSH-style choice).
+
+        Raises
+        ------
+        UnsupportedMetricError
+            If no admissible radius achieves ``p1' > p2'`` — the base index
+            is simply not locality-sensitive in the requested space (e.g.
+            ``p < ~0.44`` for an l1 base in R^128 at c=2, or fractional
+            metrics over an l2 base at d > 5, Appendix C).
+        """
+        if objective not in ("gap", "rho"):
+            raise InvalidParameterError(
+                f"objective must be 'gap' or 'rho', got {objective!r}"
+            )
+        p = validate_p(p)
+        key = (round(p, 9), objective)
+        cached = self._params_cache.get(key)
+        if cached is not None:
+            return cached
+        curve = self.curve(p)
+        gap = curve.gap
+        if not np.any(gap > 0.0):
+            raise UnsupportedMetricError(
+                f"the l{self.base_p:g} base index is not locality-sensitive in "
+                f"the l{p:g} space for d={self.d}, c={self.c:g} "
+                f"(max p1'-p2' = {float(gap.max()):.4f} <= 0)"
+            )
+        if objective == "gap":
+            best = int(np.argmax(gap))
+        else:
+            rho = curve.rho
+            valid = gap > 0.0
+            rho = np.where(valid, rho, np.inf)
+            best = int(np.argmin(rho))
+        r_hat = float(curve.radii[best])
+        p1_prime = float(curve.p1_prime[best])
+        p2_prime = float(curve.p2_prime[best])
+        z = self.z
+        eta = math.ceil(
+            math.log(1.0 / self.epsilon)
+            / (2.0 * (p1_prime - p2_prime) ** 2)
+            * (1.0 + z) ** 2
+        )
+        theta = (z * p1_prime + p2_prime) / (1.0 + z) * eta
+        params = MetricParams(
+            p=p,
+            r_hat=r_hat,
+            p1_prime=p1_prime,
+            p2_prime=p2_prime,
+            eta=eta,
+            theta=theta,
+            z=z,
+        )
+        self._params_cache[key] = params
+        return params
+
+    def eta(self, p: float) -> int:
+        """Required number of base hash functions ``eta_p`` (Eq. 20)."""
+        return self.metric_params(p).eta
+
+    def is_supported(self, p: float) -> bool:
+        """Whether the base index is locality-sensitive in the ``lp`` space."""
+        try:
+            self.metric_params(p)
+        except UnsupportedMetricError:
+            return False
+        return True
+
+    def theta_for_eta(self, p: float, eta: int) -> float:
+        """Collision threshold when only ``eta`` functions are consulted.
+
+        Equation 22 scales linearly with the number of functions; querying
+        with a subset of the materialised bank (eta_p of eta_{p_min})
+        re-scales the threshold accordingly.
+        """
+        params = self.metric_params(p)
+        return (params.z * params.p1_prime + params.p2_prime) / (1.0 + params.z) * eta
+
+    def supported_upper_p(
+        self, eta_budget: int, *, p_grid: np.ndarray | None = None
+    ) -> float:
+        """Largest ``p`` on ``p_grid`` whose ``eta_p`` fits ``eta_budget``.
+
+        Section 4.1: materialising ``eta_s`` functions also serves every
+        ``p`` with ``eta_p <= eta_s`` (the dashed line in Figure 6, e.g.
+        ``0.6 <= p <= 1.1`` for ``eta_0.6``).
+        """
+        if p_grid is None:
+            p_grid = np.arange(0.4, 1.45, 0.05)
+        supported = self.base_p
+        for p in p_grid:
+            try:
+                if self.metric_params(float(p)).eta <= eta_budget:
+                    supported = max(supported, float(p))
+            except UnsupportedMetricError:
+                continue
+        return supported

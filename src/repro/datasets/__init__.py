@@ -1,0 +1,46 @@
+"""Dataset substrate: synthetic workloads (Table 3), simulated stand-ins
+for the paper's four real feature datasets (Table 4), labelled stand-ins
+for the nine Table-1 classification datasets, query sampling and exact
+ground truth.
+
+See DESIGN.md section 3 for the substitution rationale: the original
+datasets (SIFT/GIST features, UCI tables) are not shipped here, so seeded
+generators with matching dimensionality, value ranges and clustered
+structure exercise the same code paths at a laptop-friendly scale.
+"""
+
+from repro.datasets.ground_truth import exact_knn, exact_knn_multi
+from repro.datasets.labeled import (
+    LABELED_DATASET_NAMES,
+    LabeledDataset,
+    make_labeled_dataset,
+)
+from repro.datasets.queries import QuerySplit, sample_queries
+from repro.datasets.simulated import (
+    SIMULATED_DATASET_NAMES,
+    DatasetSpec,
+    inria_like,
+    labelme_like,
+    load_simulated,
+    mnist_like,
+    sun_like,
+)
+from repro.datasets.synthetic import make_synthetic
+
+__all__ = [
+    "DatasetSpec",
+    "LABELED_DATASET_NAMES",
+    "LabeledDataset",
+    "QuerySplit",
+    "SIMULATED_DATASET_NAMES",
+    "exact_knn",
+    "exact_knn_multi",
+    "inria_like",
+    "labelme_like",
+    "load_simulated",
+    "make_labeled_dataset",
+    "make_synthetic",
+    "mnist_like",
+    "sample_queries",
+    "sun_like",
+]

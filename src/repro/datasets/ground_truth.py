@@ -1,0 +1,60 @@
+"""Exact kNN ground truth under arbitrary ``lp`` metrics.
+
+Used by the overall-ratio metric (Sec. 5.2) and by every benchmark that
+reports accuracy.  Distances are computed in query chunks so large
+datasets never materialise an ``(n, nq, d)`` tensor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.metrics.lp import lp_distance, validate_p
+
+
+def exact_knn(
+    data: np.ndarray, queries: np.ndarray, k: int, p: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact ``k`` nearest neighbours of each query row under ``lp``.
+
+    Returns ``(ids, dists)`` of shape ``(nq, k)`` each, sorted by
+    ascending distance per query.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    p = validate_p(p)
+    if data.ndim != 2:
+        raise DatasetError(f"data must be 2-D, got shape {data.shape}")
+    n = data.shape[0]
+    if not 1 <= k <= n:
+        raise DatasetError(
+            f"k must lie in [1, {n}] for a dataset of {n} points, got {k}"
+        )
+    nq = queries.shape[0]
+    ids = np.empty((nq, k), dtype=np.int64)
+    dists = np.empty((nq, k), dtype=np.float64)
+    for qi in range(nq):
+        all_dists = lp_distance(data, queries[qi], p)
+        if k < n:
+            part = np.argpartition(all_dists, k - 1)[:k]
+        else:
+            part = np.arange(n)
+        order = part[np.argsort(all_dists[part], kind="stable")]
+        ids[qi] = order
+        dists[qi] = all_dists[order]
+    return ids, dists
+
+
+def exact_knn_multi(
+    data: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    p_values: list[float] | tuple[float, ...],
+) -> dict[float, tuple[np.ndarray, np.ndarray]]:
+    """Ground truth for several metrics at once; keyed by ``p``."""
+    if not p_values:
+        raise DatasetError("p_values must be non-empty")
+    return {
+        float(p): exact_knn(data, queries, k, float(p)) for p in p_values
+    }

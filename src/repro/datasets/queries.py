@@ -1,0 +1,70 @@
+"""Query-set sampling, following Appendix B.1.
+
+The paper "randomly select[s] 50 feature points as our query set and
+remove[s] those features from the dataset during the query processing to
+avoid returning the same feature."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._typing import SeedLike, as_rng
+from repro.errors import DatasetError
+
+
+@dataclass
+class QuerySplit:
+    """A dataset split into indexable points and held-out queries."""
+
+    data: np.ndarray
+    queries: np.ndarray
+    query_indices: np.ndarray
+
+    @property
+    def num_queries(self) -> int:
+        """How many query points were held out."""
+        return self.queries.shape[0]
+
+
+def sample_queries(
+    points: np.ndarray,
+    n_queries: int = 50,
+    *,
+    remove: bool = True,
+    seed: SeedLike = None,
+) -> QuerySplit:
+    """Randomly hold out ``n_queries`` points as the query set.
+
+    Parameters
+    ----------
+    points:
+        The full ``(n, d)`` dataset.
+    n_queries:
+        How many queries to sample (the paper uses 50).
+    remove:
+        Whether to drop the queries from the returned data (the paper
+        does, so a query never returns itself).
+    seed:
+        Seed for reproducibility.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise DatasetError(f"points must be 2-D, got shape {points.shape}")
+    n = points.shape[0]
+    if not 1 <= n_queries < n:
+        raise DatasetError(
+            f"n_queries must lie in [1, {n - 1}] for {n} points, got {n_queries}"
+        )
+    rng = as_rng(seed)
+    indices = rng.choice(n, size=n_queries, replace=False)
+    queries = points[indices]
+    if remove:
+        mask = np.ones(n, dtype=bool)
+        mask[indices] = False
+        data = points[mask]
+    else:
+        data = points
+    return QuerySplit(data=data, queries=queries, query_indices=indices)

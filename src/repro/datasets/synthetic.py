@@ -1,0 +1,37 @@
+"""Synthetic uniform-integer datasets (the paper's Table 3 workload).
+
+"The value of each dimension is an integer randomly chosen from
+[0, 10000]." — Appendix B.1.  The paper sweeps cardinality
+{100k, ..., 1.6m} and dimensionality {100, ..., 1600}; the benchmarks here
+use the same sweep shapes at reduced cardinality (documented per bench).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import SeedLike, as_rng
+from repro.errors import DatasetError
+
+
+def make_synthetic(
+    n: int,
+    d: int,
+    *,
+    value_range: tuple[int, int] = (0, 10000),
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Generate ``n`` points of ``d`` uniform integer coordinates.
+
+    Returned as float64 (the library's working dtype) with exactly integer
+    values inside ``value_range`` (inclusive bounds).
+    """
+    if n < 1:
+        raise DatasetError(f"cardinality must be >= 1, got {n}")
+    if d < 1:
+        raise DatasetError(f"dimensionality must be >= 1, got {d}")
+    lo, hi = value_range
+    if hi < lo:
+        raise DatasetError(f"invalid value range [{lo}, {hi}]")
+    rng = as_rng(seed)
+    return rng.integers(lo, hi + 1, size=(n, d)).astype(np.float64)

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the LazyLSH reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A configuration or query parameter is outside its valid domain."""
+
+
+class UnsupportedMetricError(ReproError, ValueError):
+    """The requested ``lp`` metric cannot be served.
+
+    Raised either because ``p`` is outside ``(0, 2]`` (no p-stable
+    distribution exists), or because the materialised index was not built
+    with enough hash functions (``eta_p``) to cover the requested metric
+    (Section 3.3 of the paper), or because the locality-sensitive gap
+    ``p1' - p2'`` is non-positive for the requested metric so no theoretical
+    guarantee can be given (e.g. ``p < ~0.44`` for an l1 base index in
+    R^128 with c = 2).
+    """
+
+
+class IndexNotBuiltError(ReproError, RuntimeError):
+    """A query was issued against an index whose ``build`` was never run."""
+
+
+class DimensionalityMismatchError(ReproError, ValueError):
+    """A query vector's dimensionality differs from the indexed data's."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset generator was asked for an unknown dataset or bad shape."""

@@ -1,0 +1,23 @@
+"""Evaluation metrics and experiment harness (Section 5.2).
+
+* :mod:`repro.eval.ratio` — the overall ratio,
+* :mod:`repro.eval.recall` — recall / precision@k,
+* :mod:`repro.eval.knn_classifier` — the Table-1 kNN classifier,
+* :mod:`repro.eval.harness` — result tables and timing helpers shared by
+  the benchmark scripts.
+"""
+
+from repro.eval.harness import ResultTable, Timer
+from repro.eval.knn_classifier import KnnClassifier, classification_accuracy
+from repro.eval.ratio import overall_ratio
+from repro.eval.recall import precision_at_k, recall_at_k
+
+__all__ = [
+    "KnnClassifier",
+    "ResultTable",
+    "Timer",
+    "classification_accuracy",
+    "overall_ratio",
+    "precision_at_k",
+    "recall_at_k",
+]

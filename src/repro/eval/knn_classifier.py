@@ -1,0 +1,101 @@
+"""The kNN classifier behind Table 1.
+
+"For each query point, we retrieve its nearest neighbor and assign it to
+the same class tag as its nearest neighbor."  The classifier is pluggable
+in *how* it retrieves neighbours: an exact scan (the ``Real 1NN`` column)
+or any approximate index with a ``knn(query, k, p)`` method (the LazyLSH
+columns).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Protocol
+
+import numpy as np
+
+from repro.datasets.ground_truth import exact_knn
+from repro.errors import InvalidParameterError
+from repro.metrics.lp import validate_p
+
+
+class _KnnIndex(Protocol):
+    def knn(self, query: np.ndarray, k: int, p: float):  # pragma: no cover
+        ...
+
+
+class KnnClassifier:
+    """Majority-vote kNN classifier over a labelled training set.
+
+    Parameters
+    ----------
+    points / labels:
+        The training data.
+    retriever:
+        Optional approximate index already built over ``points``; when
+        omitted, neighbours are retrieved exactly.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        labels: np.ndarray,
+        retriever: _KnnIndex | None = None,
+    ) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        labels = np.asarray(labels)
+        if points.ndim != 2 or labels.shape != (points.shape[0],):
+            raise InvalidParameterError(
+                "points must be (n, d) and labels (n,), got "
+                f"{points.shape} and {labels.shape}"
+            )
+        self._points = points
+        self._labels = labels
+        self._retriever = retriever
+
+    def _neighbour_ids(self, query: np.ndarray, k: int, p: float) -> np.ndarray:
+        if self._retriever is None:
+            ids, _dists = exact_knn(self._points, query[None, :], k, p)
+            return ids[0]
+        result = self._retriever.knn(query, k, p)
+        return np.asarray(result.ids)
+
+    def predict_one(self, query: np.ndarray, k: int = 1, p: float = 1.0):
+        """Predicted label of a single query point."""
+        validate_p(p)
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        ids = self._neighbour_ids(np.asarray(query, dtype=np.float64), k, p)
+        if ids.size == 0:
+            raise InvalidParameterError("retriever returned no neighbours")
+        votes = Counter(self._labels[ids].tolist())
+        return votes.most_common(1)[0][0]
+
+    def predict(self, queries: np.ndarray, k: int = 1, p: float = 1.0) -> np.ndarray:
+        """Predicted labels of each query row."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        return np.asarray(
+            [self.predict_one(q, k, p) for q in queries]
+        )
+
+
+def classification_accuracy(
+    train_points: np.ndarray,
+    train_labels: np.ndarray,
+    test_points: np.ndarray,
+    test_labels: np.ndarray,
+    *,
+    k: int = 1,
+    p: float = 1.0,
+    retriever: _KnnIndex | None = None,
+) -> float:
+    """Accuracy of the (approximate) kNN classifier on a test split."""
+    clf = KnnClassifier(train_points, train_labels, retriever)
+    predictions = clf.predict(test_points, k=k, p=p)
+    test_labels = np.asarray(test_labels)
+    if predictions.shape != test_labels.shape:
+        raise InvalidParameterError(
+            f"prediction/label shape mismatch: {predictions.shape} vs "
+            f"{test_labels.shape}"
+        )
+    return float(np.mean(predictions == test_labels))

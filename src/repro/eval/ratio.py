@@ -1,0 +1,69 @@
+"""The overall ratio metric (Section 5.2).
+
+For an ``Np(q, k, c)`` query with reported neighbours ``o_1..o_k`` and true
+neighbours ``o*_1..o*_k`` (both sorted by ascending distance to ``q``):
+
+.. math::
+
+    \\text{ratio} = \\frac{1}{k} \\sum_{i=1}^{k}
+        \\frac{\\ell_p(o_i, q)}{\\ell_p(o^*_i, q)}
+
+A ratio of 1.0 means exact results; the guarantee bounds it by ``c``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+def overall_ratio(
+    reported_dists: np.ndarray, true_dists: np.ndarray
+) -> float:
+    """Overall ratio of one query's reported vs true distances.
+
+    Both arrays must be sorted ascending and of equal length ``k``.  Rank
+    pairs where the true distance is zero contribute 1.0 when the reported
+    distance is also zero (the query found an exact duplicate) and are
+    otherwise skipped — the paper's query protocol removes query points
+    from the data precisely to avoid this degenerate case.
+    """
+    reported = np.asarray(reported_dists, dtype=np.float64)
+    true = np.asarray(true_dists, dtype=np.float64)
+    if reported.shape != true.shape or reported.ndim != 1:
+        raise InvalidParameterError(
+            f"expected equal-length 1-D arrays, got shapes {reported.shape} "
+            f"and {true.shape}"
+        )
+    if reported.size == 0:
+        raise InvalidParameterError("cannot compute a ratio over zero results")
+    if reported.size > 1:
+        if np.any(np.diff(reported) < 0) or np.any(np.diff(true) < 0):
+            raise InvalidParameterError(
+                "distance arrays must be sorted ascending"
+            )
+    ratios = np.empty(reported.size, dtype=np.float64)
+    zero_true = true == 0.0
+    regular = ~zero_true
+    ratios[regular] = reported[regular] / true[regular]
+    ratios[zero_true & (reported == 0.0)] = 1.0
+    keep = regular | (zero_true & (reported == 0.0))
+    if not np.any(keep):
+        raise InvalidParameterError(
+            "all true distances are zero but reported ones are not"
+        )
+    return float(ratios[keep].mean())
+
+
+def mean_overall_ratio(
+    reported: list[np.ndarray], true: list[np.ndarray]
+) -> float:
+    """Average :func:`overall_ratio` over a batch of queries."""
+    if len(reported) != len(true) or not reported:
+        raise InvalidParameterError(
+            "need equally many (and at least one) reported/true arrays"
+        )
+    return float(
+        np.mean([overall_ratio(r, t) for r, t in zip(reported, true)])
+    )

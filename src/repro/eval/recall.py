@@ -1,0 +1,42 @@
+"""Recall and precision of approximate kNN result sets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+def recall_at_k(reported_ids: np.ndarray, true_ids: np.ndarray) -> float:
+    """Fraction of the true top-k found in the reported top-k.
+
+    Both arrays are id lists of the same query; the reported list may be
+    shorter than ``k`` (some probabilistic methods return fewer).
+    """
+    true_ids = np.asarray(true_ids)
+    reported_ids = np.asarray(reported_ids)
+    if true_ids.size == 0:
+        raise InvalidParameterError("true_ids must be non-empty")
+    hits = np.isin(true_ids, reported_ids).sum()
+    return float(hits) / float(true_ids.size)
+
+
+def precision_at_k(reported_ids: np.ndarray, true_ids: np.ndarray) -> float:
+    """Fraction of the reported ids that are true top-k members."""
+    true_ids = np.asarray(true_ids)
+    reported_ids = np.asarray(reported_ids)
+    if reported_ids.size == 0:
+        raise InvalidParameterError("reported_ids must be non-empty")
+    hits = np.isin(reported_ids, true_ids).sum()
+    return float(hits) / float(reported_ids.size)
+
+
+def mean_recall_at_k(
+    reported: list[np.ndarray], true: list[np.ndarray]
+) -> float:
+    """Average :func:`recall_at_k` over a batch of queries."""
+    if len(reported) != len(true) or not reported:
+        raise InvalidParameterError(
+            "need equally many (and at least one) reported/true id arrays"
+        )
+    return float(np.mean([recall_at_k(r, t) for r, t in zip(reported, true)]))

@@ -1,0 +1,46 @@
+"""Distance-metric substrate: ``lp`` geometry, p-stable distributions,
+collision probabilities, and uniform ``lp``-ball sampling.
+
+These modules implement Section 2 (Preliminary) and the geometric core of
+Section 3 of the LazyLSH paper.
+"""
+
+from repro.metrics.collision import (
+    collision_probability,
+    collision_probability_cauchy,
+    collision_probability_gaussian,
+)
+from repro.metrics.lp import (
+    Ball,
+    l1_bounds,
+    lp_distance,
+    lp_distance_matrix,
+    lp_norm,
+    norm_equivalence_bounds,
+    validate_p,
+)
+from repro.metrics.sampling import sample_lp_ball
+from repro.metrics.stable import (
+    GeneralizedGamma,
+    sample_cauchy,
+    sample_gaussian,
+    sample_p_stable,
+)
+
+__all__ = [
+    "Ball",
+    "GeneralizedGamma",
+    "collision_probability",
+    "collision_probability_cauchy",
+    "collision_probability_gaussian",
+    "l1_bounds",
+    "lp_distance",
+    "lp_distance_matrix",
+    "lp_norm",
+    "norm_equivalence_bounds",
+    "sample_cauchy",
+    "sample_gaussian",
+    "sample_lp_ball",
+    "sample_p_stable",
+    "validate_p",
+]

@@ -1,0 +1,171 @@
+"""Classic LSH families beyond p-stable projections (Section 6.2).
+
+The related-work section situates LazyLSH in the LSH family zoo:
+
+* **bit sampling** for the Hamming distance (Indyk & Motwani, STOC 1998)
+  — ``h(v) = v[i]`` for a random coordinate ``i``; collision probability
+  ``1 - ham(a, b) / d``;
+* **sign random projections / SimHash** for the angular distance
+  (Charikar, STOC 2002) — ``h(v) = sign(a . v)``; collision probability
+  ``1 - angle(a, b) / pi``;
+* **MinHash** for the Jaccard distance between sets (Broder, 1997) —
+  ``h(S) = min(pi(S))`` for a random permutation ``pi``; collision
+  probability equals the Jaccard similarity.
+
+These are self-contained implementations with the analytic collision
+probabilities exposed, so the locality-sensitivity definitions can be
+verified empirically (see ``tests/test_families.py``).  They are not used
+by the LazyLSH engine itself — fractional metrics need the p-stable
+machinery — but complete the library as an LSH toolkit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import SeedLike, as_rng
+from repro.errors import InvalidParameterError
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Hamming distance between binary vectors (or row-wise for 2-D)."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    return np.sum(a != b, axis=-1)
+
+
+def angular_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """The angle (radians) between two vectors — SimHash's metric."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    denom = np.linalg.norm(a) * np.linalg.norm(b)
+    if denom == 0:
+        raise InvalidParameterError("angular distance undefined for zero vectors")
+    cosine = float(np.clip(np.dot(a, b) / denom, -1.0, 1.0))
+    return float(np.arccos(cosine))
+
+
+def jaccard_similarity(a: set, b: set) -> float:
+    """Jaccard similarity ``|a & b| / |a | b|`` of two sets."""
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+class BitSamplingLSH:
+    """Hamming-space LSH: each function samples one random coordinate.
+
+    ``Pr[h(a) = h(b)] = 1 - ham(a, b) / d``.
+    """
+
+    def __init__(self, d: int, num_functions: int, seed: SeedLike = None) -> None:
+        if d < 1 or num_functions < 1:
+            raise InvalidParameterError("d and num_functions must be >= 1")
+        self.d = d
+        rng = as_rng(seed)
+        self.coordinates = rng.integers(0, d, size=num_functions)
+
+    def hash_points(self, points: np.ndarray) -> np.ndarray:
+        """Hash binary row vectors; returns ``(num_functions, n)``."""
+        points = np.atleast_2d(np.asarray(points))
+        if points.shape[1] != self.d:
+            raise InvalidParameterError(
+                f"points have {points.shape[1]} coordinates, expected {self.d}"
+            )
+        return points[:, self.coordinates].T
+
+    def collision_probability(self, distance: float) -> float:
+        """Analytic single-function collision probability."""
+        if not 0 <= distance <= self.d:
+            raise InvalidParameterError(
+                f"Hamming distance must lie in [0, {self.d}], got {distance}"
+            )
+        return 1.0 - distance / self.d
+
+
+class SimHash:
+    """Angular-distance LSH: one sign-of-projection bit per function.
+
+    ``Pr[h(a) = h(b)] = 1 - angle(a, b) / pi``.
+    """
+
+    def __init__(self, d: int, num_functions: int, seed: SeedLike = None) -> None:
+        if d < 1 or num_functions < 1:
+            raise InvalidParameterError("d and num_functions must be >= 1")
+        self.d = d
+        rng = as_rng(seed)
+        self.hyperplanes = rng.standard_normal((d, num_functions))
+
+    def hash_points(self, points: np.ndarray) -> np.ndarray:
+        """Hash row vectors to sign bits; returns ``(num_functions, n)``."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[1] != self.d:
+            raise InvalidParameterError(
+                f"points have {points.shape[1]} coordinates, expected {self.d}"
+            )
+        return (points @ self.hyperplanes >= 0).astype(np.int8).T
+
+    def signature(self, point: np.ndarray) -> int:
+        """Pack one point's bits into an integer fingerprint."""
+        bits = self.hash_points(point[None, :])[:, 0]
+        value = 0
+        for bit in bits:
+            value = (value << 1) | int(bit)
+        return value
+
+    @staticmethod
+    def collision_probability(angle: float) -> float:
+        """Analytic single-function collision probability."""
+        if not 0 <= angle <= np.pi:
+            raise InvalidParameterError(
+                f"angle must lie in [0, pi], got {angle}"
+            )
+        return 1.0 - angle / np.pi
+
+
+class MinHash:
+    """Jaccard LSH over integer-element sets via random permutations.
+
+    ``Pr[h(A) = h(B)] = jaccard(A, B)``.  Permutations are simulated with
+    a splitmix64-style finaliser seeded per function — affine
+    ``(a*x + b) mod p`` hashing is *not* min-wise independent (it maps
+    arithmetic progressions to arithmetic progressions, biasing estimates
+    for range-structured sets), while a full avalanche mixer behaves like
+    a random function for this purpose.
+    """
+
+    def __init__(self, num_functions: int, seed: SeedLike = None) -> None:
+        if num_functions < 1:
+            raise InvalidParameterError("num_functions must be >= 1")
+        rng = as_rng(seed)
+        self.salts = rng.integers(
+            0, np.iinfo(np.uint64).max, size=num_functions, dtype=np.uint64
+        )
+
+    @staticmethod
+    def _mix64(x: np.ndarray) -> np.ndarray:
+        """splitmix64 finaliser: a bijective avalanche mixer on uint64."""
+        x = x + np.uint64(0x9E3779B97F4A7C15)
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        return x ^ (x >> np.uint64(31))
+
+    def hash_set(self, elements) -> np.ndarray:
+        """MinHash signature of one set; shape ``(num_functions,)``."""
+        items = np.asarray(sorted(int(x) for x in elements), dtype=np.uint64)
+        if items.size == 0:
+            raise InvalidParameterError("cannot MinHash an empty set")
+        with np.errstate(over="ignore"):
+            # (num_functions, |set|) hashed values; min per function.
+            hashed = self._mix64(items[None, :] ^ self.salts[:, None])
+        return np.min(hashed, axis=1)
+
+    def estimate_jaccard(self, sig_a: np.ndarray, sig_b: np.ndarray) -> float:
+        """Unbiased Jaccard estimate: fraction of matching signature slots."""
+        sig_a = np.asarray(sig_a)
+        sig_b = np.asarray(sig_b)
+        if sig_a.shape != sig_b.shape:
+            raise InvalidParameterError(
+                f"signature shapes differ: {sig_a.shape} vs {sig_b.shape}"
+            )
+        return float(np.mean(sig_a == sig_b))

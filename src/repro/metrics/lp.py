@@ -1,0 +1,180 @@
+"""``lp`` distances, balls and the l1 norm-equivalence bounds of Eq. 11.
+
+The paper (Definition 1) works with the quantity
+
+.. math::
+
+    \\ell_p(o, q) = \\Big( \\sum_{i=1}^d |o_i - q_i|^p \\Big)^{1/p}
+
+for any ``p > 0``.  For ``0 < p < 1`` this is the *fractional distance
+metric* of Aggarwal et al.; it is not a metric in the strict sense (the
+triangle inequality fails) but all the LSH machinery only needs the
+distance values themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._typing import PointMatrix, PointVector
+from repro.errors import InvalidParameterError
+
+
+def validate_p(p: float, *, allow_above_two: bool = True) -> float:
+    """Validate an ``lp`` exponent and return it as a float.
+
+    Parameters
+    ----------
+    p:
+        The exponent of the ``lp`` distance.  Must be strictly positive.
+    allow_above_two:
+        Distances are defined for every ``p > 0``, but p-stable hash
+        families only exist for ``p in (0, 2]``.  Hash-related call sites
+        pass ``False`` to enforce the tighter domain.
+    """
+    p = float(p)
+    if not np.isfinite(p) or p <= 0.0:
+        raise InvalidParameterError(f"lp exponent must be finite and > 0, got {p!r}")
+    if not allow_above_two and p > 2.0:
+        raise InvalidParameterError(
+            f"p-stable distributions only exist for p in (0, 2], got p={p}"
+        )
+    return p
+
+
+def lp_norm(vectors: PointMatrix, p: float, *, axis: int = -1) -> np.ndarray:
+    """Return the ``lp`` norm of ``vectors`` along ``axis``.
+
+    Works for fractional ``p`` as well; ``numpy.linalg.norm`` rejects
+    ``0 < p < 1`` which is exactly the regime LazyLSH cares about.
+    """
+    p = validate_p(p)
+    absed = np.abs(np.asarray(vectors, dtype=np.float64))
+    if p == 1.0:
+        return absed.sum(axis=axis)
+    if p == 2.0:
+        return np.sqrt(np.square(absed).sum(axis=axis))
+    return np.power(np.power(absed, p).sum(axis=axis), 1.0 / p)
+
+
+def lp_distance(x: PointMatrix, y: PointVector, p: float) -> np.ndarray:
+    """``lp`` distance between each row of ``x`` and the point(s) ``y``.
+
+    ``x`` may be a single vector or an ``(n, d)`` matrix; broadcasting
+    follows numpy rules, so the usual calls are ``lp_distance(X, q, p)``
+    (distances of every database point to a query) and
+    ``lp_distance(a, b, p)`` for two single points, which returns a scalar
+    array.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    return lp_norm(x - y, p, axis=-1)
+
+
+def lp_distance_matrix(x: PointMatrix, y: PointMatrix, p: float) -> np.ndarray:
+    """Full ``(n, m)`` distance matrix between rows of ``x`` and ``y``.
+
+    Computed in row chunks to bound the peak memory of the broadcasted
+    ``(chunk, m, d)`` difference tensor.
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    y = np.atleast_2d(np.asarray(y, dtype=np.float64))
+    p = validate_p(p)
+    n, d = x.shape
+    m = y.shape[0]
+    out = np.empty((n, m), dtype=np.float64)
+    # Aim for ~32 MB of temporary per chunk.
+    chunk = max(1, int(32e6 / max(1, m * d * 8)))
+    for start in range(0, n, chunk):
+        stop = min(n, start + chunk)
+        diff = x[start:stop, None, :] - y[None, :, :]
+        out[start:stop] = lp_norm(diff, p, axis=-1)
+    return out
+
+
+def norm_equivalence_bounds(
+    delta: float, d: int, p: float, s: float
+) -> tuple[float, float]:
+    """Bounds of the ``ls`` distance given ``lp(o, q) = delta``.
+
+    Generalisation of Eq. 11 to an arbitrary base exponent ``s`` (the paper
+    only needs ``s = 1`` for its l1 base index, and ``s = 2`` for the
+    Appendix C analysis of an l2 base index).  From norm equivalence in
+    :math:`R^d`, for ``p < s``:
+
+    .. math::
+
+        \\|x\\|_s \\le \\|x\\|_p \\le d^{1/p - 1/s} \\|x\\|_s
+
+    so ``lp = delta`` implies ``ls in [delta * d^(1/s - 1/p), delta]``; the
+    interval flips for ``p > s``.
+    """
+    p = validate_p(p)
+    s = validate_p(s)
+    if d < 1:
+        raise InvalidParameterError(f"dimensionality must be >= 1, got {d}")
+    if delta < 0:
+        raise InvalidParameterError(f"radius must be >= 0, got {delta}")
+    factor = float(d) ** (1.0 / s - 1.0 / p)
+    if p < s:
+        return delta * factor, delta
+    if p > s:
+        return delta, delta * factor
+    return delta, delta
+
+
+def l1_bounds(delta: float, d: int, p: float) -> tuple[float, float]:
+    """Bounds of the l1 distance given ``lp(o, q) = delta`` (Eq. 11).
+
+    Returns ``(delta_lower, delta_upper)`` — written :math:`\\delta^\\perp`
+    and :math:`\\delta^\\top` in the paper — such that every pair at ``lp``
+    distance ``delta`` lies at l1 distance inside the closed interval.
+
+    The bounds follow from norm equivalence in :math:`R^d`:
+
+    * for ``0 < p < 1``:   ``delta * d^(1 - 1/p)  <=  l1  <=  delta``
+    * for ``p >= 1``:      ``delta  <=  l1  <=  delta * d^(1 - 1/p)``
+
+    The paper writes the factor as :math:`d \\cdot \\delta / \\sqrt[p]{d}`,
+    which equals ``delta * d^(1 - 1/p)``.
+    """
+    return norm_equivalence_bounds(delta, d, p, 1.0)
+
+
+@dataclass(frozen=True)
+class Ball:
+    """The ball ``Bp(center, radius)`` of Definition 2.
+
+    Attributes
+    ----------
+    center:
+        The ball's centre point ``q``.
+    radius:
+        Ball radius ``r`` (inclusive).
+    p:
+        The ``lp`` exponent of the enclosing space.
+    """
+
+    center: PointVector
+    radius: float
+    p: float
+
+    def __post_init__(self) -> None:
+        validate_p(self.p)
+        if self.radius < 0:
+            raise InvalidParameterError(f"ball radius must be >= 0, got {self.radius}")
+
+    @property
+    def dimensionality(self) -> int:
+        """Dimensionality of the ambient space."""
+        return int(np.asarray(self.center).shape[-1])
+
+    def contains(self, points: PointMatrix) -> np.ndarray:
+        """Boolean mask of which ``points`` lie inside the closed ball."""
+        return lp_distance(points, self.center, self.p) <= self.radius
+
+    def l1_bounds(self) -> tuple[float, float]:
+        """l1-distance bounds for points on this ball's surface (Eq. 11)."""
+        return l1_bounds(self.radius, self.dimensionality, self.p)

@@ -1,0 +1,131 @@
+"""Saving and loading built LazyLSH indexes.
+
+An index is fully determined by its configuration, the indexed data and
+the materialised hash bank (projection vectors + offsets).  ``save_index``
+stores exactly those in one compressed ``.npz``; ``load_index`` restores
+the bank verbatim (no re-drawing — the stored random projections are the
+index) and rebuilds the inverted lists deterministically by re-hashing
+the data, which is cheaper to store than the sorted runs themselves.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import LazyLSHConfig
+from repro.core.hashing import StableHashBank
+from repro.core.lazylsh import LazyLSH
+from repro.core.params import ParameterEngine
+from repro.errors import IndexNotBuiltError, InvalidParameterError, ReproError
+from repro.storage.inverted_index import InvertedListStore
+from repro.storage.pages import PageLayout
+
+#: Bumped when the on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+
+
+class IndexFormatError(ReproError):
+    """The file is not a LazyLSH index or uses an incompatible format."""
+
+
+def save_index(index: LazyLSH, path: str | Path) -> Path:
+    """Serialise a built index to ``path`` (``.npz`` appended if absent).
+
+    Returns the path actually written.
+    """
+    if not index.is_built:
+        raise IndexNotBuiltError("cannot save an index that was never built")
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    bank = index._bank
+    assert bank is not None
+    header = {
+        "format_version": FORMAT_VERSION,
+        "library": "repro-lazylsh",
+        "config": asdict(index.config),
+        "rehashing": index.rehashing,
+        "eta": index.eta,
+        "beta": index.beta,
+    }
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        data=index.data,
+        alive=index._alive,
+        projections=bank._projections,
+        offsets=bank._offsets,
+    )
+    return path
+
+
+def load_index(path: str | Path) -> LazyLSH:
+    """Restore an index saved by :func:`save_index`.
+
+    The restored index answers queries identically to the original: the
+    hash bank's random projections are loaded, not re-drawn.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise InvalidParameterError(f"no such index file: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            header_bytes = archive["header"].tobytes()
+            data = archive["data"]
+            alive = archive["alive"]
+            projections = archive["projections"]
+            offsets = archive["offsets"]
+        except KeyError as exc:
+            raise IndexFormatError(
+                f"{path} is missing field {exc}; not a LazyLSH index file"
+            ) from exc
+        header = json.loads(header_bytes.decode("utf-8"))
+    if header.get("library") != "repro-lazylsh":
+        raise IndexFormatError(f"{path} was not written by save_index")
+    if header.get("format_version") != FORMAT_VERSION:
+        raise IndexFormatError(
+            f"{path} uses format version {header.get('format_version')}; "
+            f"this library reads version {FORMAT_VERSION}"
+        )
+    config = LazyLSHConfig(**header["config"])
+    index = LazyLSH(config, rehashing=header["rehashing"])
+    n, d = data.shape
+    eta = int(header["eta"])
+    if projections.shape != (d, eta) or offsets.shape != (eta,):
+        raise IndexFormatError(
+            f"{path} has inconsistent bank shapes "
+            f"{projections.shape}/{offsets.shape} for d={d}, eta={eta}"
+        )
+    # Reconstruct the internals without re-drawing randomness.
+    index._beta = float(header["beta"])
+    index._engine = ParameterEngine(
+        d,
+        c=config.c,
+        epsilon=config.epsilon,
+        beta=index._beta,
+        r0=config.r0,
+        base_p=config.base_p,
+        mc_samples=config.mc_samples,
+        mc_buckets=config.mc_buckets,
+        seed=config.seed,
+    )
+    index._eta = eta
+    bank = StableHashBank.__new__(StableHashBank)
+    bank.d = d
+    bank.eta = eta
+    bank.r0 = config.r0
+    bank.c = config.c
+    bank.base_p = config.base_p
+    bank._projections = projections
+    bank._offsets = offsets
+    bank.offset_upper = float(offsets.max()) if eta else 0.0
+    index._bank = bank
+    layout = PageLayout(page_size=config.page_size, entry_size=config.entry_size)
+    index._store = InvertedListStore(bank.hash_points(data), layout)
+    index._data = np.ascontiguousarray(data)
+    index._alive = alive.astype(bool)
+    return index

@@ -1,0 +1,245 @@
+"""Per-hash-function inverted lists backing virtual rehashing.
+
+The materialised base index of LazyLSH/C2LSH stores, for every base hash
+function ``h*_i``, the list of ``(hash value, point id)`` pairs sorted by
+hash value.  Retrieving every point whose base bucket lies inside a hash
+window ``[lo, hi]`` is then one contiguous scan of the sorted run — exactly
+what virtual rehashing (C2LSH) and query-centric rehashing (LazyLSH)
+exploit.  Sequential I/O is charged per overlapped 4 KB page of the run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import IdArray
+from repro.errors import InvalidParameterError
+from repro.storage.io_stats import IOStats
+from repro.storage.pages import PageLayout
+
+
+class InvertedListStore:
+    """Sorted ``(hash value, id)`` runs, one per base hash function.
+
+    Parameters
+    ----------
+    hash_values:
+        Integer matrix of shape ``(num_functions, num_points)`` where entry
+        ``[i, j]`` is ``h*_i`` applied to point ``j``.
+    layout:
+        Page layout used for sequential-I/O accounting; defaults to 4 KB
+        pages with 8-byte entries.
+    """
+
+    def __init__(
+        self, hash_values: np.ndarray, layout: PageLayout | None = None
+    ) -> None:
+        hash_values = np.asarray(hash_values)
+        if hash_values.ndim != 2:
+            raise InvalidParameterError(
+                f"hash_values must be 2-D (functions x points), got shape "
+                f"{hash_values.shape}"
+            )
+        if not np.issubdtype(hash_values.dtype, np.integer):
+            raise InvalidParameterError(
+                f"hash values must be integers, got dtype {hash_values.dtype}"
+            )
+        self._layout = layout or PageLayout()
+        num_functions, num_points = hash_values.shape
+        self._num_functions = int(num_functions)
+        self._num_points = int(num_points)
+        order = np.argsort(hash_values, axis=1, kind="stable")
+        sorted_ids = order.astype(np.int64)
+        sorted_values = np.take_along_axis(hash_values.astype(np.int64), order, axis=1)
+        # Per-function 1-D runs (a list, not a matrix, so that inserts can
+        # grow individual runs without reallocating everything).
+        self._sorted_ids = [sorted_ids[i] for i in range(self._num_functions)]
+        self._sorted_values = [sorted_values[i] for i in range(self._num_functions)]
+
+    @property
+    def num_functions(self) -> int:
+        """Number of base hash functions materialised."""
+        return self._num_functions
+
+    @property
+    def num_points(self) -> int:
+        """Number of indexed points."""
+        return self._num_points
+
+    @property
+    def layout(self) -> PageLayout:
+        """Page layout used for I/O accounting."""
+        return self._layout
+
+    def size_bytes(self) -> int:
+        """Total simulated on-disk size of all inverted lists."""
+        return self._num_functions * self._layout.size_bytes(self._num_points)
+
+    def size_mb(self) -> float:
+        """Simulated index size in mebibytes."""
+        return self.size_bytes() / (1024.0 * 1024.0)
+
+    def _entry_range(self, func: int, lo: int, hi: int) -> tuple[int, int]:
+        """Half-open entry range of hash values inside ``[lo, hi]``."""
+        values = self._sorted_values[func]
+        start = int(np.searchsorted(values, lo, side="left"))
+        stop = int(np.searchsorted(values, hi, side="right"))
+        return start, stop
+
+    def _check_func(self, func: int) -> None:
+        if not 0 <= func < self._num_functions:
+            raise InvalidParameterError(
+                f"hash function index {func} out of range "
+                f"[0, {self._num_functions})"
+            )
+
+    def _charge_pages(
+        self,
+        func: int,
+        start: int,
+        stop: int,
+        stats: IOStats | None,
+        seen_pages: set[tuple[int, int]] | None,
+    ) -> None:
+        """Charge sequential I/O for entries ``[start, stop)`` of ``func``.
+
+        When ``seen_pages`` is given (multi-query optimisation, Sec. 4.3),
+        only pages not previously read in this batch are charged, and the
+        set is updated in place.
+        """
+        if stats is None and seen_pages is None:
+            return
+        first, last_plus_one = self._layout.page_span(start, stop)
+        if seen_pages is None:
+            if stats is not None:
+                stats.add_sequential(last_plus_one - first)
+            return
+        new_pages = 0
+        for page in range(first, last_plus_one):
+            key = (func, page)
+            if key not in seen_pages:
+                seen_pages.add(key)
+                new_pages += 1
+        if stats is not None:
+            stats.add_sequential(new_pages)
+
+    def read_window(
+        self,
+        func: int,
+        lo: int,
+        hi: int,
+        stats: IOStats | None = None,
+        seen_pages: set[tuple[int, int]] | None = None,
+    ) -> IdArray:
+        """Ids of points whose base hash value lies in ``[lo, hi]``.
+
+        Charges one sequential I/O per 4 KB page overlapped by the scanned
+        entry range (deduplicated against ``seen_pages`` when provided).
+        """
+        self._check_func(func)
+        if hi < lo:
+            return np.empty(0, dtype=np.int64)
+        start, stop = self._entry_range(func, lo, hi)
+        if stop > start:
+            self._charge_pages(func, start, stop, stats, seen_pages)
+        return self._sorted_ids[func][start:stop]
+
+    def read_ring(
+        self,
+        func: int,
+        lo: int,
+        hi: int,
+        inner_lo: int,
+        inner_hi: int,
+        stats: IOStats | None = None,
+        seen_pages: set[tuple[int, int]] | None = None,
+    ) -> IdArray:
+        """Ids in ``[lo, hi]`` but outside the already-visited ``[inner_lo,
+        inner_hi]`` window (Algorithm 4 line 10).
+
+        Reads the two side runs ``[lo, inner_lo - 1]`` and
+        ``[inner_hi + 1, hi]``, charging pages for each run separately (they
+        are disjoint scans on disk).
+        """
+        self._check_func(func)
+        if inner_lo > inner_hi:
+            # Nothing was visited before; degenerate to a plain window read.
+            return self.read_window(func, lo, hi, stats, seen_pages)
+        if not (lo <= inner_lo and inner_hi <= hi):
+            raise InvalidParameterError(
+                f"inner window [{inner_lo}, {inner_hi}] must nest inside "
+                f"[{lo}, {hi}]"
+            )
+        left = self.read_window(func, lo, inner_lo - 1, stats, seen_pages)
+        right = self.read_window(func, inner_hi + 1, hi, stats, seen_pages)
+        if left.size == 0:
+            return right
+        if right.size == 0:
+            return left
+        return np.concatenate([left, right])
+
+    def insert(self, hash_values: np.ndarray, ids: np.ndarray) -> None:
+        """Insert new points into every function's sorted run.
+
+        Parameters
+        ----------
+        hash_values:
+            Integer matrix of shape ``(num_functions, m)``: the new
+            points' base hash values.
+        ids:
+            Their ``m`` point ids (must not collide with existing ids;
+            the store does not check — the index layer owns id assignment).
+        """
+        hash_values = np.asarray(hash_values)
+        ids = np.asarray(ids, dtype=np.int64)
+        if hash_values.ndim != 2 or hash_values.shape[0] != self._num_functions:
+            raise InvalidParameterError(
+                f"hash_values must have shape ({self._num_functions}, m), "
+                f"got {hash_values.shape}"
+            )
+        if ids.shape != (hash_values.shape[1],):
+            raise InvalidParameterError(
+                f"ids must have shape ({hash_values.shape[1]},), got {ids.shape}"
+            )
+        if not np.issubdtype(hash_values.dtype, np.integer):
+            raise InvalidParameterError(
+                f"hash values must be integers, got dtype {hash_values.dtype}"
+            )
+        if ids.size == 0:
+            return
+        for func in range(self._num_functions):
+            values = hash_values[func].astype(np.int64)
+            # Values sharing an insertion position keep their given order
+            # in numpy.insert, so sort the batch first to preserve the
+            # run's sortedness.
+            batch_order = np.argsort(values, kind="stable")
+            values = values[batch_order]
+            batch_ids = ids[batch_order]
+            positions = np.searchsorted(
+                self._sorted_values[func], values, side="right"
+            )
+            self._sorted_values[func] = np.insert(
+                self._sorted_values[func], positions, values
+            )
+            self._sorted_ids[func] = np.insert(
+                self._sorted_ids[func], positions, batch_ids
+            )
+        self._num_points += int(ids.size)
+
+    def window_page_cost(self, func: int, lo: int, hi: int) -> int:
+        """Pages a :meth:`read_window` call would charge, without reading."""
+        self._check_func(func)
+        if hi < lo:
+            return 0
+        start, stop = self._entry_range(func, lo, hi)
+        return self._layout.pages_for_range(start, stop)
+
+    def bucket_of(self, func: int, point_id: int) -> int:
+        """Base hash value of ``point_id`` under function ``func``.
+
+        Intended for tests and diagnostics (the forward map is normally the
+        hash bank's job, not the store's).
+        """
+        self._check_func(func)
+        pos = int(np.where(self._sorted_ids[func] == point_id)[0][0])
+        return int(self._sorted_values[func][pos])

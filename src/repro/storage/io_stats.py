@@ -1,0 +1,89 @@
+"""I/O accounting matching the paper's evaluation metrics (Section 5.2).
+
+The paper: "If a block of an inverted list (4KB per block) is loaded into
+memory, the number of simulated I/Os (sequential) is increased by 1.  If an
+object is visited to compute its distance to the query, the number of
+simulated I/Os (random) is increased by 1."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Mutable counters of simulated sequential and random I/Os."""
+
+    sequential: int = 0
+    random: int = 0
+
+    def add_sequential(self, count: int = 1) -> None:
+        """Record ``count`` sequential block reads."""
+        if count < 0:
+            raise ValueError(f"I/O count must be >= 0, got {count}")
+        self.sequential += count
+
+    def add_random(self, count: int = 1) -> None:
+        """Record ``count`` random object reads."""
+        if count < 0:
+            raise ValueError(f"I/O count must be >= 0, got {count}")
+        self.random += count
+
+    @property
+    def total(self) -> int:
+        """Total simulated I/Os (sequential + random)."""
+        return self.sequential + self.random
+
+    def reset(self) -> None:
+        """Zero both counters."""
+        self.sequential = 0
+        self.random = 0
+
+    def snapshot(self) -> "IOStats":
+        """Return an immutable-by-convention copy of the current counters."""
+        return IOStats(sequential=self.sequential, random=self.random)
+
+    def __sub__(self, other: "IOStats") -> "IOStats":
+        """Difference of two snapshots (``later - earlier``)."""
+        return IOStats(
+            sequential=self.sequential - other.sequential,
+            random=self.random - other.random,
+        )
+
+    def __add__(self, other: "IOStats") -> "IOStats":
+        return IOStats(
+            sequential=self.sequential + other.sequential,
+            random=self.random + other.random,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"IOStats(sequential={self.sequential}, random={self.random}, "
+            f"total={self.total})"
+        )
+
+
+@dataclass
+class IOMeter:
+    """Helper that measures the I/O delta of a block of work.
+
+    Example
+    -------
+    >>> stats = IOStats()
+    >>> with IOMeter(stats) as meter:
+    ...     stats.add_sequential(3)
+    >>> meter.delta.sequential
+    3
+    """
+
+    stats: IOStats
+    _start: IOStats = field(init=False, repr=False, default_factory=IOStats)
+    delta: IOStats = field(init=False, default_factory=IOStats)
+
+    def __enter__(self) -> "IOMeter":
+        self._start = self.stats.snapshot()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.delta = self.stats.snapshot() - self._start

@@ -1,0 +1,90 @@
+"""Block-layout arithmetic for fixed-size records on simulated 4 KB pages.
+
+The inverted lists of the base index are modelled as densely packed runs of
+fixed-size entries (a 4-byte hash value plus a 4-byte point id, as in the
+C2LSH/LazyLSH C++ implementations).  A :class:`PageLayout` translates entry
+ranges into page ranges so that the store can charge the right number of
+sequential I/Os for a window read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+#: Page size used throughout the paper's evaluation.
+DEFAULT_PAGE_SIZE = 4096
+
+#: Bytes per inverted-list entry: 4-byte hash value + 4-byte point id.
+DEFAULT_ENTRY_SIZE = 8
+
+
+@dataclass(frozen=True)
+class PageLayout:
+    """Maps entry indices of a packed run onto fixed-size pages."""
+
+    page_size: int = DEFAULT_PAGE_SIZE
+    entry_size: int = DEFAULT_ENTRY_SIZE
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0:
+            raise InvalidParameterError(f"page_size must be > 0, got {self.page_size}")
+        if self.entry_size <= 0:
+            raise InvalidParameterError(
+                f"entry_size must be > 0, got {self.entry_size}"
+            )
+        if self.entry_size > self.page_size:
+            raise InvalidParameterError(
+                "entry_size must not exceed page_size "
+                f"({self.entry_size} > {self.page_size})"
+            )
+
+    @property
+    def entries_per_page(self) -> int:
+        """How many whole entries fit on one page (no entry spans pages)."""
+        return self.page_size // self.entry_size
+
+    def page_of_entry(self, entry_index: int) -> int:
+        """Page number holding ``entry_index``."""
+        if entry_index < 0:
+            raise InvalidParameterError(f"entry index must be >= 0, got {entry_index}")
+        return entry_index // self.entries_per_page
+
+    def pages_for_range(self, start: int, stop: int) -> int:
+        """Number of pages overlapped by entries ``[start, stop)``.
+
+        An empty range costs zero pages.
+        """
+        if start < 0 or stop < start:
+            raise InvalidParameterError(
+                f"invalid entry range [{start}, {stop})"
+            )
+        if stop == start:
+            return 0
+        first = self.page_of_entry(start)
+        last = self.page_of_entry(stop - 1)
+        return last - first + 1
+
+    def page_span(self, start: int, stop: int) -> tuple[int, int]:
+        """Half-open page-number interval covering entries ``[start, stop)``.
+
+        Returns ``(first_page, last_page + 1)``; empty range returns an
+        empty interval anchored at the start page.
+        """
+        if stop == start:
+            first = self.page_of_entry(max(start, 0)) if start >= 0 else 0
+            return first, first
+        first = self.page_of_entry(start)
+        last = self.page_of_entry(stop - 1)
+        return first, last + 1
+
+    def pages_for_bytes(self, n_bytes: int) -> int:
+        """Pages needed to hold ``n_bytes`` of packed data."""
+        if n_bytes < 0:
+            raise InvalidParameterError(f"byte count must be >= 0, got {n_bytes}")
+        return -(-n_bytes // self.page_size)
+
+    def size_bytes(self, n_entries: int) -> int:
+        """Total on-disk bytes of a run with ``n_entries``, page-aligned."""
+        return self.pages_for_bytes(n_entries * self.entry_size) * self.page_size

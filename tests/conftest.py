@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (Monte-Carlo tables, built indexes) are session-scoped
+and deliberately small: 1,000-ish points in 16 dimensions keep every LSH
+query under a second while still exercising multi-round rehashing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LazyLSH, LazyLSHConfig
+from repro.datasets import make_synthetic, sample_queries
+from repro.datasets.queries import QuerySplit
+
+#: Monte-Carlo resolution used throughout the tests (fast but stable).
+MC_SAMPLES = 20_000
+MC_BUCKETS = 100
+
+
+@pytest.fixture(scope="session")
+def small_config() -> LazyLSHConfig:
+    """The LazyLSH configuration shared by most index tests."""
+    return LazyLSHConfig(
+        c=3.0,
+        p_min=0.5,
+        seed=11,
+        mc_samples=MC_SAMPLES,
+        mc_buckets=MC_BUCKETS,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_split() -> QuerySplit:
+    """1,200 synthetic points (d=16) with 4 held-out queries."""
+    data = make_synthetic(1200, 16, value_range=(0, 500), seed=5)
+    return sample_queries(data, n_queries=4, seed=6)
+
+
+@pytest.fixture(scope="session")
+def built_index(small_config: LazyLSHConfig, small_split: QuerySplit) -> LazyLSH:
+    """A LazyLSH index built over the small synthetic dataset."""
+    return LazyLSH(small_config).build(small_split.data)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Session-wide RNG for tests that need ad-hoc randomness."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,107 @@
+"""Contract tests on the public API surface.
+
+These guard the things a downstream adopter depends on: everything in
+``__all__`` is importable and documented, results are plain numpy/python
+types, and the version string is sane.
+"""
+
+import importlib
+import inspect
+
+import numpy as np
+import pytest
+
+import repro
+import repro.apps
+import repro.baselines
+import repro.core
+import repro.datasets
+import repro.eval
+import repro.metrics
+import repro.storage
+
+_PACKAGES = [
+    repro,
+    repro.apps,
+    repro.baselines,
+    repro.core,
+    repro.datasets,
+    repro.eval,
+    repro.metrics,
+    repro.storage,
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", _PACKAGES, ids=lambda m: m.__name__)
+    def test_all_entries_resolve(self, package):
+        for name in getattr(package, "__all__", []):
+            assert hasattr(package, name), f"{package.__name__}.{name} missing"
+
+    @pytest.mark.parametrize("package", _PACKAGES, ids=lambda m: m.__name__)
+    def test_all_sorted_for_readability(self, package):
+        names = list(getattr(package, "__all__", []))
+        assert names == sorted(names)
+
+    def test_version(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    @pytest.mark.parametrize("package", _PACKAGES, ids=lambda m: m.__name__)
+    def test_public_classes_documented(self, package):
+        for name in getattr(package, "__all__", []):
+            obj = getattr(package, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{package.__name__}.{name} lacks a docstring"
+
+
+class TestPublicModulesDocumented:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.core.lazylsh",
+            "repro.core.params",
+            "repro.core.hashing",
+            "repro.core.montecarlo",
+            "repro.core.multiquery",
+            "repro.metrics.lp",
+            "repro.metrics.stable",
+            "repro.metrics.collision",
+            "repro.metrics.sampling",
+            "repro.metrics.families",
+            "repro.storage.inverted_index",
+            "repro.storage.pages",
+            "repro.storage.io_stats",
+            "repro.baselines.c2lsh",
+            "repro.baselines.e2lsh",
+            "repro.baselines.srs",
+            "repro.baselines.multiprobe",
+            "repro.baselines.lsb",
+            "repro.baselines.linear_scan",
+            "repro.persistence",
+            "repro.cli",
+        ],
+    )
+    def test_module_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__) > 40
+
+
+class TestResultTypes:
+    def test_knn_result_types(self, built_index, small_split):
+        result = built_index.knn(small_split.queries[0], 3, 1.0)
+        assert result.ids.dtype == np.int64
+        assert result.distances.dtype == np.float64
+        assert isinstance(result.io.sequential, int)
+        assert isinstance(result.candidates, int)
+
+    def test_metric_params_are_floats_and_ints(self, built_index):
+        params = built_index.metric_params(0.8)
+        assert isinstance(params.eta, int)
+        assert isinstance(params.theta, float)
+        assert isinstance(params.r_hat, float)
+
+    def test_supported_metrics_plain_floats(self, built_index):
+        for p in built_index.supported_metrics():
+            assert isinstance(p, float)

@@ -1,0 +1,170 @@
+"""Tests for the application layer (kNN graphs, dedup, metric advisor)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import LazyLSH, LazyLSHConfig
+from repro.apps import (
+    build_knn_graph,
+    find_near_duplicates,
+    recommend_metric,
+)
+from repro.apps.knn_graph import graph_quality
+from repro.datasets import exact_knn, make_labeled_dataset, make_synthetic
+from repro.errors import IndexNotBuiltError, InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def graph_index():
+    data = make_synthetic(300, 10, value_range=(0, 200), seed=51)
+    cfg = LazyLSHConfig(c=3.0, p_min=0.7, seed=52, mc_samples=20_000, mc_buckets=80)
+    return LazyLSH(cfg).build(data), data
+
+
+class TestKnnGraph:
+    def test_basic_shape(self, graph_index):
+        index, data = graph_index
+        graph = build_knn_graph(index, k=3, p=1.0)
+        assert isinstance(graph, nx.DiGraph)
+        assert graph.number_of_nodes() == 300
+        out_degrees = [graph.out_degree(u) for u in graph.nodes]
+        assert max(out_degrees) <= 3
+
+    def test_no_self_loops_by_default(self, graph_index):
+        index, _data = graph_index
+        graph = build_knn_graph(index, k=3, p=1.0)
+        assert all(u != v for u, v in graph.edges)
+
+    def test_self_loops_when_requested(self, graph_index):
+        index, _data = graph_index
+        graph = build_knn_graph(index, k=3, p=1.0, include_self=True)
+        assert any(u == v for u, v in graph.edges)
+
+    def test_weights_are_distances(self, graph_index):
+        from repro.metrics.lp import lp_distance
+
+        index, data = graph_index
+        graph = build_knn_graph(index, k=2, p=0.7)
+        for u, v, weight in list(graph.edges(data="weight"))[:20]:
+            assert weight == pytest.approx(float(lp_distance(data[u], data[v], 0.7)))
+
+    def test_mutual_only_subset(self, graph_index):
+        index, _data = graph_index
+        full = build_knn_graph(index, k=3, p=1.0)
+        mutual = build_knn_graph(index, k=3, p=1.0, mutual_only=True)
+        assert mutual.number_of_edges() <= full.number_of_edges()
+        for u, v in mutual.edges:
+            assert mutual.has_edge(v, u)
+
+    def test_graph_recall_reasonable(self, graph_index):
+        index, data = graph_index
+        graph = build_knn_graph(index, k=3, p=1.0)
+        # Exact neighbours excluding self: take k+1 and drop the self hit.
+        ids, _ = exact_knn(data, data, 4, 1.0)
+        exact_ids = np.array(
+            [[v for v in row if v != u][:3] for u, row in enumerate(ids)]
+        )
+        assert graph_quality(graph, exact_ids, k=3) > 0.5
+
+    def test_requires_built_index(self):
+        with pytest.raises(IndexNotBuiltError):
+            build_knn_graph(LazyLSH(), k=2)
+
+    def test_k_validated(self, graph_index):
+        index, _data = graph_index
+        with pytest.raises(InvalidParameterError):
+            build_knn_graph(index, k=0)
+        with pytest.raises(InvalidParameterError):
+            build_knn_graph(index, k=300)
+
+    def test_quality_validation(self):
+        with pytest.raises(InvalidParameterError):
+            graph_quality(nx.DiGraph(), np.zeros((3, 1)), k=2)
+
+
+class TestNearDuplicates:
+    def test_finds_planted_duplicates(self):
+        rng = np.random.default_rng(61)
+        base = rng.uniform(0, 100, size=(50, 16))
+        dupes = base[:5] + rng.normal(0, 0.01, size=(5, 16))
+        points = np.vstack([base, dupes])
+        pairs = find_near_duplicates(points, threshold=1.0, p=1.0)
+        found = {(i, j) for i, j, _ in pairs}
+        for original in range(5):
+            assert (original, 50 + original) in found
+
+    def test_no_false_positives(self):
+        rng = np.random.default_rng(62)
+        points = rng.uniform(0, 100, size=(40, 8))
+        pairs = find_near_duplicates(points, threshold=5.0, p=1.0)
+        from repro.metrics.lp import lp_distance
+
+        for i, j, dist in pairs:
+            assert dist <= 5.0
+            assert dist == pytest.approx(float(lp_distance(points[i], points[j], 1.0)))
+
+    def test_sorted_by_distance(self):
+        rng = np.random.default_rng(63)
+        base = rng.uniform(0, 10, size=(30, 8))
+        points = np.vstack([base, base + 0.001, base + 0.002])
+        pairs = find_near_duplicates(points, threshold=1.0, p=1.0)
+        dists = [d for _, _, d in pairs]
+        assert dists == sorted(dists)
+
+    def test_validation(self):
+        points = np.zeros((5, 4))
+        with pytest.raises(InvalidParameterError):
+            find_near_duplicates(points, threshold=0.0)
+        with pytest.raises(InvalidParameterError):
+            find_near_duplicates(points, threshold=1.0, num_hashes=10, bands=3)
+        with pytest.raises(InvalidParameterError):
+            find_near_duplicates(points, threshold=1.0, sketch_size=99)
+        with pytest.raises(InvalidParameterError):
+            find_near_duplicates(np.zeros((1, 4)), threshold=1.0)
+
+
+class TestMetricAdvisor:
+    def test_recommendation_structure(self):
+        dataset = make_labeled_dataset("bcw", seed=7)
+        rec = recommend_metric(
+            dataset.points,
+            dataset.labels,
+            p_values=(0.6, 1.0),
+            seed=3,
+        )
+        assert rec.best_p in (0.6, 1.0)
+        assert set(rec.accuracies) == {0.6, 1.0}
+        assert 0.0 <= rec.exact_l1_accuracy <= 1.0
+        assert "best metric" in rec.summary()
+
+    def test_best_is_argmax(self):
+        dataset = make_labeled_dataset("ionosphere", seed=7)
+        rec = recommend_metric(
+            dataset.points, dataset.labels, p_values=(0.5, 0.8, 1.0), seed=3
+        )
+        assert rec.accuracies[rec.best_p] == max(rec.accuracies.values())
+
+    def test_validation(self):
+        points = np.zeros((10, 3))
+        labels = np.zeros(9)
+        with pytest.raises(InvalidParameterError):
+            recommend_metric(points, labels)
+        with pytest.raises(InvalidParameterError):
+            recommend_metric(np.zeros((10, 3)), np.zeros(10), p_values=())
+        with pytest.raises(InvalidParameterError):
+            recommend_metric(
+                np.zeros((10, 3)), np.zeros(10), validation_fraction=1.5
+            )
+
+    def test_p_min_consistency_check(self):
+        from repro.core.config import LazyLSHConfig
+
+        dataset = make_labeled_dataset("bcw", seed=7)
+        with pytest.raises(InvalidParameterError):
+            recommend_metric(
+                dataset.points,
+                dataset.labels,
+                p_values=(0.5, 1.0),
+                config=LazyLSHConfig(p_min=0.8, mc_samples=5000, mc_buckets=50),
+            )

@@ -1,0 +1,115 @@
+"""Tests for the C2LSH baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import C2LSH
+from repro.baselines.c2lsh import C2LSHConfig
+from repro.datasets import exact_knn, make_synthetic, sample_queries
+from repro.errors import IndexNotBuiltError, InvalidParameterError
+from repro.eval import overall_ratio
+
+
+@pytest.fixture(scope="module")
+def c2_split():
+    data = make_synthetic(1000, 16, value_range=(0, 500), seed=5)
+    return sample_queries(data, n_queries=3, seed=6)
+
+
+@pytest.fixture(scope="module")
+def c2(c2_split) -> C2LSH:
+    return C2LSH(C2LSHConfig(c=3.0, seed=11)).build(c2_split.data)
+
+
+class TestBuild:
+    def test_parameters(self, c2):
+        assert c2.is_built
+        assert c2.eta > 0
+        assert 0 < c2.theta < c2.eta
+        assert c2.index_size_mb() > 0
+
+    def test_eta_smaller_than_lazylsh_for_fractionals(self, c2, built_index):
+        # C2LSH only supports l1, so it materialises eta_1.0 functions —
+        # fewer than LazyLSH's eta_0.5 bank over comparable data.
+        assert c2.eta < built_index.eta
+
+    def test_query_before_build(self):
+        with pytest.raises(IndexNotBuiltError):
+            C2LSH().knn(np.zeros(4), 1)
+
+    def test_bad_data(self):
+        with pytest.raises(InvalidParameterError):
+            C2LSH().build(np.zeros((2, 2)) * np.nan)
+
+
+class TestL1Queries:
+    def test_result_sorted(self, c2, c2_split):
+        result = c2.knn(c2_split.queries[0], 10, 1.0)
+        assert (np.diff(result.distances) >= 0).all()
+        assert result.p == 1.0
+
+    def test_quality_within_guarantee(self, c2, c2_split):
+        _, true_dists = exact_knn(c2_split.data, c2_split.queries, 10, 1.0)
+        for qi, query in enumerate(c2_split.queries):
+            result = c2.knn(query, 10, 1.0)
+            assert overall_ratio(result.distances, true_dists[qi]) < 3.0
+
+    def test_k_validation(self, c2, c2_split):
+        with pytest.raises(InvalidParameterError):
+            c2.knn(c2_split.queries[0], 0, 1.0)
+
+
+class TestFractionalRerank:
+    def test_distances_reported_in_lp(self, c2, c2_split):
+        from repro.metrics.lp import lp_distance
+
+        query = c2_split.queries[1]
+        result = c2.knn(query, 5, 0.5)
+        recomputed = lp_distance(c2_split.data[result.ids], query, 0.5)
+        np.testing.assert_allclose(result.distances, recomputed)
+        assert result.p == 0.5
+
+    def test_rerank_pool_is_k_plus_100(self, c2, c2_split):
+        # With a 997-point dataset the pool of k+100 caps at n.
+        result = c2.knn(c2_split.queries[0], 5, 0.5)
+        assert result.ids.shape == (5,)
+
+    def test_rerank_extra_zero_degrades(self, c2, c2_split):
+        # Pure l1 top-k re-labelled as lp is never better than re-ranking
+        # a larger pool (both measured against the true lp neighbours).
+        query = c2_split.queries[2]
+        _, true_dists = exact_knn(c2_split.data, query, 10, 0.5)
+        pooled = c2.knn(query, 10, 0.5, rerank_extra=100)
+        bare = c2.knn(query, 10, 0.5, rerank_extra=0)
+        r_pooled = overall_ratio(pooled.distances, true_dists[0])
+        r_bare = overall_ratio(bare.distances, true_dists[0])
+        assert r_pooled <= r_bare + 1e-9
+
+    def test_negative_extra_rejected(self, c2, c2_split):
+        with pytest.raises(InvalidParameterError):
+            c2.knn(c2_split.queries[0], 5, 0.5, rerank_extra=-1)
+
+
+class TestIOAccounting:
+    def test_io_positive_and_accumulated(self, c2_split):
+        c2 = C2LSH(C2LSHConfig(c=3.0, seed=11)).build(c2_split.data)
+        result = c2.knn(c2_split.queries[0], 5, 1.0)
+        assert result.io.sequential > 0
+        assert result.io.random > 0
+        assert c2.io_stats.total == result.io.total
+
+    def test_rerank_costs_no_extra_io(self, c2, c2_split):
+        # The lp re-rank happens on already-fetched candidates.
+        query = c2_split.queries[0]
+        l1_io = c2.knn(query, 105, 1.0).io
+        lp_io = c2.knn(query, 5, 0.5).io
+        assert lp_io.total == l1_io.total
+
+
+class TestDeterminism:
+    def test_same_seed_same_answers(self, c2_split):
+        a = C2LSH(C2LSHConfig(c=3.0, seed=4)).build(c2_split.data)
+        b = C2LSH(C2LSHConfig(c=3.0, seed=4)).build(c2_split.data)
+        ra = a.knn(c2_split.queries[0], 10, 0.7)
+        rb = b.knn(c2_split.queries[0], 10, 0.7)
+        np.testing.assert_array_equal(ra.ids, rb.ids)

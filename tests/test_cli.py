@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParams:
+    def test_prints_table(self, capsys):
+        rc = main(
+            [
+                "params",
+                "--d", "16",
+                "--c", "3",
+                "--p", "0.7,1.0",
+                "--mc-samples", "5000",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "eta_p" in out
+        assert "0.7" in out
+
+    def test_unsupported_metric_marked(self, capsys):
+        rc = main(
+            [
+                "params",
+                "--d", "128",
+                "--c", "2",
+                "--p", "0.3",
+                "--mc-samples", "5000",
+            ]
+        )
+        assert rc == 0
+        assert "not sensitive" in capsys.readouterr().out
+
+
+class TestBuildAndQuery:
+    def test_build_synthetic_and_query(self, capsys, tmp_path):
+        index_path = tmp_path / "idx.npz"
+        rc = main(
+            [
+                "build",
+                "synthetic:300x8",
+                str(index_path),
+                "--mc-samples", "5000",
+                "--seed", "3",
+            ]
+        )
+        assert rc == 0
+        assert index_path.exists()
+        out = capsys.readouterr().out
+        assert "built index over 300 x 8" in out
+
+        rc = main(
+            ["query", str(index_path), "--k", "5", "--p", "0.7,1.0", "--row", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kNN results" in out
+        # The query row must find itself at distance 0 in both metrics.
+        assert out.count("0.0") >= 2
+
+    def test_build_from_npy(self, tmp_path, capsys):
+        data_path = tmp_path / "data.npy"
+        np.save(data_path, np.random.default_rng(1).uniform(0, 100, (200, 6)))
+        rc = main(
+            [
+                "build",
+                str(data_path),
+                str(tmp_path / "idx"),
+                "--mc-samples", "5000",
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "idx.npz").exists()
+
+    def test_query_with_external_file(self, tmp_path, capsys):
+        rc = main(
+            [
+                "build",
+                "synthetic:200x6",
+                str(tmp_path / "idx.npz"),
+                "--mc-samples", "5000",
+            ]
+        )
+        assert rc == 0
+        queries = np.random.default_rng(2).uniform(0, 10000, (2, 6))
+        qpath = tmp_path / "queries.npy"
+        np.save(qpath, queries)
+        rc = main(
+            [
+                "query",
+                str(tmp_path / "idx.npz"),
+                "--query-file", str(qpath),
+                "--p", "1.0",
+            ]
+        )
+        assert rc == 0
+
+
+class TestErrors:
+    def test_unknown_dataset(self, capsys, tmp_path):
+        rc = main(["build", "imagenet", str(tmp_path / "x.npz")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_datasets_listing(self, capsys):
+        rc = main(["datasets"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "inria" in out
+        assert "synthetic:<n>x<d>" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

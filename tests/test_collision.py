@@ -1,0 +1,144 @@
+"""Unit tests for repro.metrics.collision: Eq. 3-5 and Lemma 2."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.metrics.collision import (
+    collision_probability,
+    collision_probability_cauchy,
+    collision_probability_gaussian,
+    collision_probability_numeric,
+    collision_probability_vector,
+)
+from repro.metrics.stable import sample_cauchy, sample_gaussian
+
+
+class TestClosedForms:
+    def test_cauchy_known_value(self):
+        # p(1, 1) = 2*atan(1)/pi - ln(2)/pi = 0.5 - 0.2206...
+        assert collision_probability_cauchy(1.0, 1.0) == pytest.approx(
+            0.5 - np.log(2.0) / np.pi
+        )
+
+    def test_zero_distance_collides_surely(self):
+        assert collision_probability_cauchy(0.0, 1.0) == 1.0
+        assert collision_probability_gaussian(0.0, 1.0) == 1.0
+
+    def test_probabilities_in_unit_interval(self):
+        for s in (0.01, 0.5, 1.0, 5.0, 100.0):
+            for r0 in (0.5, 1.0, 4.0):
+                assert 0.0 <= collision_probability_cauchy(s, r0) <= 1.0
+                assert 0.0 <= collision_probability_gaussian(s, r0) <= 1.0
+
+    @pytest.mark.parametrize(
+        "func",
+        [collision_probability_cauchy, collision_probability_gaussian],
+    )
+    def test_monotone_decreasing_in_distance(self, func):
+        values = [func(s, 1.0) for s in np.linspace(0.01, 10.0, 40)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    @pytest.mark.parametrize(
+        "func",
+        [collision_probability_cauchy, collision_probability_gaussian],
+    )
+    def test_monotone_increasing_in_width(self, func):
+        values = [func(1.0, r0) for r0 in np.linspace(0.1, 20.0, 40)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_wide_bucket_limit(self):
+        assert collision_probability_cauchy(1.0, 1e6) == pytest.approx(1.0, abs=1e-4)
+        assert collision_probability_gaussian(1.0, 1e6) == pytest.approx(1.0, abs=1e-4)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            collision_probability_cauchy(-1.0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            collision_probability_gaussian(1.0, 0.0)
+
+
+class TestLemma2ScaleInvariance:
+    """Lemma 2: p(s, r) == p(c*s, c*r) for any c > 0."""
+
+    @pytest.mark.parametrize("p", [1.0, 2.0])
+    @pytest.mark.parametrize("c", [0.5, 2.0, 7.3])
+    def test_scale_invariance_closed_forms(self, p, c):
+        base = collision_probability(1.3, 0.8, p)
+        scaled = collision_probability(1.3 * c, 0.8 * c, p)
+        assert scaled == pytest.approx(base, rel=1e-9)
+
+    def test_scale_invariance_numeric(self):
+        base = collision_probability_numeric(1.0, 2.0, 0.5)
+        scaled = collision_probability_numeric(3.0, 6.0, 0.5)
+        assert scaled == pytest.approx(base, rel=1e-6)
+
+
+class TestNumericIntegral:
+    def test_matches_cauchy_closed_form(self):
+        for s, r0 in [(1.0, 1.0), (2.0, 1.0), (1.0, 4.0)]:
+            numeric = collision_probability_numeric(s, r0, 1.0)
+            closed = collision_probability_cauchy(s, r0)
+            assert numeric == pytest.approx(closed, abs=5e-3)
+
+    def test_matches_gaussian_closed_form(self):
+        for s, r0 in [(1.0, 1.0), (1.0, 4.0)]:
+            numeric = collision_probability_numeric(s, r0, 2.0)
+            closed = collision_probability_gaussian(s, r0)
+            assert numeric == pytest.approx(closed, abs=5e-3)
+
+    def test_fractional_p_monotone_in_distance(self):
+        probs = [
+            collision_probability_numeric(s, 1.0, 0.5)
+            for s in (0.2, 0.5, 1.0, 2.0, 5.0)
+        ]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_dispatch(self):
+        assert collision_probability(1.0, 1.0, 1.0) == collision_probability_cauchy(
+            1.0, 1.0
+        )
+        assert collision_probability(1.0, 1.0, 2.0) == collision_probability_gaussian(
+            1.0, 1.0
+        )
+
+
+class TestEmpiricalCollision:
+    """The closed forms should predict actual hash collision rates."""
+
+    def test_cauchy_collision_rate(self):
+        rng = np.random.default_rng(17)
+        n, r0, s = 120_000, 4.0, 1.5
+        # Two 1-d points at l1 distance s, projected by Cauchy 'a':
+        # difference of projections is s * Cauchy.
+        a = sample_cauchy(n, seed=rng)
+        b = rng.uniform(0.0, r0, n)
+        h1 = np.floor(b / r0)
+        h2 = np.floor((s * a + b) / r0)
+        empirical = (h1 == h2).mean()
+        predicted = collision_probability_cauchy(s, r0)
+        assert empirical == pytest.approx(predicted, abs=0.01)
+
+    def test_gaussian_collision_rate(self):
+        rng = np.random.default_rng(23)
+        n, r0, s = 120_000, 4.0, 2.0
+        a = sample_gaussian(n, seed=rng)
+        b = rng.uniform(0.0, r0, n)
+        h1 = np.floor(b / r0)
+        h2 = np.floor((s * a + b) / r0)
+        empirical = (h1 == h2).mean()
+        predicted = collision_probability_gaussian(s, r0)
+        assert empirical == pytest.approx(predicted, abs=0.01)
+
+
+class TestVectorised:
+    def test_shape_preserved(self):
+        s = np.array([[0.5, 1.0], [2.0, 4.0]])
+        out = collision_probability_vector(s, 1.0, 1.0)
+        assert out.shape == s.shape
+
+    def test_values_match_scalar(self):
+        s = np.array([0.5, 1.0, 2.0])
+        out = collision_probability_vector(s, 1.0, 1.0)
+        for i, si in enumerate(s):
+            assert out[i] == pytest.approx(collision_probability(float(si), 1.0, 1.0))

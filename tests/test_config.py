@@ -1,0 +1,89 @@
+"""Unit tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import LazyLSHConfig
+from repro.errors import InvalidParameterError
+
+
+class TestValidation:
+    def test_defaults_are_paper_settings(self):
+        cfg = LazyLSHConfig()
+        assert cfg.c == 3.0
+        assert cfg.epsilon == 0.01
+        assert cfg.p_min == 0.5
+        assert cfg.base_p == 1.0
+        assert cfg.page_size == 4096
+
+    @pytest.mark.parametrize("c", [1.0, 0.5, -2.0])
+    def test_rejects_bad_c(self, c):
+        with pytest.raises(InvalidParameterError):
+            LazyLSHConfig(c=c)
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_bad_epsilon(self, epsilon):
+        with pytest.raises(InvalidParameterError):
+            LazyLSHConfig(epsilon=epsilon)
+
+    @pytest.mark.parametrize("beta", [0.0, 1.0, -0.5])
+    def test_rejects_bad_beta(self, beta):
+        with pytest.raises(InvalidParameterError):
+            LazyLSHConfig(beta=beta)
+
+    def test_accepts_none_beta(self):
+        assert LazyLSHConfig(beta=None).beta is None
+
+    def test_rejects_bad_r0(self):
+        with pytest.raises(InvalidParameterError):
+            LazyLSHConfig(r0=0.0)
+
+    def test_rejects_bad_p_min(self):
+        with pytest.raises(InvalidParameterError):
+            LazyLSHConfig(p_min=0.0)
+
+    def test_rejects_fractional_base(self):
+        # The base index needs closed-form collision probabilities.
+        with pytest.raises(InvalidParameterError):
+            LazyLSHConfig(base_p=0.5)
+
+    def test_accepts_l2_base(self):
+        assert LazyLSHConfig(base_p=2.0).base_p == 2.0
+
+    def test_rejects_tiny_mc_samples(self):
+        with pytest.raises(InvalidParameterError):
+            LazyLSHConfig(mc_samples=10)
+
+    def test_rejects_tiny_mc_buckets(self):
+        with pytest.raises(InvalidParameterError):
+            LazyLSHConfig(mc_buckets=1)
+
+
+class TestResolveBeta:
+    def test_explicit_beta_wins(self):
+        cfg = LazyLSHConfig(beta=0.01)
+        assert cfg.resolve_beta(10) == 0.01
+        assert cfg.resolve_beta(10_000_000) == 0.01
+
+    def test_default_beta_is_100_over_n(self):
+        cfg = LazyLSHConfig()
+        assert cfg.resolve_beta(1000) == pytest.approx(0.1)
+
+    def test_default_beta_floors_at_paper_value(self):
+        cfg = LazyLSHConfig()
+        assert cfg.resolve_beta(10_000_000) == pytest.approx(1e-4)
+
+    def test_rejects_bad_cardinality(self):
+        with pytest.raises(InvalidParameterError):
+            LazyLSHConfig().resolve_beta(0)
+
+
+class TestWithUpdates:
+    def test_returns_modified_copy(self):
+        cfg = LazyLSHConfig()
+        cfg2 = cfg.with_updates(c=4.0)
+        assert cfg2.c == 4.0
+        assert cfg.c == 3.0
+
+    def test_validates_updates(self):
+        with pytest.raises(InvalidParameterError):
+            LazyLSHConfig().with_updates(c=0.5)

@@ -1,0 +1,222 @@
+"""Tests for the dataset substrate: synthetic, simulated, labelled,
+query sampling and ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    LABELED_DATASET_NAMES,
+    SIMULATED_DATASET_NAMES,
+    exact_knn,
+    exact_knn_multi,
+    inria_like,
+    load_simulated,
+    make_labeled_dataset,
+    make_synthetic,
+    mnist_like,
+    sample_queries,
+)
+from repro.datasets.simulated import dataset_spec
+from repro.errors import DatasetError
+from repro.metrics.lp import lp_distance
+
+
+class TestSynthetic:
+    def test_shape_and_range(self):
+        data = make_synthetic(100, 7, value_range=(0, 10), seed=1)
+        assert data.shape == (100, 7)
+        assert data.min() >= 0 and data.max() <= 10
+
+    def test_integer_valued(self):
+        data = make_synthetic(50, 3, seed=2)
+        np.testing.assert_array_equal(data, np.round(data))
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            make_synthetic(10, 4, seed=9), make_synthetic(10, 4, seed=9)
+        )
+
+    def test_uniform_coverage(self):
+        data = make_synthetic(20_000, 2, value_range=(0, 9), seed=3)
+        counts = np.bincount(data.astype(int).ravel(), minlength=10)
+        # Each of the 10 values should hold ~10% of the mass.
+        assert (np.abs(counts / counts.sum() - 0.1) < 0.01).all()
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            make_synthetic(0, 4)
+        with pytest.raises(DatasetError):
+            make_synthetic(4, 0)
+        with pytest.raises(DatasetError):
+            make_synthetic(4, 4, value_range=(10, 0))
+
+
+class TestSimulated:
+    @pytest.mark.parametrize("name", SIMULATED_DATASET_NAMES)
+    def test_spec_shapes(self, name):
+        spec = dataset_spec(name)
+        data = load_simulated(name, n=200, seed=1)
+        assert data.shape == (200, spec.d)
+        lo, hi = spec.value_range
+        assert data.min() >= lo and data.max() <= hi
+
+    def test_table4_dimensionalities(self):
+        assert dataset_spec("inria").d == 128
+        assert dataset_spec("sun").d == 512
+        assert dataset_spec("labelme").d == 512
+        assert dataset_spec("mnist").d == 784
+
+    def test_mnist_sparsity(self):
+        data = mnist_like(n=300, seed=2)
+        assert (data == 0).mean() > 0.5
+
+    def test_clustered_not_uniform(self):
+        # Clustered data: NN distances are much smaller than for uniform
+        # data spanning the same range.
+        data = inria_like(n=500, seed=3)
+        rng = np.random.default_rng(4)
+        uniform = rng.integers(0, 256, size=(500, 128)).astype(float)
+
+        def median_nn(points):
+            nn = []
+            for i in range(60):
+                dists = lp_distance(points, points[i], 2.0)
+                dists[i] = np.inf
+                nn.append(dists.min())
+            return np.median(nn)
+
+        assert median_nn(data) < median_nn(uniform)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            load_simulated("sun", n=50, seed=7), load_simulated("sun", n=50, seed=7)
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            load_simulated("imagenet")
+        with pytest.raises(DatasetError):
+            dataset_spec("imagenet")
+
+    def test_bad_cardinality(self):
+        with pytest.raises(DatasetError):
+            load_simulated("inria", n=0)
+
+
+class TestLabeled:
+    @pytest.mark.parametrize("name", LABELED_DATASET_NAMES)
+    def test_all_datasets_generate(self, name):
+        ds = make_labeled_dataset(name, seed=1)
+        assert ds.points.shape == (ds.n, ds.d)
+        assert ds.labels.shape == (ds.n,)
+        assert ds.n_classes >= 2
+        assert ds.paper_shape[0] >= ds.n  # never larger than the original
+
+    def test_split(self):
+        ds = make_labeled_dataset("bcw", seed=1)
+        x_tr, y_tr, x_te, y_te = ds.split(100, seed=2)
+        assert x_te.shape[0] == y_te.shape[0] == 100
+        assert x_tr.shape[0] + 100 == ds.n
+
+    def test_split_validation(self):
+        ds = make_labeled_dataset("bcw", seed=1)
+        with pytest.raises(DatasetError):
+            ds.split(ds.n)
+
+    def test_classes_balanced(self):
+        ds = make_labeled_dataset("svs", seed=1)
+        counts = np.bincount(ds.labels)
+        assert counts.min() >= counts.max() - ds.n_classes
+
+    def test_classes_separable_above_chance(self):
+        # 1NN accuracy must beat random guessing by a wide margin on the
+        # easy datasets.
+        from repro.eval import classification_accuracy
+
+        ds = make_labeled_dataset("gisette", seed=1)
+        x_tr, y_tr, x_te, y_te = ds.split(80, seed=3)
+        acc = classification_accuracy(x_tr, y_tr, x_te, y_te, k=1, p=1.0)
+        assert acc > 0.8
+
+    def test_sun_is_hard(self):
+        # Table 1: the 100-class Sun stand-in stays near-chance (~10%).
+        from repro.eval import classification_accuracy
+
+        ds = make_labeled_dataset("sun", seed=7)
+        x_tr, y_tr, x_te, y_te = ds.split(80, seed=3)
+        acc = classification_accuracy(x_tr, y_tr, x_te, y_te, k=1, p=1.0)
+        assert acc < 0.3
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            make_labeled_dataset("cifar")
+
+
+class TestSampleQueries:
+    def test_removal(self):
+        data = make_synthetic(100, 5, seed=1)
+        split = sample_queries(data, 10, seed=2)
+        assert split.data.shape == (90, 5)
+        assert split.queries.shape == (10, 5)
+        assert split.num_queries == 10
+
+    def test_no_removal(self):
+        data = make_synthetic(100, 5, seed=1)
+        split = sample_queries(data, 10, remove=False, seed=2)
+        assert split.data.shape == (100, 5)
+
+    def test_queries_come_from_data(self):
+        data = make_synthetic(100, 5, seed=1)
+        split = sample_queries(data, 10, seed=2)
+        np.testing.assert_array_equal(split.queries, data[split.query_indices])
+
+    def test_removed_queries_absent(self):
+        data = make_synthetic(50, 4, seed=3)
+        split = sample_queries(data, 5, seed=4)
+        for q in split.queries:
+            assert not (split.data == q).all(axis=1).any()
+
+    def test_validation(self):
+        data = make_synthetic(10, 2, seed=1)
+        with pytest.raises(DatasetError):
+            sample_queries(data, 10, seed=1)
+        with pytest.raises(DatasetError):
+            sample_queries(data, 0, seed=1)
+
+
+class TestExactKnn:
+    def test_matches_bruteforce(self):
+        data = make_synthetic(200, 6, seed=5)
+        queries = make_synthetic(3, 6, seed=6)
+        ids, dists = exact_knn(data, queries, 4, 0.5)
+        assert ids.shape == dists.shape == (3, 4)
+        for qi in range(3):
+            all_d = lp_distance(data, queries[qi], 0.5)
+            np.testing.assert_allclose(dists[qi], np.sort(all_d)[:4])
+
+    def test_sorted_per_query(self):
+        data = make_synthetic(100, 4, seed=7)
+        _, dists = exact_knn(data, data[:5], 10, 1.0)
+        assert (np.diff(dists, axis=1) >= 0).all()
+
+    def test_single_query_vector(self):
+        data = make_synthetic(50, 4, seed=8)
+        ids, dists = exact_knn(data, data[0], 1, 1.0)
+        assert ids.shape == (1, 1)
+        assert ids[0, 0] == 0
+
+    def test_multi_metric(self):
+        data = make_synthetic(100, 4, seed=9)
+        truth = exact_knn_multi(data, data[:2], 3, [0.5, 1.0])
+        assert set(truth) == {0.5, 1.0}
+        for ids, dists in truth.values():
+            assert ids.shape == (2, 3)
+
+    def test_validation(self):
+        data = make_synthetic(10, 2, seed=1)
+        with pytest.raises(DatasetError):
+            exact_knn(data, data[0], 0, 1.0)
+        with pytest.raises(DatasetError):
+            exact_knn(data, data[0], 11, 1.0)
+        with pytest.raises(DatasetError):
+            exact_knn_multi(data, data[0], 1, [])

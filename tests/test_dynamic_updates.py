@@ -1,0 +1,195 @@
+"""Tests for dynamic inserts and removals on a built LazyLSH index."""
+
+import numpy as np
+import pytest
+
+from repro import LazyLSH, LazyLSHConfig
+from repro.datasets import exact_knn, make_synthetic
+from repro.errors import DimensionalityMismatchError, InvalidParameterError
+from repro.persistence import load_index, save_index
+
+
+@pytest.fixture
+def dyn_index():
+    data = make_synthetic(500, 12, value_range=(0, 300), seed=31)
+    cfg = LazyLSHConfig(c=3.0, p_min=0.7, seed=32, mc_samples=20_000, mc_buckets=80)
+    return LazyLSH(cfg).build(data), data
+
+
+class TestInsert:
+    def test_inserted_points_are_found(self, dyn_index):
+        index, _data = dyn_index
+        rng = np.random.default_rng(1)
+        new_points = rng.uniform(0, 300, size=(5, 12))
+        ids = index.insert(new_points)
+        assert ids.tolist() == list(range(500, 505))
+        assert index.num_points == 505
+        # Each inserted point is its own nearest neighbour.
+        for offset, point in enumerate(new_points):
+            result = index.knn(point, 1, 1.0)
+            assert result.ids[0] == 500 + offset
+            assert result.distances[0] == pytest.approx(0.0)
+
+    def test_insert_visible_under_fractional_metric(self, dyn_index):
+        index, _data = dyn_index
+        point = np.full(12, 150.0)
+        (new_id,) = index.insert(point)
+        result = index.knn(point, 1, 0.7)
+        assert result.ids[0] == new_id
+
+    def test_insert_single_vector(self, dyn_index):
+        index, _data = dyn_index
+        ids = index.insert(np.zeros(12))
+        assert ids.shape == (1,)
+
+    def test_store_grows(self, dyn_index):
+        index, _data = dyn_index
+        size_before = index.index_size_mb()
+        index.insert(np.random.default_rng(2).uniform(0, 300, (600, 12)))
+        assert index.store.num_points == 1100
+        assert index.index_size_mb() >= size_before
+
+    def test_insert_validation(self, dyn_index):
+        index, _data = dyn_index
+        with pytest.raises(DimensionalityMismatchError):
+            index.insert(np.zeros((2, 5)))
+        with pytest.raises(InvalidParameterError):
+            index.insert(np.full((1, 12), np.nan))
+
+    def test_knn_exactness_preserved_after_inserts(self, dyn_index):
+        # After inserts, kNN answers still match ground truth over the
+        # full (old + new) dataset.
+        index, data = dyn_index
+        rng = np.random.default_rng(3)
+        new_points = rng.uniform(0, 300, size=(50, 12))
+        index.insert(new_points)
+        full = np.vstack([data, new_points])
+        query = rng.uniform(0, 300, size=12)
+        true_ids, true_dists = exact_knn(full, query, 5, 1.0)
+        result = index.knn(query, 5, 1.0)
+        # Approximate, but within the c-guarantee of the *updated* truth.
+        assert result.distances[0] <= 3.0 * true_dists[0, 0] + 1e-9
+
+
+class TestRemove:
+    def test_removed_point_never_returned(self, dyn_index):
+        index, data = dyn_index
+        query = data[42]
+        assert index.knn(query, 1, 1.0).ids[0] == 42
+        index.remove(42)
+        result = index.knn(query, 1, 1.0)
+        assert result.ids[0] != 42
+        assert index.num_points == 499
+        assert index.num_rows == 500
+
+    def test_remove_batch(self, dyn_index):
+        index, _data = dyn_index
+        index.remove([1, 2, 3])
+        assert index.num_points == 497
+        for result_id in index.knn(_data[1], 10, 1.0).ids:
+            assert result_id not in (1, 2, 3)
+
+    def test_double_remove_rejected(self, dyn_index):
+        index, _data = dyn_index
+        index.remove(7)
+        with pytest.raises(InvalidParameterError):
+            index.remove(7)
+
+    def test_out_of_range_rejected(self, dyn_index):
+        index, _data = dyn_index
+        with pytest.raises(InvalidParameterError):
+            index.remove(10_000)
+        with pytest.raises(InvalidParameterError):
+            index.remove(-1)
+
+    def test_cannot_remove_everything(self):
+        data = make_synthetic(3, 4, seed=1)
+        cfg = LazyLSHConfig(
+            c=3.0, p_min=1.0, seed=1, mc_samples=5000, mc_buckets=50
+        )
+        index = LazyLSH(cfg).build(data)
+        with pytest.raises(InvalidParameterError):
+            index.remove([0, 1, 2])
+
+    def test_k_validated_against_live_count(self, dyn_index):
+        index, data = dyn_index
+        index.remove(list(range(100)))
+        with pytest.raises(InvalidParameterError):
+            index.knn(data[200], 401, 1.0)
+
+    def test_empty_removal_is_noop(self, dyn_index):
+        index, _data = dyn_index
+        index.remove([])
+        assert index.num_points == 500
+
+
+class TestCompact:
+    def test_reclaims_storage_and_renumbers(self, dyn_index):
+        index, data = dyn_index
+        index.remove(list(range(50)))
+        size_before = index.index_size_mb()
+        entries_before = index.store.num_points
+        mapping = index.compact()
+        # Entry counts always shrink; the page-aligned size never grows
+        # (it only visibly drops once a page boundary is crossed).
+        assert index.store.num_points == entries_before - 50
+        assert index.index_size_mb() <= size_before
+        assert index.num_rows == index.num_points == 450
+        # Mapping: removed rows -> -1, survivors dense and ordered.
+        assert (mapping[:50] == -1).all()
+        np.testing.assert_array_equal(mapping[50:], np.arange(450))
+
+    def test_query_results_survive_compaction(self, dyn_index):
+        index, data = dyn_index
+        index.remove([3, 7])
+        before = index.knn(data[100], 5, 1.0)
+        mapping = index.compact()
+        after = index.knn(data[100], 5, 1.0)
+        np.testing.assert_array_equal(mapping[before.ids], after.ids)
+        np.testing.assert_allclose(before.distances, after.distances)
+
+    def test_noop_without_tombstones(self, dyn_index):
+        index, _data = dyn_index
+        size = index.index_size_mb()
+        mapping = index.compact()
+        assert index.index_size_mb() == size
+        np.testing.assert_array_equal(mapping, np.arange(index.num_rows))
+
+    def test_insert_after_compact(self, dyn_index):
+        index, data = dyn_index
+        index.remove(0)
+        index.compact()
+        (new_id,) = index.insert(np.full(12, 5.0))
+        assert new_id == index.num_rows - 1
+        result = index.knn(np.full(12, 5.0), 1, 1.0)
+        assert result.ids[0] == new_id
+
+
+class TestInsertRemoveLifecycle:
+    def test_reinsert_after_remove(self, dyn_index):
+        index, data = dyn_index
+        index.remove(42)
+        (new_id,) = index.insert(data[42])
+        result = index.knn(data[42], 1, 1.0)
+        assert result.ids[0] == new_id
+        assert result.distances[0] == pytest.approx(0.0)
+
+    def test_persistence_preserves_tombstones(self, dyn_index, tmp_path):
+        index, data = dyn_index
+        index.remove([5, 6])
+        index.insert(np.full(12, 10.0))
+        path = save_index(index, tmp_path / "dyn.npz")
+        restored = load_index(path)
+        assert restored.num_points == index.num_points
+        assert restored.num_rows == index.num_rows
+        result = restored.knn(data[5], 3, 1.0)
+        assert 5 not in result.ids and 6 not in result.ids
+
+    def test_multiquery_respects_tombstones(self, dyn_index):
+        from repro import MultiQueryEngine
+
+        index, data = dyn_index
+        index.remove(42)
+        batch = MultiQueryEngine(index).knn(data[42], 3, [0.7, 1.0])
+        for p in (0.7, 1.0):
+            assert 42 not in batch[p].ids

@@ -1,0 +1,180 @@
+"""Tests for the evaluation metrics and harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.eval import (
+    KnnClassifier,
+    ResultTable,
+    Timer,
+    classification_accuracy,
+    overall_ratio,
+    precision_at_k,
+    recall_at_k,
+)
+from repro.eval.ratio import mean_overall_ratio
+from repro.eval.recall import mean_recall_at_k
+
+
+class TestOverallRatio:
+    def test_perfect_results(self):
+        d = np.array([1.0, 2.0, 3.0])
+        assert overall_ratio(d, d) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        reported = np.array([2.0, 4.0])
+        true = np.array([1.0, 2.0])
+        assert overall_ratio(reported, true) == pytest.approx(2.0)
+
+    def test_rank_wise_not_set_wise(self):
+        reported = np.array([1.0, 10.0])
+        true = np.array([1.0, 2.0])
+        assert overall_ratio(reported, true) == pytest.approx((1.0 + 5.0) / 2.0)
+
+    def test_zero_true_distance_with_zero_reported(self):
+        reported = np.array([0.0, 2.0])
+        true = np.array([0.0, 2.0])
+        assert overall_ratio(reported, true) == pytest.approx(1.0)
+
+    def test_zero_true_distance_with_nonzero_reported_skipped(self):
+        reported = np.array([1.0, 4.0])
+        true = np.array([0.0, 2.0])
+        assert overall_ratio(reported, true) == pytest.approx(2.0)
+
+    def test_all_zero_true_but_nonzero_reported(self):
+        with pytest.raises(InvalidParameterError):
+            overall_ratio(np.array([1.0]), np.array([0.0]))
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            overall_ratio(np.array([3.0, 1.0]), np.array([1.0, 2.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            overall_ratio(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_empty(self):
+        with pytest.raises(InvalidParameterError):
+            overall_ratio(np.array([]), np.array([]))
+
+    def test_mean_over_batch(self):
+        a = [np.array([2.0]), np.array([4.0])]
+        t = [np.array([1.0]), np.array([1.0])]
+        assert mean_overall_ratio(a, t) == pytest.approx(3.0)
+
+    def test_mean_validation(self):
+        with pytest.raises(InvalidParameterError):
+            mean_overall_ratio([], [])
+
+
+class TestRecallPrecision:
+    def test_full_recall(self):
+        assert recall_at_k(np.array([1, 2, 3]), np.array([3, 2, 1])) == 1.0
+
+    def test_partial_recall(self):
+        assert recall_at_k(np.array([1, 9]), np.array([1, 2])) == 0.5
+
+    def test_precision(self):
+        assert precision_at_k(np.array([1, 9]), np.array([1, 2])) == 0.5
+
+    def test_short_reported_list(self):
+        assert recall_at_k(np.array([1]), np.array([1, 2])) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            recall_at_k(np.array([1]), np.array([]))
+        with pytest.raises(InvalidParameterError):
+            precision_at_k(np.array([]), np.array([1]))
+
+    def test_mean_recall(self):
+        reported = [np.array([1, 2]), np.array([9, 8])]
+        true = [np.array([1, 2]), np.array([1, 2])]
+        assert mean_recall_at_k(reported, true) == pytest.approx(0.5)
+
+
+class TestKnnClassifier:
+    @pytest.fixture
+    def toy(self):
+        # Two well-separated blobs.
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.0, 0.3, size=(30, 4))
+        b = rng.normal(5.0, 0.3, size=(30, 4))
+        points = np.vstack([a, b])
+        labels = np.array([0] * 30 + [1] * 30)
+        return points, labels
+
+    def test_exact_classifier_perfect_on_blobs(self, toy):
+        points, labels = toy
+        clf = KnnClassifier(points, labels)
+        assert clf.predict_one(np.zeros(4), k=1, p=1.0) == 0
+        assert clf.predict_one(np.full(4, 5.0), k=1, p=1.0) == 1
+
+    def test_majority_vote(self, toy):
+        points, labels = toy
+        clf = KnnClassifier(points, labels)
+        preds = clf.predict(points[:5], k=5, p=2.0)
+        np.testing.assert_array_equal(preds, np.zeros(5))
+
+    def test_accuracy_function(self, toy):
+        points, labels = toy
+        acc = classification_accuracy(
+            points, labels, points, labels, k=1, p=1.0
+        )
+        assert acc == 1.0
+
+    def test_retriever_plugged_in(self, toy, small_config):
+        from repro import LazyLSH
+
+        points, labels = toy
+        index = LazyLSH(small_config).build(points)
+        clf = KnnClassifier(points, labels, retriever=index)
+        assert clf.predict_one(np.zeros(4), k=1, p=1.0) == 0
+
+    def test_validation(self, toy):
+        points, labels = toy
+        with pytest.raises(InvalidParameterError):
+            KnnClassifier(points, labels[:-1])
+        clf = KnnClassifier(points, labels)
+        with pytest.raises(InvalidParameterError):
+            clf.predict_one(np.zeros(4), k=0)
+
+
+class TestResultTable:
+    def test_render_contains_everything(self):
+        table = ResultTable("My Table", ["a", "b"])
+        table.add_row([1, 2.5])
+        table.add_row(["x", 0.001])
+        text = table.render()
+        assert "My Table" in text
+        assert "2.5" in text
+        assert "x" in text
+
+    def test_row_length_validated(self):
+        table = ResultTable("T", ["a", "b"])
+        with pytest.raises(InvalidParameterError):
+            table.add_row([1])
+
+    def test_markdown_render(self):
+        table = ResultTable("T", ["a", "b"])
+        table.add_row([1, 2])
+        md = table.render_markdown()
+        assert "| a | b |" in md
+        assert "| 1 | 2 |" in md
+
+    def test_float_formatting(self):
+        table = ResultTable("T", ["v"])
+        table.add_row([1.23456])
+        assert "1.235" in table.render()
+        table2 = ResultTable("T", ["v"])
+        table2.add_row([1.23e-7])
+        assert "e-07" in table2.render()
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        import time
+
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.seconds >= 0.009

@@ -1,0 +1,145 @@
+"""Tests for the classic LSH families (Hamming, angular, Jaccard)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.metrics.families import (
+    BitSamplingLSH,
+    MinHash,
+    SimHash,
+    angular_distance,
+    hamming_distance,
+    jaccard_similarity,
+)
+
+
+class TestDistances:
+    def test_hamming(self):
+        a = np.array([0, 1, 1, 0])
+        b = np.array([1, 1, 0, 0])
+        assert hamming_distance(a, b) == 2
+
+    def test_hamming_rowwise(self):
+        a = np.array([[0, 1], [1, 1]])
+        b = np.array([1, 1])
+        np.testing.assert_array_equal(hamming_distance(a, b), [1, 0])
+
+    def test_angular_orthogonal(self):
+        assert angular_distance(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == (
+            pytest.approx(np.pi / 2)
+        )
+
+    def test_angular_identical_and_opposite(self):
+        v = np.array([2.0, 3.0])
+        assert angular_distance(v, v) == pytest.approx(0.0)
+        assert angular_distance(v, -v) == pytest.approx(np.pi)
+
+    def test_angular_zero_vector_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            angular_distance(np.zeros(2), np.ones(2))
+
+    def test_jaccard(self):
+        assert jaccard_similarity({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+        assert jaccard_similarity(set(), set()) == 1.0
+        assert jaccard_similarity({1}, {2}) == 0.0
+
+
+class TestBitSampling:
+    def test_collision_rate_matches_theory(self):
+        d = 64
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 2, d)
+        b = a.copy()
+        flip = rng.choice(d, 16, replace=False)
+        b[flip] = 1 - b[flip]
+        lsh = BitSamplingLSH(d, 20_000, seed=2)
+        ha = lsh.hash_points(a[None, :])[:, 0]
+        hb = lsh.hash_points(b[None, :])[:, 0]
+        empirical = float((ha == hb).mean())
+        predicted = lsh.collision_probability(16)
+        assert empirical == pytest.approx(predicted, abs=0.01)
+
+    def test_identical_always_collide(self):
+        lsh = BitSamplingLSH(8, 100, seed=3)
+        v = np.ones(8, dtype=int)
+        h = lsh.hash_points(v[None, :])
+        np.testing.assert_array_equal(h, lsh.hash_points(v[None, :]))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BitSamplingLSH(0, 1)
+        lsh = BitSamplingLSH(4, 2, seed=1)
+        with pytest.raises(InvalidParameterError):
+            lsh.hash_points(np.zeros((1, 5)))
+        with pytest.raises(InvalidParameterError):
+            lsh.collision_probability(5)
+
+
+class TestSimHash:
+    def test_collision_rate_matches_theory(self):
+        rng = np.random.default_rng(5)
+        d = 32
+        a = rng.standard_normal(d)
+        # Construct b at a known angle from a.
+        perp = rng.standard_normal(d)
+        perp -= perp @ a / (a @ a) * a
+        perp /= np.linalg.norm(perp)
+        angle = 0.7
+        b = np.cos(angle) * a / np.linalg.norm(a) + np.sin(angle) * perp
+        lsh = SimHash(d, 20_000, seed=6)
+        ha = lsh.hash_points(a[None, :])[:, 0]
+        hb = lsh.hash_points(b[None, :])[:, 0]
+        empirical = float((ha == hb).mean())
+        assert empirical == pytest.approx(
+            SimHash.collision_probability(angle), abs=0.015
+        )
+
+    def test_signature_packs_bits(self):
+        lsh = SimHash(4, 8, seed=7)
+        sig = lsh.signature(np.ones(4))
+        assert 0 <= sig < 2**8
+
+    def test_scale_invariance(self):
+        lsh = SimHash(6, 64, seed=8)
+        v = np.random.default_rng(9).standard_normal(6)
+        np.testing.assert_array_equal(
+            lsh.hash_points(v[None, :]), lsh.hash_points((5.0 * v)[None, :])
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SimHash(1, 0)
+        with pytest.raises(InvalidParameterError):
+            SimHash.collision_probability(4.0)
+
+
+class TestMinHash:
+    def test_estimate_matches_true_jaccard(self):
+        a = set(range(0, 60))
+        b = set(range(30, 90))
+        true = jaccard_similarity(a, b)
+        mh = MinHash(5_000, seed=10)
+        estimate = mh.estimate_jaccard(mh.hash_set(a), mh.hash_set(b))
+        assert estimate == pytest.approx(true, abs=0.03)
+
+    def test_identical_sets(self):
+        mh = MinHash(100, seed=11)
+        sig = mh.hash_set({3, 1, 4, 1, 5})
+        assert mh.estimate_jaccard(sig, mh.hash_set({1, 3, 4, 5})) == 1.0
+
+    def test_disjoint_sets_rarely_collide(self):
+        mh = MinHash(2_000, seed=12)
+        est = mh.estimate_jaccard(
+            mh.hash_set(set(range(100))), mh.hash_set(set(range(1000, 1100)))
+        )
+        assert est < 0.02
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MinHash(4, seed=1).hash_set(set())
+
+    def test_signature_shape_mismatch(self):
+        mh = MinHash(8, seed=2)
+        with pytest.raises(InvalidParameterError):
+            mh.estimate_jaccard(np.zeros(8), np.zeros(7))

@@ -1,0 +1,94 @@
+"""End-to-end probabilistic-guarantee tests (properties P1' and P2').
+
+These exercise the full index on repeated randomised workloads and check
+the two properties Algorithm 3/4's correctness rests on:
+
+* P1': a point inside ``Bp(q, delta)`` becomes a candidate (collides more
+  than ``theta_p`` times) with probability at least ``1 - epsilon``;
+* P2': no more than ``beta * n`` far points become candidates (in
+  expectation, modulo constant factors).
+"""
+
+import numpy as np
+import pytest
+
+from repro import LazyLSH, LazyLSHConfig
+from repro.datasets import exact_knn, make_synthetic, sample_queries
+from repro.metrics.lp import lp_distance
+
+
+@pytest.fixture(scope="module")
+def guarantee_setup():
+    data = make_synthetic(800, 12, value_range=(0, 400), seed=101)
+    split = sample_queries(data, n_queries=10, seed=102)
+    cfg = LazyLSHConfig(
+        c=3.0,
+        p_min=0.6,
+        epsilon=0.05,
+        seed=103,
+        mc_samples=20_000,
+        mc_buckets=80,
+    )
+    index = LazyLSH(cfg).build(split.data)
+    return index, split
+
+
+class TestApproximationGuarantee:
+    @pytest.mark.parametrize("p", [0.6, 0.8, 1.0])
+    def test_c_approximation_holds_per_rank(self, guarantee_setup, p):
+        # Definition 5: the i-th reported neighbour is a c-approximation
+        # of the i-th true neighbour, for every rank.
+        index, split = guarantee_setup
+        k = 10
+        _, true_dists = exact_knn(split.data, split.queries, k, p)
+        violations = 0
+        total = 0
+        for qi, query in enumerate(split.queries):
+            result = index.knn(query, k, p)
+            for rank in range(k):
+                total += 1
+                if result.distances[rank] > index.config.c * true_dists[qi, rank]:
+                    violations += 1
+        # The guarantee is probabilistic (epsilon = 0.05 per query); give
+        # generous slack but catch systematic failures.
+        assert violations / total < 0.05
+
+    def test_candidate_budget_respected(self, guarantee_setup):
+        # P2'-flavoured check: queries never examine wildly more
+        # candidates than the k + beta*n budget (Algorithm 4's stop rule
+        # may overshoot by at most one hash-function batch).
+        index, split = guarantee_setup
+        n = index.num_points
+        k = 10
+        cap = k + index.beta * n
+        for query in split.queries:
+            result = index.knn(query, k, 1.0)
+            assert result.candidates <= cap + n * 0.1
+
+    def test_random_io_equals_candidates(self, guarantee_setup):
+        # Every candidate costs exactly one random I/O, never more.
+        index, split = guarantee_setup
+        for query in split.queries[:4]:
+            result = index.knn(query, 5, 0.8)
+            assert result.io.random == result.candidates
+
+
+class TestThetaCalibration:
+    def test_near_neighbours_cross_threshold(self, guarantee_setup):
+        # The true nearest neighbour should be among the candidates in
+        # nearly every query (this is what P1' promises).
+        index, split = guarantee_setup
+        found = 0
+        for query in split.queries:
+            true_ids, _ = exact_knn(split.data, query, 1, 0.8)
+            result = index.knn(query, 10, 0.8)
+            if true_ids[0, 0] in result.ids:
+                found += 1
+        assert found >= 8  # 10 queries, epsilon = 0.05 plus slack
+
+    def test_reported_distances_match_recomputation(self, guarantee_setup):
+        index, split = guarantee_setup
+        for p in (0.6, 1.0):
+            result = index.knn(split.queries[0], 5, p)
+            recomputed = lp_distance(index.data[result.ids], split.queries[0], p)
+            np.testing.assert_allclose(result.distances, recomputed)

@@ -1,0 +1,170 @@
+"""Unit tests for repro.core.hashing: hash banks and rehashing windows."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import (
+    StableHashBank,
+    original_window,
+    query_centric_window,
+)
+from repro.errors import DimensionalityMismatchError, InvalidParameterError
+
+
+class TestQueryCentricWindow:
+    def test_level_one_is_single_bucket(self):
+        assert query_centric_window(9, 1.0) == (9, 9)
+
+    def test_level_three(self):
+        assert query_centric_window(9, 3.0) == (8, 10)
+
+    def test_level_nine(self):
+        assert query_centric_window(9, 9.0) == (5, 13)
+
+    def test_symmetry_around_query(self):
+        for level in (1.0, 2.0, 5.0, 27.0):
+            lo, hi = query_centric_window(100, level)
+            assert 100 - lo == hi - 100
+
+    def test_fractional_level_floors(self):
+        assert query_centric_window(0, 2.9) == (-1, 1)
+
+    def test_windows_nest(self):
+        prev = query_centric_window(42, 3.0)
+        cur = query_centric_window(42, 9.0)
+        assert cur[0] <= prev[0] and prev[1] <= cur[1]
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            query_centric_window(0, -1.0)
+
+
+class TestOriginalWindow:
+    def test_figure8_example(self):
+        # Figure 8: query in bucket 9.  H_3 groups [9, 11]; H_9 groups
+        # [9, 17]; H_27 groups [0, 26].
+        assert original_window(9, 3.0) == (9, 11)
+        assert original_window(9, 9.0) == (9, 17)
+        assert original_window(9, 27.0) == (0, 26)
+
+    def test_window_contains_query(self):
+        for hq in (-13, 0, 7, 100):
+            for level in (1.0, 3.0, 9.0):
+                lo, hi = original_window(hq, level)
+                assert lo <= hq <= hi
+
+    def test_width_equals_level(self):
+        lo, hi = original_window(50, 9.0)
+        assert hi - lo + 1 == 9
+
+    def test_can_be_badly_off_centre(self):
+        # A query at a multiple of the radius sits at the window's very
+        # edge — the pathology Figure 8 illustrates.
+        lo, hi = original_window(9, 9.0)
+        assert lo == 9  # no coverage below the query at all
+
+    def test_negative_bucket_alignment(self):
+        lo, hi = original_window(-1, 3.0)
+        assert lo <= -1 <= hi
+        assert (hi - lo + 1) == 3
+
+    def test_nested_for_integer_factor(self):
+        inner = original_window(25, 3.0)
+        outer = original_window(25, 9.0)
+        assert outer[0] <= inner[0] and inner[1] <= outer[1]
+
+
+class TestStableHashBank:
+    def test_shapes(self):
+        bank = StableHashBank(8, 5, seed=1)
+        points = np.random.default_rng(0).normal(size=(10, 8))
+        values = bank.hash_points(points)
+        assert values.shape == (5, 10)
+        assert values.dtype == np.int64
+
+    def test_hash_point_matches_matrix(self):
+        bank = StableHashBank(6, 4, seed=2)
+        points = np.random.default_rng(1).normal(size=(3, 6))
+        matrix = bank.hash_points(points)
+        for i in range(3):
+            np.testing.assert_array_equal(bank.hash_point(points[i]), matrix[:, i])
+
+    def test_deterministic_given_seed(self):
+        points = np.random.default_rng(3).normal(size=(5, 4))
+        a = StableHashBank(4, 3, seed=7).hash_points(points)
+        b = StableHashBank(4, 3, seed=7).hash_points(points)
+        np.testing.assert_array_equal(a, b)
+
+    def test_dimension_mismatch(self):
+        bank = StableHashBank(4, 3, seed=1)
+        with pytest.raises(DimensionalityMismatchError):
+            bank.hash_points(np.zeros((2, 5)))
+        with pytest.raises(DimensionalityMismatchError):
+            bank.hash_point(np.zeros((2, 4)))
+
+    def test_floor_consistency_with_projections(self):
+        bank = StableHashBank(4, 3, r0=2.0, seed=5)
+        points = np.random.default_rng(2).normal(size=(6, 4))
+        raw = bank.projection_values(points)
+        np.testing.assert_array_equal(
+            bank.hash_points(points), np.floor(raw / 2.0).astype(np.int64)
+        )
+
+    def test_offsets_inside_c2lsh_domain(self):
+        bank = StableHashBank(16, 50, c=3.0, t_max=255.0, seed=9)
+        assert (bank._offsets >= 0).all()
+        assert (bank._offsets < bank.offset_upper).all()
+
+    def test_offset_domain_grows_with_t_max(self):
+        small = StableHashBank(16, 2, c=3.0, t_max=1.0, seed=1)
+        large = StableHashBank(16, 2, c=3.0, t_max=10_000.0, seed=1)
+        assert large.offset_upper > small.offset_upper
+
+    def test_chunked_hashing_consistent(self):
+        # More points than the internal chunk size still hash identically
+        # to a direct computation.
+        bank = StableHashBank(4, 2, seed=4)
+        points = np.random.default_rng(5).normal(size=(10_000, 4))
+        got = bank.hash_points(points)
+        want = np.floor(
+            (points @ bank._projections + bank._offsets) / bank.r0
+        ).astype(np.int64).T
+        np.testing.assert_array_equal(got, want)
+
+    def test_gaussian_base(self):
+        bank = StableHashBank(8, 4, base_p=2.0, seed=6)
+        values = bank.hash_points(np.random.default_rng(6).normal(size=(5, 8)))
+        assert values.shape == (4, 5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"d": 0, "eta": 1},
+            {"d": 4, "eta": 0},
+            {"d": 4, "eta": 1, "r0": 0.0},
+            {"d": 4, "eta": 1, "c": 1.0},
+            {"d": 4, "eta": 1, "t_max": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            StableHashBank(**kwargs)
+
+
+class TestLocalitySensitivityEmpirical:
+    """Close points should collide more often than distant points."""
+
+    def test_collision_rates_ordered_by_distance(self):
+        rng = np.random.default_rng(11)
+        d = 16
+        bank = StableHashBank(d, 400, r0=8.0, seed=12)
+        base = rng.normal(size=d) * 10.0
+        near = base + rng.normal(size=d) * 0.05
+        far = base + rng.normal(size=d) * 10.0
+        h_base = bank.hash_point(base)
+        h_near = bank.hash_point(near)
+        h_far = bank.hash_point(far)
+        near_rate = (h_base == h_near).mean()
+        far_rate = (h_base == h_far).mean()
+        assert near_rate > far_rate
+        assert near_rate > 0.5

@@ -1,0 +1,133 @@
+"""Cross-module integration tests: full pipelines on realistic workloads."""
+
+import numpy as np
+import pytest
+
+from repro import LazyLSH, LazyLSHConfig, MultiQueryEngine
+from repro.baselines import C2LSH, SRS, LinearScan
+from repro.baselines.c2lsh import C2LSHConfig
+from repro.baselines.srs import SRSConfig
+from repro.datasets import (
+    exact_knn,
+    inria_like,
+    make_labeled_dataset,
+    sample_queries,
+)
+from repro.eval import classification_accuracy, overall_ratio, recall_at_k
+
+
+@pytest.fixture(scope="module")
+def feature_split():
+    features = inria_like(n=2500, seed=17)
+    return sample_queries(features, n_queries=4, seed=18)
+
+
+@pytest.fixture(scope="module")
+def lazy_index(feature_split) -> LazyLSH:
+    cfg = LazyLSHConfig(c=3.0, p_min=0.5, seed=19, mc_samples=20_000, mc_buckets=100)
+    return LazyLSH(cfg).build(feature_split.data)
+
+
+class TestRetrievalPipeline:
+    def test_lazylsh_beats_trivial_baseline(self, lazy_index, feature_split):
+        # The returned neighbours must be far closer than random points.
+        rng = np.random.default_rng(3)
+        for p in (0.5, 1.0):
+            _, true_dists = exact_knn(feature_split.data, feature_split.queries, 10, p)
+            for qi, query in enumerate(feature_split.queries):
+                result = lazy_index.knn(query, 10, p)
+                random_ids = rng.choice(feature_split.data.shape[0], 10, replace=False)
+                from repro.metrics.lp import lp_distance
+
+                random_dists = np.sort(
+                    lp_distance(feature_split.data[random_ids], query, p)
+                )
+                assert result.distances.mean() < random_dists.mean()
+                assert overall_ratio(result.distances, true_dists[qi]) < 2.0
+
+    def test_engines_agree_on_easy_neighbours(self, feature_split, lazy_index):
+        # All engines should find the same nearest neighbour for a point
+        # that has an unambiguous closest match.
+        c2 = C2LSH(C2LSHConfig(c=3.0, seed=19)).build(feature_split.data)
+        srs = SRS(SRSConfig(seed=19)).build(feature_split.data)
+        scan = LinearScan(feature_split.data)
+        query = feature_split.data[0]  # indexed point: NN is itself
+        assert lazy_index.knn(query, 1, 1.0).ids[0] == 0
+        assert c2.knn(query, 1, 1.0).ids[0] == 0
+        assert srs.knn(query, 1, 2.0).ids[0] == 0
+        assert scan.knn(query, 1, 1.0).ids[0] == 0
+
+    def test_io_ordering_matches_figure9(self, lazy_index, feature_split):
+        # Fractional queries pay more I/O than l1 queries on the same
+        # index (higher threshold, more hash functions consulted).
+        io_by_p = {}
+        for p in (0.5, 0.7, 1.0):
+            totals = [
+                lazy_index.knn(q, 10, p).io.total for q in feature_split.queries
+            ]
+            io_by_p[p] = float(np.mean(totals))
+        assert io_by_p[0.5] > io_by_p[0.7] > io_by_p[1.0]
+
+    def test_recall_reasonable_at_k100(self, lazy_index, feature_split):
+        true_ids, _ = exact_knn(feature_split.data, feature_split.queries, 100, 0.5)
+        recalls = []
+        for qi, query in enumerate(feature_split.queries):
+            result = lazy_index.knn(query, 100, 0.5)
+            recalls.append(recall_at_k(result.ids, true_ids[qi]))
+        assert float(np.mean(recalls)) > 0.5
+
+
+class TestMultiQueryPipeline:
+    def test_figure12_shape(self, lazy_index, feature_split):
+        engine = MultiQueryEngine(lazy_index)
+        metrics = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+        for query in feature_split.queries[:2]:
+            batch = engine.knn(query, 10, metrics)
+            single = lazy_index.knn(query, 10, 0.5)
+            separate = sum(lazy_index.knn(query, 10, p).io.total for p in metrics)
+            # Batch is close to the single l0.5 cost and far below the
+            # separate-queries cost.
+            assert batch.io.total < 0.6 * separate
+            assert batch.io.total <= 1.6 * single.io.total
+
+
+class TestClassificationPipeline:
+    def test_table1_shape_on_one_dataset(self):
+        # The approximate classifier lands within a few points of the
+        # exact one — Table 1's headline observation.
+        ds = make_labeled_dataset("bcw", seed=7)
+        x_tr, y_tr, x_te, y_te = ds.split(60, seed=1)
+        exact = classification_accuracy(x_tr, y_tr, x_te, y_te, k=1, p=1.0)
+        cfg = LazyLSHConfig(
+            c=3.0, p_min=0.5, seed=7, mc_samples=20_000, mc_buckets=100
+        )
+        index = LazyLSH(cfg).build(x_tr)
+        approx = classification_accuracy(
+            x_tr, y_tr, x_te, y_te, k=1, p=1.0, retriever=index
+        )
+        assert abs(exact - approx) <= 0.1
+
+    def test_fractional_metrics_usable_for_classification(self):
+        ds = make_labeled_dataset("ionosphere", seed=7)
+        x_tr, y_tr, x_te, y_te = ds.split(40, seed=1)
+        cfg = LazyLSHConfig(
+            c=3.0, p_min=0.5, seed=7, mc_samples=20_000, mc_buckets=100
+        )
+        index = LazyLSH(cfg).build(x_tr)
+        for p in (0.5, 0.8):
+            acc = classification_accuracy(
+                x_tr, y_tr, x_te, y_te, k=1, p=p, retriever=index
+            )
+            assert acc > 0.6  # far above the 50% coin flip
+
+
+class TestIndexReuseAcrossMetrics:
+    def test_one_build_many_metrics(self, lazy_index, feature_split):
+        # The central promise: a single materialised index answers every
+        # supported metric without rebuilding.
+        eta_before = lazy_index.eta
+        size_before = lazy_index.index_size_mb()
+        for p in (0.5, 0.6, 0.8, 1.0):
+            lazy_index.knn(feature_split.queries[0], 5, p)
+        assert lazy_index.eta == eta_before
+        assert lazy_index.index_size_mb() == size_before

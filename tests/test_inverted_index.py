@@ -1,0 +1,159 @@
+"""Unit tests for repro.storage.inverted_index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.storage.inverted_index import InvertedListStore
+from repro.storage.io_stats import IOStats
+from repro.storage.pages import PageLayout
+
+
+@pytest.fixture
+def tiny_store() -> InvertedListStore:
+    # Two hash functions over six points; layout of 4 entries per page so
+    # page charging is easy to reason about.
+    hash_values = np.array(
+        [
+            [5, 1, 9, 1, 7, 3],
+            [0, 0, 0, 2, 2, 4],
+        ],
+        dtype=np.int64,
+    )
+    return InvertedListStore(hash_values, PageLayout(page_size=32, entry_size=8))
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        with pytest.raises(InvalidParameterError):
+            InvertedListStore(np.zeros(5, dtype=np.int64))
+
+    def test_dtype_validation(self):
+        with pytest.raises(InvalidParameterError):
+            InvertedListStore(np.zeros((2, 3), dtype=np.float64))
+
+    def test_counts(self, tiny_store):
+        assert tiny_store.num_functions == 2
+        assert tiny_store.num_points == 6
+
+    def test_size_accounting(self, tiny_store):
+        # 6 entries of 8 bytes = 48 bytes -> 2 pages of 32 bytes, per
+        # function; 2 functions -> 128 bytes total.
+        assert tiny_store.size_bytes() == 128
+        assert tiny_store.size_mb() == pytest.approx(128 / 1024.0 / 1024.0)
+
+
+class TestReadWindow:
+    def test_exact_bucket(self, tiny_store):
+        ids = tiny_store.read_window(0, 1, 1)
+        assert sorted(ids.tolist()) == [1, 3]
+
+    def test_inclusive_range(self, tiny_store):
+        ids = tiny_store.read_window(0, 3, 7)
+        assert sorted(ids.tolist()) == [0, 4, 5]
+
+    def test_empty_window(self, tiny_store):
+        assert tiny_store.read_window(0, 100, 200).size == 0
+
+    def test_inverted_bounds_return_empty(self, tiny_store):
+        assert tiny_store.read_window(0, 5, 4).size == 0
+
+    def test_sequential_io_charged_per_page(self, tiny_store):
+        stats = IOStats()
+        # Function 0 sorted values: [1,1,3,5,7,9]; window [1,5] covers
+        # entries 0..3 -> exactly the first page (4 entries/page).
+        tiny_store.read_window(0, 1, 5, stats)
+        assert stats.sequential == 1
+        stats.reset()
+        # Window [1,9] covers entries 0..5 -> 2 pages.
+        tiny_store.read_window(0, 1, 9, stats)
+        assert stats.sequential == 2
+
+    def test_empty_window_costs_nothing(self, tiny_store):
+        stats = IOStats()
+        tiny_store.read_window(0, 100, 200, stats)
+        assert stats.total == 0
+
+    def test_function_index_validated(self, tiny_store):
+        with pytest.raises(InvalidParameterError):
+            tiny_store.read_window(2, 0, 1)
+        with pytest.raises(InvalidParameterError):
+            tiny_store.read_window(-1, 0, 1)
+
+
+class TestReadRing:
+    def test_ring_excludes_inner(self, tiny_store):
+        # Window [1,9] minus inner [3,7] -> hash values 1,1 and 9.
+        ids = tiny_store.read_ring(0, 1, 9, 3, 7)
+        assert sorted(ids.tolist()) == [1, 2, 3]
+
+    def test_ring_with_empty_inner_degenerates(self, tiny_store):
+        ids_ring = tiny_store.read_ring(0, 1, 9, 5, 4)
+        ids_win = tiny_store.read_window(0, 1, 9)
+        assert sorted(ids_ring.tolist()) == sorted(ids_win.tolist())
+
+    def test_non_nested_inner_rejected(self, tiny_store):
+        with pytest.raises(InvalidParameterError):
+            tiny_store.read_ring(0, 3, 7, 1, 9)
+
+    def test_ring_plus_inner_equals_window(self, tiny_store):
+        inner = tiny_store.read_window(1, 0, 2)
+        ring = tiny_store.read_ring(1, 0, 4, 0, 2)
+        window = tiny_store.read_window(1, 0, 4)
+        assert sorted(inner.tolist() + ring.tolist()) == sorted(window.tolist())
+
+    def test_ring_charges_both_side_runs(self, tiny_store):
+        stats = IOStats()
+        # Function 0: entries [1,1,3,5,7,9].  Ring [1,9] \\ [3,7] reads
+        # entries {0,1} (page 0) and {5} (page 1) -> 2 sequential I/Os.
+        tiny_store.read_ring(0, 1, 9, 3, 7, stats)
+        assert stats.sequential == 2
+
+
+class TestSeenPages:
+    def test_pages_charged_once(self, tiny_store):
+        stats = IOStats()
+        seen: set = set()
+        tiny_store.read_window(0, 1, 5, stats, seen)
+        assert stats.sequential == 1
+        tiny_store.read_window(0, 1, 5, stats, seen)
+        assert stats.sequential == 1  # second read hits the cache
+        tiny_store.read_window(0, 1, 9, stats, seen)
+        assert stats.sequential == 2  # only the new page is charged
+
+    def test_seen_pages_are_per_function(self, tiny_store):
+        stats = IOStats()
+        seen: set = set()
+        tiny_store.read_window(0, 1, 5, stats, seen)
+        tiny_store.read_window(1, 0, 4, stats, seen)
+        # Function 1's pages are distinct cache keys.
+        assert stats.sequential > 1
+
+
+class TestWindowPageCost:
+    def test_matches_actual_charge(self, tiny_store):
+        for lo, hi in [(1, 5), (1, 9), (100, 200), (3, 3)]:
+            stats = IOStats()
+            tiny_store.read_window(0, lo, hi, stats)
+            assert tiny_store.window_page_cost(0, lo, hi) == stats.sequential
+
+
+class TestBucketOf:
+    def test_roundtrip(self, tiny_store):
+        assert tiny_store.bucket_of(0, 2) == 9
+        assert tiny_store.bucket_of(1, 5) == 4
+
+
+class TestLargeStore:
+    def test_window_matches_bruteforce(self, rng):
+        hash_values = rng.integers(-50, 50, size=(3, 400)).astype(np.int64)
+        store = InvertedListStore(hash_values)
+        for func in range(3):
+            for lo, hi in [(-10, 10), (0, 0), (-50, 49), (20, 45)]:
+                got = sorted(store.read_window(func, lo, hi).tolist())
+                want = sorted(
+                    np.flatnonzero(
+                        (hash_values[func] >= lo) & (hash_values[func] <= hi)
+                    ).tolist()
+                )
+                assert got == want

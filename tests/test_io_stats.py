@@ -1,0 +1,76 @@
+"""Unit tests for repro.storage.io_stats."""
+
+import pytest
+
+from repro.storage.io_stats import IOMeter, IOStats
+
+
+class TestIOStats:
+    def test_starts_at_zero(self):
+        stats = IOStats()
+        assert stats.sequential == 0
+        assert stats.random == 0
+        assert stats.total == 0
+
+    def test_counting(self):
+        stats = IOStats()
+        stats.add_sequential(3)
+        stats.add_random()
+        stats.add_random(2)
+        assert stats.sequential == 3
+        assert stats.random == 3
+        assert stats.total == 6
+
+    def test_negative_counts_rejected(self):
+        stats = IOStats()
+        with pytest.raises(ValueError):
+            stats.add_sequential(-1)
+        with pytest.raises(ValueError):
+            stats.add_random(-5)
+
+    def test_reset(self):
+        stats = IOStats(sequential=5, random=2)
+        stats.reset()
+        assert stats.total == 0
+
+    def test_snapshot_is_independent(self):
+        stats = IOStats()
+        snap = stats.snapshot()
+        stats.add_sequential(10)
+        assert snap.sequential == 0
+        assert stats.sequential == 10
+
+    def test_subtraction(self):
+        later = IOStats(sequential=10, random=4)
+        earlier = IOStats(sequential=3, random=1)
+        delta = later - earlier
+        assert delta.sequential == 7
+        assert delta.random == 3
+
+    def test_addition(self):
+        total = IOStats(sequential=1, random=2) + IOStats(sequential=3, random=4)
+        assert total.sequential == 4
+        assert total.random == 6
+
+    def test_str_mentions_counts(self):
+        text = str(IOStats(sequential=7, random=2))
+        assert "7" in text and "2" in text and "9" in text
+
+
+class TestIOMeter:
+    def test_measures_delta_only(self):
+        stats = IOStats()
+        stats.add_sequential(100)
+        with IOMeter(stats) as meter:
+            stats.add_sequential(3)
+            stats.add_random(2)
+        assert meter.delta.sequential == 3
+        assert meter.delta.random == 2
+        # The underlying counter keeps the grand total.
+        assert stats.sequential == 103
+
+    def test_zero_delta(self):
+        stats = IOStats()
+        with IOMeter(stats) as meter:
+            pass
+        assert meter.delta.total == 0

@@ -1,0 +1,215 @@
+"""Unit tests for repro.metrics.lp: distances, balls and Eq. 11 bounds."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.metrics.lp import (
+    Ball,
+    l1_bounds,
+    lp_distance,
+    lp_distance_matrix,
+    lp_norm,
+    norm_equivalence_bounds,
+    validate_p,
+)
+
+
+class TestValidateP:
+    def test_accepts_fractional(self):
+        assert validate_p(0.5) == 0.5
+
+    def test_accepts_above_two_by_default(self):
+        assert validate_p(3.0) == 3.0
+
+    def test_rejects_above_two_when_asked(self):
+        with pytest.raises(InvalidParameterError):
+            validate_p(2.5, allow_above_two=False)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects_non_positive_and_non_finite(self, bad):
+        with pytest.raises(InvalidParameterError):
+            validate_p(bad)
+
+    def test_returns_float(self):
+        assert isinstance(validate_p(1), float)
+
+
+class TestLpNorm:
+    def test_l1_is_sum_of_abs(self):
+        v = np.array([1.0, -2.0, 3.0])
+        assert lp_norm(v, 1.0) == pytest.approx(6.0)
+
+    def test_l2_is_euclidean(self):
+        v = np.array([3.0, 4.0])
+        assert lp_norm(v, 2.0) == pytest.approx(5.0)
+
+    def test_fractional_norm_formula(self):
+        v = np.array([4.0, 9.0])
+        # (sqrt(4) + sqrt(9))^2 = 25
+        assert lp_norm(v, 0.5) == pytest.approx(25.0)
+
+    def test_axis_handling(self):
+        m = np.array([[1.0, 1.0], [2.0, 2.0]])
+        np.testing.assert_allclose(lp_norm(m, 1.0, axis=1), [2.0, 4.0])
+        np.testing.assert_allclose(lp_norm(m, 1.0, axis=0), [3.0, 3.0])
+
+    def test_zero_vector(self):
+        assert lp_norm(np.zeros(5), 0.7) == pytest.approx(0.0)
+
+    def test_fractional_less_concentrated_than_l1(self):
+        # For p < 1 the norm of a multi-coordinate vector exceeds its l1.
+        v = np.array([1.0, 1.0, 1.0, 1.0])
+        assert lp_norm(v, 0.5) > lp_norm(v, 1.0)
+
+
+class TestLpDistance:
+    def test_single_pair(self):
+        a = np.array([0.0, 0.0])
+        b = np.array([1.0, 1.0])
+        assert lp_distance(a, b, 1.0) == pytest.approx(2.0)
+        assert lp_distance(a, b, 2.0) == pytest.approx(np.sqrt(2.0))
+        assert lp_distance(a, b, 0.5) == pytest.approx(4.0)
+
+    def test_matrix_vs_vector_broadcast(self):
+        x = np.array([[0.0, 0.0], [3.0, 4.0]])
+        q = np.array([0.0, 0.0])
+        np.testing.assert_allclose(lp_distance(x, q, 2.0), [0.0, 5.0])
+
+    def test_symmetry(self, rng):
+        a = rng.normal(size=8)
+        b = rng.normal(size=8)
+        for p in (0.5, 0.8, 1.0, 2.0):
+            assert lp_distance(a, b, p) == pytest.approx(lp_distance(b, a, p))
+
+    def test_identity(self, rng):
+        a = rng.normal(size=8)
+        assert lp_distance(a, a, 0.6) == pytest.approx(0.0)
+
+    def test_scale_homogeneity(self, rng):
+        # lp(c*x, c*y) = c * lp(x, y) — the Lemma 3 workhorse.
+        a = rng.normal(size=6)
+        b = rng.normal(size=6)
+        for p in (0.5, 1.0, 1.5):
+            assert lp_distance(3.0 * a, 3.0 * b, p) == pytest.approx(
+                3.0 * float(lp_distance(a, b, p))
+            )
+
+
+class TestLpDistanceMatrix:
+    def test_matches_pairwise_loop(self, rng):
+        x = rng.normal(size=(7, 5))
+        y = rng.normal(size=(4, 5))
+        for p in (0.5, 1.0, 2.0):
+            full = lp_distance_matrix(x, y, p)
+            assert full.shape == (7, 4)
+            for i in range(7):
+                for j in range(4):
+                    assert full[i, j] == pytest.approx(
+                        float(lp_distance(x[i], y[j], p))
+                    )
+
+    def test_chunking_consistency(self, rng):
+        # Force a path that needs several chunks by using a biggish matrix.
+        x = rng.normal(size=(500, 40))
+        y = rng.normal(size=(30, 40))
+        full = lp_distance_matrix(x, y, 1.0)
+        direct = np.abs(x[:, None, :] - y[None, :, :]).sum(axis=-1)
+        np.testing.assert_allclose(full, direct)
+
+
+class TestBounds:
+    def test_l1_bounds_fractional(self):
+        lower, upper = l1_bounds(1.0, 4, 0.5)
+        # d^(1 - 1/p) = 4^-1 = 0.25
+        assert lower == pytest.approx(0.25)
+        assert upper == pytest.approx(1.0)
+
+    def test_l1_bounds_p_above_one(self):
+        lower, upper = l1_bounds(1.0, 4, 2.0)
+        # d^(1 - 1/2) = 2
+        assert lower == pytest.approx(1.0)
+        assert upper == pytest.approx(2.0)
+
+    def test_l1_bounds_p_equal_one_degenerate(self):
+        lower, upper = l1_bounds(3.0, 10, 1.0)
+        assert lower == upper == pytest.approx(3.0)
+
+    def test_bounds_scale_linearly_with_delta(self):
+        l1, u1 = l1_bounds(1.0, 8, 0.7)
+        l2, u2 = l1_bounds(2.5, 8, 0.7)
+        assert l2 == pytest.approx(2.5 * l1)
+        assert u2 == pytest.approx(2.5 * u1)
+
+    def test_generalised_bounds_match_l1_special_case(self):
+        assert norm_equivalence_bounds(1.0, 16, 0.5, 1.0) == l1_bounds(1.0, 16, 0.5)
+
+    def test_generalised_bounds_l2_base(self):
+        lower, upper = norm_equivalence_bounds(1.0, 16, 0.5, 2.0)
+        # p < s: [delta * d^(1/s - 1/p), delta] = [16^(0.5-2), 1]
+        assert lower == pytest.approx(16.0 ** (-1.5))
+        assert upper == pytest.approx(1.0)
+
+    def test_bounds_are_tight_empirically(self, rng):
+        # Every actual pair respects the interval.
+        d, p = 12, 0.6
+        for _ in range(50):
+            x = rng.normal(size=d)
+            y = rng.normal(size=d)
+            delta = float(lp_distance(x, y, p))
+            lower, upper = l1_bounds(delta, d, p)
+            l1 = float(lp_distance(x, y, 1.0))
+            assert lower - 1e-9 <= l1 <= upper + 1e-9
+
+    def test_bound_achievers(self):
+        # The upper bound (p<1) is achieved on a coordinate axis, the
+        # lower bound by an equal-coordinate vector.
+        d, p = 9, 0.5
+        axis = np.zeros(d)
+        axis[0] = 1.0
+        delta = float(lp_norm(axis, p))
+        lower, upper = l1_bounds(delta, d, p)
+        assert float(lp_norm(axis, 1.0)) == pytest.approx(upper)
+        equal = np.full(d, 1.0)
+        delta = float(lp_norm(equal, p))
+        lower, upper = l1_bounds(delta, d, p)
+        assert float(lp_norm(equal, 1.0)) == pytest.approx(lower)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            l1_bounds(-1.0, 4, 0.5)
+        with pytest.raises(InvalidParameterError):
+            l1_bounds(1.0, 0, 0.5)
+
+
+class TestBall:
+    def test_contains(self):
+        ball = Ball(center=np.zeros(2), radius=2.0, p=1.0)
+        points = np.array([[1.0, 0.5], [3.0, 0.0], [1.0, 1.0]])
+        np.testing.assert_array_equal(
+            ball.contains(points), [True, False, True]
+        )
+
+    def test_boundary_is_inclusive(self):
+        ball = Ball(center=np.zeros(2), radius=1.0, p=2.0)
+        assert ball.contains(np.array([[1.0, 0.0]]))[0]
+
+    def test_fractional_ball_is_star_shaped(self):
+        # The l0.5 unit ball excludes the (0.6, 0.6) point the l1 ball
+        # of the same radius would include.
+        ball_half = Ball(center=np.zeros(2), radius=1.0, p=0.5)
+        ball_one = Ball(center=np.zeros(2), radius=1.0, p=1.0)
+        point = np.array([[0.4, 0.4]])
+        assert ball_one.contains(point)[0]
+        assert not ball_half.contains(point)[0]
+
+    def test_l1_bounds_delegation(self):
+        ball = Ball(center=np.zeros(4), radius=2.0, p=0.5)
+        assert ball.l1_bounds() == l1_bounds(2.0, 4, 0.5)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Ball(center=np.zeros(2), radius=-1.0, p=1.0)
+
+    def test_dimensionality(self):
+        assert Ball(center=np.zeros(7), radius=1.0, p=1.0).dimensionality == 7

@@ -1,0 +1,145 @@
+"""Unit tests for repro.core.montecarlo (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.montecarlo import (
+    TABLE_CACHE,
+    BallIntersectionTable,
+    admissible_radius_range,
+    estimate_ball_intersection,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestAdmissibleRange:
+    def test_fractional_p(self):
+        lower, upper = admissible_radius_range(4, 0.5, 2.0)
+        # delta_lower = 4^(1-2) = 0.25; min(1, 2*0.25) = 0.5.
+        assert lower == pytest.approx(0.25)
+        assert upper == pytest.approx(0.5)
+
+    def test_large_c_caps_at_delta_upper(self):
+        lower, upper = admissible_radius_range(4, 0.5, 100.0)
+        assert upper == pytest.approx(1.0)
+
+    def test_p_above_one(self):
+        lower, upper = admissible_radius_range(16, 2.0, 2.0)
+        # [1, min(16^(1-1/2), 2)] = [1, 2].
+        assert lower == pytest.approx(1.0)
+        assert upper == pytest.approx(2.0)
+
+    def test_degenerate_p_equals_base(self):
+        lower, upper = admissible_radius_range(64, 1.0, 3.0)
+        assert lower == upper == pytest.approx(1.0)
+
+    def test_invalid_c(self):
+        with pytest.raises(InvalidParameterError):
+            admissible_radius_range(4, 0.5, 1.0)
+
+
+class TestEstimate:
+    def test_table_fields(self):
+        table = estimate_ball_intersection(
+            8, 0.5, 2.0, n_samples=5000, n_buckets=20, seed=1
+        )
+        assert isinstance(table, BallIntersectionTable)
+        assert table.radii.shape == (20,)
+        assert table.probabilities.shape == (20,)
+        assert table.d == 8
+        assert table.n_samples == 5000
+
+    def test_probabilities_monotone_nondecreasing(self):
+        table = estimate_ball_intersection(
+            16, 0.6, 3.0, n_samples=20_000, n_buckets=50, seed=2
+        )
+        assert (np.diff(table.probabilities) >= 0).all()
+
+    def test_probabilities_in_unit_interval(self):
+        table = estimate_ball_intersection(
+            16, 0.6, 3.0, n_samples=20_000, n_buckets=50, seed=2
+        )
+        assert (table.probabilities >= 0).all()
+        assert (table.probabilities <= 1).all()
+
+    def test_full_range_reaches_one(self):
+        # With c large enough that the grid reaches delta_upper, the last
+        # bucket contains the whole conditioning ball.
+        table = estimate_ball_intersection(
+            8, 0.5, 1e6, n_samples=20_000, n_buckets=50, seed=3
+        )
+        assert table.probabilities[-1] == pytest.approx(1.0)
+
+    def test_degenerate_same_space(self):
+        table = estimate_ball_intersection(
+            32, 1.0, 3.0, n_samples=5000, n_buckets=10, seed=1
+        )
+        np.testing.assert_allclose(table.probabilities, 1.0)
+        assert table.n_samples == 0  # no sampling needed
+
+    def test_deterministic_given_seed(self):
+        a = estimate_ball_intersection(8, 0.5, 2.0, n_samples=5000, n_buckets=20, seed=9)
+        b = estimate_ball_intersection(8, 0.5, 2.0, n_samples=5000, n_buckets=20, seed=9)
+        np.testing.assert_array_equal(a.probabilities, b.probabilities)
+
+    def test_matches_direct_monte_carlo(self):
+        # Cross-check one radius against an independent estimate.
+        from repro.metrics.lp import lp_norm
+        from repro.metrics.sampling import sample_lp_ball
+
+        d, p, c = 8, 0.5, 2.0
+        table = estimate_ball_intersection(
+            d, p, c, n_samples=40_000, n_buckets=100, seed=4
+        )
+        r = float(table.radii[60])
+        points = sample_lp_ball(40_000, d, p, seed=999)
+        direct = (lp_norm(points, 1.0, axis=1) <= r).mean()
+        assert table.prob_at(r) == pytest.approx(direct, abs=0.02)
+
+    def test_l2_base_space(self):
+        table = estimate_ball_intersection(
+            8, 0.5, 2.0, base_s=2.0, n_samples=10_000, n_buckets=20, seed=5
+        )
+        assert table.base_s == 2.0
+        assert (np.diff(table.probabilities) >= 0).all()
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            estimate_ball_intersection(8, 0.5, 2.0, n_samples=0)
+        with pytest.raises(InvalidParameterError):
+            estimate_ball_intersection(8, 0.5, 2.0, n_buckets=1)
+
+
+class TestProbAt:
+    def test_interpolation_clamps(self):
+        table = estimate_ball_intersection(
+            8, 0.5, 2.0, n_samples=5000, n_buckets=20, seed=6
+        )
+        below = float(table.prob_at(table.radii[0] * 0.5))
+        above = float(table.prob_at(table.radii[-1] * 2.0))
+        assert below == pytest.approx(float(table.probabilities[0]))
+        assert above == pytest.approx(float(table.probabilities[-1]))
+
+    def test_interpolation_between_grid_points(self):
+        table = estimate_ball_intersection(
+            8, 0.5, 2.0, n_samples=5000, n_buckets=20, seed=6
+        )
+        mid = (table.radii[3] + table.radii[4]) / 2.0
+        val = float(table.prob_at(mid))
+        assert (
+            min(table.probabilities[3], table.probabilities[4])
+            <= val
+            <= max(table.probabilities[3], table.probabilities[4])
+        )
+
+
+class TestCache:
+    def test_cache_returns_same_object(self):
+        a = TABLE_CACHE.get(8, 0.5, 2.0, 1.0, 5000, 20, 42)
+        b = TABLE_CACHE.get(8, 0.5, 2.0, 1.0, 5000, 20, 42)
+        assert a is b
+
+    def test_cache_distinguishes_keys(self):
+        a = TABLE_CACHE.get(8, 0.5, 2.0, 1.0, 5000, 20, 42)
+        b = TABLE_CACHE.get(8, 0.6, 2.0, 1.0, 5000, 20, 42)
+        assert a is not b

@@ -1,0 +1,92 @@
+"""Unit tests for repro.storage.pages: block-layout arithmetic."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.storage.pages import DEFAULT_ENTRY_SIZE, DEFAULT_PAGE_SIZE, PageLayout
+
+
+class TestDefaults:
+    def test_paper_page_size(self):
+        assert DEFAULT_PAGE_SIZE == 4096
+
+    def test_entry_size(self):
+        assert DEFAULT_ENTRY_SIZE == 8
+
+    def test_entries_per_page(self):
+        assert PageLayout().entries_per_page == 512
+
+
+class TestValidation:
+    def test_rejects_zero_page(self):
+        with pytest.raises(InvalidParameterError):
+            PageLayout(page_size=0)
+
+    def test_rejects_entry_larger_than_page(self):
+        with pytest.raises(InvalidParameterError):
+            PageLayout(page_size=16, entry_size=32)
+
+    def test_rejects_negative_entry(self):
+        with pytest.raises(InvalidParameterError):
+            PageLayout(entry_size=-1)
+
+
+class TestPageArithmetic:
+    def test_page_of_entry(self):
+        layout = PageLayout(page_size=64, entry_size=8)  # 8 entries/page
+        assert layout.page_of_entry(0) == 0
+        assert layout.page_of_entry(7) == 0
+        assert layout.page_of_entry(8) == 1
+        assert layout.page_of_entry(23) == 2
+
+    def test_page_of_negative_entry_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PageLayout().page_of_entry(-1)
+
+    def test_pages_for_range_empty(self):
+        assert PageLayout().pages_for_range(100, 100) == 0
+
+    def test_pages_for_range_within_one_page(self):
+        layout = PageLayout(page_size=64, entry_size=8)
+        assert layout.pages_for_range(0, 8) == 1
+        assert layout.pages_for_range(3, 6) == 1
+
+    def test_pages_for_range_spanning(self):
+        layout = PageLayout(page_size=64, entry_size=8)
+        assert layout.pages_for_range(6, 10) == 2
+        assert layout.pages_for_range(0, 17) == 3
+
+    def test_pages_for_range_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            PageLayout().pages_for_range(5, 4)
+        with pytest.raises(InvalidParameterError):
+            PageLayout().pages_for_range(-1, 4)
+
+    def test_page_span(self):
+        layout = PageLayout(page_size=64, entry_size=8)
+        assert layout.page_span(6, 10) == (0, 2)
+        assert layout.page_span(8, 16) == (1, 2)
+        assert layout.page_span(5, 5) == (0, 0)
+
+    def test_span_count_consistency(self):
+        layout = PageLayout(page_size=64, entry_size=8)
+        for start, stop in [(0, 1), (0, 8), (3, 29), (64, 65), (7, 9)]:
+            first, last_plus = layout.page_span(start, stop)
+            assert last_plus - first == layout.pages_for_range(start, stop)
+
+    def test_pages_for_bytes(self):
+        layout = PageLayout(page_size=4096)
+        assert layout.pages_for_bytes(0) == 0
+        assert layout.pages_for_bytes(1) == 1
+        assert layout.pages_for_bytes(4096) == 1
+        assert layout.pages_for_bytes(4097) == 2
+
+    def test_pages_for_bytes_negative(self):
+        with pytest.raises(InvalidParameterError):
+            PageLayout().pages_for_bytes(-1)
+
+    def test_size_bytes_page_aligned(self):
+        layout = PageLayout(page_size=4096, entry_size=8)
+        assert layout.size_bytes(512) == 4096
+        assert layout.size_bytes(513) == 8192
+        assert layout.size_bytes(0) == 0

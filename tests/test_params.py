@@ -1,0 +1,202 @@
+"""Unit tests for repro.core.params (Section 3.3 parameter computation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import GapCurve, ParameterEngine
+from repro.errors import InvalidParameterError, UnsupportedMetricError
+from repro.metrics.collision import collision_probability_cauchy
+
+
+@pytest.fixture(scope="module")
+def engine_d128_c2() -> ParameterEngine:
+    """The Figure 4/5/6 setting: d=128, c=2, eps=0.01, beta=1e-4."""
+    return ParameterEngine(
+        128, c=2.0, epsilon=0.01, beta=1e-4, mc_samples=40_000, mc_buckets=120, seed=1
+    )
+
+
+@pytest.fixture(scope="module")
+def engine_small() -> ParameterEngine:
+    return ParameterEngine(
+        16, c=3.0, epsilon=0.05, beta=0.05, mc_samples=20_000, mc_buckets=60, seed=2
+    )
+
+
+class TestConstruction:
+    def test_base_sensitivity(self):
+        eng = ParameterEngine(8, c=3.0, r0=1.0)
+        assert eng.p1 == pytest.approx(collision_probability_cauchy(1.0, 1.0))
+        assert eng.p2 == pytest.approx(collision_probability_cauchy(3.0, 1.0))
+        assert eng.p1 > eng.p2
+
+    def test_z_formula(self):
+        eng = ParameterEngine(8, epsilon=0.01, beta=1e-4)
+        assert eng.z == pytest.approx(
+            np.sqrt(np.log(2.0 / 1e-4) / np.log(1.0 / 0.01))
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"c": 1.0},
+            {"epsilon": 0.0},
+            {"beta": 1.5},
+            {"r0": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            ParameterEngine(8, **kwargs)
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(InvalidParameterError):
+            ParameterEngine(0)
+
+
+class TestCurve:
+    def test_curve_shape(self, engine_small):
+        curve = engine_small.curve(0.5)
+        assert isinstance(curve, GapCurve)
+        assert curve.radii.shape == curve.p1_prime.shape == curve.p2_prime.shape
+
+    def test_ratio_starts_at_one(self, engine_small):
+        curve = engine_small.curve(0.5)
+        assert curve.ratio[0] == pytest.approx(1.0)
+
+    def test_probabilities_in_unit_interval(self, engine_small):
+        curve = engine_small.curve(0.5)
+        for arr in (curve.p1_prime, curve.p2_prime):
+            assert (arr >= 0).all() and (arr <= 1).all()
+
+    def test_p2_prime_monotone_in_radius(self, engine_small):
+        # p2' = p(c*delta_lower / r, r0) grows as the window widens.
+        curve = engine_small.curve(0.5)
+        assert (np.diff(curve.p2_prime) >= -1e-12).all()
+
+    def test_p1_prime_bounded_by_base_p1(self, engine_small):
+        curve = engine_small.curve(0.5)
+        assert (curve.p1_prime <= engine_small.p1 + 1e-12).all()
+
+    def test_p2_prime_at_least_base_p2(self, engine_small):
+        curve = engine_small.curve(0.5)
+        assert (curve.p2_prime >= engine_small.p2 - 1e-12).all()
+
+    def test_degenerate_p1_equals_base(self, engine_small):
+        curve = engine_small.curve(1.0)
+        np.testing.assert_allclose(curve.p1_prime, engine_small.p1, rtol=1e-9)
+        np.testing.assert_allclose(curve.p2_prime, engine_small.p2, rtol=1e-9)
+
+    def test_rho_infinite_where_invalid(self, engine_small):
+        curve = engine_small.curve(0.5)
+        rho = curve.rho
+        assert rho.shape == curve.radii.shape
+        assert (rho[np.isfinite(rho)] > 0).all()
+
+
+class TestMetricParams:
+    def test_degenerate_metric_matches_c2lsh_lemma1(self, engine_small):
+        params = engine_small.metric_params(1.0)
+        z = engine_small.z
+        gap = engine_small.p1 - engine_small.p2
+        eta_expected = int(
+            np.ceil(np.log(1.0 / 0.05) / (2.0 * gap**2) * (1.0 + z) ** 2)
+        )
+        assert params.eta == eta_expected
+        assert params.theta == pytest.approx(
+            (z * engine_small.p1 + engine_small.p2) / (1.0 + z) * params.eta
+        )
+        assert params.r_hat == pytest.approx(1.0)
+
+    def test_theta_below_eta(self, engine_small):
+        for p in (0.6, 0.8, 1.0):
+            params = engine_small.metric_params(p)
+            assert 0 < params.theta < params.eta
+
+    def test_gap_positive_for_supported(self, engine_small):
+        assert engine_small.metric_params(0.7).gap > 0
+
+    def test_caching_returns_same_object(self, engine_small):
+        assert engine_small.metric_params(0.8) is engine_small.metric_params(0.8)
+
+    def test_rho_objective_differs(self, engine_d128_c2):
+        gap_params = engine_d128_c2.metric_params(0.5, objective="gap")
+        rho_params = engine_d128_c2.metric_params(0.5, objective="rho")
+        # Both valid, both locality-sensitive; radii generally differ.
+        assert gap_params.gap > 0
+        assert rho_params.gap > 0
+
+    def test_invalid_objective(self, engine_small):
+        with pytest.raises(InvalidParameterError):
+            engine_small.metric_params(0.7, objective="banana")
+
+
+class TestPaperNumbers:
+    """Quantitative checks against the paper's reported curves."""
+
+    def test_eta_figure6_scale(self, engine_d128_c2):
+        # Figure 6 (d=128, c=2): eta_0.5 lands in the 10k-14k range and
+        # eta_1.0 well under 1000.
+        eta_half = engine_d128_c2.metric_params(0.5).eta
+        eta_one = engine_d128_c2.metric_params(1.0).eta
+        assert 8_000 < eta_half < 16_000
+        assert eta_one < 1_000
+
+    def test_eta_monotone_decreasing_in_p_below_one(self, engine_d128_c2):
+        etas = [
+            engine_d128_c2.metric_params(p).eta for p in (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+        ]
+        assert all(a >= b for a, b in zip(etas, etas[1:]))
+
+    def test_unsupported_below_044(self, engine_d128_c2):
+        # Figure 5: for p < ~0.44 the l1 hash is no longer sensitive.
+        assert not engine_d128_c2.is_supported(0.35)
+
+    def test_supported_slightly_above_one(self, engine_d128_c2):
+        # Figure 5: sensitivity persists up to p ~ 1.18.
+        assert engine_d128_c2.is_supported(1.1)
+
+    def test_unsupported_far_above_one(self, engine_d128_c2):
+        assert not engine_d128_c2.is_supported(1.4)
+
+    def test_optimal_ratio_position_figure4(self, engine_d128_c2):
+        # Figure 4: the gap-maximising radius sits around ratio 1.5-1.9.
+        params = engine_d128_c2.metric_params(0.5)
+        lower = 128.0 ** (1.0 - 1.0 / 0.5)
+        ratio = params.r_hat / lower
+        assert 1.3 < ratio < 2.0
+
+    def test_table4_eta_with_c3(self):
+        # Table 4 (c=3): eta_0.5 for d=128 is ~1358; allow MC tolerance.
+        eng = ParameterEngine(
+            128, c=3.0, epsilon=0.01, beta=1e-4, mc_samples=40_000, mc_buckets=120, seed=1
+        )
+        eta = eng.metric_params(0.5).eta
+        assert 1_000 < eta < 1_800
+
+
+class TestUnsupportedMetric:
+    def test_raises_with_informative_message(self, engine_d128_c2):
+        with pytest.raises(UnsupportedMetricError) as exc_info:
+            engine_d128_c2.metric_params(0.3)
+        assert "not locality-sensitive" in str(exc_info.value)
+
+    def test_is_supported_false_instead_of_raise(self, engine_d128_c2):
+        assert engine_d128_c2.is_supported(0.3) is False
+
+
+class TestThetaForEta:
+    def test_scales_linearly(self, engine_small):
+        params = engine_small.metric_params(0.8)
+        half = engine_small.theta_for_eta(0.8, params.eta // 2)
+        full = engine_small.theta_for_eta(0.8, params.eta)
+        assert full == pytest.approx(params.theta)
+        assert half == pytest.approx(params.theta * (params.eta // 2) / params.eta)
+
+
+class TestSupportedUpperP:
+    def test_budget_extends_range(self, engine_small):
+        eta_05 = engine_small.metric_params(0.5).eta
+        upper = engine_small.supported_upper_p(eta_05)
+        # Materialising eta_0.5 functions serves at least up to p = 1.
+        assert upper >= 1.0

@@ -1,0 +1,74 @@
+"""Tests for index save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro import LazyLSH
+from repro.errors import IndexNotBuiltError, InvalidParameterError
+from repro.persistence import IndexFormatError, load_index, save_index
+
+
+class TestRoundTrip:
+    def test_identical_query_results(self, built_index, small_split, tmp_path):
+        path = save_index(built_index, tmp_path / "index.npz")
+        restored = load_index(path)
+        for p in (0.5, 0.8, 1.0):
+            original = built_index.knn(small_split.queries[0], 10, p)
+            loaded = restored.knn(small_split.queries[0], 10, p)
+            np.testing.assert_array_equal(original.ids, loaded.ids)
+            np.testing.assert_allclose(original.distances, loaded.distances)
+            assert original.io.total == loaded.io.total
+
+    def test_metadata_preserved(self, built_index, small_split, tmp_path):
+        path = save_index(built_index, tmp_path / "index.npz")
+        restored = load_index(path)
+        assert restored.eta == built_index.eta
+        assert restored.beta == built_index.beta
+        assert restored.config == built_index.config
+        assert restored.num_points == built_index.num_points
+        assert restored.index_size_mb() == built_index.index_size_mb()
+
+    def test_suffix_appended(self, built_index, tmp_path):
+        path = save_index(built_index, tmp_path / "index")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_range_query_round_trip(self, built_index, small_split, tmp_path):
+        path = save_index(built_index, tmp_path / "index.npz")
+        restored = load_index(path)
+        query = small_split.queries[1]
+        a = built_index.range_query(query, 50.0, 1.0)
+        b = restored.range_query(query, 50.0, 1.0)
+        assert a.found == b.found
+        assert a.point_id == b.point_id
+
+
+class TestErrors:
+    def test_unbuilt_index_rejected(self, small_config, tmp_path):
+        with pytest.raises(IndexNotBuiltError):
+            save_index(LazyLSH(small_config), tmp_path / "x.npz")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            load_index(tmp_path / "nope.npz")
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(IndexFormatError):
+            load_index(path)
+
+    def test_tampered_header_rejected(self, built_index, tmp_path):
+        import json
+
+        path = save_index(built_index, tmp_path / "index.npz")
+        with np.load(path) as archive:
+            fields = {name: archive[name] for name in archive.files}
+        header = json.loads(fields["header"].tobytes().decode())
+        header["format_version"] = 999
+        fields["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        np.savez(path, **fields)
+        with pytest.raises(IndexFormatError):
+            load_index(path)

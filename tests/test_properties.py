@@ -1,0 +1,253 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These cover the mathematical backbone the paper's guarantees stand on:
+norm identities, the Eq. 11 bounds, Lemma 2/3 scale invariance, window
+arithmetic and page accounting.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.hashing import original_window, query_centric_window
+from repro.eval.ratio import overall_ratio
+from repro.metrics.collision import collision_probability
+from repro.metrics.lp import l1_bounds, lp_distance, lp_norm, norm_equivalence_bounds
+from repro.storage.pages import PageLayout
+
+# Strategies ---------------------------------------------------------------
+
+# Coordinates are either exactly zero or of sane magnitude: denormal
+# inputs (1e-190 and the like) underflow any fractional power round-trip
+# and are outside the library's supported domain.
+_coords = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=1e-3, max_value=100.0),
+    st.floats(min_value=-100.0, max_value=-1e-3),
+)
+
+finite_vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=12),
+    elements=_coords,
+)
+
+p_values = st.sampled_from([0.4, 0.5, 0.7, 1.0, 1.3, 2.0])
+
+
+def paired_vectors():
+    return st.integers(min_value=1, max_value=12).flatmap(
+        lambda d: st.tuples(
+            hnp.arrays(
+                np.float64,
+                d,
+                elements=st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+            ),
+            hnp.arrays(
+                np.float64,
+                d,
+                elements=st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+            ),
+        )
+    )
+
+
+# lp geometry ---------------------------------------------------------------
+
+
+class TestLpProperties:
+    @given(v=finite_vectors, p=p_values)
+    def test_norm_non_negative(self, v, p):
+        assert lp_norm(v, p) >= 0.0
+
+    @given(v=finite_vectors, p=p_values)
+    def test_norm_zero_iff_zero_vector(self, v, p):
+        norm = float(lp_norm(v, p))
+        if np.all(v == 0.0):
+            assert norm == 0.0
+        else:
+            assert norm > 0.0
+
+    @given(pair=paired_vectors(), p=p_values)
+    def test_distance_symmetry(self, pair, p):
+        x, y = pair
+        assert float(lp_distance(x, y, p)) == pytest.approx(
+            float(lp_distance(y, x, p)), rel=1e-9, abs=1e-12
+        )
+
+    @given(
+        pair=paired_vectors(),
+        p=p_values,
+        scale=st.floats(min_value=0.01, max_value=100.0),
+    )
+    def test_homogeneity_lemma3(self, pair, p, scale):
+        # lp(c*x, c*y) == c * lp(x, y): the identity behind Lemma 3.
+        x, y = pair
+        base = float(lp_distance(x, y, p))
+        scaled = float(lp_distance(scale * x, scale * y, p))
+        assert scaled == pytest.approx(scale * base, rel=1e-7, abs=1e-9)
+
+    @given(pair=paired_vectors())
+    def test_triangle_inequality_holds_for_p_geq_1(self, pair):
+        x, y = pair
+        origin = np.zeros_like(x)
+        for p in (1.0, 1.5, 2.0):
+            direct = float(lp_distance(x, y, p))
+            via = float(lp_distance(x, origin, p)) + float(lp_distance(origin, y, p))
+            assert direct <= via + 1e-7 * max(1.0, via)
+
+    @given(pair=paired_vectors(), p=st.sampled_from([0.4, 0.5, 0.7, 0.9]))
+    def test_fractional_distance_at_least_l1(self, pair, p):
+        # For 0 < p < 1 the lp "distance" dominates l1.
+        x, y = pair
+        assert float(lp_distance(x, y, p)) >= float(lp_distance(x, y, 1.0)) - 1e-9
+
+
+class TestBoundsProperties:
+    @given(pair=paired_vectors(), p=p_values)
+    def test_eq11_bounds_always_contain_l1(self, pair, p):
+        x, y = pair
+        d = x.shape[0]
+        delta = float(lp_distance(x, y, p))
+        lower, upper = l1_bounds(delta, d, p)
+        l1 = float(lp_distance(x, y, 1.0))
+        tol = 1e-9 * max(1.0, upper)
+        assert lower - tol <= l1 <= upper + tol
+
+    @given(pair=paired_vectors(), p=p_values, s=st.sampled_from([1.0, 2.0]))
+    def test_generalised_bounds_contain_ls(self, pair, p, s):
+        x, y = pair
+        d = x.shape[0]
+        delta = float(lp_distance(x, y, p))
+        lower, upper = norm_equivalence_bounds(delta, d, p, s)
+        ls = float(lp_distance(x, y, s))
+        tol = 1e-9 * max(1.0, upper)
+        assert lower - tol <= ls <= upper + tol
+
+    @given(
+        d=st.integers(min_value=1, max_value=2000),
+        p=p_values,
+        delta=st.floats(min_value=0.0, max_value=1e6),
+    )
+    def test_bounds_ordered(self, d, p, delta):
+        lower, upper = l1_bounds(delta, d, p)
+        assert 0.0 <= lower <= upper
+
+
+class TestCollisionProperties:
+    @given(
+        s=st.floats(min_value=0.001, max_value=100.0),
+        r0=st.floats(min_value=0.001, max_value=100.0),
+        scale=st.floats(min_value=0.01, max_value=100.0),
+        p=st.sampled_from([1.0, 2.0]),
+    )
+    def test_lemma2_scale_invariance(self, s, r0, scale, p):
+        assert collision_probability(s, r0, p) == pytest.approx(
+            collision_probability(s * scale, r0 * scale, p), rel=1e-6, abs=1e-9
+        )
+
+    @given(
+        s=st.floats(min_value=0.0, max_value=1000.0),
+        r0=st.floats(min_value=0.001, max_value=1000.0),
+        p=st.sampled_from([1.0, 2.0]),
+    )
+    def test_probability_in_unit_interval(self, s, r0, p):
+        val = collision_probability(s, r0, p)
+        assert -1e-12 <= val <= 1.0 + 1e-12
+
+
+class TestWindowProperties:
+    @given(
+        hq=st.integers(min_value=-(10**6), max_value=10**6),
+        level=st.floats(min_value=0.0, max_value=1e6),
+    )
+    def test_query_centric_contains_query_symmetrically(self, hq, level):
+        lo, hi = query_centric_window(hq, level)
+        assert lo <= hq <= hi
+        assert hq - lo == hi - hq
+
+    @given(
+        hq=st.integers(min_value=-(10**6), max_value=10**6),
+        level=st.floats(min_value=1.0, max_value=1e6),
+    )
+    def test_original_contains_query(self, hq, level):
+        lo, hi = original_window(hq, level)
+        assert lo <= hq <= hi
+        assert hi - lo + 1 == max(1, int(math.floor(level)))
+
+    @given(
+        hq=st.integers(min_value=-(10**4), max_value=10**4),
+        level=st.floats(min_value=1.0, max_value=1e4),
+        factor=st.integers(min_value=2, max_value=5),
+    )
+    def test_query_centric_windows_nest(self, hq, level, factor):
+        inner = query_centric_window(hq, level)
+        outer = query_centric_window(hq, level * factor)
+        assert outer[0] <= inner[0] and inner[1] <= outer[1]
+
+
+class TestPageProperties:
+    @given(
+        start=st.integers(min_value=0, max_value=10**6),
+        length=st.integers(min_value=0, max_value=10**5),
+        entry_size=st.sampled_from([4, 8, 16, 64]),
+    )
+    def test_page_count_bounds(self, start, length, entry_size):
+        layout = PageLayout(page_size=4096, entry_size=entry_size)
+        pages = layout.pages_for_range(start, start + length)
+        per_page = layout.entries_per_page
+        if length == 0:
+            assert pages == 0
+        else:
+            minimum = -(-length // per_page)
+            assert minimum <= pages <= minimum + 1
+
+    @given(
+        start=st.integers(min_value=0, max_value=10**5),
+        split=st.integers(min_value=0, max_value=10**4),
+        length=st.integers(min_value=0, max_value=10**4),
+    )
+    def test_splitting_a_range_never_cheaper(self, start, split, length):
+        # Reading [a, b) as two pieces costs at least the contiguous read.
+        layout = PageLayout()
+        mid = start + min(split, length)
+        stop = start + length
+        whole = layout.pages_for_range(start, stop)
+        pieces = layout.pages_for_range(start, mid) + layout.pages_for_range(mid, stop)
+        assert pieces >= whole
+
+
+class TestRatioProperties:
+    @given(
+        true=hnp.arrays(
+            np.float64,
+            st.integers(min_value=1, max_value=20),
+            elements=st.floats(min_value=0.1, max_value=1e3),
+        ),
+        slack=hnp.arrays(
+            np.float64,
+            st.integers(min_value=1, max_value=20),
+            elements=st.floats(min_value=0.0, max_value=10.0),
+        ),
+    )
+    @settings(max_examples=60)
+    def test_ratio_at_least_one_when_reported_dominates(self, true, slack):
+        n = min(true.shape[0], slack.shape[0])
+        true = np.sort(true[:n])
+        reported = np.sort(true + slack[:n])
+        assert overall_ratio(reported, true) >= 1.0 - 1e-12
+
+    @given(
+        true=hnp.arrays(
+            np.float64,
+            st.integers(min_value=1, max_value=20),
+            elements=st.floats(min_value=0.1, max_value=1e3),
+        )
+    )
+    def test_identity_ratio(self, true):
+        true = np.sort(true)
+        assert overall_ratio(true, true) == pytest.approx(1.0)

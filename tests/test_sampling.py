@@ -1,0 +1,101 @@
+"""Unit tests for repro.metrics.sampling: uniform lp-ball sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.metrics.lp import lp_norm
+from repro.metrics.sampling import sample_lp_ball, sample_lp_sphere
+
+
+class TestSampleLpBall:
+    @pytest.mark.parametrize("p", [0.5, 1.0, 2.0])
+    def test_samples_inside_ball(self, p):
+        points = sample_lp_ball(5_000, 8, p, seed=1)
+        norms = lp_norm(points, p, axis=1)
+        assert (norms <= 1.0 + 1e-9).all()
+
+    def test_shape_and_determinism(self):
+        a = sample_lp_ball(100, 5, 0.7, seed=3)
+        b = sample_lp_ball(100, 5, 0.7, seed=3)
+        assert a.shape == (100, 5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_samples(self):
+        assert sample_lp_ball(0, 4, 1.0, seed=1).shape == (0, 4)
+
+    def test_radius_scaling(self):
+        points = sample_lp_ball(2_000, 4, 1.0, radius=5.0, seed=2)
+        norms = lp_norm(points, 1.0, axis=1)
+        assert (norms <= 5.0 + 1e-9).all()
+        assert norms.max() > 4.0  # actually fills the larger ball
+
+    def test_center_offset(self):
+        centre = np.array([10.0, -3.0, 0.5])
+        points = sample_lp_ball(2_000, 3, 2.0, center=centre, seed=4)
+        norms = lp_norm(points - centre, 2.0, axis=1)
+        assert (norms <= 1.0 + 1e-9).all()
+        assert np.linalg.norm(points.mean(axis=0) - centre) < 0.1
+
+    def test_center_shape_validation(self):
+        with pytest.raises(InvalidParameterError):
+            sample_lp_ball(10, 3, 1.0, center=np.zeros(4), seed=1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            sample_lp_ball(-1, 3, 1.0)
+
+    def test_uniformity_radial_cdf(self):
+        # Uniform in the ball => Pr(||x||_p <= t) = t^d.
+        d, p, n = 3, 1.0, 60_000
+        norms = lp_norm(sample_lp_ball(n, d, p, seed=5), p, axis=1)
+        for t in (0.3, 0.5, 0.8):
+            assert (norms <= t).mean() == pytest.approx(t**d, abs=0.01)
+
+    def test_sign_symmetry(self):
+        points = sample_lp_ball(50_000, 2, 0.5, seed=6)
+        # Each orthant should hold ~25% of the mass.
+        frac = ((points[:, 0] > 0) & (points[:, 1] > 0)).mean()
+        assert frac == pytest.approx(0.25, abs=0.01)
+
+    def test_l2_ball_matches_known_volume_ratio(self):
+        # In 2-d, the l2 unit ball contains the square of half-diagonal
+        # sqrt(2)/2... simpler: fraction with |x|+|y| <= 1 equals
+        # area(l1 ball)/area(l2 ball) = 2 / pi.
+        points = sample_lp_ball(80_000, 2, 2.0, seed=7)
+        frac = (np.abs(points).sum(axis=1) <= 1.0).mean()
+        assert frac == pytest.approx(2.0 / np.pi, abs=0.01)
+
+
+class TestSampleLpSphere:
+    @pytest.mark.parametrize("p", [0.5, 1.0, 2.0])
+    def test_samples_on_sphere(self, p):
+        points = sample_lp_sphere(2_000, 6, p, seed=1)
+        norms = lp_norm(points, p, axis=1)
+        np.testing.assert_allclose(norms, 1.0, rtol=1e-9)
+
+    def test_radius(self):
+        points = sample_lp_sphere(500, 4, 1.0, radius=3.0, seed=2)
+        np.testing.assert_allclose(lp_norm(points, 1.0, axis=1), 3.0, rtol=1e-9)
+
+    def test_zero_samples(self):
+        assert sample_lp_sphere(0, 4, 1.0).shape == (0, 4)
+
+
+class TestL1NormConcentration:
+    """The geometric fact LazyLSH exploits: uniform samples of the unit
+    l0.5 ball in high dimension have l1 norms concentrated well above the
+    lower bound d^(1-1/p) (Figure 4's sharp rise around ratio ~1.5)."""
+
+    def test_concentration_location(self):
+        d, p = 64, 0.5
+        points = sample_lp_ball(20_000, d, p, seed=8)
+        l1 = lp_norm(points, 1.0, axis=1)
+        lower = float(d) ** (1.0 - 1.0 / p)
+        ratio = l1 / lower
+        # Median ratio should sit in the window the paper's Figure 4
+        # shows for the p1' jump (~1.4 - 1.7).
+        assert 1.2 < np.median(ratio) < 1.9
+        # And nearly everything is inside the admissible range [1, 2].
+        assert (ratio >= 1.0 - 1e-9).all()
+        assert (ratio <= 2.2).mean() > 0.999

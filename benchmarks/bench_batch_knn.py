@@ -1,0 +1,128 @@
+"""Flat-engine batch kNN throughput versus the looped scalar path.
+
+The acceptance workload of the flat execution engine: a 64-query batch
+over a synthetic n=10k, d=50 dataset at k=10, p=0.5, answered
+
+* by the seed scalar path, one ``index.knn(..., engine="scalar")`` call
+  per query, and
+* by one round-synchronised ``knn_batch`` call on the flat engine.
+
+The script verifies the two plans return bit-identical results and
+identical per-query I/O counts, then writes wall-clock / throughput /
+I/O numbers to ``benchmarks/results/BENCH_batch_knn.json``.
+
+Run ``--quick`` for a seconds-scale smoke version of the same pipeline
+(used by CI; writes ``BENCH_batch_knn.quick.json`` so the checked-in
+full-workload numbers are not clobbered).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+from pathlib import Path
+
+import numpy as np
+
+from repro import LazyLSH, LazyLSHConfig, knn_batch
+from repro.datasets import make_synthetic, sample_queries
+from repro.eval.harness import Timer, time_knn_batch
+
+FULL = {"n": 10_000, "d": 50, "k": 10, "p": 0.5, "n_queries": 64}
+QUICK = {"n": 2_000, "d": 20, "k": 10, "p": 0.5, "n_queries": 16}
+
+MC_SAMPLES = 50_000
+MC_BUCKETS = 150
+SEED = 7
+
+
+def _results_match(scalar, flat) -> tuple[bool, bool]:
+    """(results bit-identical, per-query I/O identical) across the batch."""
+    same_results = all(
+        np.array_equal(a.ids, b.ids)
+        and np.array_equal(a.distances, b.distances)
+        and a.rounds == b.rounds
+        and a.candidates == b.candidates
+        for a, b in zip(scalar, flat)
+    )
+    same_io = all(
+        a.io.sequential == b.io.sequential and a.io.random == b.io.random
+        for a, b in zip(scalar, flat)
+    )
+    return same_results, same_io
+
+
+def run(workload: dict, out_path: Path) -> dict:
+    n, d, k, p = workload["n"], workload["d"], workload["k"], workload["p"]
+    n_queries = workload["n_queries"]
+    data = make_synthetic(n, d, seed=SEED)
+    split = sample_queries(data, n_queries=n_queries, seed=SEED + 1)
+    cfg = LazyLSHConfig(
+        c=3.0, p_min=0.5, seed=SEED, mc_samples=MC_SAMPLES, mc_buckets=MC_BUCKETS
+    )
+    index = LazyLSH(cfg).build(split.data)
+    index.metric_params(p)  # warm the offline parameter tables
+
+    with Timer() as t_scalar:
+        scalar = knn_batch(index, split.queries, k, p, engine="scalar")
+    flat, t_flat = time_knn_batch(index, split.queries, k, p)
+
+    same_results, same_io = _results_match(scalar.results, flat.results)
+    if not same_results:
+        raise AssertionError("flat engine results diverge from the scalar path")
+    if not same_io:
+        raise AssertionError("flat engine per-query I/O diverges from the scalar path")
+
+    speedup = t_scalar.seconds / t_flat
+    report = {
+        "workload": {**workload, "eta": index.eta, "c": cfg.c},
+        "scalar": {
+            "seconds": round(t_scalar.seconds, 4),
+            "queries_per_second": round(n_queries / t_scalar.seconds, 2),
+            "io": {"sequential": scalar.io.sequential, "random": scalar.io.random},
+        },
+        "flat": {
+            "seconds": round(t_flat, 4),
+            "queries_per_second": round(n_queries / t_flat, 2),
+            "io": {"sequential": flat.io.sequential, "random": flat.io.random},
+        },
+        "speedup": round(speedup, 2),
+        "bit_identical_results": same_results,
+        "per_query_io_identical": same_io,
+        "python": platform.python_version(),
+    }
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="seconds-scale smoke workload (CI)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="result JSON path (defaults to benchmarks/results/)",
+    )
+    args = parser.parse_args()
+    workload = QUICK if args.quick else FULL
+    default_name = (
+        "BENCH_batch_knn.quick.json" if args.quick else "BENCH_batch_knn.json"
+    )
+    out_path = args.out or Path(__file__).parent / "results" / default_name
+    report = run(workload, out_path)
+    print(json.dumps(report, indent=2))
+    if not args.quick and report["speedup"] < 5.0:
+        raise SystemExit(
+            f"flat-engine speedup {report['speedup']}x below the 5x target"
+        )
+
+
+if __name__ == "__main__":
+    main()

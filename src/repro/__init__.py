@@ -20,6 +20,7 @@ Quickstart
     print(result.io)                          # simulated sequential/random I/O
 """
 
+from repro.core.batch import BatchKnnResult, knn_batch
 from repro.core.config import LazyLSHConfig
 from repro.core.lazylsh import KnnResult, LazyLSH, RangeResult
 from repro.core.multiquery import MultiQueryEngine, MultiQueryResult
@@ -38,6 +39,7 @@ from repro.storage.io_stats import IOStats
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchKnnResult",
     "DatasetError",
     "DimensionalityMismatchError",
     "IOStats",
@@ -53,6 +55,7 @@ __all__ = [
     "RangeResult",
     "ReproError",
     "UnsupportedMetricError",
+    "knn_batch",
     "lp_distance",
     "lp_distance_matrix",
     "lp_norm",

@@ -31,7 +31,7 @@ from repro.errors import (
 from repro.metrics.lp import lp_distance, validate_p
 from repro.storage.inverted_index import InvertedListStore
 from repro.storage.io_stats import IOStats
-from repro.storage.pages import PageLayout
+from repro.storage.pages import PageLayout, PageTracker
 
 _MAX_ROUNDS = 128
 
@@ -161,8 +161,10 @@ class C2LSH:
         if stats is None:
             stats = IOStats()
         # Per-query page cache, matching LazyLSH's accounting: a page
-        # re-touched at a later rehashing radius is charged once.
-        seen_pages: set[tuple[int, int]] = set()
+        # re-touched at a later rehashing radius is charged once.  Tracked
+        # as page intervals, not a set — the window scans touch contiguous
+        # runs, so dedup is interval arithmetic with identical counts.
+        seen_pages = PageTracker()
         cap = k + self._beta * n
         counts = np.zeros(n, dtype=np.int32)
         is_candidate = np.zeros(n, dtype=bool)

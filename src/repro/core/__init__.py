@@ -3,6 +3,7 @@
 substrates.
 """
 
+from repro.core.batch import BatchKnnResult, knn_batch
 from repro.core.config import LazyLSHConfig
 from repro.core.lazylsh import LazyLSH, KnnResult, RangeResult
 from repro.core.montecarlo import BallIntersectionTable, estimate_ball_intersection
@@ -11,6 +12,7 @@ from repro.core.params import MetricParams, ParameterEngine
 
 __all__ = [
     "BallIntersectionTable",
+    "BatchKnnResult",
     "KnnResult",
     "LazyLSH",
     "LazyLSHConfig",
@@ -20,4 +22,5 @@ __all__ = [
     "ParameterEngine",
     "RangeResult",
     "estimate_ball_intersection",
+    "knn_batch",
 ]

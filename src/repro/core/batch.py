@@ -1,0 +1,235 @@
+"""Round-synchronised batched kNN over many query points.
+
+``knn_batch`` answers many ``Np(q, k, c)`` queries in one pass over the
+flat execution engine:
+
+* every query point is hashed with a single :class:`StableHashBank`
+  matmul instead of one GEMV per query;
+* the per-round window scans of *all* queries are answered together by
+  two vectorised ``searchsorted`` calls over the store's flat layout
+  (queries are level-synchronised — each advances one Algorithm-4 round
+  per engine round and drops out when it terminates);
+* each query then consumes its slice of the shared scan independently,
+  so per-query results, rounds and I/O accounting stay bit-identical to
+  looping :meth:`LazyLSH.knn` — the batch changes the execution plan,
+  not the simulated cost model.
+
+``share_pages=True`` additionally models one buffer pool shared by the
+whole batch: a page read by any query stays cached for the others, and
+each query's sequential count becomes its *marginal* page reads in batch
+order (the batch total is then what one disk arm would really fetch).
+This intentionally diverges from the looped-scalar accounting, which
+gives every query a private pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro._typing import PointMatrix
+from repro.core.engine import Lane, LaneGroup, execute_rounds
+from repro.core.lazylsh import _KNN_ABORT, KnnResult, LazyLSH, _lane_result
+from repro.core.multiquery import MultiQueryEngine, MultiQueryResult
+from repro.errors import (
+    DimensionalityMismatchError,
+    InvalidParameterError,
+)
+from repro.storage.io_stats import IOStats
+from repro.storage.pages import PageTracker
+
+
+@dataclass
+class BatchKnnResult:
+    """Results of a batched kNN call, in query order.
+
+    ``results`` holds one :class:`KnnResult` per query (or one
+    :class:`MultiQueryResult` per query when ``metrics`` was given);
+    ``io`` aggregates the whole batch's simulated I/O.
+    """
+
+    results: list
+    io: IOStats = field(default_factory=IOStats)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, item: int):
+        return self.results[item]
+
+    def __iter__(self) -> Iterator:
+        return iter(self.results)
+
+
+def _check_queries(index: LazyLSH, queries: PointMatrix) -> np.ndarray:
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if queries.ndim != 2:
+        raise InvalidParameterError(
+            f"queries must be a 2-D (m, d) matrix, got shape {queries.shape}"
+        )
+    if queries.shape[0] < 1:
+        raise InvalidParameterError("queries must contain at least one point")
+    if queries.shape[1] != index.dimensionality:
+        raise DimensionalityMismatchError(
+            f"queries have dimensionality {queries.shape[1]}, index expects "
+            f"{index.dimensionality}"
+        )
+    if not np.all(np.isfinite(queries)):
+        raise InvalidParameterError("queries contain non-finite values")
+    return queries
+
+
+def knn_batch(
+    index: LazyLSH,
+    queries: PointMatrix,
+    k: int,
+    p: float | None = None,
+    *,
+    metrics: Sequence[float] | None = None,
+    engine: str = "flat",
+    share_pages: bool = False,
+) -> BatchKnnResult:
+    """Answer ``Np(q, k, c)`` for every row of ``queries`` in one pass.
+
+    Exactly one of ``p`` (one metric per query, default ``1.0``) or
+    ``metrics`` (every query answered under all listed metrics, like
+    :class:`MultiQueryEngine`) may be given.  ``engine="scalar"`` loops
+    the reference path query by query — useful for verification — while
+    the default ``"flat"`` plan runs all queries round-synchronised.
+    """
+    if not index.is_built:
+        raise InvalidParameterError("knn_batch needs a built LazyLSH index")
+    if engine not in ("flat", "scalar"):
+        raise InvalidParameterError(
+            f"engine must be 'flat' or 'scalar', got {engine!r}"
+        )
+    if metrics is not None and p is not None:
+        raise InvalidParameterError("pass either p or metrics, not both")
+    if metrics is not None and not metrics:
+        raise InvalidParameterError("metrics must be non-empty")
+    if share_pages and engine == "scalar":
+        raise InvalidParameterError(
+            "share_pages models a batch-wide buffer pool; the scalar loop "
+            "runs queries independently and cannot share one"
+        )
+    queries = _check_queries(index, queries)
+    if metrics is None:
+        p_single = 1.0 if p is None else float(p)
+        if engine == "scalar":
+            return _scalar_single(index, queries, k, p_single)
+        return _flat_single(index, queries, k, p_single, share_pages)
+    unique = sorted({float(q) for q in metrics})
+    if index.rehashing != "query_centric":
+        raise InvalidParameterError(
+            "the multi-query engine requires query-centric rehashing"
+        )
+    if engine == "scalar":
+        return _scalar_multi(index, queries, k, unique)
+    return _flat_multi(index, queries, k, unique, share_pages)
+
+
+def _aggregate(results: list) -> IOStats:
+    total = IOStats()
+    for result in results:
+        total.add_sequential(result.io.sequential)
+        total.add_random(result.io.random)
+    return total
+
+
+def _scalar_single(
+    index: LazyLSH, queries: np.ndarray, k: int, p: float
+) -> BatchKnnResult:
+    results = [index.knn(q, k, p, engine="scalar") for q in queries]
+    return BatchKnnResult(results=results, io=_aggregate(results))
+
+
+def _scalar_multi(
+    index: LazyLSH, queries: np.ndarray, k: int, unique: list[float]
+) -> BatchKnnResult:
+    engine = MultiQueryEngine(index)
+    results = [engine.knn(q, k, unique, engine="scalar") for q in queries]
+    return BatchKnnResult(results=results, io=_aggregate(results))
+
+
+def _flat_single(
+    index: LazyLSH,
+    queries: np.ndarray,
+    k: int,
+    p: float,
+    share_pages: bool,
+) -> BatchKnnResult:
+    bank = index._bank
+    assert bank is not None
+    hashes = bank.hash_points(queries)  # one matmul for the whole batch
+    shared = PageTracker() if share_pages else None
+    groups = [
+        index._lane_group(
+            queries[j],
+            k,
+            p,
+            query_hashes=np.ascontiguousarray(hashes[:, j]),
+            shared_pages=shared,
+        )
+        for j in range(queries.shape[0])
+    ]
+    execute_rounds(groups, error=_KNN_ABORT)
+    results = []
+    for group in groups:
+        lane = group.lanes[0]
+        results.append(_lane_result(lane))
+        index.io_stats.add_sequential(lane.io.sequential)
+        index.io_stats.add_random(lane.io.random)
+    return BatchKnnResult(results=results, io=_aggregate(results))
+
+
+def _flat_multi(
+    index: LazyLSH,
+    queries: np.ndarray,
+    k: int,
+    unique: list[float],
+    share_pages: bool,
+) -> BatchKnnResult:
+    n = index.num_points
+    if not 1 <= k <= n:
+        raise InvalidParameterError(
+            f"k must lie in [1, {n}] for a dataset of {n} live points, got {k}"
+        )
+    n_rows = index.num_rows
+    bank = index._bank
+    assert bank is not None
+    hashes = bank.hash_points(queries)
+    shared = PageTracker() if share_pages else None
+    groups = []
+    for j in range(queries.shape[0]):
+        lanes = [
+            Lane(q, index.metric_params(q), k, k + index.beta * n, n_rows)
+            for q in unique
+        ]
+        groups.append(
+            LaneGroup(
+                store=index.store,
+                data=index.data,
+                alive=index._alive,
+                c=index.config.c,
+                rehashing=index.rehashing,
+                query=queries[j],
+                query_hashes=np.ascontiguousarray(hashes[:, j]),
+                lanes=lanes,
+                style="multi",
+                shared_pages=shared,
+            )
+        )
+    execute_rounds(
+        groups,
+        error="multi-query did not terminate; this indicates a corrupted index",
+    )
+    results = []
+    for group in groups:
+        per_metric = {lane.p: _lane_result(lane) for lane in group.lanes}
+        total = _aggregate(list(per_metric.values()))
+        index.io_stats.add_sequential(total.sequential)
+        index.io_stats.add_random(total.random)
+        results.append(MultiQueryResult(results=per_metric, io=total))
+    return BatchKnnResult(results=results, io=_aggregate(results))

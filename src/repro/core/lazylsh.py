@@ -25,6 +25,7 @@ import numpy as np
 
 from repro._typing import IdArray, PointMatrix, PointVector
 from repro.core.config import LazyLSHConfig
+from repro.core.engine import Lane, LaneGroup, execute_rounds
 from repro.core.hashing import (
     StableHashBank,
     original_window,
@@ -45,6 +46,28 @@ from repro.storage.pages import PageLayout
 #: Hard cap on rehashing rounds; the level grows by a factor ``c`` per
 #: round, so legitimate queries terminate in a few dozen rounds at most.
 _MAX_ROUNDS = 128
+
+#: Non-termination diagnostic shared by the scalar and flat kNN paths.
+_KNN_ABORT = "knn did not terminate; this indicates a corrupted index"
+
+
+def _lane_result(lane: Lane) -> "KnnResult":
+    """Assemble a :class:`KnnResult` from a finished engine lane.
+
+    Mirrors the tail of the scalar loop exactly: same distance array,
+    same ``argsort`` (so ties resolve identically), same bookkeeping.
+    """
+    cand_ids, cand_dists = lane.candidate_arrays()
+    order = np.argsort(cand_dists)[: lane.k]
+    return KnnResult(
+        ids=cand_ids[order].astype(np.int64),
+        distances=cand_dists[order],
+        p=lane.p,
+        k=lane.k,
+        io=lane.io,
+        candidates=int(cand_ids.size),
+        rounds=lane.rounds,
+    )
 
 
 @dataclass
@@ -449,7 +472,9 @@ class LazyLSH:
         self.io_stats.add_random(stats.random)
         return outcome
 
-    def knn(self, query: PointVector, k: int, p: float = 1.0) -> KnnResult:
+    def knn(
+        self, query: PointVector, k: int, p: float = 1.0, *, engine: str = "flat"
+    ) -> KnnResult:
         """Answer ``Np(q, k, c)`` (Algorithm 4).
 
         Runs range scans with geometrically increasing radii, counting
@@ -459,16 +484,72 @@ class LazyLSH:
         ``k`` candidates lie within ``c * delta`` of the query or when the
         candidate budget ``k + beta * n`` is exhausted, and returns the
         ``k`` candidates with the smallest true ``lp`` distances.
+
+        ``engine`` selects the execution plan: ``"flat"`` (default) runs
+        the vectorised flat-array kernel, ``"scalar"`` the per-function
+        reference loop.  Both return bit-identical results and I/O counts.
         """
-        query = self._check_query(query)
-        stats = IOStats()
-        # A fresh per-query page cache: pages re-touched by successive
-        # rehashing rounds (ring boundaries) stay in the buffer pool for
-        # the duration of one query and are charged once.
-        result = self._knn_impl(query, k, p, stats, seen_pages=set())
-        self.io_stats.add_sequential(stats.sequential)
-        self.io_stats.add_random(stats.random)
+        if engine == "scalar":
+            query = self._check_query(query)
+            stats = IOStats()
+            # A fresh per-query page cache: pages re-touched by successive
+            # rehashing rounds (ring boundaries) stay in the buffer pool
+            # for the duration of one query and are charged once.
+            result = self._knn_impl(query, k, p, stats, seen_pages=set())
+            self.io_stats.add_sequential(stats.sequential)
+            self.io_stats.add_random(stats.random)
+            return result
+        if engine != "flat":
+            raise InvalidParameterError(
+                f"engine must be 'flat' or 'scalar', got {engine!r}"
+            )
+        group = self._lane_group(self._check_query(query), k, p)
+        execute_rounds([group], error=_KNN_ABORT)
+        lane = group.lanes[0]
+        result = _lane_result(lane)
+        self.io_stats.add_sequential(lane.io.sequential)
+        self.io_stats.add_random(lane.io.random)
         return result
+
+    def _lane_group(
+        self,
+        query: PointVector,
+        k: int,
+        p: float,
+        *,
+        query_hashes: np.ndarray | None = None,
+        shared_pages=None,
+    ) -> LaneGroup:
+        """Build the flat-engine lane group for one ``(query, p)`` pair.
+
+        ``query`` must already be validated; parameter checks run in the
+        same order as the scalar loop so error behaviour is unchanged.
+        ``query_hashes`` lets batched callers reuse a single hashing
+        matmul over all query points.
+        """
+        p = validate_p(p)
+        n = self.num_points
+        if not 1 <= k <= n:
+            raise InvalidParameterError(
+                f"k must lie in [1, {n}] for a dataset of {n} live points, got {k}"
+            )
+        params = self.metric_params(p)
+        assert self._bank is not None and self._store is not None and self._data is not None
+        lane = Lane(p, params, k, k + self._beta * n, self.num_rows)
+        if query_hashes is None:
+            query_hashes = self._bank.hash_point(query)
+        return LaneGroup(
+            store=self._store,
+            data=self._data,
+            alive=self._alive,
+            c=self.config.c,
+            rehashing=self.rehashing,
+            query=query,
+            query_hashes=query_hashes,
+            lanes=[lane],
+            style="single",
+            shared_pages=shared_pages,
+        )
 
     def _knn_impl(
         self,
@@ -509,9 +590,7 @@ class LazyLSH:
         while not done:
             rounds += 1
             if rounds > _MAX_ROUNDS:
-                raise RuntimeError(
-                    "knn did not terminate; this indicates a corrupted index"
-                )
+                raise RuntimeError(_KNN_ABORT)
             level = params.r_hat * delta
             c_delta = self.config.c * delta
             windows: list[tuple[int, int]] = []

@@ -30,7 +30,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro._typing import PointVector
-from repro.core.lazylsh import KnnResult, LazyLSH
+from repro.core.engine import Lane, LaneGroup, execute_rounds
+from repro.core.lazylsh import KnnResult, LazyLSH, _lane_result
 from repro.core.params import MetricParams
 from repro.errors import InvalidParameterError
 from repro.metrics.lp import lp_distance
@@ -112,7 +113,12 @@ class MultiQueryEngine:
         self.index = index
 
     def knn(
-        self, query: PointVector, k: int, p_values: list[float] | tuple[float, ...]
+        self,
+        query: PointVector,
+        k: int,
+        p_values: list[float] | tuple[float, ...],
+        *,
+        engine: str = "flat",
     ) -> MultiQueryResult:
         """kNN of ``query`` under every metric in ``p_values``.
 
@@ -121,7 +127,15 @@ class MultiQueryEngine:
         :class:`KnnResult` carries its *marginal* I/O (sequential reads
         are attributed to the smallest-``p`` active metric consuming
         them); the batch total is in :attr:`MultiQueryResult.io`.
+
+        ``engine`` selects the execution plan (``"flat"`` — the
+        vectorised kernel — or ``"scalar"``, the per-function reference
+        loop); both produce bit-identical results and I/O counts.
         """
+        if engine not in ("flat", "scalar"):
+            raise InvalidParameterError(
+                f"engine must be 'flat' or 'scalar', got {engine!r}"
+            )
         if not p_values:
             raise InvalidParameterError("p_values must be non-empty")
         unique = sorted({float(p) for p in p_values})
@@ -133,6 +147,8 @@ class MultiQueryEngine:
                 f"k must lie in [1, {n}] for a dataset of {n} live points, got {k}"
             )
         query = np.asarray(query, dtype=np.float64)
+        if engine == "flat":
+            return self._knn_flat(query, k, unique)
         # Validate every metric up front so no partial work is wasted.
         states = [
             _MetricState(
@@ -229,4 +245,47 @@ class MultiQueryEngine:
             total.add_random(state.io.random)
         self.index.io_stats.add_sequential(total.sequential)
         self.index.io_stats.add_random(total.random)
+        return MultiQueryResult(results=results, io=total)
+
+    def _knn_flat(
+        self, query: np.ndarray, k: int, unique: list[float]
+    ) -> MultiQueryResult:
+        """Flat-engine execution of the level-synchronised batch loop.
+
+        One :class:`~repro.core.engine.LaneGroup` holds a lane per
+        metric; the engine replays the scalar loop's shared scans,
+        smallest-``p`` sequential attribution and fetched-object dedup.
+        """
+        index = self.index
+        n = index.num_points
+        n_rows = index.num_rows
+        lanes = [
+            Lane(p, index.metric_params(p), k, k + index.beta * n, n_rows)
+            for p in unique
+        ]
+        bank = index._bank
+        assert bank is not None
+        group = LaneGroup(
+            store=index.store,
+            data=index.data,
+            alive=index._alive,
+            c=index.config.c,
+            rehashing=index.rehashing,
+            query=query,
+            query_hashes=bank.hash_point(query),
+            lanes=lanes,
+            style="multi",
+        )
+        execute_rounds(
+            [group],
+            error="multi-query did not terminate; this indicates a corrupted index",
+        )
+        total = IOStats()
+        results: dict[float, KnnResult] = {}
+        for lane in lanes:
+            results[lane.p] = _lane_result(lane)
+            total.add_sequential(lane.io.sequential)
+            total.add_random(lane.io.random)
+        index.io_stats.add_sequential(total.sequential)
+        index.io_stats.add_random(total.random)
         return MultiQueryResult(results=results, io=total)

@@ -2,15 +2,17 @@
 
 Benchmarks print the same rows/series the paper's tables and figures
 report; :class:`ResultTable` renders them as aligned plain text (and
-markdown for EXPERIMENTS.md), and :class:`Timer` measures wall-clock query
-times for the Appendix B.2 experiments.
+markdown for EXPERIMENTS.md), :class:`Timer` measures wall-clock query
+times for the Appendix B.2 experiments, and :func:`time_knn_batch` runs a
+query workload through :func:`repro.core.batch.knn_batch` under the
+timer.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 from repro.errors import InvalidParameterError
 
@@ -94,3 +96,33 @@ class Timer:
 
     def __exit__(self, *exc_info: object) -> None:
         self.seconds = time.perf_counter() - self._start
+
+
+def time_knn_batch(
+    index,
+    queries,
+    k: int,
+    p: float | None = None,
+    *,
+    metrics: Sequence[float] | None = None,
+    engine: str = "flat",
+    share_pages: bool = False,
+):
+    """Run ``knn_batch`` under a wall-clock timer.
+
+    Returns ``(BatchKnnResult, seconds)``; used by the benchmark scripts
+    so scalar/flat comparisons all time the identical call path.
+    """
+    from repro.core.batch import knn_batch
+
+    with Timer() as timer:
+        result = knn_batch(
+            index,
+            queries,
+            k,
+            p,
+            metrics=metrics,
+            engine=engine,
+            share_pages=share_pages,
+        )
+    return result, timer.seconds

@@ -6,6 +6,21 @@ hash value.  Retrieving every point whose base bucket lies inside a hash
 window ``[lo, hi]`` is then one contiguous scan of the sorted run — exactly
 what virtual rehashing (C2LSH) and query-centric rehashing (LazyLSH)
 exploit.  Sequential I/O is charged per overlapped 4 KB page of the run.
+
+Storage layout (flat-array execution engine)
+--------------------------------------------
+
+All runs have the same length (every point is hashed by every function),
+so the store keeps two contiguous ``(num_functions, num_points)`` int64
+matrices — ``values`` and ``ids`` — whose rows are the sorted runs.  The
+row-major flat view of ``values`` is globally sorted under the composite
+key ``func * stride + (value - vmin)``, which lets a *batched* window
+query — all ``eta`` windows of one rehashing round, or all windows of a
+whole query batch — be answered with two vectorised ``np.searchsorted``
+calls over one flat key array (:meth:`batch_entry_positions`,
+:meth:`read_windows`).  Sequential I/O for a batch is charged by interval
+arithmetic (:class:`~repro.storage.pages.PageTracker`) rather than a
+per-page Python loop.
 """
 
 from __future__ import annotations
@@ -15,7 +30,20 @@ import numpy as np
 from repro._typing import IdArray
 from repro.errors import InvalidParameterError
 from repro.storage.io_stats import IOStats
-from repro.storage.pages import PageLayout
+from repro.storage.pages import PageLayout, PageTracker
+
+#: Composite window-search keys must stay well inside int64; wider value
+#: ranges fall back to a per-function ``searchsorted`` loop.
+_MAX_COMPOSITE_KEY = 2**62
+
+#: Coarse sampling stride of the two-level window search: every
+#: ``_TOP_STRIDE``-th composite key forms a cache-resident top index, so a
+#: batched lookup is one ``searchsorted`` over the small top array plus a
+#: vectorised binary-search refinement inside one ``_TOP_STRIDE``-entry
+#: window.  Turning each needle's ~``log2(F * n)`` dependent, scattered
+#: probes into a few *independent* bulk gathers is what makes the batched
+#: search memory-parallel.
+_TOP_STRIDE = 256
 
 
 class InvertedListStore:
@@ -49,12 +77,56 @@ class InvertedListStore:
         self._num_functions = int(num_functions)
         self._num_points = int(num_points)
         order = np.argsort(hash_values, axis=1, kind="stable")
-        sorted_ids = order.astype(np.int64)
-        sorted_values = np.take_along_axis(hash_values.astype(np.int64), order, axis=1)
-        # Per-function 1-D runs (a list, not a matrix, so that inserts can
-        # grow individual runs without reallocating everything).
-        self._sorted_ids = [sorted_ids[i] for i in range(self._num_functions)]
-        self._sorted_values = [sorted_values[i] for i in range(self._num_functions)]
+        self._ids = np.ascontiguousarray(order.astype(np.int64))
+        self._values = np.ascontiguousarray(
+            np.take_along_axis(hash_values.astype(np.int64), order, axis=1)
+        )
+        self._rebuild_search_keys()
+        self._iota_cache: np.ndarray | None = None
+        # Lazy inverse permutation for bucket_of (diagnostics only).
+        self._id_order: np.ndarray | None = None
+        self._ids_by_id: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Flat-layout internals
+    # ------------------------------------------------------------------
+
+    def _rebuild_search_keys(self) -> None:
+        """(Re)build the composite flat search keys after any mutation."""
+        self._ids32_flat: np.ndarray | None = None
+        self._rel32: np.ndarray | None = None
+        self._row_top: np.ndarray | None = None
+        self._top_per_row = 0
+        if self._values.size == 0:
+            self._vmin = 0
+            self._stride = 2
+            self._keys: np.ndarray | None = self._values.ravel()
+            return
+        vmin = int(self._values.min())
+        vmax = int(self._values.max())
+        stride = vmax - vmin + 2
+        self._vmin = vmin
+        self._stride = stride
+        if stride <= 2**31 - 2:
+            # Two-level search state: int32 value-relative runs plus a
+            # row-aligned coarse sample (every _TOP_STRIDE-th entry of
+            # each run, as int64 composite keys so one searchsorted
+            # covers all functions).  Row alignment keeps every
+            # refinement window inside a single run, where int32
+            # comparisons are order-faithful.
+            self._keys = None
+            self._rel32 = (self._values - vmin).astype(np.int32).ravel()
+            self._top_per_row = -(-self._num_points // _TOP_STRIDE)
+            funcs = np.arange(self._num_functions, dtype=np.int64)[:, None]
+            self._row_top = (
+                (self._values[:, ::_TOP_STRIDE] - vmin) + funcs * stride
+            ).ravel()
+        elif self._num_functions * stride < _MAX_COMPOSITE_KEY:
+            # pragma: no cover - hash domains wider than int32
+            funcs = np.arange(self._num_functions, dtype=np.int64)[:, None]
+            self._keys = ((self._values - vmin) + funcs * stride).ravel()
+        else:  # pragma: no cover - astronomically wide hash domains
+            self._keys = None
 
     @property
     def num_functions(self) -> int:
@@ -81,7 +153,7 @@ class InvertedListStore:
 
     def _entry_range(self, func: int, lo: int, hi: int) -> tuple[int, int]:
         """Half-open entry range of hash values inside ``[lo, hi]``."""
-        values = self._sorted_values[func]
+        values = self._values[func]
         start = int(np.searchsorted(values, lo, side="left"))
         stop = int(np.searchsorted(values, hi, side="right"))
         return start, stop
@@ -93,19 +165,264 @@ class InvertedListStore:
                 f"[0, {self._num_functions})"
             )
 
+    # ------------------------------------------------------------------
+    # Batched window search (the flat engine's storage primitive)
+    # ------------------------------------------------------------------
+
+    def batch_entry_positions(
+        self, funcs: np.ndarray, bounds: np.ndarray, side: str
+    ) -> np.ndarray:
+        """Vectorised ``searchsorted`` into many runs at once.
+
+        For every pair ``(funcs[j], bounds[j])`` returns the *absolute*
+        flat position ``funcs[j] * num_points + searchsorted(run_values,
+        bounds[j], side)`` — one ``np.searchsorted`` call over the
+        composite key array answers all pairs.
+        """
+        funcs = np.asarray(funcs, dtype=np.int64)
+        bounds = np.asarray(bounds, dtype=np.int64)
+        if self._rel32 is not None:
+            return self._two_level_search(funcs, bounds, side)
+        if self._keys is not None:  # pragma: no cover - >int32 hash domains
+            clipped = np.clip(
+                bounds, self._vmin - 1, self._vmin + self._stride - 1
+            )
+            keys = (clipped - self._vmin) + funcs * self._stride
+            return np.searchsorted(self._keys, keys, side=side)
+        out = np.empty(funcs.shape[0], dtype=np.int64)  # pragma: no cover
+        for j in range(funcs.shape[0]):  # pragma: no cover
+            f = int(funcs[j])
+            out[j] = f * self._num_points + np.searchsorted(
+                self._values[f], bounds[j], side=side
+            )
+        return out  # pragma: no cover
+
+    def _two_level_search(
+        self, funcs: np.ndarray, bounds: np.ndarray, side: str
+    ) -> np.ndarray:
+        """Exact batched per-run ``searchsorted``.
+
+        A direct composite-key ``np.searchsorted`` binary-searches each
+        needle serially: ~``log2(F * n)`` *dependent* probes scattered
+        over an array too large to cache, which is latency-bound.  Here a
+        coarse ``searchsorted`` over the small row-aligned top index
+        narrows every needle to one ``_TOP_STRIDE``-entry window of its
+        own run, and a fixed number of vectorised refinement steps finish
+        the search — each step is one *bulk* int32 gather whose cache
+        misses overlap across all needles.
+        """
+        n = self._num_points
+        rel = np.clip(bounds - self._vmin, -1, self._stride - 1)
+        t = np.searchsorted(
+            self._row_top, rel + funcs * self._stride, side=side
+        )
+        # ``t`` stays inside the needle's own function block (the +2
+        # margin in ``stride`` separates neighbouring blocks strictly),
+        # so the refinement window sits inside one run.
+        j = t - funcs * self._top_per_row
+        lo = np.maximum(j - 1, 0) * _TOP_STRIDE
+        hi = np.minimum(j * _TOP_STRIDE, n)
+        rel = rel.astype(np.int32)
+        rel32 = self._rel32
+        base = funcs * n
+        # The window brackets the answer, so ceil(log2(_TOP_STRIDE)) + 1
+        # halvings converge for every needle; once lo == hi == answer the
+        # clamped probe keeps both updates no-ops (probe at ``answer``
+        # compares above the needle, or ``answer == n`` and the probe at
+        # ``n - 1`` sends ``lo`` back to ``n``), so no active mask is
+        # needed.
+        steps = int(_TOP_STRIDE - 1).bit_length() + 1
+        for _ in range(steps):
+            mid = np.minimum((lo + hi) >> 1, n - 1)
+            probe = rel32[base + mid]
+            if side == "left":
+                go_right = probe < rel
+            else:
+                go_right = probe <= rel
+            lo = np.where(go_right, mid + 1, lo)
+            hi = np.where(go_right, hi, mid)
+        return base + lo
+
+    def gather_segments(self, starts: np.ndarray, lens: np.ndarray) -> IdArray:
+        """Concatenated ids of entry segments ``[starts[j], starts[j] +
+        lens[j])`` of the flat layout, in segment order."""
+        idx = self._segment_indices(starts, lens)
+        if idx is None:
+            return np.empty(0, dtype=np.int64)
+        return self._ids.ravel()[idx]
+
+    def gather_segments32(self, starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
+        """:meth:`gather_segments` from a compact int32 id shadow.
+
+        The flat engine's block scans are bandwidth-bound streaming reads;
+        halving the entry width halves the traffic.  Point ids always fit
+        int32 (they index the data matrix).
+        """
+        idx = self._segment_indices(starts, lens)
+        if idx is None:
+            return np.empty(0, dtype=np.int32)
+        ids32 = self._ids32_flat
+        if ids32 is None:
+            ids32 = self._ids.ravel().astype(np.int32)
+            self._ids32_flat = ids32
+        return ids32[idx]
+
+    def _segment_indices(self, starts: np.ndarray, lens: np.ndarray):
+        total = int(lens.sum())
+        if total == 0:
+            return None
+        offsets = np.empty(lens.shape[0], dtype=np.int64)
+        offsets[0] = 0
+        np.cumsum(lens[:-1], out=offsets[1:])
+        idx = np.repeat(starts - offsets, lens)
+        idx += self._iota(total)
+        return idx
+
+    def _iota(self, total: int) -> np.ndarray:
+        """Read-only ``arange(total)`` view from a grow-only cache."""
+        cache = self._iota_cache
+        if cache is None or cache.shape[0] < total:
+            cache = np.arange(max(total, 4096), dtype=np.int64)
+            cache.setflags(write=False)
+            self._iota_cache = cache
+        return cache[:total]
+
+    def _charge_segments(
+        self,
+        funcs: np.ndarray,
+        starts: np.ndarray,
+        stops: np.ndarray,
+        stats: IOStats | None,
+        pages: PageTracker | None,
+    ) -> None:
+        """Charge sequential I/O for flat entry segments (one per func).
+
+        ``starts``/``stops`` are absolute flat positions; empty segments
+        cost nothing.  With a :class:`PageTracker` the charge is
+        deduplicated against previously read pages by interval arithmetic.
+        """
+        if stats is None and pages is None:
+            return
+        rel_starts = starts - funcs * self._num_points
+        rel_stops = stops - funcs * self._num_points
+        epp = self._layout.entries_per_page
+        nonempty = rel_stops > rel_starts
+        first = rel_starts // epp
+        last_stop = np.where(nonempty, (rel_stops - 1) // epp + 1, first)
+        if pages is None:
+            total = int(np.sum(last_stop - first))
+            if stats is not None:
+                stats.add_sequential(total)
+            return
+        new = 0
+        for j in np.flatnonzero(nonempty):
+            new += pages.charge(int(funcs[j]), int(first[j]), int(last_stop[j]))
+        if stats is not None:
+            stats.add_sequential(new)
+
+    def read_windows(
+        self,
+        funcs: np.ndarray,
+        los: np.ndarray,
+        his: np.ndarray,
+        stats: IOStats | None = None,
+        pages: PageTracker | None = None,
+    ) -> tuple[IdArray, np.ndarray]:
+        """Batched :meth:`read_window`: all windows in two ``searchsorted``.
+
+        Returns ``(ids, bounds)`` where ``ids`` is the concatenation of
+        every window's ids and ``bounds`` (length ``len(funcs) + 1``)
+        delimits window ``j``'s segment as ``ids[bounds[j]:bounds[j+1]]``.
+        Sequential I/O is charged per window exactly as the scalar method
+        would, deduplicated against ``pages`` when given.
+        """
+        funcs = np.asarray(funcs, dtype=np.int64)
+        los = np.asarray(los, dtype=np.int64)
+        his = np.asarray(his, dtype=np.int64)
+        if not (funcs.shape == los.shape == his.shape) or funcs.ndim != 1:
+            raise InvalidParameterError(
+                "funcs, los and his must be 1-D arrays of equal length"
+            )
+        if funcs.size and (funcs.min() < 0 or funcs.max() >= self._num_functions):
+            raise InvalidParameterError(
+                f"hash function indices must lie in [0, {self._num_functions})"
+            )
+        starts = self.batch_entry_positions(funcs, los, side="left")
+        stops = np.maximum(
+            starts, self.batch_entry_positions(funcs, his, side="right")
+        )
+        lens = stops - starts
+        bounds = np.empty(funcs.shape[0] + 1, dtype=np.int64)
+        bounds[0] = 0
+        np.cumsum(lens, out=bounds[1:])
+        ids = self.gather_segments(starts, lens)
+        self._charge_segments(funcs, starts, stops, stats, pages)
+        return ids, bounds
+
+    def read_rings(
+        self,
+        funcs: np.ndarray,
+        los: np.ndarray,
+        his: np.ndarray,
+        inner_los: np.ndarray,
+        inner_his: np.ndarray,
+        stats: IOStats | None = None,
+        pages: PageTracker | None = None,
+    ) -> tuple[IdArray, np.ndarray]:
+        """Batched :meth:`read_ring` over many functions at once.
+
+        Each ring is returned as its left side run followed by its right
+        side run (matching the scalar method); ``bounds`` delimits the
+        per-function segments of the concatenated ``ids``.
+        """
+        funcs = np.asarray(funcs, dtype=np.int64)
+        los = np.asarray(los, dtype=np.int64)
+        his = np.asarray(his, dtype=np.int64)
+        inner_los = np.asarray(inner_los, dtype=np.int64)
+        inner_his = np.asarray(inner_his, dtype=np.int64)
+        degenerate = inner_los > inner_his
+        bad = ~degenerate & ((los > inner_los) | (inner_his > his))
+        if np.any(bad):
+            j = int(np.flatnonzero(bad)[0])
+            raise InvalidParameterError(
+                f"inner window [{inner_los[j]}, {inner_his[j]}] must nest "
+                f"inside [{los[j]}, {his[j]}]"
+            )
+        # Degenerate inner windows read the full [lo, hi] as their "left"
+        # run and an empty right run.
+        left_his = np.where(degenerate, his, inner_los - 1)
+        right_los = np.where(degenerate, his + 1, inner_his + 1)
+        seg_funcs = np.repeat(funcs, 2)
+        seg_los = np.empty(2 * funcs.shape[0], dtype=np.int64)
+        seg_his = np.empty_like(seg_los)
+        seg_los[0::2] = los
+        seg_his[0::2] = left_his
+        seg_los[1::2] = right_los
+        seg_his[1::2] = his
+        ids, seg_bounds = self.read_windows(
+            seg_funcs, seg_los, seg_his, stats, pages
+        )
+        return ids, seg_bounds[0::2]
+
+    # ------------------------------------------------------------------
+    # Scalar reads (legacy / baseline API)
+    # ------------------------------------------------------------------
+
     def _charge_pages(
         self,
         func: int,
         start: int,
         stop: int,
         stats: IOStats | None,
-        seen_pages: set[tuple[int, int]] | None,
+        seen_pages: set[tuple[int, int]] | PageTracker | None,
     ) -> None:
         """Charge sequential I/O for entries ``[start, stop)`` of ``func``.
 
         When ``seen_pages`` is given (multi-query optimisation, Sec. 4.3),
         only pages not previously read in this batch are charged, and the
-        set is updated in place.
+        tracker is updated in place.  A :class:`PageTracker` dedups by
+        interval arithmetic; a plain ``set`` of ``(func, page)`` keys is
+        still supported for backward compatibility.
         """
         if stats is None and seen_pages is None:
             return
@@ -114,12 +431,15 @@ class InvertedListStore:
             if stats is not None:
                 stats.add_sequential(last_plus_one - first)
             return
-        new_pages = 0
-        for page in range(first, last_plus_one):
-            key = (func, page)
-            if key not in seen_pages:
-                seen_pages.add(key)
-                new_pages += 1
+        if isinstance(seen_pages, PageTracker):
+            new_pages = seen_pages.charge(func, first, last_plus_one)
+        else:
+            new_pages = 0
+            for page in range(first, last_plus_one):
+                key = (func, page)
+                if key not in seen_pages:
+                    seen_pages.add(key)
+                    new_pages += 1
         if stats is not None:
             stats.add_sequential(new_pages)
 
@@ -129,7 +449,7 @@ class InvertedListStore:
         lo: int,
         hi: int,
         stats: IOStats | None = None,
-        seen_pages: set[tuple[int, int]] | None = None,
+        seen_pages: set[tuple[int, int]] | PageTracker | None = None,
     ) -> IdArray:
         """Ids of points whose base hash value lies in ``[lo, hi]``.
 
@@ -142,7 +462,7 @@ class InvertedListStore:
         start, stop = self._entry_range(func, lo, hi)
         if stop > start:
             self._charge_pages(func, start, stop, stats, seen_pages)
-        return self._sorted_ids[func][start:stop]
+        return self._ids[func, start:stop]
 
     def read_ring(
         self,
@@ -152,7 +472,7 @@ class InvertedListStore:
         inner_lo: int,
         inner_hi: int,
         stats: IOStats | None = None,
-        seen_pages: set[tuple[int, int]] | None = None,
+        seen_pages: set[tuple[int, int]] | PageTracker | None = None,
     ) -> IdArray:
         """Ids in ``[lo, hi]`` but outside the already-visited ``[inner_lo,
         inner_hi]`` window (Algorithm 4 line 10).
@@ -178,8 +498,19 @@ class InvertedListStore:
             return left
         return np.concatenate([left, right])
 
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
     def insert(self, hash_values: np.ndarray, ids: np.ndarray) -> None:
         """Insert new points into every function's sorted run.
+
+        One allocation pass: the destination slot of every old and new
+        entry is computed up front (a batched ``searchsorted`` for the
+        insertion positions plus a boolean scatter mask), then values and
+        ids are placed into freshly allocated ``(functions, points + m)``
+        matrices — instead of reallocating every run twice via per-function
+        ``np.insert`` calls.
 
         Parameters
         ----------
@@ -207,24 +538,47 @@ class InvertedListStore:
             )
         if ids.size == 0:
             return
-        for func in range(self._num_functions):
-            values = hash_values[func].astype(np.int64)
-            # Values sharing an insertion position keep their given order
-            # in numpy.insert, so sort the batch first to preserve the
-            # run's sortedness.
-            batch_order = np.argsort(values, kind="stable")
-            values = values[batch_order]
-            batch_ids = ids[batch_order]
-            positions = np.searchsorted(
-                self._sorted_values[func], values, side="right"
-            )
-            self._sorted_values[func] = np.insert(
-                self._sorted_values[func], positions, values
-            )
-            self._sorted_ids[func] = np.insert(
-                self._sorted_ids[func], positions, batch_ids
-            )
-        self._num_points += int(ids.size)
+        num_funcs = self._num_functions
+        n = self._num_points
+        m = int(ids.size)
+        values = hash_values.astype(np.int64)
+        # Values sharing an insertion position keep their given order, so
+        # sort each function's batch first to preserve the run's sortedness.
+        batch_order = np.argsort(values, axis=1, kind="stable")
+        values = np.take_along_axis(values, batch_order, axis=1)
+        batch_ids = ids[batch_order]
+        funcs_rep = np.repeat(np.arange(num_funcs, dtype=np.int64), m)
+        positions = self.batch_entry_positions(
+            funcs_rep, values.ravel(), side="right"
+        )
+        rel_positions = (positions - funcs_rep * n).reshape(num_funcs, m)
+        new_n = n + m
+        # Destination of new entry r of function f: its insertion position
+        # shifted by the r new entries placed before it and the function's
+        # new row offset.
+        dest = (
+            np.arange(num_funcs, dtype=np.int64)[:, None] * new_n
+            + rel_positions
+            + np.arange(m, dtype=np.int64)[None, :]
+        ).ravel()
+        taken = np.zeros(num_funcs * new_n, dtype=bool)
+        taken[dest] = True
+        new_values = np.empty(num_funcs * new_n, dtype=np.int64)
+        new_ids = np.empty(num_funcs * new_n, dtype=np.int64)
+        new_values[dest] = values.ravel()
+        new_ids[dest] = batch_ids.ravel()
+        new_values[~taken] = self._values.ravel()
+        new_ids[~taken] = self._ids.ravel()
+        self._values = new_values.reshape(num_funcs, new_n)
+        self._ids = new_ids.reshape(num_funcs, new_n)
+        self._num_points = new_n
+        self._rebuild_search_keys()
+        self._id_order = None
+        self._ids_by_id = None
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
 
     def window_page_cost(self, func: int, lo: int, hi: int) -> int:
         """Pages a :meth:`read_window` call would charge, without reading."""
@@ -238,8 +592,18 @@ class InvertedListStore:
         """Base hash value of ``point_id`` under function ``func``.
 
         Intended for tests and diagnostics (the forward map is normally the
-        hash bank's job, not the store's).
+        hash bank's job, not the store's).  The id -> run-position map is a
+        lazily built inverse permutation, so lookups are O(log n) instead
+        of an O(n) scan.
         """
         self._check_func(func)
-        pos = int(np.where(self._sorted_ids[func] == point_id)[0][0])
-        return int(self._sorted_values[func][pos])
+        if self._id_order is None or self._ids_by_id is None:
+            self._id_order = np.argsort(self._ids, axis=1, kind="stable")
+            self._ids_by_id = np.take_along_axis(self._ids, self._id_order, axis=1)
+        row = self._ids_by_id[func]
+        pos = int(np.searchsorted(row, point_id))
+        if pos >= row.shape[0] or int(row[pos]) != int(point_id):
+            raise InvalidParameterError(
+                f"point id {point_id} is not stored in the inverted lists"
+            )
+        return int(self._values[func, self._id_order[func, pos]])

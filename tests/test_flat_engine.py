@@ -1,0 +1,194 @@
+"""Flat execution engine versus the scalar reference path.
+
+The flat engine is a pure execution-plan change: batched window scans,
+vectorised collision counting and interval-arithmetic I/O charging must
+reproduce the scalar per-function loop *bit for bit* — same neighbour
+ids, distances, round counts, candidate counts, and (because simulated
+I/O is the paper's measured quantity) the same sequential and random
+I/O per query.  These tests pin that equivalence across metrics, both
+rehashing modes, dynamic updates, the multi-query engine and the batch
+API, plus the two-level window search against a plain ``searchsorted``
+reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LazyLSH, LazyLSHConfig, MultiQueryEngine, knn_batch
+from repro.datasets import make_synthetic, sample_queries
+from repro.errors import InvalidParameterError
+from repro.storage import InvertedListStore, PageLayout
+
+P_VALUES = (0.5, 0.75, 1.0)
+
+
+def _config(seed: int = 13) -> LazyLSHConfig:
+    return LazyLSHConfig(
+        c=3.0, p_min=0.5, seed=seed, mc_samples=20_000, mc_buckets=100
+    )
+
+
+def assert_results_identical(a, b) -> None:
+    """Flat and scalar KnnResults must match bit for bit, I/O included."""
+    assert np.array_equal(a.ids, b.ids)
+    assert np.array_equal(a.distances, b.distances)
+    assert a.ids.dtype == b.ids.dtype
+    assert a.rounds == b.rounds
+    assert a.candidates == b.candidates
+    assert a.io.sequential == b.io.sequential
+    assert a.io.random == b.io.random
+
+
+@pytest.fixture(scope="module")
+def engine_split():
+    data = make_synthetic(900, 16, value_range=(0, 400), seed=21)
+    return sample_queries(data, n_queries=3, seed=22)
+
+
+@pytest.fixture(scope="module", params=["query_centric", "original"])
+def dual_index(request, engine_split):
+    """One index per rehashing mode, shared across the matrix below."""
+    return LazyLSH(_config(), rehashing=request.param).build(engine_split.data)
+
+
+class TestFlatMatchesScalar:
+    @pytest.mark.parametrize("p", P_VALUES)
+    def test_knn_identical(self, dual_index, engine_split, p):
+        for query in engine_split.queries:
+            flat = dual_index.knn(query, 10, p, engine="flat")
+            scalar = dual_index.knn(query, 10, p, engine="scalar")
+            assert_results_identical(flat, scalar)
+
+    @pytest.mark.parametrize("rehashing", ["query_centric", "original"])
+    def test_knn_identical_after_updates(self, engine_split, rehashing):
+        index = LazyLSH(_config(seed=17), rehashing=rehashing).build(
+            engine_split.data[:600]
+        )
+        index.remove(np.arange(0, 40, 7))
+        index.insert(engine_split.data[600:680])
+        for p in P_VALUES:
+            for query in engine_split.queries:
+                flat = index.knn(query, 8, p, engine="flat")
+                scalar = index.knn(query, 8, p, engine="scalar")
+                assert_results_identical(flat, scalar)
+
+
+class TestMultiQuery:
+    def test_flat_matches_scalar(self, engine_split):
+        index = LazyLSH(_config()).build(engine_split.data)
+        engine = MultiQueryEngine(index)
+        for query in engine_split.queries:
+            flat = engine.knn(query, 10, P_VALUES, engine="flat")
+            scalar = engine.knn(query, 10, P_VALUES, engine="scalar")
+            assert flat.metrics == scalar.metrics == sorted(P_VALUES)
+            for p in P_VALUES:
+                assert_results_identical(flat[p], scalar[p])
+            # The shared scan's total I/O (marginal attribution summed)
+            # must agree too.
+            assert flat.io.sequential == scalar.io.sequential
+            assert flat.io.random == scalar.io.random
+
+
+class TestBatchApi:
+    def test_single_metric_matches_scalar_loop(self, engine_split):
+        index = LazyLSH(_config()).build(engine_split.data)
+        flat = knn_batch(index, engine_split.queries, 10, 0.5)
+        scalar = knn_batch(index, engine_split.queries, 10, 0.5, engine="scalar")
+        assert len(flat) == len(scalar) == len(engine_split.queries)
+        for a, b in zip(flat, scalar):
+            assert_results_identical(a, b)
+        assert flat.io.sequential == scalar.io.sequential
+        assert flat.io.random == scalar.io.random
+
+    def test_metrics_mode_matches_scalar_loop(self, engine_split):
+        index = LazyLSH(_config()).build(engine_split.data)
+        flat = knn_batch(index, engine_split.queries, 10, metrics=P_VALUES)
+        scalar = knn_batch(
+            index, engine_split.queries, 10, metrics=P_VALUES, engine="scalar"
+        )
+        for a, b in zip(flat, scalar):
+            for p in P_VALUES:
+                assert_results_identical(a[p], b[p])
+            assert a.io.sequential == b.io.sequential
+            assert a.io.random == b.io.random
+
+    def test_share_pages_identical_results_fewer_reads(self, engine_split):
+        index = LazyLSH(_config()).build(engine_split.data)
+        plain = knn_batch(index, engine_split.queries, 10, 0.5)
+        shared = knn_batch(
+            index, engine_split.queries, 10, 0.5, share_pages=True
+        )
+        for a, b in zip(plain, shared):
+            assert np.array_equal(a.ids, b.ids)
+            assert np.array_equal(a.distances, b.distances)
+            assert a.rounds == b.rounds
+        # A batch-wide buffer pool can only drop repeat page reads.
+        assert shared.io.sequential <= plain.io.sequential
+        assert shared.io.random <= plain.io.random
+
+
+class TestValidation:
+    def test_knn_rejects_unknown_engine(self, dual_index, engine_split):
+        with pytest.raises(InvalidParameterError, match="engine"):
+            dual_index.knn(engine_split.queries[0], 5, 0.5, engine="warp")
+
+    def test_knn_batch_rejects_unknown_engine(self, dual_index, engine_split):
+        with pytest.raises(InvalidParameterError, match="engine"):
+            knn_batch(dual_index, engine_split.queries, 5, 0.5, engine="warp")
+
+    def test_share_pages_incompatible_with_scalar(self, dual_index, engine_split):
+        with pytest.raises(InvalidParameterError, match="share_pages"):
+            knn_batch(
+                dual_index,
+                engine_split.queries,
+                5,
+                0.5,
+                engine="scalar",
+                share_pages=True,
+            )
+
+    def test_metrics_mode_requires_query_centric(self, engine_split):
+        index = LazyLSH(_config(), rehashing="original").build(engine_split.data)
+        with pytest.raises(InvalidParameterError, match="query-centric"):
+            knn_batch(index, engine_split.queries, 5, metrics=P_VALUES)
+        with pytest.raises(InvalidParameterError, match="query-centric"):
+            MultiQueryEngine(index)
+
+
+class TestTwoLevelSearch:
+    """The batched two-level window search against a searchsorted loop."""
+
+    @pytest.mark.parametrize("span", [10, 1_000, 1_000_000])
+    @pytest.mark.parametrize("side", ["left", "right"])
+    def test_matches_reference(self, span, side):
+        rng = np.random.default_rng(span)
+        num_functions, n = 5, 1_500
+        hashes = rng.integers(-span, span, size=(num_functions, n))
+        store = InvertedListStore(hashes, PageLayout(page_size=256, entry_size=8))
+        funcs = rng.integers(0, num_functions, size=4_000)
+        bounds = rng.integers(-span - 5, span + 5, size=4_000)
+        got = store.batch_entry_positions(funcs, bounds, side)
+        for j in range(funcs.size):
+            f = int(funcs[j])
+            expect = f * n + int(
+                np.searchsorted(store._values[f], bounds[j], side=side)
+            )
+            assert got[j] == expect
+
+    def test_refinement_window_boundaries(self):
+        # Needles at exact run boundaries and at every multiple of the
+        # coarse stride, where the top-level index hands refinement the
+        # narrowest possible window.
+        rng = np.random.default_rng(99)
+        hashes = np.repeat(np.arange(0, 700, dtype=np.int64), 2)[None, :]
+        store = InvertedListStore(hashes)
+        bounds = np.concatenate(
+            [np.arange(-1, 701), np.arange(0, 1400, 256)]
+        )
+        funcs = np.zeros(bounds.size, dtype=np.int64)
+        for side in ("left", "right"):
+            got = store.batch_entry_positions(funcs, bounds, side)
+            expect = np.searchsorted(store._values[0], bounds, side=side)
+            assert np.array_equal(got, expect)

@@ -14,6 +14,12 @@ I/O numbers to ``benchmarks/results/BENCH_batch_knn.json``.
 Run ``--quick`` for a seconds-scale smoke version of the same pipeline
 (used by CI; writes ``BENCH_batch_knn.quick.json`` so the checked-in
 full-workload numbers are not clobbered).
+
+``--trace`` additionally re-runs the flat plan with telemetry enabled,
+writes one structured :class:`~repro.obs.QueryTrace` per query next to
+the result JSON (``*.trace.jsonl``), checks every trace's per-round I/O
+deltas sum exactly to the untraced run's totals, and reports the traced
+run's overhead.
 """
 
 from __future__ import annotations
@@ -25,9 +31,10 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import LazyLSH, LazyLSHConfig, knn_batch
+from repro import LazyLSH, LazyLSHConfig, Telemetry, knn_batch
 from repro.datasets import make_synthetic, sample_queries
 from repro.eval.harness import Timer, time_knn_batch
+from repro.obs import load_traces_jsonl
 
 FULL = {"n": 10_000, "d": 50, "k": 10, "p": 0.5, "n_queries": 64}
 QUICK = {"n": 2_000, "d": 20, "k": 10, "p": 0.5, "n_queries": 16}
@@ -53,7 +60,48 @@ def _results_match(scalar, flat) -> tuple[bool, bool]:
     return same_results, same_io
 
 
-def run(workload: dict, out_path: Path) -> dict:
+def _traced_run(index, split, workload: dict, flat, t_flat: float, out_path: Path) -> dict:
+    """Re-run the flat plan traced; verify and export the traces.
+
+    Every query must emit exactly one trace whose summed per-round I/O
+    deltas equal the untraced run's per-query totals *exactly* — the
+    trace is an audit log of the simulated cost model, not a sample.
+    """
+    k, p = workload["k"], workload["p"]
+    telemetry = Telemetry()
+    traced, t_traced = time_knn_batch(
+        index, split.queries, k, p, telemetry=telemetry
+    )
+    if len(telemetry.traces) != len(traced.results):
+        raise AssertionError(
+            f"expected one trace per query, got {len(telemetry.traces)} "
+            f"traces for {len(traced.results)} queries"
+        )
+    for j, (trace, untraced_result) in enumerate(
+        zip(telemetry.traces, flat.results)
+    ):
+        delta_sum = trace.io_delta_sum()
+        if (
+            delta_sum.sequential != untraced_result.io.sequential
+            or delta_sum.random != untraced_result.io.random
+        ):
+            raise AssertionError(
+                f"query {j}: trace I/O delta sum {delta_sum} != untraced "
+                f"totals {untraced_result.io}"
+            )
+    trace_path = out_path.parent / (out_path.stem + ".trace.jsonl")
+    telemetry.export_traces_jsonl(trace_path)
+    load_traces_jsonl(trace_path)  # schema round-trip
+    return {
+        "path": str(trace_path),
+        "traces": len(telemetry.traces),
+        "seconds": round(t_traced, 4),
+        "overhead_vs_untraced": round(t_traced / t_flat - 1.0, 4),
+        "terminations": telemetry.summary()["terminations"],
+    }
+
+
+def run(workload: dict, out_path: Path, trace: bool = False) -> dict:
     n, d, k, p = workload["n"], workload["d"], workload["k"], workload["p"]
     n_queries = workload["n_queries"]
     data = make_synthetic(n, d, seed=SEED)
@@ -75,6 +123,11 @@ def run(workload: dict, out_path: Path) -> dict:
         raise AssertionError("flat engine per-query I/O diverges from the scalar path")
 
     speedup = t_scalar.seconds / t_flat
+    traced_report = (
+        _traced_run(index, split, workload, flat, t_flat, out_path)
+        if trace
+        else None
+    )
     report = {
         "workload": {**workload, "eta": index.eta, "c": cfg.c},
         "scalar": {
@@ -92,6 +145,8 @@ def run(workload: dict, out_path: Path) -> dict:
         "per_query_io_identical": same_io,
         "python": platform.python_version(),
     }
+    if traced_report is not None:
+        report["traced"] = traced_report
     out_path.parent.mkdir(parents=True, exist_ok=True)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     return report
@@ -105,6 +160,11 @@ def main() -> None:
         help="seconds-scale smoke workload (CI)",
     )
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="re-run the flat plan with telemetry; write QueryTrace JSONL",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -116,7 +176,7 @@ def main() -> None:
         "BENCH_batch_knn.quick.json" if args.quick else "BENCH_batch_knn.json"
     )
     out_path = args.out or Path(__file__).parent / "results" / default_name
-    report = run(workload, out_path)
+    report = run(workload, out_path, trace=args.trace)
     print(json.dumps(report, indent=2))
     if not args.quick and report["speedup"] < 5.0:
         raise SystemExit(

@@ -34,6 +34,7 @@ from repro.errors import (
     UnsupportedMetricError,
 )
 from repro.metrics.lp import lp_distance, lp_distance_matrix, lp_norm
+from repro.obs import MetricsRegistry, QueryTrace, SpanTracer, Telemetry
 from repro.storage.io_stats import IOStats
 
 __version__ = "1.0.0"
@@ -49,11 +50,15 @@ __all__ = [
     "LazyLSH",
     "LazyLSHConfig",
     "MetricParams",
+    "MetricsRegistry",
     "MultiQueryEngine",
     "MultiQueryResult",
     "ParameterEngine",
+    "QueryTrace",
     "RangeResult",
     "ReproError",
+    "SpanTracer",
+    "Telemetry",
     "UnsupportedMetricError",
     "knn_batch",
     "lp_distance",

@@ -13,7 +13,16 @@ Commands
     generated dataset) and save it with :mod:`repro.persistence`.
 
 ``query``
-    Load a saved index and run kNN queries under one or more metrics.
+    Load a saved index and run kNN queries under one or more metrics,
+    reporting per-query simulated I/O and wall-clock time.
+
+``trace``
+    Run a query workload with telemetry enabled and write one
+    structured :class:`~repro.obs.QueryTrace` per query as JSONL.
+
+``stats``
+    Run a query workload with telemetry enabled and print the metrics
+    registry (Prometheus text format, or JSON with ``--format json``).
 
 ``datasets``
     List the generated datasets available to ``build``.
@@ -22,12 +31,14 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 import numpy as np
 
 from repro import LazyLSH, LazyLSHConfig
+from repro.core.batch import knn_batch
 from repro.core.params import ParameterEngine
 from repro.datasets import (
     SIMULATED_DATASET_NAMES,
@@ -35,7 +46,8 @@ from repro.datasets import (
     make_synthetic,
 )
 from repro.errors import ReproError, UnsupportedMetricError
-from repro.eval.harness import ResultTable
+from repro.eval.harness import ResultTable, Timer
+from repro.obs import Telemetry
 from repro.persistence import load_index, save_index
 
 
@@ -113,19 +125,33 @@ def cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workload_queries(index, args: argparse.Namespace) -> np.ndarray:
+    if args.query_file:
+        return np.atleast_2d(np.load(args.query_file))
+    return index.data[[args.row]]
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     index = load_index(args.index)
-    if args.query_file:
-        queries = np.atleast_2d(np.load(args.query_file))
-    else:
-        queries = index.data[[args.row]]
+    queries = _workload_queries(index, args)
     table = ResultTable(
         f"kNN results (k={args.k})",
-        ["query", "p", "ids", "distances", "seq I/O", "rnd I/O"],
+        [
+            "query",
+            "p",
+            "ids",
+            "distances",
+            "seq I/O",
+            "rnd I/O",
+            "total I/O",
+            "ms",
+        ],
     )
+    timer = Timer()
     for qi, query in enumerate(queries):
         for p in _parse_p_list(args.p):
-            result = index.knn(query, args.k, p)
+            with timer:
+                result = index.knn(query, args.k, p)
             table.add_row(
                 [
                     qi,
@@ -134,9 +160,69 @@ def cmd_query(args: argparse.Namespace) -> int:
                     " ".join(f"{d:.1f}" for d in result.distances[:8]),
                     result.io.sequential,
                     result.io.random,
+                    result.io.total,
+                    round(timer.seconds * 1e3, 3),
                 ]
             )
     print(table.render())
+    print(
+        f"{timer.entries} queries in {timer.total_seconds * 1e3:.3f} ms "
+        "(wall clock)"
+    )
+    return 0
+
+
+def _run_traced_workload(args: argparse.Namespace) -> tuple[Telemetry, int]:
+    """Run the shared ``trace``/``stats`` workload; returns telemetry."""
+    index = load_index(args.index)
+    queries = _workload_queries(index, args)
+    metrics = _parse_p_list(args.p)
+    telemetry = Telemetry()
+    telemetry.observe_store(index.store)
+    with telemetry.tracer.span("cli.workload", queries=int(queries.shape[0])):
+        if len(metrics) == 1:
+            knn_batch(
+                index,
+                queries,
+                args.k,
+                metrics[0],
+                engine=args.engine,
+                telemetry=telemetry,
+            )
+        else:
+            knn_batch(
+                index,
+                queries,
+                args.k,
+                metrics=metrics,
+                engine=args.engine,
+                telemetry=telemetry,
+            )
+    index.store.observer = None
+    return telemetry, int(queries.shape[0])
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    telemetry, num_queries = _run_traced_workload(args)
+    path = telemetry.export_traces_jsonl(args.output)
+    summary = telemetry.summary()
+    print(
+        f"traced {num_queries} queries ({len(telemetry.traces)} traces) "
+        f"-> {path}"
+    )
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if args.spans:
+        spans_path = telemetry.tracer.export_jsonl(args.spans)
+        print(f"spans -> {spans_path}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    telemetry, _num_queries = _run_traced_workload(args)
+    if args.format == "json":
+        print(json.dumps(telemetry.metrics_dict(), indent=2, sort_keys=True))
+    else:
+        print(telemetry.metrics_text(), end="")
     return 0
 
 
@@ -189,6 +275,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--query-file", default=None, help=".npy file of query vectors"
     )
     p_query.set_defaults(func=cmd_query)
+
+    def _add_workload_args(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument("index", help="index .npz path")
+        sub_parser.add_argument("--k", type=int, default=10)
+        sub_parser.add_argument(
+            "--p", default="1.0", help="comma-separated metrics"
+        )
+        sub_parser.add_argument(
+            "--row", type=int, default=0, help="use this indexed row as the query"
+        )
+        sub_parser.add_argument(
+            "--query-file", default=None, help=".npy file of query vectors"
+        )
+        sub_parser.add_argument(
+            "--engine", choices=("flat", "scalar"), default="flat"
+        )
+
+    p_trace = sub.add_parser(
+        "trace", help="run queries with telemetry, write QueryTrace JSONL"
+    )
+    _add_workload_args(p_trace)
+    p_trace.add_argument("--output", default="traces.jsonl")
+    p_trace.add_argument(
+        "--spans", default=None, help="also write harness spans as JSONL"
+    )
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_stats = sub.add_parser(
+        "stats", help="run queries with telemetry, print the metrics registry"
+    )
+    _add_workload_args(p_stats)
+    p_stats.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus"
+    )
+    p_stats.set_defaults(func=cmd_stats)
 
     p_list = sub.add_parser("datasets", help="list generated datasets")
     p_list.set_defaults(func=cmd_datasets)

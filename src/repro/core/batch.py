@@ -90,6 +90,7 @@ def knn_batch(
     metrics: Sequence[float] | None = None,
     engine: str = "flat",
     share_pages: bool = False,
+    telemetry=None,
 ) -> BatchKnnResult:
     """Answer ``Np(q, k, c)`` for every row of ``queries`` in one pass.
 
@@ -98,6 +99,11 @@ def knn_batch(
     :class:`MultiQueryEngine`) may be given.  ``engine="scalar"`` loops
     the reference path query by query — useful for verification — while
     the default ``"flat"`` plan runs all queries round-synchronised.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) captures one
+    :class:`~repro.obs.QueryTrace` per ``(query, metric)`` pair with
+    ``query_id`` set to the query's row; ``None`` (the default) runs the
+    no-op fast path.
     """
     if not index.is_built:
         raise InvalidParameterError("knn_batch needs a built LazyLSH index")
@@ -115,19 +121,41 @@ def knn_batch(
             "runs queries independently and cannot share one"
         )
     queries = _check_queries(index, queries)
+    if telemetry is None:
+        return _knn_batch_impl(
+            index, queries, k, p, metrics, engine, share_pages, None
+        )
+    with telemetry.tracer.span(
+        "knn_batch", engine=engine, k=k, queries=int(queries.shape[0])
+    ):
+        return _knn_batch_impl(
+            index, queries, k, p, metrics, engine, share_pages, telemetry
+        )
+
+
+def _knn_batch_impl(
+    index: LazyLSH,
+    queries: np.ndarray,
+    k: int,
+    p: float | None,
+    metrics: Sequence[float] | None,
+    engine: str,
+    share_pages: bool,
+    telemetry,
+) -> BatchKnnResult:
     if metrics is None:
         p_single = 1.0 if p is None else float(p)
         if engine == "scalar":
-            return _scalar_single(index, queries, k, p_single)
-        return _flat_single(index, queries, k, p_single, share_pages)
+            return _scalar_single(index, queries, k, p_single, telemetry)
+        return _flat_single(index, queries, k, p_single, share_pages, telemetry)
     unique = sorted({float(q) for q in metrics})
     if index.rehashing != "query_centric":
         raise InvalidParameterError(
             "the multi-query engine requires query-centric rehashing"
         )
     if engine == "scalar":
-        return _scalar_multi(index, queries, k, unique)
-    return _flat_multi(index, queries, k, unique, share_pages)
+        return _scalar_multi(index, queries, k, unique, telemetry)
+    return _flat_multi(index, queries, k, unique, share_pages, telemetry)
 
 
 def _aggregate(results: list) -> IOStats:
@@ -139,17 +167,38 @@ def _aggregate(results: list) -> IOStats:
 
 
 def _scalar_single(
-    index: LazyLSH, queries: np.ndarray, k: int, p: float
+    index: LazyLSH, queries: np.ndarray, k: int, p: float, telemetry=None
 ) -> BatchKnnResult:
-    results = [index.knn(q, k, p, engine="scalar") for q in queries]
+    results = []
+    for j in range(queries.shape[0]):
+        stats = IOStats()
+        result = index._knn_impl(
+            queries[j],
+            k,
+            p,
+            stats,
+            seen_pages=set(),
+            telemetry=telemetry,
+            query_id=j,
+        )
+        index.io_stats.add_sequential(stats.sequential)
+        index.io_stats.add_random(stats.random)
+        results.append(result)
     return BatchKnnResult(results=results, io=_aggregate(results))
 
 
 def _scalar_multi(
-    index: LazyLSH, queries: np.ndarray, k: int, unique: list[float]
+    index: LazyLSH,
+    queries: np.ndarray,
+    k: int,
+    unique: list[float],
+    telemetry=None,
 ) -> BatchKnnResult:
     engine = MultiQueryEngine(index)
-    results = [engine.knn(q, k, unique, engine="scalar") for q in queries]
+    results = [
+        engine.knn(q, k, unique, engine="scalar", telemetry=telemetry)
+        for q in queries
+    ]
     return BatchKnnResult(results=results, io=_aggregate(results))
 
 
@@ -159,6 +208,7 @@ def _flat_single(
     k: int,
     p: float,
     share_pages: bool,
+    telemetry=None,
 ) -> BatchKnnResult:
     bank = index._bank
     assert bank is not None
@@ -174,11 +224,29 @@ def _flat_single(
         )
         for j in range(queries.shape[0])
     ]
+    if telemetry is not None:
+        for j, group in enumerate(groups):
+            lane = group.lanes[0]
+            lane.trace = telemetry.query_trace_builder(
+                p=lane.p,
+                k=k,
+                engine="flat",
+                rehashing=index.rehashing,
+                query_id=j,
+            )
     execute_rounds(groups, error=_KNN_ABORT)
     results = []
     for group in groups:
         lane = group.lanes[0]
         results.append(_lane_result(lane))
+        if lane.trace is not None:
+            telemetry.record(
+                lane.trace.finish(
+                    termination=lane.stop_reason,
+                    io=lane.io,
+                    candidates=results[-1].candidates,
+                )
+            )
         index.io_stats.add_sequential(lane.io.sequential)
         index.io_stats.add_random(lane.io.random)
     return BatchKnnResult(results=results, io=_aggregate(results))
@@ -190,6 +258,7 @@ def _flat_multi(
     k: int,
     unique: list[float],
     share_pages: bool,
+    telemetry=None,
 ) -> BatchKnnResult:
     n = index.num_points
     if not 1 <= k <= n:
@@ -207,6 +276,11 @@ def _flat_multi(
             Lane(q, index.metric_params(q), k, k + index.beta * n, n_rows)
             for q in unique
         ]
+        if telemetry is not None:
+            for lane in lanes:
+                lane.trace = telemetry.query_trace_builder(
+                    p=lane.p, k=k, engine="flat", rehashing=index.rehashing
+                )
         groups.append(
             LaneGroup(
                 store=index.store,
@@ -228,6 +302,16 @@ def _flat_multi(
     results = []
     for group in groups:
         per_metric = {lane.p: _lane_result(lane) for lane in group.lanes}
+        if telemetry is not None:
+            for lane in group.lanes:
+                if lane.trace is not None:
+                    telemetry.record(
+                        lane.trace.finish(
+                            termination=lane.stop_reason,
+                            io=lane.io,
+                            candidates=per_metric[lane.p].candidates,
+                        )
+                    )
         total = _aggregate(list(per_metric.values()))
         index.io_stats.add_sequential(total.sequential)
         index.io_stats.add_random(total.random)

@@ -58,6 +58,11 @@ from repro.storage.pages import PageTracker
 #: Hard cap on rehashing rounds (mirrors the scalar loops).
 _MAX_ROUNDS = 128
 
+#: Algorithm-4 termination reasons, shared by the flat and scalar paths
+#: (and re-exported by :mod:`repro.obs` for trace consumers).
+TERMINATION_K_WITHIN = "k_within_radius"
+TERMINATION_CAP = "candidate_cap"
+
 #: Hash functions gathered per block; doubles every block of a round so a
 #: full no-termination round costs O(log eta) block overheads while an
 #: early termination at function ``i`` overshoots by at most ``O(i)``.
@@ -105,6 +110,8 @@ class Lane:
         "i_stop",
         "scan_end",
         "block_data",
+        "stop_reason",
+        "trace",
     )
 
     def __init__(self, p: float, params, k: int, cap: float, n_rows: int) -> None:
@@ -142,6 +149,11 @@ class Lane:
         self.i_stop: int | None = None
         self.scan_end = 0
         self.block_data: tuple | None = None
+        # Telemetry: why the lane terminated, and an optional
+        # QueryTraceBuilder hook (None keeps the no-op fast path — the
+        # only disabled-telemetry cost is `is None` checks).
+        self.stop_reason = ""
+        self.trace = None
 
     def begin_round_radius(self) -> None:
         """Refresh the within-radius counter for the new (larger) radius."""
@@ -250,6 +262,10 @@ class LaneGroup:
                 lane.c_delta = self.c * lane.delta
         for lane in self.active_lanes:
             lane.begin_round_radius()
+            if lane.trace is not None:
+                lane.trace.begin_round(
+                    level=self.level, radius=lane.c_delta, io=lane.io
+                )
         f_round = max(lane.eta for lane in self.active_lanes)
         self.f_round = f_round
         hq = self.query_hashes[:f_round]
@@ -332,6 +348,10 @@ class LaneGroup:
         for lane in self.active_lanes:
             if lane.i_stop is not None:
                 lane.active = False
+            if lane.trace is not None:
+                lane.trace.end_round(
+                    io=lane.io, candidates=lane.n_cand, within=lane.n_within
+                )
 
         # Advance per-function previous-round state.
         self.plos[:f_round] = self.cur_los
@@ -432,8 +452,15 @@ class LaneGroup:
             # No promotions in this lane's share of the block, so the
             # scalar loop's per-function check is the same constant test
             # at every function of the range.
-            if lane.n_within >= lane.k or lane.n_cand > lane.cap:
+            if lane.n_within >= lane.k:
                 lane.i_stop = f0
+                lane.stop_reason = TERMINATION_K_WITHIN
+            elif lane.n_cand > lane.cap:
+                lane.i_stop = f0
+                lane.stop_reason = TERMINATION_CAP
+            if lane.trace is not None:
+                consumed = m if lane.i_stop is None else int(bounds[1])
+                lane.trace.add_collisions(consumed)
             lane.block_data = (_EMPTY_I64, _EMPTY_I64, _EMPTY_F64, add)
             return
         lookup = self._lookup
@@ -463,7 +490,20 @@ class LaneGroup:
         cum_within = lane.n_within + np.cumsum(within)
         stop_mask = (cum_within >= lane.k) | (cum_cand > lane.cap)
         if stop_mask.any():
-            lane.i_stop = f0 + int(np.argmax(stop_mask))
+            stop = int(np.argmax(stop_mask))
+            lane.i_stop = f0 + stop
+            # The scalar loop tests the within-radius condition before
+            # the candidate cap, so it wins when both fire at once.
+            lane.stop_reason = (
+                TERMINATION_K_WITHIN
+                if cum_within[stop] >= lane.k
+                else TERMINATION_CAP
+            )
+        if lane.trace is not None:
+            consumed = (
+                m if lane.i_stop is None else int(bounds[lane.i_stop - f0 + 1])
+            )
+            lane.trace.add_collisions(consumed)
         lane.block_data = (cross_ids, cross_func, dists, add)
 
     def _charge_hulls(
@@ -555,6 +595,8 @@ class LaneGroup:
         kept_ids = cross_ids[:kept]
         kept_dists = dists[:kept]
         if kept:
+            if lane.trace is not None:
+                lane.trace.add_crossings(kept)
             lane.is_candidate[kept_ids] = True
             lane.id_chunks.append(kept_ids)
             lane.dist_chunks.append(kept_dists)

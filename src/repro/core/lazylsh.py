@@ -25,7 +25,13 @@ import numpy as np
 
 from repro._typing import IdArray, PointMatrix, PointVector
 from repro.core.config import LazyLSHConfig
-from repro.core.engine import Lane, LaneGroup, execute_rounds
+from repro.core.engine import (
+    TERMINATION_CAP,
+    TERMINATION_K_WITHIN,
+    Lane,
+    LaneGroup,
+    execute_rounds,
+)
 from repro.core.hashing import (
     StableHashBank,
     original_window,
@@ -67,6 +73,7 @@ def _lane_result(lane: Lane) -> "KnnResult":
         io=lane.io,
         candidates=int(cand_ids.size),
         rounds=lane.rounds,
+        termination=lane.stop_reason,
     )
 
 
@@ -84,6 +91,9 @@ class KnnResult:
     io: IOStats = field(default_factory=IOStats)
     candidates: int = 0
     rounds: int = 0
+    #: Why Algorithm 4 stopped: ``"k_within_radius"`` (k candidates
+    #: inside ``c * delta``) or ``"candidate_cap"`` (budget exhausted).
+    termination: str = ""
 
 
 @dataclass
@@ -473,7 +483,13 @@ class LazyLSH:
         return outcome
 
     def knn(
-        self, query: PointVector, k: int, p: float = 1.0, *, engine: str = "flat"
+        self,
+        query: PointVector,
+        k: int,
+        p: float = 1.0,
+        *,
+        engine: str = "flat",
+        telemetry=None,
     ) -> KnnResult:
         """Answer ``Np(q, k, c)`` (Algorithm 4).
 
@@ -488,25 +504,52 @@ class LazyLSH:
         ``engine`` selects the execution plan: ``"flat"`` (default) runs
         the vectorised flat-array kernel, ``"scalar"`` the per-function
         reference loop.  Both return bit-identical results and I/O counts.
+
+        ``telemetry`` (a :class:`repro.obs.Telemetry`) captures one
+        structured :class:`~repro.obs.QueryTrace` per call and updates
+        the standard metric instruments; ``None`` (the default) runs the
+        no-op fast path.
         """
+        if engine not in ("flat", "scalar"):
+            raise InvalidParameterError(
+                f"engine must be 'flat' or 'scalar', got {engine!r}"
+            )
+        if telemetry is None:
+            return self._knn_dispatch(query, k, p, engine, None)
+        with telemetry.tracer.span("lazylsh.knn", engine=engine, k=k):
+            return self._knn_dispatch(query, k, p, engine, telemetry)
+
+    def _knn_dispatch(
+        self, query: PointVector, k: int, p: float, engine: str, telemetry
+    ) -> KnnResult:
         if engine == "scalar":
             query = self._check_query(query)
             stats = IOStats()
             # A fresh per-query page cache: pages re-touched by successive
             # rehashing rounds (ring boundaries) stay in the buffer pool
             # for the duration of one query and are charged once.
-            result = self._knn_impl(query, k, p, stats, seen_pages=set())
+            result = self._knn_impl(
+                query, k, p, stats, seen_pages=set(), telemetry=telemetry
+            )
             self.io_stats.add_sequential(stats.sequential)
             self.io_stats.add_random(stats.random)
             return result
-        if engine != "flat":
-            raise InvalidParameterError(
-                f"engine must be 'flat' or 'scalar', got {engine!r}"
-            )
         group = self._lane_group(self._check_query(query), k, p)
-        execute_rounds([group], error=_KNN_ABORT)
         lane = group.lanes[0]
+        if telemetry is not None:
+            lane.trace = telemetry.query_trace_builder(
+                p=lane.p, k=k, engine="flat", rehashing=self.rehashing
+            )
+        execute_rounds([group], error=_KNN_ABORT)
         result = _lane_result(lane)
+        if lane.trace is not None:
+            telemetry.record(
+                lane.trace.finish(
+                    termination=lane.stop_reason,
+                    io=lane.io,
+                    candidates=result.candidates,
+                )
+            )
         self.io_stats.add_sequential(lane.io.sequential)
         self.io_stats.add_random(lane.io.random)
         return result
@@ -560,6 +603,8 @@ class LazyLSH:
         *,
         seen_pages: set[tuple[int, int]] | None = None,
         fetched: np.ndarray | None = None,
+        telemetry=None,
+        query_id: int | None = None,
     ) -> KnnResult:
         """Algorithm 4 body, shareable by the multi-query engine.
 
@@ -576,6 +621,15 @@ class LazyLSH:
             )
         params = self.metric_params(p)
         assert self._bank is not None and self._store is not None and self._data is not None
+        trace = None
+        if telemetry is not None:
+            trace = telemetry.query_trace_builder(
+                p=p,
+                k=k,
+                engine="scalar",
+                rehashing=self.rehashing,
+                query_id=query_id,
+            )
         theta = params.theta
         cap = k + self._beta * n
         counts = np.zeros(n_rows, dtype=np.int32)
@@ -587,12 +641,15 @@ class LazyLSH:
         delta = 1.0 / params.r_hat
         rounds = 0
         done = False
+        reason = ""
         while not done:
             rounds += 1
             if rounds > _MAX_ROUNDS:
                 raise RuntimeError(_KNN_ABORT)
             level = params.r_hat * delta
             c_delta = self.config.c * delta
+            if trace is not None:
+                trace.begin_round(level=level, radius=c_delta, io=stats)
             windows: list[tuple[int, int]] = []
             for i in range(params.eta):
                 lo, hi = self._window(int(query_hashes[i]), level)
@@ -610,6 +667,8 @@ class LazyLSH:
                         # "original" rehashing ablation); re-scan fully.
                         ids = self._store.read_window(i, lo, hi, stats, seen_pages)
                 if ids.size > 0:
+                    if trace is not None:
+                        trace.add_collisions(int(ids.size))
                     counts[ids] += 1
                     crossed = ids[
                         (counts[ids] > theta)
@@ -618,6 +677,8 @@ class LazyLSH:
                     ]
                     if crossed.size > 0:
                         is_candidate[crossed] = True
+                        if trace is not None:
+                            trace.add_crossings(int(crossed.size))
                         if fetched is None:
                             stats.add_random(int(crossed.size))
                         else:
@@ -632,15 +693,30 @@ class LazyLSH:
                     dist_arr = np.asarray(cand_dists)
                     if np.count_nonzero(dist_arr < c_delta) >= k:
                         done = True
+                        reason = TERMINATION_K_WITHIN
                         break
                 if len(cand_ids) > cap:
                     done = True
+                    reason = TERMINATION_CAP
                     break
+            if trace is not None:
+                dist_arr = np.asarray(cand_dists, dtype=np.float64)
+                trace.end_round(
+                    io=stats,
+                    candidates=len(cand_ids),
+                    within=int(np.count_nonzero(dist_arr < c_delta)),
+                )
             prev_windows = windows
             delta *= self.config.c
         order = np.argsort(np.asarray(cand_dists))[:k]
         ids = np.asarray(cand_ids, dtype=np.int64)[order]
         dists = np.asarray(cand_dists, dtype=np.float64)[order]
+        if trace is not None:
+            telemetry.record(
+                trace.finish(
+                    termination=reason, io=stats, candidates=len(cand_ids)
+                )
+            )
         return KnnResult(
             ids=ids,
             distances=dists,
@@ -649,4 +725,5 @@ class LazyLSH:
             io=stats,
             candidates=len(cand_ids),
             rounds=rounds,
+            termination=reason,
         )

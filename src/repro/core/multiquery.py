@@ -30,7 +30,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro._typing import PointVector
-from repro.core.engine import Lane, LaneGroup, execute_rounds
+from repro.core.engine import (
+    TERMINATION_CAP,
+    TERMINATION_K_WITHIN,
+    Lane,
+    LaneGroup,
+    execute_rounds,
+)
 from repro.core.lazylsh import KnnResult, LazyLSH, _lane_result
 from repro.core.params import MetricParams
 from repro.errors import InvalidParameterError
@@ -71,6 +77,8 @@ class _MetricState:
         self.active = True
         self.rounds = 0
         self.io = IOStats()
+        self.reason = ""
+        self.trace = None
 
     def delta_at_round(self, round_index: int, c: float) -> float:
         """The metric's search radius at round ``j``: ``c^j / r_hat``."""
@@ -88,6 +96,7 @@ class _MetricState:
             io=self.io,
             candidates=len(self.cand_ids),
             rounds=self.rounds,
+            termination=self.reason,
         )
 
 
@@ -119,6 +128,7 @@ class MultiQueryEngine:
         p_values: list[float] | tuple[float, ...],
         *,
         engine: str = "flat",
+        telemetry=None,
     ) -> MultiQueryResult:
         """kNN of ``query`` under every metric in ``p_values``.
 
@@ -131,6 +141,10 @@ class MultiQueryEngine:
         ``engine`` selects the execution plan (``"flat"`` — the
         vectorised kernel — or ``"scalar"``, the per-function reference
         loop); both produce bit-identical results and I/O counts.
+
+        ``telemetry`` (a :class:`repro.obs.Telemetry`) captures one
+        :class:`~repro.obs.QueryTrace` per metric; ``None`` (the
+        default) runs the no-op fast path.
         """
         if engine not in ("flat", "scalar"):
             raise InvalidParameterError(
@@ -138,6 +152,21 @@ class MultiQueryEngine:
             )
         if not p_values:
             raise InvalidParameterError("p_values must be non-empty")
+        if telemetry is not None:
+            with telemetry.tracer.span(
+                "multiquery.knn", engine=engine, k=k, metrics=len(p_values)
+            ):
+                return self._knn_impl(query, k, p_values, engine, telemetry)
+        return self._knn_impl(query, k, p_values, engine, None)
+
+    def _knn_impl(
+        self,
+        query: PointVector,
+        k: int,
+        p_values: list[float] | tuple[float, ...],
+        engine: str,
+        telemetry,
+    ) -> MultiQueryResult:
         unique = sorted({float(p) for p in p_values})
         index = self.index
         n = index.num_points
@@ -148,7 +177,7 @@ class MultiQueryEngine:
             )
         query = np.asarray(query, dtype=np.float64)
         if engine == "flat":
-            return self._knn_flat(query, k, unique)
+            return self._knn_flat(query, k, unique, telemetry)
         # Validate every metric up front so no partial work is wasted.
         states = [
             _MetricState(
@@ -160,6 +189,11 @@ class MultiQueryEngine:
             )
             for p in unique
         ]
+        if telemetry is not None:
+            for state in states:
+                state.trace = telemetry.query_trace_builder(
+                    p=state.p, k=k, engine="scalar", rehashing=index.rehashing
+                )
         c = index.config.c
         data = index.data
         store = index.store
@@ -181,10 +215,15 @@ class MultiQueryEngine:
                 )
             level = c**round_index
             half = int(np.floor(level / 2.0))
-            for state in states:
-                if state.active:
-                    state.rounds += 1
+            rounders = [state for state in states if state.active]
+            for state in rounders:
+                state.rounds += 1
             deltas = [state.delta_at_round(round_index, c) for state in states]
+            for si, state in enumerate(states):
+                if state.active and state.trace is not None:
+                    state.trace.begin_round(
+                        level=level, radius=c * deltas[si], io=state.io
+                    )
             for i in range(eta_max):
                 consumers = [
                     state
@@ -214,6 +253,8 @@ class MultiQueryEngine:
                     if not state.active or i >= state.params.eta:
                         continue
                     if ids.size > 0:
+                        if state.trace is not None:
+                            state.trace.add_collisions(int(ids.size))
                         state.counts[ids] += 1
                         crossed = ids[
                             (state.counts[ids] > state.params.theta)
@@ -222,6 +263,8 @@ class MultiQueryEngine:
                         ]
                         if crossed.size > 0:
                             state.is_candidate[crossed] = True
+                            if state.trace is not None:
+                                state.trace.add_crossings(int(crossed.size))
                             fresh = crossed[~fetched[crossed]]
                             fetched[crossed] = True
                             state.io.add_random(int(fresh.size))
@@ -233,14 +276,34 @@ class MultiQueryEngine:
                         dist_arr = np.asarray(state.cand_dists)
                         if np.count_nonzero(dist_arr < c * deltas[si]) >= k:
                             state.active = False
+                            state.reason = TERMINATION_K_WITHIN
                             continue
                     if len(state.cand_ids) > state.cap:
                         state.active = False
+                        state.reason = TERMINATION_CAP
+            for si, state in enumerate(states):
+                if state.trace is not None and state in rounders:
+                    dist_arr = np.asarray(state.cand_dists, dtype=np.float64)
+                    state.trace.end_round(
+                        io=state.io,
+                        candidates=len(state.cand_ids),
+                        within=int(
+                            np.count_nonzero(dist_arr < c * deltas[si])
+                        ),
+                    )
             prev_half = half
         total = IOStats()
         results: dict[float, KnnResult] = {}
         for state in states:
             results[state.p] = state.finish()
+            if state.trace is not None:
+                telemetry.record(
+                    state.trace.finish(
+                        termination=state.reason,
+                        io=state.io,
+                        candidates=len(state.cand_ids),
+                    )
+                )
             total.add_sequential(state.io.sequential)
             total.add_random(state.io.random)
         self.index.io_stats.add_sequential(total.sequential)
@@ -248,7 +311,7 @@ class MultiQueryEngine:
         return MultiQueryResult(results=results, io=total)
 
     def _knn_flat(
-        self, query: np.ndarray, k: int, unique: list[float]
+        self, query: np.ndarray, k: int, unique: list[float], telemetry=None
     ) -> MultiQueryResult:
         """Flat-engine execution of the level-synchronised batch loop.
 
@@ -263,6 +326,11 @@ class MultiQueryEngine:
             Lane(p, index.metric_params(p), k, k + index.beta * n, n_rows)
             for p in unique
         ]
+        if telemetry is not None:
+            for lane in lanes:
+                lane.trace = telemetry.query_trace_builder(
+                    p=lane.p, k=k, engine="flat", rehashing=index.rehashing
+                )
         bank = index._bank
         assert bank is not None
         group = LaneGroup(
@@ -284,6 +352,14 @@ class MultiQueryEngine:
         results: dict[float, KnnResult] = {}
         for lane in lanes:
             results[lane.p] = _lane_result(lane)
+            if lane.trace is not None:
+                telemetry.record(
+                    lane.trace.finish(
+                        termination=lane.stop_reason,
+                        io=lane.io,
+                        candidates=results[lane.p].candidates,
+                    )
+                )
             total.add_sequential(lane.io.sequential)
             total.add_random(lane.io.random)
         index.io_stats.add_sequential(total.sequential)

@@ -80,14 +80,26 @@ class ResultTable:
 class Timer:
     """Context-manager wall-clock timer.
 
+    Re-enterable: ``seconds`` is the most recent ``with`` block's
+    duration, ``total_seconds`` and ``entries`` accumulate over every
+    finished block — so one timer can meter a loop of measured sections.
+
     >>> with Timer() as t:
     ...     _ = sum(range(1000))
     >>> t.seconds >= 0
+    True
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.entries
+    2
+    >>> t.total_seconds >= t.seconds
     True
     """
 
     def __init__(self) -> None:
         self.seconds: float = 0.0
+        self.total_seconds: float = 0.0
+        self.entries: int = 0
         self._start: float = 0.0
 
     def __enter__(self) -> "Timer":
@@ -96,6 +108,16 @@ class Timer:
 
     def __exit__(self, *exc_info: object) -> None:
         self.seconds = time.perf_counter() - self._start
+        self.total_seconds += self.seconds
+        self.entries += 1
+
+    def as_row(self) -> dict:
+        """JSON-serialisable summary for run records and result tables."""
+        return {
+            "seconds": self.seconds,
+            "total_seconds": self.total_seconds,
+            "entries": self.entries,
+        }
 
 
 def time_knn_batch(
@@ -107,11 +129,13 @@ def time_knn_batch(
     metrics: Sequence[float] | None = None,
     engine: str = "flat",
     share_pages: bool = False,
+    telemetry=None,
 ):
     """Run ``knn_batch`` under a wall-clock timer.
 
     Returns ``(BatchKnnResult, seconds)``; used by the benchmark scripts
     so scalar/flat comparisons all time the identical call path.
+    ``telemetry`` is forwarded to :func:`repro.core.batch.knn_batch`.
     """
     from repro.core.batch import knn_batch
 
@@ -124,5 +148,6 @@ def time_knn_batch(
             metrics=metrics,
             engine=engine,
             share_pages=share_pages,
+            telemetry=telemetry,
         )
     return result, timer.seconds

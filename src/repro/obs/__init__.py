@@ -1,0 +1,71 @@
+"""Query telemetry: metrics registry, span tracer and per-query traces.
+
+Three layers, composable but independently usable:
+
+* :mod:`repro.obs.registry` — process-local counters, gauges and
+  fixed-bucket histograms with dict/JSON and Prometheus text export;
+* :mod:`repro.obs.tracer` — nested monotonic-clock spans with a JSONL
+  exporter;
+* :mod:`repro.obs.query_trace` — structured round-by-round
+  :class:`QueryTrace` records with schema validation and JSONL I/O.
+
+:class:`Telemetry` bundles all three and is what the query entry points
+accept::
+
+    from repro import LazyLSH, Telemetry
+
+    tel = Telemetry()
+    index.knn(query, k=10, p=0.5, telemetry=tel)
+    tel.traces[0].termination          # why the query stopped
+    tel.export_traces_jsonl("run.jsonl")
+    print(tel.metrics_text())          # Prometheus exposition format
+"""
+
+from repro.obs.query_trace import (
+    TERMINATION_CAP,
+    TERMINATION_K_WITHIN,
+    TERMINATION_REASONS,
+    TRACE_SCHEMA,
+    TRACE_VERSION,
+    QueryTrace,
+    QueryTraceBuilder,
+    RoundRecord,
+    TraceSchemaError,
+    load_traces_jsonl,
+    validate_trace_dict,
+    write_traces_jsonl,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_default_registry,
+)
+from repro.obs.telemetry import StoreObserver, Telemetry
+from repro.obs.tracer import Span, SpanTracer, load_spans_jsonl
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryTrace",
+    "QueryTraceBuilder",
+    "RoundRecord",
+    "Span",
+    "SpanTracer",
+    "StoreObserver",
+    "TERMINATION_CAP",
+    "TERMINATION_K_WITHIN",
+    "TERMINATION_REASONS",
+    "TRACE_SCHEMA",
+    "TRACE_VERSION",
+    "Telemetry",
+    "TraceSchemaError",
+    "get_default_registry",
+    "load_spans_jsonl",
+    "load_traces_jsonl",
+    "validate_trace_dict",
+    "write_traces_jsonl",
+]

@@ -1,0 +1,230 @@
+"""Telemetry facade: one object wiring traces, metrics and spans together.
+
+Passing a :class:`Telemetry` to any query entry point (``LazyLSH.knn``,
+``MultiQueryEngine.knn``, ``knn_batch``, the CLI, the benchmark harness)
+turns on per-query :class:`~repro.obs.query_trace.QueryTrace` capture and
+keeps the standard instrument set updated:
+
+======================================  =========  =============================
+metric                                  kind       labels
+======================================  =========  =============================
+``lazylsh_queries_total``               counter    ``engine``, ``p``
+``lazylsh_query_terminations_total``    counter    ``reason``
+``lazylsh_query_rounds``                histogram  —
+``lazylsh_query_candidates``            histogram  —
+``lazylsh_query_io_sequential``         histogram  —
+``lazylsh_query_io_random``             histogram  —
+======================================  =========  =============================
+
+When no telemetry object is passed (the default), the engines run a
+no-op fast path: the only residue is one ``is None`` check per hook
+site, keeping the disabled-telemetry overhead within the documented
+<= 3% budget on the acceptance workload.
+
+:meth:`Telemetry.observe_store` additionally attaches a
+:class:`StoreObserver` to an :class:`~repro.storage.inverted_index.
+InvertedListStore`, counting window searches, gathers and scanned
+entries at the storage layer.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.query_trace import (
+    QueryTrace,
+    QueryTraceBuilder,
+    write_traces_jsonl,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import SpanTracer
+
+#: Rehashing rounds per query; the engine caps rounds at 128.
+ROUND_BUCKETS = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128)
+
+#: Candidate / I/O magnitudes; geometric so one histogram spans toy
+#: tests and the million-point north-star workloads.
+COUNT_BUCKETS = (
+    1,
+    4,
+    16,
+    64,
+    256,
+    1_024,
+    4_096,
+    16_384,
+    65_536,
+    262_144,
+    1_048_576,
+)
+
+
+class StoreObserver:
+    """Storage-layer counters for an :class:`InvertedListStore`.
+
+    Attached via :meth:`Telemetry.observe_store`; every hook is one
+    counter increment, and a detached store (``observer = None``) pays a
+    single ``is None`` check per storage call.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.searches = registry.counter(
+            "lazylsh_store_searches_total",
+            "Batched window-endpoint searches answered by the store",
+        )
+        self.windows = registry.counter(
+            "lazylsh_store_window_reads_total",
+            "Scalar window/ring reads answered by the store",
+        )
+        self.entries = registry.counter(
+            "lazylsh_store_entries_scanned_total",
+            "Inverted-list entries scanned (gathered or window-read)",
+        )
+
+    def on_search(self, needles: int) -> None:
+        self.searches.inc(needles)
+
+    def on_window_read(self, entries: int) -> None:
+        self.windows.inc()
+        self.entries.inc(entries)
+
+    def on_gather(self, entries: int) -> None:
+        self.entries.inc(entries)
+
+
+class Telemetry:
+    """Aggregates a metrics registry, a span tracer and captured traces.
+
+    Parameters
+    ----------
+    registry:
+        Metrics registry to write into; a fresh private one by default.
+        Pass :func:`repro.obs.get_default_registry` to aggregate across
+        several telemetry objects process-wide.
+    tracer:
+        Span tracer for harness-level profiling sections; fresh by
+        default.
+    capture_traces:
+        Keep every recorded :class:`QueryTrace` in :attr:`traces`
+        (default).  Disable for long-running servers that only want the
+        registry aggregates.
+    """
+
+    def __init__(
+        self,
+        *,
+        registry: MetricsRegistry | None = None,
+        tracer: SpanTracer | None = None,
+        capture_traces: bool = True,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else SpanTracer()
+        self.capture_traces = capture_traces
+        self.traces: list[QueryTrace] = []
+        self._auto_query_id = 0
+        reg = self.registry
+        self._queries = reg.counter(
+            "lazylsh_queries_total", "Queries served"
+        )
+        self._terminations = reg.counter(
+            "lazylsh_query_terminations_total",
+            "Queries by Algorithm 4 termination reason",
+        )
+        self._rounds = reg.histogram(
+            "lazylsh_query_rounds",
+            "Rehashing rounds per query",
+            buckets=ROUND_BUCKETS,
+        )
+        self._candidates = reg.histogram(
+            "lazylsh_query_candidates",
+            "Candidates verified per query",
+            buckets=COUNT_BUCKETS,
+        )
+        self._io_sequential = reg.histogram(
+            "lazylsh_query_io_sequential",
+            "Simulated sequential I/Os per query",
+            buckets=COUNT_BUCKETS,
+        )
+        self._io_random = reg.histogram(
+            "lazylsh_query_io_random",
+            "Simulated random I/Os per query",
+            buckets=COUNT_BUCKETS,
+        )
+
+    # -- query traces ---------------------------------------------------
+
+    def query_trace_builder(
+        self,
+        *,
+        p: float,
+        k: int,
+        engine: str,
+        rehashing: str,
+        query_id: int | None = None,
+    ) -> QueryTraceBuilder:
+        """A builder the engines thread through one query's execution."""
+        if query_id is None:
+            query_id = self._auto_query_id
+            self._auto_query_id += 1
+        else:
+            self._auto_query_id = max(self._auto_query_id, query_id + 1)
+        return QueryTraceBuilder(
+            p=p, k=k, engine=engine, rehashing=rehashing, query_id=query_id
+        )
+
+    def record(self, trace: QueryTrace) -> QueryTrace:
+        """Fold one finished trace into the registry (and keep it)."""
+        self._queries.inc(engine=trace.engine, p=f"{trace.p:g}")
+        self._terminations.inc(reason=trace.termination)
+        self._rounds.observe(trace.num_rounds)
+        self._candidates.observe(trace.candidates)
+        self._io_sequential.observe(trace.io.sequential)
+        self._io_random.observe(trace.io.random)
+        if self.capture_traces:
+            self.traces.append(trace)
+        return trace
+
+    def export_traces_jsonl(self, path: str | Path) -> Path:
+        """Write the captured traces as JSONL."""
+        return write_traces_jsonl(self.traces, path)
+
+    # -- storage hooks --------------------------------------------------
+
+    def observe_store(self, store) -> StoreObserver:
+        """Attach storage-layer counters to ``store`` (and return them).
+
+        Detach with ``store.observer = None``.
+        """
+        observer = StoreObserver(self.registry)
+        store.observer = observer
+        return observer
+
+    # -- export ---------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        return self.registry.render_prometheus()
+
+    def metrics_dict(self) -> dict:
+        """The registry as a JSON-serialisable dict."""
+        return self.registry.to_dict()
+
+    def summary(self) -> dict:
+        """Compact run summary derived from the captured traces."""
+        total = {"sequential": 0, "random": 0}
+        reasons: dict[str, int] = {}
+        rounds = 0
+        candidates = 0
+        for trace in self.traces:
+            total["sequential"] += trace.io.sequential
+            total["random"] += trace.io.random
+            reasons[trace.termination] = reasons.get(trace.termination, 0) + 1
+            rounds += trace.num_rounds
+            candidates += trace.candidates
+        return {
+            "queries": len(self.traces),
+            "io": total,
+            "terminations": reasons,
+            "rounds": rounds,
+            "candidates": candidates,
+        }

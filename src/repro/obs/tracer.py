@@ -1,0 +1,141 @@
+"""Span tracer: monotonic-clock timed sections with parent/child nesting.
+
+A :class:`SpanTracer` hands out context managers that time a named block
+of work and remember its position in the call tree::
+
+    tracer = SpanTracer()
+    with tracer.span("knn_batch", queries=64):
+        with tracer.span("hash"):
+            ...
+        with tracer.span("rounds"):
+            ...
+    tracer.export_jsonl("spans.jsonl")
+
+Finished spans land in :attr:`SpanTracer.spans` in completion order
+(children before parents, like a profiler's flame graph leaves).  Spans
+are plain records — export is one JSON object per line, and
+:func:`load_spans_jsonl` round-trips them for offline analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+
+@dataclass
+class Span:
+    """One timed section of work.
+
+    ``start``/``end`` are monotonic-clock readings (seconds, arbitrary
+    epoch); only durations and orderings are meaningful across spans of
+    one tracer.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    end: float | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, **attributes: Any) -> None:
+        """Attach attributes to the span while it is open."""
+        self.attributes.update(attributes)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attributes": self.attributes,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Span":
+        return cls(
+            name=record["name"],
+            span_id=record["span_id"],
+            parent_id=record["parent_id"],
+            start=record["start"],
+            end=record["end"],
+            attributes=dict(record.get("attributes", {})),
+        )
+
+
+class SpanTracer:
+    """Produces nested :class:`Span` records under one monotonic clock."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._next_id = 1
+        self._stack: list[Span] = []
+        self.spans: list[Span] = []
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a child span of the current span for the ``with`` body."""
+        record = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            start=self._clock(),
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        self._stack.append(record)
+        try:
+            yield record
+        except BaseException as exc:
+            record.attributes.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            record.end = self._clock()
+            self._stack.pop()
+            self.spans.append(record)
+
+    def clear(self) -> None:
+        """Drop finished spans (open spans are unaffected)."""
+        self.spans.clear()
+
+    def to_dicts(self) -> list[dict]:
+        """Finished spans as JSON-serialisable dicts, completion order."""
+        return [span.to_dict() for span in self.spans]
+
+    def export_jsonl(self, path: str | Path) -> Path:
+        """Write finished spans as one JSON object per line."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fh:
+            for span in self.spans:
+                fh.write(json.dumps(span.to_dict()) + "\n")
+        return path
+
+
+def load_spans_jsonl(path: str | Path) -> list[Span]:
+    """Read spans back from a :meth:`SpanTracer.export_jsonl` file."""
+    spans = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_dict(json.loads(line)))
+    return spans

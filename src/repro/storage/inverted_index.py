@@ -72,6 +72,10 @@ class InvertedListStore:
             raise InvalidParameterError(
                 f"hash values must be integers, got dtype {hash_values.dtype}"
             )
+        # Optional telemetry hook (see repro.obs.StoreObserver); must be
+        # bound before any method that reads it runs.  ``None`` keeps the
+        # hot paths on a single ``is None`` check.
+        self.observer = None
         self._layout = layout or PageLayout()
         num_functions, num_points = hash_values.shape
         self._num_functions = int(num_functions)
@@ -181,6 +185,8 @@ class InvertedListStore:
         """
         funcs = np.asarray(funcs, dtype=np.int64)
         bounds = np.asarray(bounds, dtype=np.int64)
+        if self.observer is not None:
+            self.observer.on_search(int(funcs.shape[0]))
         if self._rel32 is not None:
             return self._two_level_search(funcs, bounds, side)
         if self._keys is not None:  # pragma: no cover - >int32 hash domains
@@ -249,6 +255,8 @@ class InvertedListStore:
         idx = self._segment_indices(starts, lens)
         if idx is None:
             return np.empty(0, dtype=np.int64)
+        if self.observer is not None:
+            self.observer.on_gather(int(idx.size))
         return self._ids.ravel()[idx]
 
     def gather_segments32(self, starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
@@ -261,6 +269,8 @@ class InvertedListStore:
         idx = self._segment_indices(starts, lens)
         if idx is None:
             return np.empty(0, dtype=np.int32)
+        if self.observer is not None:
+            self.observer.on_gather(int(idx.size))
         ids32 = self._ids32_flat
         if ids32 is None:
             ids32 = self._ids.ravel().astype(np.int32)
@@ -460,6 +470,8 @@ class InvertedListStore:
         if hi < lo:
             return np.empty(0, dtype=np.int64)
         start, stop = self._entry_range(func, lo, hi)
+        if self.observer is not None:
+            self.observer.on_window_read(int(stop - start))
         if stop > start:
             self._charge_pages(func, start, stop, stats, seen_pages)
         return self._ids[func, start:stop]

@@ -44,6 +44,24 @@ class IOStats:
         """Return an immutable-by-convention copy of the current counters."""
         return IOStats(sequential=self.sequential, random=self.random)
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (``total`` included for readability)."""
+        return {
+            "sequential": self.sequential,
+            "random": self.random,
+            "total": self.total,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "IOStats":
+        """Rebuild from :meth:`to_dict` output (``total`` is derived)."""
+        stats = cls(
+            sequential=int(record["sequential"]), random=int(record["random"])
+        )
+        if stats.sequential < 0 or stats.random < 0:
+            raise ValueError(f"I/O counts must be >= 0, got {record}")
+        return stats
+
     def __sub__(self, other: "IOStats") -> "IOStats":
         """Difference of two snapshots (``later - earlier``)."""
         return IOStats(
@@ -68,6 +86,11 @@ class IOStats:
 class IOMeter:
     """Helper that measures the I/O delta of a block of work.
 
+    Re-enterable: each ``__enter__`` takes a fresh ``_start`` snapshot,
+    so one meter can measure successive ``with`` blocks independently
+    (``delta`` is the most recent block's delta, ``cumulative`` the sum
+    over all finished blocks).
+
     Example
     -------
     >>> stats = IOStats()
@@ -80,6 +103,7 @@ class IOMeter:
     stats: IOStats
     _start: IOStats = field(init=False, repr=False, default_factory=IOStats)
     delta: IOStats = field(init=False, default_factory=IOStats)
+    cumulative: IOStats = field(init=False, default_factory=IOStats)
 
     def __enter__(self) -> "IOMeter":
         self._start = self.stats.snapshot()
@@ -87,3 +111,8 @@ class IOMeter:
 
     def __exit__(self, *exc_info: object) -> None:
         self.delta = self.stats.snapshot() - self._start
+        self.cumulative = self.cumulative + self.delta
+
+    def to_dict(self) -> dict:
+        """The last block's delta as a JSON-serialisable dict."""
+        return self.delta.to_dict()

@@ -100,6 +100,83 @@ class TestBuildAndQuery:
         assert rc == 0
 
 
+class TestTraceAndStats:
+    @pytest.fixture
+    def index_path(self, tmp_path):
+        path = tmp_path / "idx.npz"
+        rc = main(
+            [
+                "build",
+                "synthetic:300x8",
+                str(path),
+                "--mc-samples", "5000",
+                "--seed", "3",
+            ]
+        )
+        assert rc == 0
+        return path
+
+    def test_trace_writes_valid_jsonl(self, capsys, tmp_path, index_path):
+        from repro.obs import load_traces_jsonl
+
+        out = tmp_path / "traces.jsonl"
+        spans = tmp_path / "spans.jsonl"
+        rc = main(
+            [
+                "trace",
+                str(index_path),
+                "--k", "5",
+                "--p", "0.5,1.0",
+                "--row", "2",
+                "--output", str(out),
+                "--spans", str(spans),
+            ]
+        )
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "traced 1 queries (2 traces)" in stdout
+        assert '"queries": 2' in stdout  # summary counts traces: 1 row x 2 metrics
+        traces = load_traces_jsonl(out)  # validates each record
+        assert sorted(t.p for t in traces) == [0.5, 1.0]
+        assert all(t.termination for t in traces)
+        assert spans.exists()
+        assert "cli.workload" in spans.read_text()
+
+    def test_trace_scalar_engine(self, capsys, tmp_path, index_path):
+        from repro.obs import load_traces_jsonl
+
+        out = tmp_path / "traces.jsonl"
+        rc = main(
+            [
+                "trace",
+                str(index_path),
+                "--p", "1.0",
+                "--engine", "scalar",
+                "--output", str(out),
+            ]
+        )
+        assert rc == 0
+        assert load_traces_jsonl(out)[0].engine == "scalar"
+
+    def test_stats_prometheus_output(self, capsys, index_path):
+        rc = main(["stats", str(index_path), "--p", "0.5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# TYPE lazylsh_queries_total counter" in out
+        assert 'lazylsh_queries_total{engine="flat",p="0.5"} 1' in out
+        assert "lazylsh_store_searches_total" in out
+
+    def test_stats_json_output(self, capsys, index_path):
+        import json
+
+        capsys.readouterr()  # drop the fixture's build output
+        rc = main(["stats", str(index_path), "--format", "json"])
+        assert rc == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["lazylsh_queries_total"]["type"] == "counter"
+        assert snapshot["lazylsh_query_rounds"]["type"] == "histogram"
+
+
 class TestErrors:
     def test_unknown_dataset(self, capsys, tmp_path):
         rc = main(["build", "imagenet", str(tmp_path / "x.npz")])

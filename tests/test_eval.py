@@ -178,3 +178,23 @@ class TestTimer:
         with Timer() as t:
             time.sleep(0.01)
         assert t.seconds >= 0.009
+
+    def test_reentry_accumulates_total(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.seconds
+        with timer:
+            pass
+        assert timer.entries == 2
+        assert timer.total_seconds >= first + timer.seconds - 1e-9
+        assert timer.total_seconds >= timer.seconds
+
+    def test_as_row(self):
+        timer = Timer()
+        with timer:
+            pass
+        row = timer.as_row()
+        assert set(row) == {"seconds", "total_seconds", "entries"}
+        assert row["entries"] == 1
+        assert row["seconds"] == timer.seconds

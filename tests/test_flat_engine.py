@@ -16,9 +16,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import LazyLSH, LazyLSHConfig, MultiQueryEngine, knn_batch
+from repro import LazyLSH, LazyLSHConfig, MultiQueryEngine, Telemetry, knn_batch
 from repro.datasets import make_synthetic, sample_queries
 from repro.errors import InvalidParameterError
+from repro.obs import TERMINATION_REASONS
 from repro.storage import InvertedListStore, PageLayout
 
 P_VALUES = (0.5, 0.75, 1.0)
@@ -39,6 +40,27 @@ def assert_results_identical(a, b) -> None:
     assert a.candidates == b.candidates
     assert a.io.sequential == b.io.sequential
     assert a.io.random == b.io.random
+    assert a.termination == b.termination
+    assert a.termination in TERMINATION_REASONS
+
+
+def assert_traces_identical(a, b) -> None:
+    """Flat and scalar QueryTraces must agree round for round."""
+    assert a.p == b.p and a.k == b.k
+    assert a.termination == b.termination
+    assert a.num_rounds == b.num_rounds
+    for ra, rb in zip(a.rounds, b.rounds):
+        assert ra.round == rb.round
+        assert ra.level == rb.level
+        assert ra.radius == rb.radius
+        assert ra.collisions == rb.collisions
+        assert ra.crossings == rb.crossings
+        assert ra.candidates == rb.candidates
+        assert ra.within == rb.within
+        assert ra.io.sequential == rb.io.sequential
+        assert ra.io.random == rb.io.random
+    assert a.io_delta_sum().to_dict() == a.io.to_dict()
+    assert b.io_delta_sum().to_dict() == b.io.to_dict()
 
 
 @pytest.fixture(scope="module")
@@ -127,6 +149,73 @@ class TestBatchApi:
         # A batch-wide buffer pool can only drop repeat page reads.
         assert shared.io.sequential <= plain.io.sequential
         assert shared.io.random <= plain.io.random
+
+
+class TestTraceEquivalence:
+    """Per-query telemetry traces must not depend on the execution plan."""
+
+    @pytest.mark.parametrize("p", P_VALUES)
+    def test_knn_traces_identical(self, dual_index, engine_split, p):
+        for query in engine_split.queries:
+            tf, ts = Telemetry(), Telemetry()
+            flat = dual_index.knn(query, 10, p, engine="flat", telemetry=tf)
+            scalar = dual_index.knn(
+                query, 10, p, engine="scalar", telemetry=ts
+            )
+            assert_results_identical(flat, scalar)
+            assert len(tf.traces) == len(ts.traces) == 1
+            assert_traces_identical(tf.traces[0], ts.traces[0])
+            # The trace's totals mirror the result's I/O exactly.
+            assert tf.traces[0].io.to_dict() == flat.io.to_dict()
+            assert tf.traces[0].candidates == flat.candidates
+
+    def test_traced_run_matches_untraced(self, dual_index, engine_split):
+        for query in engine_split.queries:
+            plain = dual_index.knn(query, 10, 0.5)
+            traced = dual_index.knn(
+                query, 10, 0.5, telemetry=Telemetry()
+            )
+            assert_results_identical(plain, traced)
+
+    def test_multiquery_traces_identical(self, engine_split):
+        index = LazyLSH(_config()).build(engine_split.data)
+        engine = MultiQueryEngine(index)
+        for query in engine_split.queries:
+            tf, ts = Telemetry(), Telemetry()
+            engine.knn(query, 10, P_VALUES, engine="flat", telemetry=tf)
+            engine.knn(query, 10, P_VALUES, engine="scalar", telemetry=ts)
+            assert len(tf.traces) == len(ts.traces) == len(P_VALUES)
+            by_p = lambda t: t.p  # noqa: E731
+            for a, b in zip(
+                sorted(tf.traces, key=by_p), sorted(ts.traces, key=by_p)
+            ):
+                assert_traces_identical(a, b)
+
+    def test_batch_traces_per_query(self, engine_split):
+        index = LazyLSH(_config()).build(engine_split.data)
+        telemetry = Telemetry()
+        batch = knn_batch(
+            index, engine_split.queries, 10, 0.5, telemetry=telemetry
+        )
+        assert len(telemetry.traces) == len(engine_split.queries)
+        assert [t.query_id for t in telemetry.traces] == list(
+            range(len(engine_split.queries))
+        )
+        scalar_tel = Telemetry()
+        knn_batch(
+            index,
+            engine_split.queries,
+            10,
+            0.5,
+            engine="scalar",
+            telemetry=scalar_tel,
+        )
+        for a, b, result in zip(
+            telemetry.traces, scalar_tel.traces, batch.results
+        ):
+            assert a.query_id == b.query_id
+            assert_traces_identical(a, b)
+            assert a.io_delta_sum().to_dict() == result.io.to_dict()
 
 
 class TestValidation:

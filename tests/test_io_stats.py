@@ -56,6 +56,17 @@ class TestIOStats:
         text = str(IOStats(sequential=7, random=2))
         assert "7" in text and "2" in text and "9" in text
 
+    def test_to_dict_round_trip(self):
+        stats = IOStats(sequential=11, random=4)
+        record = stats.to_dict()
+        assert record == {"sequential": 11, "random": 4, "total": 15}
+        back = IOStats.from_dict(record)
+        assert back.sequential == 11 and back.random == 4
+
+    def test_from_dict_rejects_negative(self):
+        with pytest.raises(ValueError):
+            IOStats.from_dict({"sequential": -1, "random": 0})
+
 
 class TestIOMeter:
     def test_measures_delta_only(self):
@@ -74,3 +85,16 @@ class TestIOMeter:
         with IOMeter(stats) as meter:
             pass
         assert meter.delta.total == 0
+
+    def test_reenterable_accumulates_cumulative(self):
+        stats = IOStats()
+        meter = IOMeter(stats)
+        with meter:
+            stats.add_sequential(3)
+        with meter:
+            stats.add_random(2)
+        # delta is per-block, cumulative spans both blocks.
+        assert meter.delta.sequential == 0 and meter.delta.random == 2
+        assert meter.cumulative.sequential == 3
+        assert meter.cumulative.random == 2
+        assert meter.to_dict() == meter.delta.to_dict()

@@ -1,0 +1,360 @@
+"""Tests for the query telemetry subsystem (repro.obs).
+
+Covers the metrics registry's counter/gauge/histogram semantics and
+exports, span nesting and JSONL round-trips, QueryTrace construction /
+schema validation, the Telemetry facade (instrument updates, store
+observer) and the disabled-telemetry no-op guard the engines rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LazyLSH, Telemetry, knn_batch
+from repro.datasets import make_synthetic, sample_queries
+from repro.errors import InvalidParameterError
+from repro.obs import (
+    TERMINATION_CAP,
+    TERMINATION_K_WITHIN,
+    MetricsRegistry,
+    QueryTraceBuilder,
+    SpanTracer,
+    TraceSchemaError,
+    get_default_registry,
+    load_spans_jsonl,
+    load_traces_jsonl,
+    validate_trace_dict,
+    write_traces_jsonl,
+)
+from repro.storage.io_stats import IOStats
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("hits_total", "help text")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labelled_series_are_independent(self):
+        counter = MetricsRegistry().counter("queries_total")
+        counter.inc(engine="flat")
+        counter.inc(3, engine="scalar")
+        assert counter.value(engine="flat") == 1
+        assert counter.value(engine="scalar") == 3
+        assert counter.value(engine="warp") == 0
+
+    def test_label_order_is_canonical(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc(a="1", b="2")
+        assert counter.value(b="2", a="1") == 1
+
+    def test_rejects_negative(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(InvalidParameterError, match="decrease"):
+            counter.inc(-1)
+
+    def test_rejects_bad_names(self):
+        reg = MetricsRegistry()
+        with pytest.raises(InvalidParameterError, match="name"):
+            reg.counter("bad name")
+        counter = reg.counter("ok")
+        with pytest.raises(InvalidParameterError, match="label"):
+            counter.inc(**{"bad-label": 1})
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("inflight")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value() == 6
+
+
+class TestHistogram:
+    def test_bucket_assignment_le_semantics(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1, 10, 100))
+        for v in (0.5, 1, 2, 10, 11, 1000):
+            hist.observe(v)
+        # le=1 catches 0.5 and 1; le=10 catches 2 and 10; le=100 catches
+        # 11; +Inf catches 1000.
+        assert hist.bucket_counts() == [2, 2, 1, 1]
+        assert hist.count() == 6
+        assert hist.sum() == pytest.approx(1024.5)
+
+    def test_rejects_unsorted_buckets(self):
+        reg = MetricsRegistry()
+        with pytest.raises(InvalidParameterError, match="increasing"):
+            reg.histogram("h", buckets=(10, 1))
+        with pytest.raises(InvalidParameterError, match="bucket"):
+            reg.histogram("h2", buckets=())
+
+    def test_explicit_inf_bucket_is_folded(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1, float("inf")))
+        assert hist.buckets == (1.0,)
+
+    def test_prometheus_render_is_cumulative(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", "latency", buckets=(1, 2))
+        hist.observe(0.5)
+        hist.observe(1.5)
+        hist.observe(99)
+        text = reg.render_prometheus()
+        assert '# TYPE lat histogram' in text
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="2"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(InvalidParameterError, match="registered"):
+            reg.gauge("x")
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1, 2))
+        assert reg.histogram("h", buckets=(1, 2)) is not None
+        with pytest.raises(InvalidParameterError, match="buckets"):
+            reg.histogram("h", buckets=(1, 3))
+
+    def test_reset_keeps_registrations(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c")
+        counter.inc(7)
+        reg.reset()
+        assert "c" in reg
+        assert counter.value() == 0
+
+    def test_to_dict_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "help").inc(2, p="0.5")
+        snapshot = reg.to_dict()
+        assert snapshot["c"]["type"] == "counter"
+        assert snapshot["c"]["values"] == [
+            {"labels": {"p": "0.5"}, "value": 2.0}
+        ]
+
+    def test_default_registry_is_shared(self):
+        assert get_default_registry() is get_default_registry()
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(tag='quo"te\nline')
+        text = reg.render_prometheus()
+        assert '\\"' in text and "\\n" in text
+
+
+class TestSpanTracer:
+    def test_nesting_parent_ids(self):
+        tracer = SpanTracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+        # Completion order: children first.
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+        inner, outer = tracer.spans
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.duration <= outer.duration
+
+    def test_error_annotated_and_reraised(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("nope")
+        assert tracer.spans[0].attributes["error"] == "RuntimeError"
+
+    def test_attributes_and_set(self):
+        tracer = SpanTracer()
+        with tracer.span("s", k=10) as span:
+            span.set(found=3)
+        assert tracer.spans[0].attributes == {"k": 10, "found": 3}
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = SpanTracer()
+        with tracer.span("a", n=1):
+            with tracer.span("b"):
+                pass
+        path = tracer.export_jsonl(tmp_path / "spans.jsonl")
+        loaded = load_spans_jsonl(path)
+        assert [s.to_dict() for s in loaded] == tracer.to_dicts()
+
+
+def _build_trace(termination=TERMINATION_K_WITHIN):
+    io = IOStats()
+    builder = QueryTraceBuilder(
+        p=0.5, k=3, engine="flat", rehashing="query_centric", query_id=9
+    )
+    builder.begin_round(level=1.0, radius=3.0, io=io)
+    io.add_sequential(5)
+    builder.add_collisions(12)
+    builder.end_round(io=io, candidates=0, within=0)
+    builder.begin_round(level=3.0, radius=9.0, io=io)
+    io.add_sequential(7)
+    io.add_random(4)
+    builder.add_collisions(30)
+    builder.add_crossings(4)
+    builder.end_round(io=io, candidates=4, within=3)
+    return builder.finish(termination=termination, io=io, candidates=4)
+
+
+class TestQueryTrace:
+    def test_builder_records_rounds_and_deltas(self):
+        trace = _build_trace()
+        assert trace.num_rounds == 2
+        first, second = trace.rounds
+        assert (first.io.sequential, first.io.random) == (5, 0)
+        assert (second.io.sequential, second.io.random) == (7, 4)
+        assert first.collisions == 12 and second.crossings == 4
+        assert trace.io_delta_sum().to_dict() == trace.io.to_dict()
+        assert trace.elapsed_seconds >= 0
+        assert trace.query_id == 9
+
+    def test_dict_round_trip_validates(self):
+        trace = _build_trace()
+        record = trace.to_dict()
+        validate_trace_dict(record)
+        back = type(trace).from_dict(record)
+        assert back.to_dict() == record
+
+    def test_jsonl_round_trip(self, tmp_path):
+        traces = [_build_trace(), _build_trace(TERMINATION_CAP)]
+        path = write_traces_jsonl(traces, tmp_path / "t.jsonl")
+        loaded = load_traces_jsonl(path)
+        assert [t.to_dict() for t in loaded] == [t.to_dict() for t in traces]
+
+    def test_validation_rejects_bad_termination(self):
+        record = _build_trace().to_dict()
+        record["termination"] = "tired"
+        with pytest.raises(TraceSchemaError, match="termination"):
+            validate_trace_dict(record)
+
+    def test_validation_rejects_io_mismatch(self):
+        record = _build_trace().to_dict()
+        record["io"]["sequential"] += 1
+        with pytest.raises(TraceSchemaError, match="deltas"):
+            validate_trace_dict(record)
+
+    def test_validation_rejects_missing_field(self):
+        record = _build_trace().to_dict()
+        del record["rounds"]
+        with pytest.raises(TraceSchemaError, match="rounds"):
+            validate_trace_dict(record)
+
+    def test_validation_rejects_bad_round_numbering(self):
+        record = _build_trace().to_dict()
+        record["rounds"][1]["round"] = 7
+        with pytest.raises(TraceSchemaError, match="round"):
+            validate_trace_dict(record)
+
+
+@pytest.fixture(scope="module")
+def obs_index():
+    data = make_synthetic(500, 12, seed=31)
+    split = sample_queries(data, n_queries=2, seed=32)
+    from repro import LazyLSHConfig
+
+    cfg = LazyLSHConfig(
+        c=3.0, p_min=0.5, seed=31, mc_samples=20_000, mc_buckets=100
+    )
+    return LazyLSH(cfg).build(split.data), split
+
+
+class TestTelemetryFacade:
+    def test_record_updates_instruments(self, obs_index):
+        index, split = obs_index
+        telemetry = Telemetry()
+        index.knn(split.queries[0], 5, 0.5, telemetry=telemetry)
+        queries = telemetry.registry.get("lazylsh_queries_total")
+        assert queries.value(engine="flat", p="0.5") == 1
+        trace = telemetry.traces[0]
+        terminations = telemetry.registry.get("lazylsh_query_terminations_total")
+        assert terminations.value(reason=trace.termination) == 1
+        rounds = telemetry.registry.get("lazylsh_query_rounds")
+        assert rounds.count() == 1
+        assert rounds.sum() == trace.num_rounds
+        assert "lazylsh_queries_total" in telemetry.metrics_text()
+        assert telemetry.summary()["queries"] == 1
+
+    def test_capture_traces_disabled_keeps_metrics(self, obs_index):
+        index, split = obs_index
+        telemetry = Telemetry(capture_traces=False)
+        index.knn(split.queries[0], 5, 0.5, telemetry=telemetry)
+        assert telemetry.traces == []
+        assert (
+            telemetry.registry.get("lazylsh_queries_total").value(
+                engine="flat", p="0.5"
+            )
+            == 1
+        )
+
+    def test_spans_wrap_query_entry_points(self, obs_index):
+        index, split = obs_index
+        telemetry = Telemetry()
+        index.knn(split.queries[0], 5, 0.5, telemetry=telemetry)
+        knn_batch(index, split.queries, 5, 0.5, telemetry=telemetry)
+        names = [s.name for s in telemetry.tracer.spans]
+        assert "lazylsh.knn" in names and "knn_batch" in names
+
+    def test_store_observer_counts(self, obs_index):
+        index, split = obs_index
+        telemetry = Telemetry()
+        observer = telemetry.observe_store(index.store)
+        assert index.store.observer is observer
+        index.knn(split.queries[0], 5, 0.5)
+        searches = telemetry.registry.get("lazylsh_store_searches_total")
+        entries = telemetry.registry.get("lazylsh_store_entries_scanned_total")
+        assert searches.value() > 0
+        assert entries.value() > 0
+        index.store.observer = None
+        before = searches.value()
+        index.knn(split.queries[0], 5, 0.5)
+        assert searches.value() == before
+
+    def test_scalar_path_counts_window_reads(self, obs_index):
+        index, split = obs_index
+        telemetry = Telemetry()
+        telemetry.observe_store(index.store)
+        index.knn(split.queries[0], 5, 0.5, engine="scalar")
+        index.store.observer = None
+        windows = telemetry.registry.get("lazylsh_store_window_reads_total")
+        assert windows.value() > 0
+
+
+class TestNoOpGuard:
+    """With telemetry=None the engines must leave no observable residue."""
+
+    def test_default_leaves_no_hooks(self, obs_index):
+        index, split = obs_index
+        result = index.knn(split.queries[0], 5, 0.5)
+        assert index.store.observer is None
+        assert result.termination in (TERMINATION_K_WITHIN, TERMINATION_CAP)
+
+    def test_results_identical_with_and_without_telemetry(self, obs_index):
+        index, split = obs_index
+        for engine in ("flat", "scalar"):
+            plain = index.knn(split.queries[1], 5, 0.5, engine=engine)
+            traced = index.knn(
+                split.queries[1], 5, 0.5, engine=engine, telemetry=Telemetry()
+            )
+            assert np.array_equal(plain.ids, traced.ids)
+            assert plain.io.to_dict() == traced.io.to_dict()
+            assert plain.termination == traced.termination
+
+    def test_batch_without_telemetry_records_nothing(self, obs_index):
+        index, split = obs_index
+        knn_batch(index, split.queries, 5, 0.5)
+        assert index.store.observer is None

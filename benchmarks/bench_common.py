@@ -114,7 +114,7 @@ def evaluate_engine(engine, name: str, k: int, p: float) -> dict[str, float]:
     true_ids, true_dists = ground_truth(name, k, p)
     ios, ratios, recalls = [], [], []
     for qi, query in enumerate(split.queries):
-        result = engine.knn(query, k, p)
+        result = engine.knn(query, k, p=p)
         ios.append(result.io.total)
         ratios.append(overall_ratio(result.distances, true_dists[qi]))
         recalls.append(recall_at_k(result.ids, true_ids[qi]))

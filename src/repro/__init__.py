@@ -20,6 +20,7 @@ Quickstart
     print(result.io)                          # simulated sequential/random I/O
 """
 
+from repro.api import SearchRequest, SearchResult, aggregate_io
 from repro.core.batch import BatchKnnResult, knn_batch
 from repro.core.config import LazyLSHConfig
 from repro.core.lazylsh import KnnResult, LazyLSH, RangeResult
@@ -35,6 +36,7 @@ from repro.errors import (
 )
 from repro.metrics.lp import lp_distance, lp_distance_matrix, lp_norm
 from repro.obs import MetricsRegistry, QueryTrace, SpanTracer, Telemetry
+from repro.serve import ShardedSearchService
 from repro.storage.io_stats import IOStats
 
 __version__ = "1.0.0"
@@ -57,9 +59,13 @@ __all__ = [
     "QueryTrace",
     "RangeResult",
     "ReproError",
+    "SearchRequest",
+    "SearchResult",
+    "ShardedSearchService",
     "SpanTracer",
     "Telemetry",
     "UnsupportedMetricError",
+    "aggregate_io",
     "knn_batch",
     "lp_distance",
     "lp_distance_matrix",

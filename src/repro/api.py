@@ -1,0 +1,190 @@
+"""Unified search request/response surface shared by every query path.
+
+Every way of asking this library for neighbours — ``LazyLSH.knn`` (one
+query, one metric), ``MultiQueryEngine.knn`` (one query, many metrics),
+``knn_batch`` (many queries) and the sharded
+:class:`~repro.serve.ShardedSearchService` — speaks the same two types:
+
+* :class:`SearchRequest` bundles the query vector with every tuning knob
+  (``k``, metric ``p`` or a ``metrics`` list, optional ``cap``/``radius``
+  overrides, the execution ``engine``), so a request built once can be
+  handed to any path unchanged;
+* :class:`SearchResult` is the common result core carrying ``ids``,
+  ``distances``, the simulated :class:`~repro.storage.io_stats.IOStats`,
+  the Algorithm-4 ``termination`` reason and an optional
+  :class:`~repro.obs.QueryTrace`.  ``KnnResult`` is a thin subclass kept
+  for backwards compatibility; ``MultiQueryResult`` and
+  ``BatchKnnResult`` expose the same attribute protocol
+  (:class:`SearchResultLike`) over their per-metric / per-query parts.
+
+The module sits below ``repro.core`` so both the engines and the serving
+layer can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro._typing import IdArray
+from repro.errors import InvalidParameterError
+from repro.storage.io_stats import IOStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.query_trace import QueryTrace
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """One search, fully specified: query point(s) plus tuning knobs.
+
+    Attributes
+    ----------
+    query:
+        The query vector — or a ``(m, d)`` matrix when handed to
+        ``knn_batch``, which answers every row.
+    k:
+        Number of neighbours requested (``Np(q, k, c)``).
+    p:
+        The ``lp`` metric to search under (ignored when ``metrics`` is
+        given).
+    metrics:
+        Optional tuple of metrics; the request is then answered under
+        every listed ``p`` with one shared index scan (Section 4.3).
+    cap:
+        Optional candidate-budget override; the default is the paper's
+        ``k + beta * n``.  Must be at least ``k``.
+    radius:
+        Optional starting search radius (``delta_0``) override; the
+        default is ``1 / r_hat`` (one base bucket).  Single-metric only —
+        the multi-metric shared scan relies on every metric's round-``j``
+        radius being ``c**j / r_hat``.
+    engine:
+        Execution plan: ``"flat"`` (vectorised, default) or ``"scalar"``
+        (reference loop).  The sharded service ignores this and always
+        runs its own distributed flat plan.
+    """
+
+    query: Any
+    k: int
+    p: float = 1.0
+    metrics: tuple[float, ...] | None = None
+    cap: float | None = None
+    radius: float | None = None
+    engine: str = "flat"
+
+    def __post_init__(self) -> None:
+        if int(self.k) < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {self.k}")
+        if self.metrics is not None:
+            object.__setattr__(
+                self, "metrics", tuple(float(p) for p in self.metrics)
+            )
+            if not self.metrics:
+                raise InvalidParameterError("metrics must be non-empty")
+        if self.cap is not None and self.cap < self.k:
+            raise InvalidParameterError(
+                f"candidate cap must be >= k={self.k}, got {self.cap}"
+            )
+        if self.radius is not None and not self.radius > 0:
+            raise InvalidParameterError(
+                f"radius override must be > 0, got {self.radius}"
+            )
+        if self.engine not in ("flat", "scalar"):
+            raise InvalidParameterError(
+                f"engine must be 'flat' or 'scalar', got {self.engine!r}"
+            )
+        if self.metrics is not None and self.radius is not None:
+            raise InvalidParameterError(
+                "radius override is only supported for single-metric searches"
+            )
+
+
+@dataclass
+class SearchResult:
+    """Common result core of every query path.
+
+    ``ids``/``distances`` are sorted by ascending ``lp`` distance;
+    ``io`` is the query's simulated I/O, ``termination`` why Algorithm 4
+    stopped (``"k_within_radius"`` or ``"candidate_cap"``).  ``trace``
+    optionally carries the per-round :class:`~repro.obs.QueryTrace` when
+    telemetry was enabled, and ``shard_io`` the per-shard I/O breakdown
+    when the result came from the sharded service.
+    """
+
+    ids: IdArray
+    distances: np.ndarray
+    p: float
+    k: int
+    io: IOStats = field(default_factory=IOStats)
+    candidates: int = 0
+    rounds: int = 0
+    termination: str = ""
+    trace: "QueryTrace | None" = None
+    shard_io: list[IOStats] | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (used by the CLI and the service)."""
+        record = {
+            "ids": [int(i) for i in self.ids],
+            "distances": [float(d) for d in self.distances],
+            "p": self.p,
+            "k": self.k,
+            "io": self.io.to_dict(),
+            "candidates": self.candidates,
+            "rounds": self.rounds,
+            "termination": self.termination,
+        }
+        if self.shard_io is not None:
+            record["shard_io"] = [s.to_dict() for s in self.shard_io]
+        return record
+
+
+@runtime_checkable
+class SearchResultLike(Protocol):
+    """Structural protocol every result type satisfies.
+
+    ``KnnResult`` implements it directly (it *is* a
+    :class:`SearchResult`); ``MultiQueryResult`` exposes per-metric
+    dicts and ``BatchKnnResult`` per-query lists under the same names.
+    """
+
+    @property
+    def ids(self) -> Any: ...
+
+    @property
+    def distances(self) -> Any: ...
+
+    @property
+    def io(self) -> IOStats: ...
+
+    @property
+    def termination(self) -> Any: ...
+
+    def to_dict(self) -> dict: ...
+
+
+def aggregate_io(parts) -> IOStats:
+    """Streaming I/O aggregation shared by batch and shard mergers.
+
+    ``parts`` yields objects with an ``io`` attribute *or* plain
+    :class:`IOStats`; the result is their :meth:`IOStats.merge` fold.
+    """
+    total = IOStats()
+    for part in parts:
+        total.merge(part.io if hasattr(part, "io") else part)
+    return total
+
+
+def warn_positional(callable_name: str, replacement: str) -> None:
+    """Emit the shared deprecation warning for legacy positional args."""
+    warnings.warn(
+        f"passing {replacement} to {callable_name} positionally is "
+        f"deprecated; use the keyword form ({replacement}=...) or a "
+        "SearchRequest",
+        DeprecationWarning,
+        stacklevel=3,
+    )

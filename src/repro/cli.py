@@ -24,6 +24,16 @@ Commands
     Run a query workload with telemetry enabled and print the metrics
     registry (Prometheus text format, or JSON with ``--format json``).
 
+``serve``
+    Load (or build) an index, start the sharded multiprocess query
+    service, answer a query workload through it and print the merged
+    results plus per-shard service stats as JSON.
+
+``bench-serve``
+    Run the sharded-service benchmark (wall-clock + load-balance model,
+    bit-identity verification against the single-process engine) and
+    print — or write — the JSON report.
+
 ``datasets``
     List the generated datasets available to ``build``.
 """
@@ -151,7 +161,7 @@ def cmd_query(args: argparse.Namespace) -> int:
     for qi, query in enumerate(queries):
         for p in _parse_p_list(args.p):
             with timer:
-                result = index.knn(query, args.k, p)
+                result = index.knn(query, args.k, p=p)
             table.add_row(
                 [
                     qi,
@@ -185,7 +195,7 @@ def _run_traced_workload(args: argparse.Namespace) -> tuple[Telemetry, int]:
                 index,
                 queries,
                 args.k,
-                metrics[0],
+                p=metrics[0],
                 engine=args.engine,
                 telemetry=telemetry,
             )
@@ -223,6 +233,63 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print(json.dumps(telemetry.metrics_dict(), indent=2, sort_keys=True))
     else:
         print(telemetry.metrics_text(), end="")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ShardedSearchService
+
+    index = load_index(args.index)
+    queries = _workload_queries(index, args)
+    metrics = _parse_p_list(args.p)
+    if len(metrics) != 1:
+        raise ReproError(
+            "serve answers one metric per wave; pass a single --p (use "
+            "`query` or knn_batch(metrics=...) for multi-metric runs)"
+        )
+    timer = Timer()
+    with ShardedSearchService(
+        index, n_shards=args.shards, start_method=args.start_method
+    ) as service:
+        with timer:
+            results = service.search_batch(queries, args.k, p=metrics[0])
+        report = {
+            "k": args.k,
+            "p": metrics[0],
+            "wall_seconds": timer.seconds,
+            "results": [result.to_dict() for result in results],
+            "service": service.stats(),
+        }
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.serve import run_serve_benchmark
+
+    report = run_serve_benchmark(
+        n=args.n,
+        d=args.d,
+        n_queries=args.queries,
+        k=args.k,
+        p=args.p,
+        shard_counts=tuple(
+            int(part) for part in args.shards.split(",") if part.strip()
+        ),
+        seed=args.seed,
+        start_method=args.start_method,
+    )
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n")
+        print(f"bench-serve report -> {args.output}")
+    else:
+        print(rendered)
+    identity = all(c["identity"]["all"] for c in report["sharded"])
+    if not identity:
+        print("error: sharded results diverged from single-process engine",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -310,6 +377,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("prometheus", "json"), default="prometheus"
     )
     p_stats.set_defaults(func=cmd_stats)
+
+    p_serve = sub.add_parser(
+        "serve", help="answer queries through the sharded query service"
+    )
+    p_serve.add_argument("index", help="index .npz path")
+    p_serve.add_argument("--k", type=int, default=10)
+    p_serve.add_argument("--p", default="1.0", help="single metric")
+    p_serve.add_argument(
+        "--shards", type=int, default=2, help="shard/worker count"
+    )
+    p_serve.add_argument(
+        "--row", type=int, default=0, help="use this indexed row as the query"
+    )
+    p_serve.add_argument(
+        "--query-file", default=None, help=".npy file of query vectors"
+    )
+    p_serve.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method (platform default if omitted)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_bserve = sub.add_parser(
+        "bench-serve", help="benchmark the sharded query service"
+    )
+    p_bserve.add_argument("--n", type=int, default=4000)
+    p_bserve.add_argument("--d", type=int, default=16)
+    p_bserve.add_argument("--queries", type=int, default=24)
+    p_bserve.add_argument("--k", type=int, default=10)
+    p_bserve.add_argument("--p", type=float, default=0.75)
+    p_bserve.add_argument(
+        "--shards", default="1,2,4", help="comma-separated shard counts"
+    )
+    p_bserve.add_argument("--seed", type=int, default=7)
+    p_bserve.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+    )
+    p_bserve.add_argument(
+        "--output", default=None, help="write the JSON report here"
+    )
+    p_bserve.set_defaults(func=cmd_bench_serve)
 
     p_list = sub.add_parser("datasets", help="list generated datasets")
     p_list.set_defaults(func=cmd_datasets)

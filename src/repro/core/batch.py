@@ -30,6 +30,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro._typing import PointMatrix
+from repro.api import SearchRequest, aggregate_io, warn_positional
 from repro.core.engine import Lane, LaneGroup, execute_rounds
 from repro.core.lazylsh import _KNN_ABORT, KnnResult, LazyLSH, _lane_result
 from repro.core.multiquery import MultiQueryEngine, MultiQueryResult
@@ -47,11 +48,36 @@ class BatchKnnResult:
 
     ``results`` holds one :class:`KnnResult` per query (or one
     :class:`MultiQueryResult` per query when ``metrics`` was given);
-    ``io`` aggregates the whole batch's simulated I/O.
+    ``io`` aggregates the whole batch's simulated I/O.  Satisfies the
+    :class:`~repro.api.SearchResultLike` protocol: ``ids``,
+    ``distances`` and ``termination`` expose the per-query parts as
+    lists in query order.
     """
 
     results: list
     io: IOStats = field(default_factory=IOStats)
+
+    @property
+    def ids(self) -> list:
+        """Per-query neighbour ids, in query order."""
+        return [r.ids for r in self.results]
+
+    @property
+    def distances(self) -> list:
+        """Per-query neighbour distances, in query order."""
+        return [r.distances for r in self.results]
+
+    @property
+    def termination(self) -> list:
+        """Per-query Algorithm-4 termination reasons, in query order."""
+        return [r.termination for r in self.results]
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form: per-query records plus the batch I/O."""
+        return {
+            "io": self.io.to_dict(),
+            "results": [r.to_dict() for r in self.results],
+        }
 
     def __len__(self) -> int:
         return len(self.results)
@@ -83,14 +109,16 @@ def _check_queries(index: LazyLSH, queries: PointMatrix) -> np.ndarray:
 
 def knn_batch(
     index: LazyLSH,
-    queries: PointMatrix,
-    k: int,
+    queries: PointMatrix | SearchRequest,
+    k: int | None = None,
+    *args,
     p: float | None = None,
-    *,
     metrics: Sequence[float] | None = None,
     engine: str = "flat",
     share_pages: bool = False,
     telemetry=None,
+    cap: float | None = None,
+    radius: float | None = None,
 ) -> BatchKnnResult:
     """Answer ``Np(q, k, c)`` for every row of ``queries`` in one pass.
 
@@ -100,11 +128,52 @@ def knn_batch(
     the reference path query by query — useful for verification — while
     the default ``"flat"`` plan runs all queries round-synchronised.
 
+    ``queries`` may instead be a :class:`~repro.api.SearchRequest` whose
+    ``query`` holds the ``(m, d)`` query matrix; every other argument
+    but ``share_pages`` and ``telemetry`` must then be left at its
+    default.  Tuning knobs are keyword-only and shared with
+    ``LazyLSH.knn``/``MultiQueryEngine.knn``: ``p`` (passing it
+    positionally is deprecated), ``metrics``, ``engine``, ``cap``
+    (candidate-budget override) and ``radius`` (starting-radius
+    override, single-metric only).
+
     ``telemetry`` (a :class:`repro.obs.Telemetry`) captures one
     :class:`~repro.obs.QueryTrace` per ``(query, metric)`` pair with
     ``query_id`` set to the query's row; ``None`` (the default) runs the
     no-op fast path.
     """
+    if isinstance(queries, SearchRequest):
+        if k is not None or args or p is not None or metrics is not None:
+            raise InvalidParameterError(
+                "pass either a SearchRequest or explicit queries/k "
+                "arguments, not both"
+            )
+        if cap is not None or radius is not None:
+            raise InvalidParameterError(
+                "cap/radius are read from the SearchRequest when one is given"
+            )
+        request = queries
+        queries = request.query
+        k = request.k
+        metrics = request.metrics
+        if metrics is None:
+            p = request.p
+        engine = request.engine
+        cap = request.cap
+        radius = request.radius
+    else:
+        if k is None:
+            raise InvalidParameterError(
+                "k is required when not passing a SearchRequest"
+            )
+        if args:
+            if len(args) > 1 or p is not None:
+                raise TypeError(
+                    "knn_batch() accepts at most one legacy positional "
+                    "argument (p); tuning arguments are keyword-only"
+                )
+            warn_positional("knn_batch", "p")
+            p = args[0]
     if not index.is_built:
         raise InvalidParameterError("knn_batch needs a built LazyLSH index")
     if engine not in ("flat", "scalar"):
@@ -115,6 +184,18 @@ def knn_batch(
         raise InvalidParameterError("pass either p or metrics, not both")
     if metrics is not None and not metrics:
         raise InvalidParameterError("metrics must be non-empty")
+    if metrics is not None and radius is not None:
+        raise InvalidParameterError(
+            "radius override is only supported for single-metric searches"
+        )
+    if cap is not None and cap < k:
+        raise InvalidParameterError(
+            f"candidate cap must be >= k={k}, got {cap}"
+        )
+    if radius is not None and not radius > 0:
+        raise InvalidParameterError(
+            f"radius override must be > 0, got {radius}"
+        )
     if share_pages and engine == "scalar":
         raise InvalidParameterError(
             "share_pages models a batch-wide buffer pool; the scalar loop "
@@ -123,13 +204,22 @@ def knn_batch(
     queries = _check_queries(index, queries)
     if telemetry is None:
         return _knn_batch_impl(
-            index, queries, k, p, metrics, engine, share_pages, None
+            index, queries, k, p, metrics, engine, share_pages, None, cap, radius
         )
     with telemetry.tracer.span(
         "knn_batch", engine=engine, k=k, queries=int(queries.shape[0])
     ):
         return _knn_batch_impl(
-            index, queries, k, p, metrics, engine, share_pages, telemetry
+            index,
+            queries,
+            k,
+            p,
+            metrics,
+            engine,
+            share_pages,
+            telemetry,
+            cap,
+            radius,
         )
 
 
@@ -142,32 +232,36 @@ def _knn_batch_impl(
     engine: str,
     share_pages: bool,
     telemetry,
+    cap: float | None = None,
+    radius: float | None = None,
 ) -> BatchKnnResult:
     if metrics is None:
         p_single = 1.0 if p is None else float(p)
         if engine == "scalar":
-            return _scalar_single(index, queries, k, p_single, telemetry)
-        return _flat_single(index, queries, k, p_single, share_pages, telemetry)
+            return _scalar_single(
+                index, queries, k, p_single, telemetry, cap, radius
+            )
+        return _flat_single(
+            index, queries, k, p_single, share_pages, telemetry, cap, radius
+        )
     unique = sorted({float(q) for q in metrics})
     if index.rehashing != "query_centric":
         raise InvalidParameterError(
             "the multi-query engine requires query-centric rehashing"
         )
     if engine == "scalar":
-        return _scalar_multi(index, queries, k, unique, telemetry)
-    return _flat_multi(index, queries, k, unique, share_pages, telemetry)
-
-
-def _aggregate(results: list) -> IOStats:
-    total = IOStats()
-    for result in results:
-        total.add_sequential(result.io.sequential)
-        total.add_random(result.io.random)
-    return total
+        return _scalar_multi(index, queries, k, unique, telemetry, cap)
+    return _flat_multi(index, queries, k, unique, share_pages, telemetry, cap)
 
 
 def _scalar_single(
-    index: LazyLSH, queries: np.ndarray, k: int, p: float, telemetry=None
+    index: LazyLSH,
+    queries: np.ndarray,
+    k: int,
+    p: float,
+    telemetry=None,
+    cap: float | None = None,
+    radius: float | None = None,
 ) -> BatchKnnResult:
     results = []
     for j in range(queries.shape[0]):
@@ -180,11 +274,13 @@ def _scalar_single(
             seen_pages=set(),
             telemetry=telemetry,
             query_id=j,
+            cap=cap,
+            radius=radius,
         )
         index.io_stats.add_sequential(stats.sequential)
         index.io_stats.add_random(stats.random)
         results.append(result)
-    return BatchKnnResult(results=results, io=_aggregate(results))
+    return BatchKnnResult(results=results, io=aggregate_io(results))
 
 
 def _scalar_multi(
@@ -193,13 +289,16 @@ def _scalar_multi(
     k: int,
     unique: list[float],
     telemetry=None,
+    cap: float | None = None,
 ) -> BatchKnnResult:
     engine = MultiQueryEngine(index)
     results = [
-        engine.knn(q, k, unique, engine="scalar", telemetry=telemetry)
+        engine.knn(
+            q, k, metrics=unique, engine="scalar", telemetry=telemetry, cap=cap
+        )
         for q in queries
     ]
-    return BatchKnnResult(results=results, io=_aggregate(results))
+    return BatchKnnResult(results=results, io=aggregate_io(results))
 
 
 def _flat_single(
@@ -209,6 +308,8 @@ def _flat_single(
     p: float,
     share_pages: bool,
     telemetry=None,
+    cap: float | None = None,
+    radius: float | None = None,
 ) -> BatchKnnResult:
     bank = index._bank
     assert bank is not None
@@ -221,6 +322,8 @@ def _flat_single(
             p,
             query_hashes=np.ascontiguousarray(hashes[:, j]),
             shared_pages=shared,
+            cap=cap,
+            radius=radius,
         )
         for j in range(queries.shape[0])
     ]
@@ -249,7 +352,7 @@ def _flat_single(
             )
         index.io_stats.add_sequential(lane.io.sequential)
         index.io_stats.add_random(lane.io.random)
-    return BatchKnnResult(results=results, io=_aggregate(results))
+    return BatchKnnResult(results=results, io=aggregate_io(results))
 
 
 def _flat_multi(
@@ -259,6 +362,7 @@ def _flat_multi(
     unique: list[float],
     share_pages: bool,
     telemetry=None,
+    cap: float | None = None,
 ) -> BatchKnnResult:
     n = index.num_points
     if not 1 <= k <= n:
@@ -270,10 +374,11 @@ def _flat_multi(
     assert bank is not None
     hashes = bank.hash_points(queries)
     shared = PageTracker() if share_pages else None
+    cap_value = k + index.beta * n if cap is None else float(cap)
     groups = []
     for j in range(queries.shape[0]):
         lanes = [
-            Lane(q, index.metric_params(q), k, k + index.beta * n, n_rows)
+            Lane(q, index.metric_params(q), k, cap_value, n_rows)
             for q in unique
         ]
         if telemetry is not None:
@@ -312,8 +417,8 @@ def _flat_multi(
                             candidates=per_metric[lane.p].candidates,
                         )
                     )
-        total = _aggregate(list(per_metric.values()))
+        total = aggregate_io(per_metric.values())
         index.io_stats.add_sequential(total.sequential)
         index.io_stats.add_random(total.random)
         results.append(MultiQueryResult(results=per_metric, io=total))
-    return BatchKnnResult(results=results, io=_aggregate(results))
+    return BatchKnnResult(results=results, io=aggregate_io(results))

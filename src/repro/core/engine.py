@@ -84,6 +84,54 @@ _EMPTY_F64 = np.empty(0, dtype=np.float64)
 _EMPTY_F64.setflags(write=False)
 
 
+def charge_ring_hulls(
+    first_l: np.ndarray,
+    stop_l: np.ndarray,
+    mask_l: np.ndarray,
+    first_r: np.ndarray,
+    stop_r: np.ndarray,
+    mask_r: np.ndarray,
+    seen_first: np.ndarray,
+    seen_stop: np.ndarray,
+) -> np.ndarray:
+    """Charge left/right ring page runs against per-function page hulls.
+
+    ``first_*``/``stop_*`` are half-open page intervals per function
+    (ignored where the matching mask is False); ``seen_first``/
+    ``seen_stop`` are the hulls of pages already charged, extended *in
+    place*.  Returns the per-function count of newly read pages.
+
+    This is the pure interval arithmetic shared by the flat engine's
+    :meth:`LaneGroup._charge_hulls` and the sharded service's
+    coordinator (which reconstructs the same full-run intervals from
+    per-shard scan extents): a ring half outside the hull sits entirely
+    below its first page or at/above its stop page, so the two
+    new-page counts plus one inclusion-exclusion term for the shared
+    boundary page never double count.
+    """
+    over_l = np.maximum(
+        np.minimum(stop_l, seen_stop) - np.maximum(first_l, seen_first), 0
+    )
+    over_r = np.maximum(
+        np.minimum(stop_r, seen_stop) - np.maximum(first_r, seen_first), 0
+    )
+    new_l = np.where(mask_l, (stop_l - first_l) - over_l, 0)
+    new_r = np.where(mask_r, (stop_r - first_r) - over_r, 0)
+    dup_first = np.maximum(first_l, first_r)
+    dup_stop = np.minimum(stop_l, stop_r)
+    dup = np.maximum(dup_stop - dup_first, 0)
+    dup -= np.maximum(
+        np.minimum(dup_stop, seen_stop) - np.maximum(dup_first, seen_first), 0
+    )
+    dup = np.where(mask_l & mask_r, dup, 0)
+    new = new_l + new_r - dup
+    np.minimum(seen_first, np.where(mask_l, first_l, seen_first), out=seen_first)
+    np.minimum(seen_first, np.where(mask_r, first_r, seen_first), out=seen_first)
+    np.maximum(seen_stop, np.where(mask_l, stop_l, seen_stop), out=seen_stop)
+    np.maximum(seen_stop, np.where(mask_r, stop_r, seen_stop), out=seen_stop)
+    return new
+
+
 class Lane:
     """Per-(query, metric) Algorithm-4 state inside a lane group."""
 
@@ -538,31 +586,18 @@ class LaneGroup:
         stop_l = np.where(mask_l, (l_stops - 1) // entries_per_page + 1, first_l)
         first_r = r_starts // entries_per_page
         stop_r = np.where(mask_r, (r_stops - 1) // entries_per_page + 1, first_r)
-        seen_first = self.seen_first[f0:f1]
-        seen_stop = self.seen_stop[f0:f1]
-        over_l = np.maximum(
-            np.minimum(stop_l, seen_stop) - np.maximum(first_l, seen_first), 0
+        new_l = np.where(mask_l, stop_l - first_l, 0)
+        new_r = np.where(mask_r, stop_r - first_r, 0)
+        new = charge_ring_hulls(
+            first_l,
+            stop_l,
+            mask_l,
+            first_r,
+            stop_r,
+            mask_r,
+            self.seen_first[f0:f1],
+            self.seen_stop[f0:f1],
         )
-        over_r = np.maximum(
-            np.minimum(stop_r, seen_stop) - np.maximum(first_r, seen_first), 0
-        )
-        new_l = np.where(mask_l, (stop_l - first_l) - over_l, 0)
-        new_r = np.where(mask_r, (stop_r - first_r) - over_r, 0)
-        # Inclusion-exclusion: the halves may share their boundary page
-        # (only when the hull does not already cover it, e.g. the first
-        # time an empty window turns non-empty); count it once.
-        dup_first = np.maximum(first_l, first_r)
-        dup_stop = np.minimum(stop_l, stop_r)
-        dup = np.maximum(dup_stop - dup_first, 0)
-        dup -= np.maximum(
-            np.minimum(dup_stop, seen_stop) - np.maximum(dup_first, seen_first), 0
-        )
-        dup = np.where(mask_l & mask_r, dup, 0)
-        new = new_l + new_r - dup
-        np.minimum(seen_first, np.where(mask_l, first_l, seen_first), out=seen_first)
-        np.minimum(seen_first, np.where(mask_r, first_r, seen_first), out=seen_first)
-        np.maximum(seen_stop, np.where(mask_l, stop_l, seen_stop), out=seen_stop)
-        np.maximum(seen_stop, np.where(mask_r, stop_r, seen_stop), out=seen_stop)
         if self.shared_pages is not None:
             # Batch-wide buffer pool: re-dedup each function's newly read
             # page runs against pages other queries already charged.  The

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro._typing import IdArray, PointMatrix, PointVector
+from repro.api import SearchRequest, SearchResult, warn_positional
 from repro.core.config import LazyLSHConfig
 from repro.core.engine import (
     TERMINATION_CAP,
@@ -78,22 +79,15 @@ def _lane_result(lane: Lane) -> "KnnResult":
 
 
 @dataclass
-class KnnResult:
+class KnnResult(SearchResult):
     """Outcome of an ``Np(q, k, c)`` query (Definition 5).
 
-    ``ids``/``distances`` are sorted by ascending ``lp`` distance.
+    A compatibility subclass of the unified
+    :class:`~repro.api.SearchResult` — same fields (``ids`` /
+    ``distances`` sorted by ascending ``lp`` distance, ``io``,
+    ``termination``, ...), kept under its historical name so existing
+    imports and isinstance checks continue to work.
     """
-
-    ids: IdArray
-    distances: np.ndarray
-    p: float
-    k: int
-    io: IOStats = field(default_factory=IOStats)
-    candidates: int = 0
-    rounds: int = 0
-    #: Why Algorithm 4 stopped: ``"k_within_radius"`` (k candidates
-    #: inside ``c * delta``) or ``"candidate_cap"`` (budget exhausted).
-    termination: str = ""
 
 
 @dataclass
@@ -484,12 +478,14 @@ class LazyLSH:
 
     def knn(
         self,
-        query: PointVector,
-        k: int,
+        query: PointVector | SearchRequest,
+        k: int | None = None,
+        *args,
         p: float = 1.0,
-        *,
         engine: str = "flat",
         telemetry=None,
+        cap: float | None = None,
+        radius: float | None = None,
     ) -> KnnResult:
         """Answer ``Np(q, k, c)`` (Algorithm 4).
 
@@ -501,26 +497,83 @@ class LazyLSH:
         candidate budget ``k + beta * n`` is exhausted, and returns the
         ``k`` candidates with the smallest true ``lp`` distances.
 
-        ``engine`` selects the execution plan: ``"flat"`` (default) runs
-        the vectorised flat-array kernel, ``"scalar"`` the per-function
-        reference loop.  Both return bit-identical results and I/O counts.
+        The first argument may instead be a fully-specified
+        :class:`~repro.api.SearchRequest`, in which case every other
+        argument but ``telemetry`` must be left at its default.  Tuning
+        knobs are keyword-only and shared verbatim with
+        ``MultiQueryEngine.knn`` and ``knn_batch``:
 
-        ``telemetry`` (a :class:`repro.obs.Telemetry`) captures one
-        structured :class:`~repro.obs.QueryTrace` per call and updates
-        the standard metric instruments; ``None`` (the default) runs the
-        no-op fast path.
+        * ``p`` — the ``lp`` metric (passing it positionally is
+          deprecated);
+        * ``engine`` — ``"flat"`` (vectorised, default) or ``"scalar"``
+          (reference loop); both are bit-identical in results and I/O;
+        * ``cap`` — candidate-budget override (default ``k + beta * n``);
+        * ``radius`` — starting-radius (``delta_0``) override (default
+          ``1 / r_hat``);
+        * ``telemetry`` — a :class:`repro.obs.Telemetry` capturing one
+          structured :class:`~repro.obs.QueryTrace` per call; ``None``
+          (the default) runs the no-op fast path.
         """
+        if isinstance(query, SearchRequest):
+            if k is not None or args:
+                raise InvalidParameterError(
+                    "pass either a SearchRequest or explicit query/k "
+                    "arguments, not both"
+                )
+            request = query
+            if request.metrics is not None:
+                raise InvalidParameterError(
+                    "LazyLSH.knn answers a single metric; use "
+                    "MultiQueryEngine.knn or knn_batch(metrics=...) for a "
+                    "metrics list"
+                )
+            query = request.query
+            k = request.k
+            p = request.p
+            engine = request.engine
+            cap = request.cap
+            radius = request.radius
+        else:
+            if k is None:
+                raise InvalidParameterError(
+                    "k is required when not passing a SearchRequest"
+                )
+            if args:
+                if len(args) > 1:
+                    raise TypeError(
+                        "knn() accepts at most one legacy positional "
+                        "argument (p); tuning arguments are keyword-only"
+                    )
+                warn_positional("LazyLSH.knn", "p")
+                p = args[0]
         if engine not in ("flat", "scalar"):
             raise InvalidParameterError(
                 f"engine must be 'flat' or 'scalar', got {engine!r}"
             )
+        if cap is not None and cap < k:
+            raise InvalidParameterError(
+                f"candidate cap must be >= k={k}, got {cap}"
+            )
+        if radius is not None and not radius > 0:
+            raise InvalidParameterError(
+                f"radius override must be > 0, got {radius}"
+            )
         if telemetry is None:
-            return self._knn_dispatch(query, k, p, engine, None)
+            return self._knn_dispatch(query, k, p, engine, None, cap, radius)
         with telemetry.tracer.span("lazylsh.knn", engine=engine, k=k):
-            return self._knn_dispatch(query, k, p, engine, telemetry)
+            return self._knn_dispatch(
+                query, k, p, engine, telemetry, cap, radius
+            )
 
     def _knn_dispatch(
-        self, query: PointVector, k: int, p: float, engine: str, telemetry
+        self,
+        query: PointVector,
+        k: int,
+        p: float,
+        engine: str,
+        telemetry,
+        cap: float | None = None,
+        radius: float | None = None,
     ) -> KnnResult:
         if engine == "scalar":
             query = self._check_query(query)
@@ -529,12 +582,21 @@ class LazyLSH:
             # rehashing rounds (ring boundaries) stay in the buffer pool
             # for the duration of one query and are charged once.
             result = self._knn_impl(
-                query, k, p, stats, seen_pages=set(), telemetry=telemetry
+                query,
+                k,
+                p,
+                stats,
+                seen_pages=set(),
+                telemetry=telemetry,
+                cap=cap,
+                radius=radius,
             )
             self.io_stats.add_sequential(stats.sequential)
             self.io_stats.add_random(stats.random)
             return result
-        group = self._lane_group(self._check_query(query), k, p)
+        group = self._lane_group(
+            self._check_query(query), k, p, cap=cap, radius=radius
+        )
         lane = group.lanes[0]
         if telemetry is not None:
             lane.trace = telemetry.query_trace_builder(
@@ -562,13 +624,17 @@ class LazyLSH:
         *,
         query_hashes: np.ndarray | None = None,
         shared_pages=None,
+        cap: float | None = None,
+        radius: float | None = None,
     ) -> LaneGroup:
         """Build the flat-engine lane group for one ``(query, p)`` pair.
 
         ``query`` must already be validated; parameter checks run in the
         same order as the scalar loop so error behaviour is unchanged.
         ``query_hashes`` lets batched callers reuse a single hashing
-        matmul over all query points.
+        matmul over all query points; ``cap``/``radius`` override the
+        candidate budget and starting radius (``None`` keeps the paper's
+        ``k + beta * n`` and ``1 / r_hat``).
         """
         p = validate_p(p)
         n = self.num_points
@@ -578,7 +644,10 @@ class LazyLSH:
             )
         params = self.metric_params(p)
         assert self._bank is not None and self._store is not None and self._data is not None
-        lane = Lane(p, params, k, k + self._beta * n, self.num_rows)
+        cap_value = k + self._beta * n if cap is None else float(cap)
+        lane = Lane(p, params, k, cap_value, self.num_rows)
+        if radius is not None:
+            lane.delta = float(radius)
         if query_hashes is None:
             query_hashes = self._bank.hash_point(query)
         return LaneGroup(
@@ -605,12 +674,15 @@ class LazyLSH:
         fetched: np.ndarray | None = None,
         telemetry=None,
         query_id: int | None = None,
+        cap: float | None = None,
+        radius: float | None = None,
     ) -> KnnResult:
         """Algorithm 4 body, shareable by the multi-query engine.
 
         ``seen_pages``/``fetched`` let a batch of queries over several
         metrics share sequential page reads and candidate fetches
-        (Section 4.3); plain ``knn`` passes neither.
+        (Section 4.3); plain ``knn`` passes neither.  ``cap``/``radius``
+        override the candidate budget and starting radius.
         """
         p = validate_p(p)
         n = self.num_points
@@ -631,14 +703,14 @@ class LazyLSH:
                 query_id=query_id,
             )
         theta = params.theta
-        cap = k + self._beta * n
+        cap = k + self._beta * n if cap is None else float(cap)
         counts = np.zeros(n_rows, dtype=np.int32)
         is_candidate = np.zeros(n_rows, dtype=bool)
         cand_ids: list[int] = []
         cand_dists: list[float] = []
         query_hashes = self._bank.hash_point(query)
         prev_windows: list[tuple[int, int]] | None = None
-        delta = 1.0 / params.r_hat
+        delta = 1.0 / params.r_hat if radius is None else float(radius)
         rounds = 0
         done = False
         reason = ""

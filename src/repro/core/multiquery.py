@@ -25,11 +25,14 @@ paper reports (Figure 12):
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from repro._typing import PointVector
+from repro.api import SearchRequest, warn_positional
 from repro.core.engine import (
     TERMINATION_CAP,
     TERMINATION_K_WITHIN,
@@ -48,7 +51,12 @@ _MAX_ROUNDS = 128
 
 @dataclass
 class MultiQueryResult:
-    """Batched kNN results for one query point under several metrics."""
+    """Batched kNN results for one query point under several metrics.
+
+    Satisfies the :class:`~repro.api.SearchResultLike` protocol: ``ids``,
+    ``distances`` and ``termination`` expose the per-metric parts keyed
+    by ``p``, ``io`` the batch's aggregated simulated I/O.
+    """
 
     results: dict[float, KnnResult]
     io: IOStats = field(default_factory=IOStats)
@@ -57,6 +65,29 @@ class MultiQueryResult:
     def metrics(self) -> list[float]:
         """The metrics answered, in ascending order of ``p``."""
         return list(self.results)
+
+    @property
+    def ids(self) -> dict[float, np.ndarray]:
+        """Per-metric neighbour ids, keyed by ``p``."""
+        return {p: r.ids for p, r in self.results.items()}
+
+    @property
+    def distances(self) -> dict[float, np.ndarray]:
+        """Per-metric neighbour distances, keyed by ``p``."""
+        return {p: r.distances for p, r in self.results.items()}
+
+    @property
+    def termination(self) -> dict[float, str]:
+        """Per-metric Algorithm-4 termination reasons, keyed by ``p``."""
+        return {p: r.termination for p, r in self.results.items()}
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (metric keys formatted with ``%g``)."""
+        return {
+            "metrics": self.metrics,
+            "io": self.io.to_dict(),
+            "results": {f"{p:g}": r.to_dict() for p, r in self.results.items()},
+        }
 
     def __getitem__(self, p: float) -> KnnResult:
         return self.results[p]
@@ -123,14 +154,16 @@ class MultiQueryEngine:
 
     def knn(
         self,
-        query: PointVector,
-        k: int,
-        p_values: list[float] | tuple[float, ...],
-        *,
+        query: PointVector | SearchRequest,
+        k: int | None = None,
+        *args,
+        metrics: Sequence[float] | None = None,
+        p_values: Sequence[float] | None = None,
         engine: str = "flat",
         telemetry=None,
+        cap: float | None = None,
     ) -> MultiQueryResult:
-        """kNN of ``query`` under every metric in ``p_values``.
+        """kNN of ``query`` under every metric in ``metrics``.
 
         Results are identical to issuing the queries one at a time; the
         I/O and CPU of the index scan are paid once.  Each per-metric
@@ -138,34 +171,87 @@ class MultiQueryEngine:
         are attributed to the smallest-``p`` active metric consuming
         them); the batch total is in :attr:`MultiQueryResult.io`.
 
-        ``engine`` selects the execution plan (``"flat"`` — the
-        vectorised kernel — or ``"scalar"``, the per-function reference
-        loop); both produce bit-identical results and I/O counts.
-
-        ``telemetry`` (a :class:`repro.obs.Telemetry`) captures one
-        :class:`~repro.obs.QueryTrace` per metric; ``None`` (the
-        default) runs the no-op fast path.
+        The first argument may instead be a
+        :class:`~repro.api.SearchRequest` (its ``metrics`` tuple — or
+        single ``p`` — is answered); every other argument but
+        ``telemetry`` must then be left at its default.  Tuning knobs
+        are keyword-only and shared with ``LazyLSH.knn``/``knn_batch``:
+        ``metrics`` (passing it positionally, or via the old ``p_values``
+        name, is deprecated), ``engine`` (``"flat"`` or ``"scalar"``,
+        bit-identical), ``cap`` (candidate-budget override, applied to
+        every metric) and ``telemetry`` (one
+        :class:`~repro.obs.QueryTrace` per metric).
         """
+        if isinstance(query, SearchRequest):
+            if k is not None or args or metrics is not None or p_values is not None:
+                raise InvalidParameterError(
+                    "pass either a SearchRequest or explicit query/k "
+                    "arguments, not both"
+                )
+            request = query
+            if request.radius is not None:
+                raise InvalidParameterError(
+                    "radius overrides are not supported by the multi-query "
+                    "engine (the shared scan requires delta_0 = 1 / r_hat)"
+                )
+            query = request.query
+            k = request.k
+            metrics = (
+                request.metrics if request.metrics is not None else (request.p,)
+            )
+            engine = request.engine
+            cap = request.cap
+        else:
+            if k is None:
+                raise InvalidParameterError(
+                    "k is required when not passing a SearchRequest"
+                )
+            if args:
+                if len(args) > 1 or metrics is not None or p_values is not None:
+                    raise TypeError(
+                        "knn() accepts at most one legacy positional "
+                        "argument (the metrics list); tuning arguments "
+                        "are keyword-only"
+                    )
+                warn_positional("MultiQueryEngine.knn", "metrics")
+                metrics = args[0]
+            elif p_values is not None:
+                if metrics is not None:
+                    raise InvalidParameterError(
+                        "pass either metrics or p_values, not both"
+                    )
+                warnings.warn(
+                    "the p_values argument of MultiQueryEngine.knn is "
+                    "deprecated; use metrics=...",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                metrics = p_values
         if engine not in ("flat", "scalar"):
             raise InvalidParameterError(
                 f"engine must be 'flat' or 'scalar', got {engine!r}"
             )
-        if not p_values:
-            raise InvalidParameterError("p_values must be non-empty")
+        if not metrics:
+            raise InvalidParameterError("metrics must be non-empty")
+        if cap is not None and cap < k:
+            raise InvalidParameterError(
+                f"candidate cap must be >= k={k}, got {cap}"
+            )
         if telemetry is not None:
             with telemetry.tracer.span(
-                "multiquery.knn", engine=engine, k=k, metrics=len(p_values)
+                "multiquery.knn", engine=engine, k=k, metrics=len(metrics)
             ):
-                return self._knn_impl(query, k, p_values, engine, telemetry)
-        return self._knn_impl(query, k, p_values, engine, None)
+                return self._knn_impl(query, k, metrics, engine, telemetry, cap)
+        return self._knn_impl(query, k, metrics, engine, None, cap)
 
     def _knn_impl(
         self,
         query: PointVector,
         k: int,
-        p_values: list[float] | tuple[float, ...],
+        p_values: Sequence[float],
         engine: str,
         telemetry,
+        cap: float | None = None,
     ) -> MultiQueryResult:
         unique = sorted({float(p) for p in p_values})
         index = self.index
@@ -176,8 +262,9 @@ class MultiQueryEngine:
                 f"k must lie in [1, {n}] for a dataset of {n} live points, got {k}"
             )
         query = np.asarray(query, dtype=np.float64)
+        cap_value = k + index.beta * n if cap is None else float(cap)
         if engine == "flat":
-            return self._knn_flat(query, k, unique, telemetry)
+            return self._knn_flat(query, k, unique, telemetry, cap_value)
         # Validate every metric up front so no partial work is wasted.
         states = [
             _MetricState(
@@ -185,7 +272,7 @@ class MultiQueryEngine:
                 index.metric_params(p),
                 n_rows,
                 k,
-                k + index.beta * n,
+                cap_value,
             )
             for p in unique
         ]
@@ -311,7 +398,12 @@ class MultiQueryEngine:
         return MultiQueryResult(results=results, io=total)
 
     def _knn_flat(
-        self, query: np.ndarray, k: int, unique: list[float], telemetry=None
+        self,
+        query: np.ndarray,
+        k: int,
+        unique: list[float],
+        telemetry=None,
+        cap: float | None = None,
     ) -> MultiQueryResult:
         """Flat-engine execution of the level-synchronised batch loop.
 
@@ -322,8 +414,9 @@ class MultiQueryEngine:
         index = self.index
         n = index.num_points
         n_rows = index.num_rows
+        cap_value = k + index.beta * n if cap is None else float(cap)
         lanes = [
-            Lane(p, index.metric_params(p), k, k + index.beta * n, n_rows)
+            Lane(p, index.metric_params(p), k, cap_value, n_rows)
             for p in unique
         ]
         if telemetry is not None:

@@ -7,7 +7,10 @@ candidate / within-radius counters, the simulated I/O delta of each
 round, and why the query terminated.  The flat and scalar engines emit
 traces through the same :class:`QueryTraceBuilder` hook surface, so a
 trace is comparable across execution plans — round structure, I/O deltas
-and the termination reason are bit-identical between the two.
+and the termination reason are bit-identical between the two.  The
+sharded service (:mod:`repro.serve`) emits one *merged* trace per query
+under ``engine="sharded"``, again through the same hooks and with the
+same cross-plan invariants.
 
 Serialisation is one JSON object per query (JSONL for a whole run);
 :func:`validate_trace_dict` checks a record against :data:`TRACE_SCHEMA`
@@ -65,7 +68,7 @@ TRACE_SCHEMA: dict = {
         "query_id": {"type": ["integer", "null"]},
         "p": {"type": "number", "exclusiveMinimum": 0},
         "k": {"type": "integer", "minimum": 1},
-        "engine": {"type": "string", "enum": ["flat", "scalar"]},
+        "engine": {"type": "string", "enum": ["flat", "scalar", "sharded"]},
         "rehashing": {"type": "string"},
         "termination": {"type": "string", "enum": list(TERMINATION_REASONS)},
         "candidates": {"type": "integer", "minimum": 0},
@@ -244,7 +247,7 @@ def validate_trace_dict(record: dict) -> None:
         "k must be an integer >= 1",
     )
     _require(
-        record["engine"] in ("flat", "scalar"),
+        record["engine"] in ("flat", "scalar", "sharded"),
         f"unknown engine {record['engine']!r}",
     )
     _require(

@@ -1,0 +1,37 @@
+"""Sharded parallel query serving for a built LazyLSH index.
+
+The package splits the flat-array inverted index into contiguous
+point-id shards, exports each through zero-copy shared memory to a
+persistent worker process, and merges per-shard scans into results —
+ids, distances, termination and simulated I/O — that are bit-identical
+to the single-process engine's (see ``repro.serve.service`` for the
+argument).
+
+Entry points: :class:`ShardedSearchService` (the coordinator),
+:func:`plan_shards`/:func:`pack_shard`/:func:`attach_shard` (shard
+layout and shared-memory plumbing), :func:`worker_main` (the worker
+process body) and :func:`run_serve_benchmark` (the honest-numbers
+benchmark behind ``repro bench-serve``).
+"""
+
+from repro.serve.bench import run_serve_benchmark
+from repro.serve.service import ShardedSearchService, default_shards
+from repro.serve.sharding import (
+    ShardSpec,
+    attach_shard,
+    pack_shard,
+    plan_shards,
+)
+from repro.serve.worker import ShardSearcher, worker_main
+
+__all__ = [
+    "ShardSearcher",
+    "ShardSpec",
+    "ShardedSearchService",
+    "attach_shard",
+    "default_shards",
+    "pack_shard",
+    "plan_shards",
+    "run_serve_benchmark",
+    "worker_main",
+]

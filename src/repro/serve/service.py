@@ -1,0 +1,743 @@
+"""Sharded multiprocess query service with bit-identical I/O accounting.
+
+:class:`ShardedSearchService` snapshots a built :class:`~repro.core.
+lazylsh.LazyLSH` index into ``n_shards`` contiguous point-id ranges
+(one shared-memory segment and one persistent worker process each) and
+answers the same ``Np(q, k, c)`` queries as :meth:`LazyLSH.knn` by
+fanning every rehashing round out to all shards and merging.
+
+Exactness
+---------
+
+The merged results — candidate order, termination round *and* hash
+function, ids, distances, and the simulated sequential/random I/O
+counts — are bit-identical to the single-process flat engine.  Three
+observations make this work:
+
+* **Shard scans restrict engine scans.**  Each shard's per-function
+  sub-run preserves the full run's order, so ``searchsorted`` over the
+  shard restricts the engine's window endpoints exactly, and the ring
+  split (left/right of the previous window) commutes with the
+  restriction.  A shard therefore sees precisely its share of every
+  window the engine would scan.
+* **Speculation is unobservable.**  Workers scan each round in full
+  even though the engine may stop mid-round at some hash function
+  ``i_stop``.  On any round the query *continues*, the engine consumed
+  the whole round too, so worker state matches; on the round it stops,
+  the post-``i_stop`` shard state is never read again.  The coordinator
+  recovers ``i_stop`` exactly by replaying the engine's promotion order
+  (function-major, left ring run before right — a ``lexsort`` on
+  (function, full-run position)) through one cumulative sum of the
+  per-function within-radius and candidate counts.
+* **Positions are dense.**  Every reported crossing and scan extent
+  carries its position in the *full* run, and shard sub-runs partition
+  the run, so the full scan interval per function is just the min/max
+  over shards of the reported extents — from which the coordinator
+  charges sequential page I/O through the very same
+  :func:`~repro.core.engine.charge_ring_hulls` interval arithmetic the
+  engine uses.
+
+I/O attribution: random I/Os (candidate fetches) are attributed to the
+shard owning the candidate (``SearchResult.shard_io``); sequential page
+reads are charged globally at the coordinator because pages are a
+property of the full run, not of any shard.  The totals in
+``SearchResult.io`` equal the single-process engine's exactly.
+
+Fault tolerance: a worker death (detected as a broken pipe) triggers a
+repair — dead workers are respawned against the still-live shared
+memory, survivors are reset, stale replies are discarded by sequence
+number — and the whole wave is replayed once from round zero (the scan
+is deterministic, so the replay returns the same results).  A second
+failure raises :class:`~repro.errors.ReproError`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+
+import numpy as np
+
+from repro.api import SearchRequest, SearchResult
+from repro.core.engine import (
+    TERMINATION_CAP,
+    TERMINATION_K_WITHIN,
+    charge_ring_hulls,
+)
+from repro.errors import (
+    IndexNotBuiltError,
+    InvalidParameterError,
+    ReproError,
+)
+from repro.metrics.lp import validate_p
+from repro.serve.sharding import pack_shard, plan_shards
+from repro.serve.worker import worker_main
+from repro.storage.io_stats import IOStats
+
+#: Mirror of the engine's round cap and hull sentinel (kept local so the
+#: service depends only on the engine's public charging primitive).
+_MAX_ROUNDS = 128
+_HULL_EMPTY_FIRST = 2**62
+
+_KNN_ABORT = "knn did not terminate; this indicates a corrupted index"
+
+
+class _WorkerDied(Exception):
+    """A worker's pipe broke mid-wave; the coordinator should repair."""
+
+    def __init__(self, shard_id: int) -> None:
+        super().__init__(f"worker for shard {shard_id} died")
+        self.shard_id = shard_id
+
+
+class _QueryRun:
+    """Coordinator-side Algorithm-4 state for one in-flight query."""
+
+    __slots__ = (
+        "qid",
+        "query",
+        "k",
+        "p",
+        "theta",
+        "eta",
+        "r_hat",
+        "cap",
+        "delta",
+        "c_delta",
+        "level",
+        "rounds",
+        "n_cand",
+        "n_within",
+        "outside",
+        "id_chunks",
+        "dist_chunks",
+        "io",
+        "shard_random",
+        "seen_first",
+        "seen_stop",
+        "query_hashes",
+        "cur_los",
+        "cur_his",
+        "done",
+        "reason",
+        "trace",
+    )
+
+    def __init__(
+        self,
+        qid: int,
+        query: np.ndarray,
+        k: int,
+        p: float,
+        params,
+        cap: float,
+        delta0: float,
+        query_hashes: np.ndarray,
+        n_shards: int,
+    ) -> None:
+        self.qid = qid
+        self.query = query
+        self.k = k
+        self.p = p
+        self.theta = int(params.theta)
+        self.eta = int(params.eta)
+        self.r_hat = float(params.r_hat)
+        self.cap = cap
+        self.delta = delta0
+        self.c_delta = 0.0
+        self.level = 0.0
+        self.rounds = 0
+        self.n_cand = 0
+        self.n_within = 0
+        self.outside = np.empty(0, dtype=np.float64)
+        self.id_chunks: list[np.ndarray] = []
+        self.dist_chunks: list[np.ndarray] = []
+        self.io = IOStats()
+        self.shard_random = np.zeros(n_shards, dtype=np.int64)
+        self.seen_first = np.full(self.eta, _HULL_EMPTY_FIRST, dtype=np.int64)
+        self.seen_stop = np.zeros(self.eta, dtype=np.int64)
+        self.query_hashes = query_hashes[: self.eta]
+        self.cur_los: np.ndarray | None = None
+        self.cur_his: np.ndarray | None = None
+        self.done = False
+        self.reason = ""
+        self.trace = None
+
+
+class ShardedSearchService:
+    """Queries a built index through persistent per-shard workers.
+
+    Parameters
+    ----------
+    index:
+        A built :class:`~repro.core.lazylsh.LazyLSH`.  The service
+        snapshots its data and inverted lists at construction time;
+        later ``insert``/``remove`` calls on the index are not visible
+        to the service (build a new service for the updated index).
+    n_shards:
+        Number of shards — and worker processes; clamped to the number
+        of stored rows.  Each shard owns a contiguous id range of
+        balanced size (sizes differ by at most one point).
+    start_method:
+        ``multiprocessing`` start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``) or ``None`` for the platform default.
+
+    Use as a context manager (or call :meth:`close`) to release the
+    worker processes and shared-memory segments::
+
+        with ShardedSearchService(index, n_shards=4) as service:
+            result = service.search(query, k=10, p=0.5)
+    """
+
+    def __init__(
+        self,
+        index,
+        *,
+        n_shards: int = 2,
+        start_method: str | None = None,
+    ) -> None:
+        if not getattr(index, "is_built", False):
+            raise IndexNotBuiltError(
+                "ShardedSearchService needs a built index; call build(data)"
+            )
+        self.index = index
+        self.ranges = plan_shards(index.num_rows, n_shards)
+        self.n_shards = len(self.ranges)
+        self._shard_los = np.array([lo for lo, _hi in self.ranges], dtype=np.int64)
+        self._epp = int(index.store.layout.entries_per_page)
+        self._ctx = mp.get_context(start_method)
+        self._specs = []
+        self._shms = []
+        self._procs: list = [None] * self.n_shards
+        self._conns: list = [None] * self.n_shards
+        self.busy_seconds = [0.0] * self.n_shards
+        self.restarts = 0
+        self.queries_served = 0
+        self._op_seq = 0
+        self._qid_seq = 0
+        self._closed = False
+        try:
+            for sid, (lo, hi) in enumerate(self.ranges):
+                spec, shm = pack_shard(
+                    sid, lo, hi, index.store, index.data, index._alive
+                )
+                self._specs.append(spec)
+                self._shms.append(shm)
+            for sid in range(self.n_shards):
+                self._spawn(sid)
+            self._broadcast("ping")
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _spawn(self, sid: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, self._specs[sid]),
+            daemon=True,
+            name=f"repro-shard-{sid}",
+        )
+        proc.start()
+        # Close the parent's copy of the child end so a worker death
+        # surfaces as EOF instead of a hang.
+        child_conn.close()
+        self._procs[sid] = proc
+        self._conns[sid] = parent_conn
+
+    def close(self) -> None:
+        """Shut workers down and release the shared-memory segments.
+
+        Idempotent; also invoked by ``__exit__``.  The parent is the
+        sole unlinker of the segments (see ``repro.serve.sharding``).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            if conn is None:
+                continue
+            try:
+                conn.send((self._next_op(), "shutdown", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            if proc is None:
+                continue
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            if conn is not None:
+                conn.close()
+        for shm in self._shms:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        self._shms = []
+
+    def __enter__(self) -> "ShardedSearchService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """Service-level counters (JSON-serialisable)."""
+        return {
+            "n_shards": self.n_shards,
+            "shard_ranges": [list(r) for r in self.ranges],
+            "shard_points": [hi - lo for lo, hi in self.ranges],
+            "busy_seconds": list(self.busy_seconds),
+            "restarts": self.restarts,
+            "queries_served": self.queries_served,
+        }
+
+    # ------------------------------------------------------------------
+    # Worker protocol
+    # ------------------------------------------------------------------
+
+    def _next_op(self) -> int:
+        self._op_seq += 1
+        return self._op_seq
+
+    def _send(self, sid: int, op_id: int, op: str, payload) -> None:
+        try:
+            self._conns[sid].send((op_id, op, payload))
+        except (BrokenPipeError, OSError) as exc:
+            raise _WorkerDied(sid) from exc
+
+    def _recv(self, sid: int, op_id: int):
+        """Receive shard ``sid``'s reply to ``op_id``.
+
+        Replies to older ops (stale queue entries surviving a repair)
+        are discarded; a broken pipe raises :class:`_WorkerDied`; a
+        worker-side exception is re-raised here (it is a bug, not a
+        death — no retry).
+        """
+        while True:
+            try:
+                reply_id, status, payload = self._conns[sid].recv()
+            except (EOFError, OSError) as exc:
+                raise _WorkerDied(sid) from exc
+            if status == "err":
+                raise ReproError(
+                    f"shard {sid} worker failed:\n{payload}"
+                )
+            if reply_id == op_id:
+                self.busy_seconds[sid] += payload["busy"]
+                return payload["result"]
+            if reply_id > op_id:  # pragma: no cover - protocol bug
+                raise ReproError(
+                    f"shard {sid} replied to op {reply_id} while awaiting "
+                    f"{op_id}"
+                )
+            # reply_id < op_id: stale reply from before a repair — drop.
+
+    def _broadcast(self, op: str, payload=None) -> list:
+        """Send one op to every shard, then collect every reply."""
+        op_id = self._next_op()
+        for sid in range(self.n_shards):
+            self._send(sid, op_id, op, payload)
+        return [self._recv(sid, op_id) for sid in range(self.n_shards)]
+
+    def _repair(self) -> None:
+        """Respawn dead workers and reset survivors for a wave replay."""
+        for sid in range(self.n_shards):
+            proc = self._procs[sid]
+            if proc.is_alive():
+                continue
+            self._conns[sid].close()
+            self._spawn(sid)
+            self.restarts += 1
+        # Survivors may hold per-query state and queued replies from the
+        # aborted wave; the reset's fresh op id flushes both (stale
+        # replies are skipped by _recv's sequence check).
+        self._broadcast("reset")
+
+    def _crash_worker(self, shard_id: int) -> None:
+        """Test hook: kill one worker mid-service (``os._exit(1)``)."""
+        self._send(shard_id, self._next_op(), "crash", None)
+        self._procs[shard_id].join(timeout=5)
+
+    # ------------------------------------------------------------------
+    # Search API
+    # ------------------------------------------------------------------
+
+    def search(
+        self,
+        query,
+        k: int | None = None,
+        *,
+        p: float = 1.0,
+        cap: float | None = None,
+        radius: float | None = None,
+        telemetry=None,
+    ) -> SearchResult:
+        """Answer one ``Np(q, k, c)`` query across all shards.
+
+        Accepts either an explicit ``(query, k, p=...)`` or a
+        :class:`~repro.api.SearchRequest` as the sole argument — the
+        same overload as :meth:`LazyLSH.knn`.  The request's ``engine``
+        field is ignored (the service always runs its distributed flat
+        plan); ``metrics`` lists are rejected, as on ``LazyLSH.knn``.
+        """
+        if isinstance(query, SearchRequest):
+            if k is not None:
+                raise InvalidParameterError(
+                    "pass either a SearchRequest or explicit query/k "
+                    "arguments, not both"
+                )
+            request = query
+            if request.metrics is not None:
+                raise InvalidParameterError(
+                    "ShardedSearchService.search answers a single metric; "
+                    "use MultiQueryEngine.knn or knn_batch(metrics=...) for "
+                    "a metrics list"
+                )
+            query = request.query
+            k = request.k
+            p = request.p
+            cap = request.cap
+            radius = request.radius
+        elif k is None:
+            raise InvalidParameterError(
+                "k is required when not passing a SearchRequest"
+            )
+        query = self.index._check_query(query)
+        return self.search_batch(
+            query[None, :], k, p=p, cap=cap, radius=radius,
+            telemetry=telemetry,
+        )[0]
+
+    def search_batch(
+        self,
+        queries,
+        k: int | None = None,
+        *,
+        p: float = 1.0,
+        cap: float | None = None,
+        radius: float | None = None,
+        telemetry=None,
+    ) -> list[SearchResult]:
+        """Answer a ``(m, d)`` matrix of queries as one synchronised wave.
+
+        All queries of the wave share ``k``/``p``/``cap``/``radius``;
+        per-query radii and termination stay independent (a finished
+        query simply drops out of later rounds).  Also accepts a
+        :class:`~repro.api.SearchRequest` whose ``query`` is a matrix.
+        Returns one :class:`~repro.api.SearchResult` per row, each with
+        the per-shard random-I/O breakdown in ``shard_io``.
+        """
+        if self._closed:
+            raise ReproError("service is closed")
+        if isinstance(queries, SearchRequest):
+            if k is not None:
+                raise InvalidParameterError(
+                    "pass either a SearchRequest or explicit queries/k "
+                    "arguments, not both"
+                )
+            request = queries
+            if request.metrics is not None:
+                raise InvalidParameterError(
+                    "ShardedSearchService answers a single metric per wave; "
+                    "use MultiQueryEngine.knn or knn_batch(metrics=...) for "
+                    "a metrics list"
+                )
+            queries = request.query
+            k = request.k
+            p = request.p
+            cap = request.cap
+            radius = request.radius
+        elif k is None:
+            raise InvalidParameterError(
+                "k is required when not passing a SearchRequest"
+            )
+        index = self.index
+        queries = np.ascontiguousarray(np.atleast_2d(
+            np.asarray(queries, dtype=np.float64)
+        ))
+        if queries.ndim != 2 or queries.shape[1] != index.dimensionality:
+            raise InvalidParameterError(
+                f"queries must be a (m, {index.dimensionality}) matrix, got "
+                f"shape {queries.shape}"
+            )
+        if queries.shape[0] == 0:
+            return []
+        if not np.all(np.isfinite(queries)):
+            raise InvalidParameterError("queries contain non-finite values")
+        p = validate_p(p)
+        n = index.num_points
+        if not 1 <= k <= n:
+            raise InvalidParameterError(
+                f"k must lie in [1, {n}] for a dataset of {n} live points, "
+                f"got {k}"
+            )
+        if cap is not None and cap < k:
+            raise InvalidParameterError(
+                f"candidate cap must be >= k={k}, got {cap}"
+            )
+        if radius is not None and not radius > 0:
+            raise InvalidParameterError(
+                f"radius override must be > 0, got {radius}"
+            )
+        params = index.metric_params(p)
+        cap_value = k + index.beta * n if cap is None else float(cap)
+        delta0 = 1.0 / float(params.r_hat) if radius is None else float(radius)
+        hashes = index._bank.hash_points(queries)  # one matmul for the wave
+        if telemetry is None:
+            return self._execute(
+                queries, k, p, params, cap_value, delta0, hashes, None
+            )
+        with telemetry.tracer.span(
+            "serve.search_batch",
+            shards=self.n_shards,
+            queries=int(queries.shape[0]),
+            k=k,
+        ):
+            return self._execute(
+                queries, k, p, params, cap_value, delta0, hashes, telemetry
+            )
+
+    # ------------------------------------------------------------------
+    # Wave execution
+    # ------------------------------------------------------------------
+
+    def _execute(
+        self, queries, k, p, params, cap_value, delta0, hashes, telemetry
+    ) -> list[SearchResult]:
+        runs = None
+        for attempt in range(2):
+            runs = [
+                _QueryRun(
+                    self._qid_seq + j,
+                    queries[j],
+                    k,
+                    p,
+                    params,
+                    cap_value,
+                    delta0,
+                    np.ascontiguousarray(hashes[:, j]),
+                    self.n_shards,
+                )
+                for j in range(queries.shape[0])
+            ]
+            if telemetry is not None:
+                for run in runs:
+                    run.trace = telemetry.query_trace_builder(
+                        p=p, k=k, engine="sharded",
+                        rehashing=self.index.rehashing,
+                    )
+            try:
+                self._run_wave(runs)
+                break
+            except _WorkerDied:
+                if attempt:
+                    raise ReproError(
+                        "sharded service: worker died again after repair; "
+                        "giving up on this wave"
+                    ) from None
+                self._repair()
+        self._qid_seq += len(runs)
+        # Success: only now fold the wave into the index-level counters
+        # and telemetry (an aborted attempt leaves no residue).
+        results = []
+        for run in runs:
+            result = self._finish_run(run)
+            self.index.io_stats.merge(run.io)
+            if telemetry is not None:
+                telemetry.record(
+                    run.trace.finish(
+                        termination=run.reason,
+                        io=run.io,
+                        candidates=run.n_cand,
+                    )
+                )
+            results.append(result)
+        self.queries_served += len(runs)
+        return results
+
+    def _run_wave(self, runs: list) -> None:
+        c = float(self.index.config.c)
+        rehashing = self.index.rehashing
+        self._broadcast(
+            "begin",
+            [(r.qid, r.query, r.p, r.theta, r.eta) for r in runs],
+        )
+        while True:
+            active = [r for r in runs if not r.done]
+            if not active:
+                break
+            for r in active:
+                r.rounds += 1
+                if r.rounds > _MAX_ROUNDS:
+                    raise ReproError(_KNN_ABORT)
+                r.level = r.r_hat * r.delta
+                r.c_delta = c * r.delta
+                # Refresh the within-radius counter for the larger radius
+                # (the engine's Lane.begin_round_radius).
+                if r.outside.size:
+                    newly = r.outside < r.c_delta
+                    hits = int(np.count_nonzero(newly))
+                    if hits:
+                        r.n_within += hits
+                        r.outside = r.outside[~newly]
+                if r.trace is not None:
+                    r.trace.begin_round(
+                        level=r.level, radius=r.c_delta, io=r.io
+                    )
+                hq = r.query_hashes
+                if rehashing == "query_centric":
+                    half = int(np.floor(r.level / 2.0))
+                    r.cur_los = hq - half
+                    r.cur_his = hq + half
+                else:
+                    width = max(1, int(np.floor(r.level)))
+                    base = np.floor_divide(hq, width)
+                    r.cur_los = base * width
+                    r.cur_his = r.cur_los + width - 1
+            requests = [(r.qid, r.cur_los, r.cur_his) for r in active]
+            replies = self._broadcast("round", requests)
+            for r in active:
+                self._merge_round(r, [reply[r.qid] for reply in replies])
+            for r in active:
+                r.delta *= c
+        self._broadcast("end", [r.qid for r in runs])
+
+    def _merge_round(self, r: _QueryRun, parts: list) -> None:
+        """Fold one round's per-shard replies into the query's state.
+
+        Recovers the engine's stop function by replaying its promotion
+        order, then charges exactly the I/O the single-process engine
+        would have charged for functions up to (and including) the stop.
+        """
+        eta = r.eta
+        gids = np.concatenate([part["gids"] for part in parts])
+        funcs = np.concatenate([part["funcs"] for part in parts])
+        pos = np.concatenate([part["pos"] for part in parts])
+        dists = np.concatenate([part["dists"] for part in parts])
+        # Engine promotion order: function-major, then full-run position
+        # (left ring run positions precede right ring run positions).
+        order = np.lexsort((pos, funcs))
+        funcs_s = funcs[order]
+        # Per-function promotion / within-radius counts -> the first
+        # function where the engine's termination condition holds.
+        promo = np.bincount(funcs_s, minlength=eta)
+        within = np.bincount(funcs[dists < r.c_delta], minlength=eta)
+        cum_cand = r.n_cand + np.cumsum(promo)
+        cum_within = r.n_within + np.cumsum(within)
+        stop_mask = (cum_within >= r.k) | (cum_cand > r.cap)
+        if stop_mask.any():
+            i_stop = int(np.argmax(stop_mask))
+            reason = (
+                TERMINATION_K_WITHIN
+                if cum_within[i_stop] >= r.k
+                else TERMINATION_CAP
+            )
+            kept = int(np.searchsorted(funcs_s, i_stop, side="right"))
+            consumed = np.arange(eta) <= i_stop
+        else:
+            i_stop = None
+            reason = ""
+            kept = int(gids.size)
+            consumed = np.ones(eta, dtype=bool)
+        # Full-run scan intervals per function: positions are dense and
+        # the shards partition each run, so min/max over the shards'
+        # extents reconstruct the engine's intervals exactly.
+        l_lo_m = np.stack([part["l_lo"] for part in parts])
+        l_hi_m = np.stack([part["l_hi"] for part in parts])
+        r_lo_m = np.stack([part["r_lo"] for part in parts])
+        r_hi_m = np.stack([part["r_hi"] for part in parts])
+        has_l = (l_lo_m >= 0).any(axis=0)
+        has_r = (r_lo_m >= 0).any(axis=0)
+        l_lo = np.where(l_lo_m >= 0, l_lo_m, _HULL_EMPTY_FIRST).min(axis=0)
+        l_hi = l_hi_m.max(axis=0)
+        r_lo = np.where(r_lo_m >= 0, r_lo_m, _HULL_EMPTY_FIRST).min(axis=0)
+        r_hi = r_hi_m.max(axis=0)
+        if r.trace is not None:
+            len_l = np.where(has_l & consumed, l_hi - l_lo + 1, 0)
+            len_r = np.where(has_r & consumed, r_hi - r_lo + 1, 0)
+            r.trace.add_collisions(int((len_l + len_r).sum()))
+        # Sequential I/O: the engine's per-function page-hull charge over
+        # the consumed functions' left/right page runs.
+        epp = self._epp
+        mask_l = has_l & consumed
+        mask_r = has_r & consumed
+        first_l = np.where(mask_l, l_lo // epp, 0)
+        stop_l = np.where(mask_l, l_hi // epp + 1, first_l)
+        first_r = np.where(mask_r, r_lo // epp, 0)
+        stop_r = np.where(mask_r, r_hi // epp + 1, first_r)
+        new = charge_ring_hulls(
+            first_l, stop_l, mask_l, first_r, stop_r, mask_r,
+            r.seen_first, r.seen_stop,
+        )
+        seq = int(new.sum())
+        if seq:
+            r.io.add_sequential(seq)
+        # Random I/O + promotion of the kept crossings.
+        if kept:
+            kept_ids = gids[order[:kept]]
+            kept_dists = dists[order[:kept]]
+            r.io.add_random(kept)
+            owner = (
+                np.searchsorted(self._shard_los, kept_ids, side="right") - 1
+            )
+            r.shard_random += np.bincount(owner, minlength=self.n_shards)
+            if r.trace is not None:
+                r.trace.add_crossings(kept)
+            r.id_chunks.append(kept_ids)
+            r.dist_chunks.append(kept_dists)
+            r.n_cand += kept
+            inside = kept_dists < r.c_delta
+            r.n_within += int(np.count_nonzero(inside))
+            if not inside.all():
+                r.outside = np.concatenate([r.outside, kept_dists[~inside]])
+        if r.trace is not None:
+            r.trace.end_round(
+                io=r.io, candidates=r.n_cand, within=r.n_within
+            )
+        if i_stop is not None:
+            r.done = True
+            r.reason = reason
+
+    def _finish_run(self, r: _QueryRun) -> SearchResult:
+        if r.id_chunks:
+            cand_ids = np.concatenate(r.id_chunks)
+            cand_dists = np.concatenate(r.dist_chunks)
+        else:  # pragma: no cover - cap 0-candidate degenerate case
+            cand_ids = np.empty(0, dtype=np.int64)
+            cand_dists = np.empty(0, dtype=np.float64)
+        order = np.argsort(cand_dists)[: r.k]
+        return SearchResult(
+            ids=cand_ids[order].astype(np.int64),
+            distances=cand_dists[order],
+            p=r.p,
+            k=r.k,
+            io=r.io,
+            candidates=int(cand_ids.size),
+            rounds=r.rounds,
+            termination=r.reason,
+            shard_io=[
+                IOStats(random=int(x)) for x in r.shard_random
+            ],
+        )
+
+
+def default_shards() -> int:
+    """A sensible shard count for this host: its CPU count, capped at 8."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def timed(fn, *args, **kwargs):
+    """Run ``fn`` and return ``(result, wall_seconds)`` (bench helper)."""
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - t0

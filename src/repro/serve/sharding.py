@@ -1,0 +1,150 @@
+"""Shard planning and zero-copy shard export for the query service.
+
+The sharded service partitions the point set into ``n_shards``
+contiguous id ranges.  For each shard it extracts, per hash function,
+the sub-run of inverted-list entries owned by the shard
+(:meth:`~repro.storage.inverted_index.InvertedListStore.shard_view`)
+plus the shard's data rows and alive mask, and publishes all of it
+through one :class:`multiprocessing.shared_memory.SharedMemory` block.
+Workers attach read-only views — queries ship only window bounds and
+crossing summaries over the pipes, never index data.
+
+Shared-memory lifetime rules (see DESIGN.md section 9):
+
+* the parent creates each segment, keeps the handle for the service's
+  lifetime, and is the only unlinker (``close()``/context-manager exit);
+* workers attach by name and immediately deregister the segment from
+  their ``resource_tracker`` so a worker death (or the crash test hook)
+  cannot reap memory the parent still owns;
+* all views are read-only by convention — workers never write to the
+  segment, so respawned workers can re-attach mid-flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+def plan_shards(n_rows: int, n_shards: int) -> list[tuple[int, int]]:
+    """Balanced contiguous id ranges ``[lo, hi)`` covering ``n_rows``.
+
+    The first ``n_rows % n_shards`` shards take one extra point, so
+    shard sizes differ by at most one.  ``n_shards`` is clamped to
+    ``n_rows`` (a shard must own at least one point).
+    """
+    if n_rows < 1:
+        raise InvalidParameterError(f"need at least one row, got {n_rows}")
+    if n_shards < 1:
+        raise InvalidParameterError(
+            f"n_shards must be >= 1, got {n_shards}"
+        )
+    n_shards = min(n_shards, n_rows)
+    base, extra = divmod(n_rows, n_shards)
+    ranges = []
+    lo = 0
+    for s in range(n_shards):
+        hi = lo + base + (1 if s < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker needs to attach one shard (picklable).
+
+    ``arrays`` maps array name to ``(offset, shape, dtype_str)`` inside
+    the shared-memory block named ``shm_name``.
+    """
+
+    shard_id: int
+    lo: int
+    hi: int
+    shm_name: str
+    arrays: dict = field(default_factory=dict)
+
+
+#: Array layout of one shard segment, in packing order.
+_SHARD_ARRAYS = ("values", "ids", "positions", "data", "alive")
+
+
+def pack_shard(
+    shard_id: int,
+    lo: int,
+    hi: int,
+    store,
+    data: np.ndarray,
+    alive: np.ndarray,
+) -> tuple[ShardSpec, shared_memory.SharedMemory]:
+    """Export shard ``[lo, hi)`` into a fresh shared-memory segment.
+
+    Returns the spec to hand to the worker and the parent-side handle
+    (the caller owns closing and unlinking it).
+    """
+    values, ids, positions = store.shard_view(lo, hi)
+    arrays = {
+        "values": values,
+        "ids": ids,
+        "positions": positions,
+        "data": np.ascontiguousarray(data[lo:hi]),
+        "alive": np.ascontiguousarray(alive[lo:hi]),
+    }
+    manifest: dict = {}
+    offset = 0
+    for name in _SHARD_ARRAYS:
+        arr = arrays[name]
+        # 8-byte alignment keeps every int64/float64 view well-formed.
+        offset = (offset + 7) & ~7
+        manifest[name] = (offset, arr.shape, arr.dtype.str)
+        offset += arr.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for name in _SHARD_ARRAYS:
+        arr = arrays[name]
+        off, shape, dtype = manifest[name]
+        view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
+        view[...] = arr
+    spec = ShardSpec(
+        shard_id=shard_id, lo=lo, hi=hi, shm_name=shm.name, arrays=manifest
+    )
+    return spec, shm
+
+
+def attach_shard(
+    spec: ShardSpec,
+) -> tuple[dict, shared_memory.SharedMemory]:
+    """Attach a packed shard in a worker process.
+
+    Returns ``(arrays, shm)`` where ``arrays`` maps name to a read-only
+    numpy view over the segment.  The attach is kept out of the
+    ``resource_tracker`` so a worker's exit (clean or not) never unlinks
+    or deregisters memory the parent still serves from.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=spec.shm_name, track=False)
+    except TypeError:
+        # Python < 3.13 has no track= parameter and registers every
+        # attach with the (process-tree-wide) resource tracker, which
+        # would let a worker's exit clobber the parent's registration.
+        # Suppress the registration for the duration of the attach.
+        original = resource_tracker.register
+
+        def _skip(name: str, rtype: str) -> None:
+            if rtype != "shared_memory":  # pragma: no cover
+                original(name, rtype)
+
+        resource_tracker.register = _skip
+        try:
+            shm = shared_memory.SharedMemory(name=spec.shm_name)
+        finally:
+            resource_tracker.register = original
+    arrays = {}
+    for name, (off, shape, dtype) in spec.arrays.items():
+        view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
+        view.flags.writeable = False
+        arrays[name] = view
+    return arrays, shm

@@ -1,0 +1,364 @@
+"""Shard worker: the per-process half of the sharded query service.
+
+Each worker owns one contiguous id-range shard of the inverted index
+(attached zero-copy from shared memory) and answers *round* requests:
+given one rehashing round's window bounds it scans its shard's sub-runs
+speculatively in full and reports
+
+* every collision-threshold crossing in its shard — point id, the hash
+  function where the count crossed ``theta``, the crossing entry's
+  position in the **full** run, and the true ``lp`` distance (computed
+  from the shard's own data rows), and
+* per-function scan extents (min/max full-run positions of the left and
+  right ring runs), from which the coordinator reconstructs the exact
+  full-run page intervals for sequential-I/O charging.
+
+The worker never decides termination: the coordinator merges the
+per-shard crossings in the engine's promotion order, finds the global
+stop function, and discards crossings past it.  Speculative over-scan
+past the stop function only ever happens in a query's final round, so
+the worker's per-point collision state never diverges from the
+single-process engine's on any round that continues.
+
+The wire protocol is one ``(op_id, op, payload)`` tuple per request with
+one ``(op_id, "ok", payload)`` or ``(op_id, "err", traceback)`` reply.
+The coordinator's ``op_id`` is a monotonically increasing sequence
+number: after a worker death it lets the coordinator discard stale
+replies still queued in surviving workers' pipes before replaying the
+wave.  Ops:
+
+=============  ======================================================
+``ping``       liveness / warm-up check, returns the shard id
+``begin``      register a wave of queries (id, vector, metric params)
+``round``      scan one round for a list of active queries
+``end``        drop the listed queries' state
+``reset``      drop *all* query state (coordinator repair/replay)
+``crash``      ``os._exit(1)`` — test hook for worker-death recovery
+``shutdown``   clean exit
+=============  ======================================================
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+
+import numpy as np
+
+from repro.metrics.lp import lp_distance
+from repro.serve.sharding import ShardSpec, attach_shard
+
+#: Mirrors the engine's dead-row slack sentinel (see repro.core.engine):
+#: rows that can never cross the threshold again.
+_SLACK_DEAD = 2**30
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+_EMPTY_F64 = np.empty(0, dtype=np.float64)
+
+
+class _QueryState:
+    """Per-query Algorithm-4 collision state restricted to one shard."""
+
+    __slots__ = (
+        "query",
+        "p",
+        "theta",
+        "eta",
+        "slack",
+        "plos",
+        "phis",
+        "pstarts",
+        "pstops",
+        "first_round",
+    )
+
+    def __init__(
+        self, query: np.ndarray, p: float, theta: int, eta: int, m: int,
+        alive: np.ndarray,
+    ) -> None:
+        self.query = query
+        self.p = p
+        self.theta = theta
+        self.eta = eta
+        # Fused crossing test (same idiom as the engine's Lane): a local
+        # row crosses theta in a round iff the round adds more than
+        # ``slack`` collisions; dead rows carry _SLACK_DEAD.
+        self.slack = np.full(m, _SLACK_DEAD, dtype=np.int32)
+        np.copyto(self.slack, theta, where=alive)
+        # Previous-round windows (hash-value bounds, shared with the
+        # coordinator) and this shard's previous raw sub-run endpoints.
+        self.plos = np.zeros(eta, dtype=np.int64)
+        self.phis = np.zeros(eta, dtype=np.int64)
+        self.pstarts = np.zeros(eta, dtype=np.int64)
+        self.pstops = np.zeros(eta, dtype=np.int64)
+        self.first_round = True
+
+
+class ShardSearcher:
+    """Executes rounds over one attached shard.
+
+    ``values``/``ids``/``positions`` are ``(num_functions, m)`` views of
+    the shard's per-function sorted sub-runs (``positions`` holds each
+    entry's index in the full run); ``data`` the shard's point rows.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        lo: int,
+        hi: int,
+        values: np.ndarray,
+        ids: np.ndarray,
+        positions: np.ndarray,
+        data: np.ndarray,
+        alive: np.ndarray,
+    ) -> None:
+        self.shard_id = shard_id
+        self.lo = lo
+        self.hi = hi
+        self.values = values
+        self.ids = ids
+        self.positions = positions
+        self.data = data
+        self.alive = alive
+        self.m = int(hi - lo)
+        self.queries: dict[int, _QueryState] = {}
+
+    # -- protocol ops ---------------------------------------------------
+
+    def begin(self, entries: list) -> None:
+        for qid, query, p, theta, eta in entries:
+            self.queries[qid] = _QueryState(
+                np.asarray(query, dtype=np.float64),
+                float(p),
+                int(theta),
+                int(eta),
+                self.m,
+                self.alive,
+            )
+
+    def end(self, qids: list) -> None:
+        for qid in qids:
+            self.queries.pop(qid, None)
+
+    def reset(self) -> None:
+        self.queries.clear()
+
+    def round(self, requests: list) -> dict:
+        return {
+            qid: self._round_one(self.queries[qid], los, his)
+            for qid, los, his in requests
+        }
+
+    # -- the per-round shard scan --------------------------------------
+
+    def _round_one(
+        self, q: _QueryState, los: np.ndarray, his: np.ndarray
+    ) -> dict:
+        """One round's speculative full scan of this shard.
+
+        Replicates the engine's ring split exactly, restricted to the
+        shard: sub-runs preserve full-run order, so ``searchsorted`` on
+        the shard's values restricts the full run's window endpoints and
+        the per-function left/right ring runs are the shard's share of
+        the engine's runs.
+        """
+        eta = q.eta
+        los = np.asarray(los, dtype=np.int64)
+        his = np.asarray(his, dtype=np.int64)
+        starts = np.empty(eta, dtype=np.int64)
+        stops = np.empty(eta, dtype=np.int64)
+        for i in range(eta):
+            row = self.values[i]
+            starts[i] = np.searchsorted(row, los[i], side="left")
+            stops[i] = np.searchsorted(row, his[i], side="right")
+        stops = np.maximum(starts, stops)
+        if q.first_round:
+            left_starts, left_stops = starts, stops
+            right_starts = right_stops = stops
+        else:
+            nested = (los <= q.plos) & (q.phis <= his)
+            left_starts = starts
+            left_stops = np.where(
+                nested, np.minimum(q.pstarts, stops), stops
+            )
+            right_starts = np.where(
+                nested, np.maximum(q.pstops, starts), stops
+            )
+            right_stops = stops
+        reply = self._scan(
+            q, left_starts, left_stops, right_starts, right_stops
+        )
+        q.plos[:] = los
+        q.phis[:] = his
+        q.pstarts[:] = starts
+        q.pstops[:] = stops
+        q.first_round = False
+        return reply
+
+    def _scan(
+        self,
+        q: _QueryState,
+        left_starts: np.ndarray,
+        left_stops: np.ndarray,
+        right_starts: np.ndarray,
+        right_stops: np.ndarray,
+    ) -> dict:
+        eta = q.eta
+        m = self.m
+        # Gather the round's entries function-major, left run before
+        # right run — the engine's scan order.
+        seg_rows = np.repeat(np.arange(eta, dtype=np.int64), 2)
+        seg_starts = np.empty(2 * eta, dtype=np.int64)
+        seg_stops = np.empty(2 * eta, dtype=np.int64)
+        seg_starts[0::2] = left_starts
+        seg_stops[0::2] = left_stops
+        seg_starts[1::2] = right_starts
+        seg_stops[1::2] = right_stops
+        seg_lens = seg_stops - seg_starts
+        total = int(seg_lens.sum())
+        # Per-function full-run extents of the two ring runs (-1 = empty).
+        l_lo, l_hi = self._extents(left_starts, left_stops)
+        r_lo, r_hi = self._extents(right_starts, right_stops)
+        if total == 0:
+            return {
+                "gids": _EMPTY_I64,
+                "funcs": _EMPTY_I64,
+                "pos": _EMPTY_I64,
+                "dists": _EMPTY_F64,
+                "l_lo": l_lo,
+                "l_hi": l_hi,
+                "r_lo": r_lo,
+                "r_hi": r_hi,
+            }
+        flat_base = seg_rows * m
+        offsets = np.empty(2 * eta, dtype=np.int64)
+        offsets[0] = 0
+        np.cumsum(seg_lens[:-1], out=offsets[1:])
+        idx = np.repeat(flat_base + seg_starts - offsets, seg_lens)
+        idx += np.arange(total, dtype=np.int64)
+        sub = self.ids.ravel()[idx] - self.lo  # shard-local point rows
+        subpos = self.positions.ravel()[idx]
+        func_lens = seg_lens[0::2] + seg_lens[1::2]
+        bounds = np.empty(eta + 1, dtype=np.int64)
+        bounds[0] = 0
+        np.cumsum(func_lens, out=bounds[1:])
+        # Threshold crossings, engine idiom: bincount finds the few rows
+        # whose count crosses theta this round, a stable rank over just
+        # their occurrences recovers the exact crossing entry.
+        add = np.bincount(sub, minlength=m)
+        crossers = np.flatnonzero(add > q.slack)
+        if crossers.size:
+            lookup = np.zeros(m, dtype=bool)
+            lookup[crossers] = True
+            pos = np.flatnonzero(lookup[sub])
+            psub = sub[pos]
+            order = np.argsort(psub, kind="stable")
+            sid = psub[order]
+            first = np.empty(sid.size, dtype=bool)
+            first[0] = True
+            np.not_equal(sid[1:], sid[:-1], out=first[1:])
+            group_starts = np.flatnonzero(first)
+            group_idx = np.cumsum(first) - 1
+            rank = np.arange(sid.size, dtype=np.int64) - group_starts[group_idx]
+            hits = rank == q.slack[sid]
+            elems = pos[order[hits]]
+            elems.sort()
+            cross_local = sub[elems]
+            cross_func = np.searchsorted(bounds, elems, side="right") - 1
+            cross_pos = subpos[elems]
+            dists = lp_distance(self.data[cross_local], q.query, q.p)
+            gids = cross_local + self.lo
+        else:
+            gids = cross_func = cross_pos = _EMPTY_I64
+            dists = _EMPTY_F64
+            cross_local = _EMPTY_I64
+        np.subtract(q.slack, add, out=q.slack, casting="unsafe")
+        if cross_local.size:
+            q.slack[cross_local] = _SLACK_DEAD
+        return {
+            "gids": gids,
+            "funcs": cross_func,
+            "pos": cross_pos,
+            "dists": dists,
+            "l_lo": l_lo,
+            "l_hi": l_hi,
+            "r_lo": r_lo,
+            "r_hi": r_hi,
+        }
+
+    def _extents(
+        self, run_starts: np.ndarray, run_stops: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Full-run positions (min, max) of each function's sub-run."""
+        eta = run_starts.shape[0]
+        lo = np.full(eta, -1, dtype=np.int64)
+        hi = np.full(eta, -1, dtype=np.int64)
+        nonempty = run_stops > run_starts
+        for i in np.flatnonzero(nonempty):
+            row = self.positions[i]
+            lo[i] = row[run_starts[i]]
+            hi[i] = row[run_stops[i] - 1]
+        return lo, hi
+
+
+def worker_main(conn, spec: ShardSpec) -> None:
+    """Worker process entry point (importable, spawn-safe).
+
+    Attaches the shard, then serves ``(op_id, op, payload)`` requests
+    until ``shutdown`` (or the pipe closes).  Every reply echoes the
+    ``op_id`` and carries the op's wall-clock ``busy`` seconds so the
+    coordinator can report per-shard utilisation.
+    """
+    try:
+        arrays, shm = attach_shard(spec)
+        searcher = ShardSearcher(
+            spec.shard_id,
+            spec.lo,
+            spec.hi,
+            arrays["values"],
+            arrays["ids"],
+            arrays["positions"],
+            arrays["data"],
+            arrays["alive"],
+        )
+    except Exception:  # pragma: no cover - attach failures are fatal
+        conn.send((-1, "err", traceback.format_exc()))
+        return
+    while True:
+        try:
+            op_id, op, payload = conn.recv()
+        except (EOFError, OSError):  # parent went away
+            break
+        t0 = time.perf_counter()
+        try:
+            if op == "ping":
+                result = {"shard": searcher.shard_id, "points": searcher.m}
+            elif op == "begin":
+                searcher.begin(payload)
+                result = None
+            elif op == "round":
+                result = searcher.round(payload)
+            elif op == "end":
+                searcher.end(payload)
+                result = None
+            elif op == "reset":
+                searcher.reset()
+                result = None
+            elif op == "crash":
+                os._exit(1)
+            elif op == "shutdown":
+                conn.send((op_id, "ok", {"busy": 0.0, "result": None}))
+                break
+            else:
+                raise ValueError(f"unknown worker op {op!r}")
+            conn.send(
+                (op_id, "ok", {"busy": time.perf_counter() - t0, "result": result})
+            )
+        except Exception:
+            try:
+                conn.send((op_id, "err", traceback.format_exc()))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                break
+    shm.close()

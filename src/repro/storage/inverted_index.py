@@ -511,6 +511,42 @@ class InvertedListStore:
         return np.concatenate([left, right])
 
     # ------------------------------------------------------------------
+    # Sharding (repro.serve)
+    # ------------------------------------------------------------------
+
+    def shard_view(
+        self, lo: int, hi: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Extract the contiguous id-range shard ``[lo, hi)`` of every run.
+
+        Returns ``(values, ids, positions)``, each of shape
+        ``(num_functions, hi - lo)``: for every hash function, the sorted
+        sub-run of entries whose point id lies in ``[lo, hi)``, in
+        original run order, plus each entry's position in the full run.
+        Every run contains each point id exactly once, so the extraction
+        is rectangular, and because the sub-runs preserve run order their
+        window endpoints (``searchsorted`` on ``values``) restrict the
+        full run's endpoints exactly — the property the sharded service's
+        bit-identical I/O reconstruction relies on.
+
+        The returned arrays are fresh copies, safe to export through
+        shared memory while the store keeps serving queries.
+        """
+        if not 0 <= lo < hi <= self._num_points:
+            raise InvalidParameterError(
+                f"shard range [{lo}, {hi}) must satisfy 0 <= lo < hi <= "
+                f"{self._num_points}"
+            )
+        mask = (self._ids >= lo) & (self._ids < hi)
+        flat = np.flatnonzero(mask.ravel())
+        m = hi - lo
+        shape = (self._num_functions, m)
+        positions = (flat % self._num_points).reshape(shape)
+        values = self._values.ravel()[flat].reshape(shape)
+        ids = self._ids.ravel()[flat].reshape(shape)
+        return values, ids, positions
+
+    # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
 

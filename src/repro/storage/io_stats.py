@@ -44,6 +44,18 @@ class IOStats:
         """Return an immutable-by-convention copy of the current counters."""
         return IOStats(sequential=self.sequential, random=self.random)
 
+    def merge(self, other: "IOStats") -> "IOStats":
+        """Fold ``other``'s counters into this one, in place.
+
+        The streaming aggregation primitive shared by ``knn_batch`` and
+        the sharded service's result merger: one running total, updated
+        as parts arrive, instead of re-summing a list per call.  Returns
+        ``self`` so folds chain.
+        """
+        self.add_sequential(other.sequential)
+        self.add_random(other.random)
+        return self
+
     def to_dict(self) -> dict:
         """JSON-serialisable form (``total`` included for readability)."""
         return {

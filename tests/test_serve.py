@@ -1,0 +1,281 @@
+"""Tests for the sharded query service (repro.serve).
+
+The load-bearing property is *bit-identity*: the service must return
+exactly the ids, distances, termination, round count and simulated
+sequential/random I/O of the single-process flat engine, for every
+metric and rehashing mode, because the paper's evaluation measures
+those numbers.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import LazyLSH, SearchRequest, Telemetry
+from repro.errors import (
+    IndexNotBuiltError,
+    InvalidParameterError,
+    ReproError,
+)
+from repro.obs.query_trace import validate_trace_dict
+from repro.persistence import load_index, save_index
+from repro.serve import ShardedSearchService, plan_shards
+
+
+@pytest.fixture(scope="module")
+def service(built_index):
+    """One three-shard service over the shared small index."""
+    with ShardedSearchService(built_index, n_shards=3) as svc:
+        yield svc
+
+
+def _assert_identical(flat, sharded):
+    np.testing.assert_array_equal(flat.ids, sharded.ids)
+    np.testing.assert_array_equal(flat.distances, sharded.distances)
+    assert flat.io.sequential == sharded.io.sequential
+    assert flat.io.random == sharded.io.random
+    assert flat.termination == sharded.termination
+    assert flat.rounds == sharded.rounds
+    assert flat.candidates == sharded.candidates
+
+
+class TestPlanShards:
+    def test_covers_and_balances(self):
+        ranges = plan_shards(10, 3)
+        assert ranges == [(0, 4), (4, 7), (7, 10)]
+        sizes = [hi - lo for lo, hi in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_clamped_to_rows(self):
+        assert plan_shards(2, 8) == [(0, 1), (1, 2)]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            plan_shards(0, 2)
+        with pytest.raises(InvalidParameterError):
+            plan_shards(5, 0)
+
+
+class TestShardView:
+    def test_partitions_every_run(self, built_index):
+        store = built_index.store
+        n = store.num_points
+        lo, hi = n // 3, 2 * n // 3
+        values, ids, positions = store.shard_view(lo, hi)
+        assert values.shape == ids.shape == positions.shape
+        for f in range(min(4, values.shape[0])):
+            # Sub-runs stay sorted and point back into the full run.
+            assert np.all(np.diff(values[f]) >= 0)
+            assert np.all((ids[f] >= lo) & (ids[f] < hi))
+            np.testing.assert_array_equal(
+                store._values[f, positions[f]], values[f]
+            )
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("p", [0.5, 0.8, 1.0])
+    def test_matches_flat_engine(self, built_index, small_split, service, p):
+        k = 10
+        sharded = service.search_batch(small_split.queries, k, p=p)
+        for query, result in zip(small_split.queries, sharded):
+            _assert_identical(built_index.knn(query, k, p=p), result)
+
+    def test_shard_io_decomposes_random(self, small_split, service):
+        results = service.search_batch(small_split.queries, 5, p=0.7)
+        for result in results:
+            assert result.shard_io is not None
+            assert len(result.shard_io) == service.n_shards
+            assert (
+                sum(s.random for s in result.shard_io) == result.io.random
+            )
+            assert all(s.sequential == 0 for s in result.shard_io)
+
+    def test_single_query_and_request_form(
+        self, built_index, small_split, service
+    ):
+        query = small_split.queries[0]
+        flat = built_index.knn(query, 7, p=0.6)
+        _assert_identical(flat, service.search(query, 7, p=0.6))
+        _assert_identical(
+            flat, service.search(SearchRequest(query=query, k=7, p=0.6))
+        )
+
+    def test_cap_and_radius_overrides(
+        self, built_index, small_split, service
+    ):
+        query = small_split.queries[1]
+        flat = built_index.knn(query, 5, p=0.8, cap=40, radius=0.5)
+        _assert_identical(
+            flat, service.search(query, 5, p=0.8, cap=40, radius=0.5)
+        )
+
+    def test_original_rehashing_mode(self, small_config, small_split):
+        index = LazyLSH(small_config, rehashing="original").build(
+            small_split.data
+        )
+        with ShardedSearchService(index, n_shards=2) as svc:
+            results = svc.search_batch(small_split.queries, 5, p=0.75)
+        for query, result in zip(small_split.queries, results):
+            _assert_identical(index.knn(query, 5, p=0.75), result)
+
+    def test_tombstoned_points_stay_excluded(self, small_config, small_split):
+        index = LazyLSH(small_config).build(small_split.data)
+        index.remove(np.arange(0, 60))
+        with ShardedSearchService(index, n_shards=3) as svc:
+            results = svc.search_batch(small_split.queries, 5, p=0.9)
+        for query, result in zip(small_split.queries, results):
+            _assert_identical(index.knn(query, 5, p=0.9), result)
+            assert not np.any(result.ids < 60)
+
+
+class TestPersistenceRoundTrip:
+    def test_sharded_service_over_restored_index(
+        self, built_index, small_split, tmp_path
+    ):
+        """Satellite: save -> load -> serve must equal the fresh index."""
+        path = save_index(built_index, tmp_path / "index.npz")
+        restored = load_index(path)
+        with ShardedSearchService(restored, n_shards=2) as svc:
+            results = svc.search_batch(small_split.queries, 10, p=0.8)
+        for query, result in zip(small_split.queries, results):
+            _assert_identical(built_index.knn(query, 10, p=0.8), result)
+
+
+class TestTelemetry:
+    def test_merged_traces_match_flat_engine(self, built_index, small_split):
+        sharded_tel = Telemetry()
+        with ShardedSearchService(built_index, n_shards=2) as svc:
+            svc.search_batch(
+                small_split.queries, 5, p=0.7, telemetry=sharded_tel
+            )
+        flat_tel = Telemetry()
+        for query in small_split.queries:
+            built_index.knn(query, 5, p=0.7, telemetry=flat_tel)
+        assert len(sharded_tel.traces) == len(flat_tel.traces)
+        for ts, tf in zip(sharded_tel.traces, flat_tel.traces):
+            ds, df = ts.to_dict(), tf.to_dict()
+            validate_trace_dict(ds)
+            assert ds["engine"] == "sharded"
+            # Round-for-round: level, radius, collisions, crossings and
+            # the per-round I/O deltas all replay the flat engine.
+            assert ds["rounds"] == df["rounds"]
+            assert ds["io"] == df["io"]
+            assert ds["termination"] == df["termination"]
+
+    def test_spans_and_metrics_recorded(self, built_index, small_split):
+        telemetry = Telemetry()
+        with ShardedSearchService(built_index, n_shards=2) as svc:
+            svc.search_batch(
+                small_split.queries[:2], 5, p=0.8, telemetry=telemetry
+            )
+        assert any(
+            span.name == "serve.search_batch"
+            for span in telemetry.tracer.spans
+        )
+        rendered = telemetry.metrics_text()
+        assert 'engine="sharded"' in rendered
+
+
+class TestLifecycle:
+    def test_worker_crash_recovers_with_identical_results(
+        self, built_index, small_split
+    ):
+        with ShardedSearchService(built_index, n_shards=2) as svc:
+            before = svc.search(small_split.queries[0], 5, p=0.75)
+            svc._crash_worker(1)
+            after = svc.search(small_split.queries[0], 5, p=0.75)
+            _assert_identical(before, after)
+            assert svc.restarts == 1
+
+    def test_close_is_idempotent_and_final(self, built_index, small_split):
+        svc = ShardedSearchService(built_index, n_shards=2)
+        svc.close()
+        svc.close()
+        with pytest.raises(ReproError):
+            svc.search_batch(small_split.queries, 5, p=0.8)
+
+    def test_index_io_stats_accumulate(self, built_index, small_split):
+        before = built_index.io_stats.snapshot()
+        with ShardedSearchService(built_index, n_shards=2) as svc:
+            result = svc.search(small_split.queries[0], 5, p=0.8)
+        delta = built_index.io_stats - before
+        assert delta.sequential == result.io.sequential
+        assert delta.random == result.io.random
+
+    def test_stats_shape(self, service, small_split):
+        service.search(small_split.queries[0], 3, p=0.9)
+        stats = service.stats()
+        assert stats["n_shards"] == 3
+        assert len(stats["busy_seconds"]) == 3
+        assert sum(stats["shard_points"]) == service.index.num_rows
+        json.dumps(stats)  # JSON-serialisable
+
+
+class TestValidation:
+    def test_requires_built_index(self, small_config):
+        with pytest.raises(IndexNotBuiltError):
+            ShardedSearchService(LazyLSH(small_config))
+
+    def test_rejects_metrics_request(self, service, small_split):
+        request = SearchRequest(
+            query=small_split.queries[0], k=5, metrics=(0.5, 1.0)
+        )
+        with pytest.raises(InvalidParameterError, match="single metric"):
+            service.search(request)
+
+    def test_rejects_request_plus_explicit_k(self, service, small_split):
+        request = SearchRequest(query=small_split.queries[0], k=5)
+        with pytest.raises(InvalidParameterError, match="not both"):
+            service.search(request, 5)
+
+    def test_requires_k_without_request(self, service, small_split):
+        with pytest.raises(InvalidParameterError, match="k is required"):
+            service.search(small_split.queries[0])
+
+    def test_rejects_bad_tuning(self, service, small_split):
+        queries = small_split.queries
+        with pytest.raises(InvalidParameterError):
+            service.search_batch(queries, 0)
+        with pytest.raises(InvalidParameterError):
+            service.search_batch(queries, 5, p=0.8, cap=2)
+        with pytest.raises(InvalidParameterError):
+            service.search_batch(queries, 5, p=0.8, radius=-1.0)
+        with pytest.raises(InvalidParameterError):
+            service.search_batch(queries[:, :3], 5)
+
+    def test_empty_batch(self, service, small_split):
+        assert (
+            service.search_batch(
+                np.empty((0, small_split.queries.shape[1])), 5
+            )
+            == []
+        )
+
+
+class TestServeCli:
+    def test_serve_command_outputs_merged_results(
+        self, built_index, small_split, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        path = save_index(built_index, tmp_path / "index.npz")
+        code = main(
+            [
+                "serve",
+                str(path),
+                "--k",
+                "5",
+                "--p",
+                "0.8",
+                "--shards",
+                "2",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["service"]["n_shards"] == 2
+        assert len(report["results"]) == 1
+        flat = built_index.knn(built_index.data[0], 5, p=0.8)
+        assert report["results"][0]["ids"] == [int(i) for i in flat.ids]
+        assert report["results"][0]["io"] == flat.io.to_dict()

@@ -1,0 +1,208 @@
+"""Tests for the unified search API surface (repro.api).
+
+Covers the shared ``SearchRequest``/``SearchResult`` core: request
+dispatch on every query path, the deprecation of legacy positional
+tuning arguments, the common result protocol, and the streaming
+``IOStats.merge``/``aggregate_io`` aggregation.
+"""
+
+import contextlib
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import (
+    BatchKnnResult,
+    IOStats,
+    KnnResult,
+    MultiQueryEngine,
+    MultiQueryResult,
+    SearchRequest,
+    aggregate_io,
+    knn_batch,
+)
+from repro.api import SearchResultLike
+from repro.errors import InvalidParameterError
+
+
+@contextlib.contextmanager
+def _no_deprecations():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        yield
+
+
+class TestSearchRequestValidation:
+    def test_rejects_bad_fields(self):
+        q = np.zeros(4)
+        with pytest.raises(InvalidParameterError):
+            SearchRequest(query=q, k=0)
+        with pytest.raises(InvalidParameterError):
+            SearchRequest(query=q, k=5, cap=2)
+        with pytest.raises(InvalidParameterError):
+            SearchRequest(query=q, k=5, radius=0.0)
+        with pytest.raises(InvalidParameterError):
+            SearchRequest(query=q, k=5, metrics=())
+        with pytest.raises(InvalidParameterError):
+            SearchRequest(query=q, k=5, metrics=(0.5,), radius=1.0)
+        with pytest.raises(InvalidParameterError):
+            SearchRequest(query=q, k=5, engine="gpu")
+
+    def test_normalises_metrics_to_floats(self):
+        request = SearchRequest(query=np.zeros(4), k=5, metrics=[1, 0.5])
+        assert request.metrics == (1.0, 0.5)
+
+
+class TestRequestDispatch:
+    def test_knn_accepts_request(self, built_index, small_split):
+        query = small_split.queries[0]
+        keyword = built_index.knn(query, 5, p=0.8)
+        request = built_index.knn(SearchRequest(query=query, k=5, p=0.8))
+        np.testing.assert_array_equal(keyword.ids, request.ids)
+        np.testing.assert_array_equal(keyword.distances, request.distances)
+        assert keyword.io == request.io
+
+    def test_knn_rejects_request_plus_args(self, built_index, small_split):
+        request = SearchRequest(query=small_split.queries[0], k=5)
+        with pytest.raises(InvalidParameterError):
+            built_index.knn(request, 5)
+
+    def test_multiquery_accepts_request(self, built_index, small_split):
+        engine = MultiQueryEngine(built_index)
+        query = small_split.queries[0]
+        keyword = engine.knn(query, 5, metrics=(0.5, 1.0))
+        request = engine.knn(
+            SearchRequest(query=query, k=5, metrics=(0.5, 1.0))
+        )
+        assert keyword.metrics == request.metrics
+        for p in keyword.metrics:
+            np.testing.assert_array_equal(
+                keyword.results[p].ids, request.results[p].ids
+            )
+        assert keyword.io == request.io
+
+    def test_knn_batch_accepts_matrix_request(self, built_index, small_split):
+        queries = small_split.queries[:2]
+        keyword = knn_batch(built_index, queries, 5, p=0.8)
+        request = knn_batch(
+            built_index, SearchRequest(query=queries, k=5, p=0.8)
+        )
+        for a, b in zip(keyword.results, request.results):
+            np.testing.assert_array_equal(a.ids, b.ids)
+        assert keyword.io == request.io
+
+
+class TestDeprecatedPositionals:
+    def test_knn_positional_p_warns_and_matches(
+        self, built_index, small_split
+    ):
+        query = small_split.queries[0]
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            legacy = built_index.knn(query, 5, 0.8)
+        with _no_deprecations():
+            keyword = built_index.knn(query, 5, p=0.8)
+        np.testing.assert_array_equal(legacy.ids, keyword.ids)
+
+    def test_knn_batch_positional_p_warns_and_matches(
+        self, built_index, small_split
+    ):
+        queries = small_split.queries[:2]
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            legacy = knn_batch(built_index, queries, 5, 0.8)
+        with _no_deprecations():
+            keyword = knn_batch(built_index, queries, 5, p=0.8)
+        for a, b in zip(legacy.results, keyword.results):
+            np.testing.assert_array_equal(a.ids, b.ids)
+
+    def test_multiquery_positional_metrics_warns_and_matches(
+        self, built_index, small_split
+    ):
+        engine = MultiQueryEngine(built_index)
+        query = small_split.queries[0]
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            legacy = engine.knn(query, 5, (0.5, 1.0))
+        with _no_deprecations():
+            keyword = engine.knn(query, 5, metrics=(0.5, 1.0))
+        assert legacy.metrics == keyword.metrics
+
+    def test_multiquery_p_values_keyword_warns(
+        self, built_index, small_split
+    ):
+        engine = MultiQueryEngine(built_index)
+        with pytest.warns(DeprecationWarning, match="p_values"):
+            engine.knn(small_split.queries[0], 5, p_values=(0.5, 1.0))
+
+    def test_extra_positionals_are_type_errors(
+        self, built_index, small_split
+    ):
+        query = small_split.queries[0]
+        with pytest.raises(TypeError, match="keyword-only"):
+            built_index.knn(query, 5, 0.8, "flat")
+        with pytest.raises(TypeError, match="keyword-only"):
+            knn_batch(built_index, small_split.queries, 5, 0.8, "flat")
+
+
+class TestResultProtocol:
+    def test_every_result_type_satisfies_protocol(
+        self, built_index, small_split
+    ):
+        query = small_split.queries[0]
+        knn_result = built_index.knn(query, 5, p=0.8)
+        multi = MultiQueryEngine(built_index).knn(
+            query, 5, metrics=(0.5, 1.0)
+        )
+        batch = knn_batch(built_index, small_split.queries[:2], 5, p=0.8)
+        for result in (knn_result, multi, batch):
+            assert isinstance(result, SearchResultLike)
+            assert set(result.to_dict()) >= {"io"}
+
+    def test_multi_result_parts_keyed_by_metric(
+        self, built_index, small_split
+    ):
+        multi = MultiQueryEngine(built_index).knn(
+            small_split.queries[0], 5, metrics=(0.5, 1.0)
+        )
+        assert isinstance(multi, MultiQueryResult)
+        assert set(multi.ids) == {0.5, 1.0}
+        assert set(multi.termination) == {0.5, 1.0}
+
+    def test_batch_result_parts_in_query_order(
+        self, built_index, small_split
+    ):
+        batch = knn_batch(built_index, small_split.queries[:3], 5, p=0.8)
+        assert isinstance(batch, BatchKnnResult)
+        assert len(batch.ids) == 3
+        for result in batch.results:
+            assert isinstance(result, KnnResult)
+
+
+class TestIOAggregation:
+    def test_merge_is_streaming_and_chains(self):
+        total = IOStats()
+        assert total.merge(IOStats(sequential=2, random=3)) is total
+        total.merge(IOStats(sequential=5)).merge(IOStats(random=7))
+        assert (total.sequential, total.random) == (7, 10)
+
+    def test_merge_rejects_negative(self):
+        with pytest.raises(ValueError):
+            IOStats().merge(IOStats(sequential=-1))
+
+    def test_aggregate_io_accepts_results_and_raw_stats(self):
+        parts = [IOStats(sequential=1), IOStats(random=2)]
+        assert aggregate_io(parts).total == 3
+        wrapped = [
+            SimpleResult(IOStats(sequential=4)),
+            SimpleResult(IOStats(random=6)),
+        ]
+        total = aggregate_io(wrapped)
+        assert (total.sequential, total.random) == (4, 6)
+
+    def test_batch_io_equals_fold_of_parts(self, built_index, small_split):
+        batch = knn_batch(built_index, small_split.queries, 5, p=0.8)
+        assert batch.io == aggregate_io(batch.results)
+
+
+class SimpleResult:
+    def __init__(self, io: IOStats) -> None:
+        self.io = io

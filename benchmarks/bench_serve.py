@@ -17,6 +17,12 @@ measured wall times and keeps the *modeled* speedup (total shard work
 divided by the slowest shard's busy time) separate — measured numbers
 are never extrapolated.  See ``repro/serve/bench.py``.
 
+The report also carries a ``telemetry_overhead`` section: interleaved
+min-of-N wall times for the same wave with the ops plane off and on
+(full per-shard telemetry, slow-query capture, live scraped
+``/metrics`` exporter) over one worker fleet — the ≤ 3% overhead
+budget is gated in CI by ``benchmarks/obs_smoke.py``.
+
 Run ``--quick`` for a seconds-scale smoke version of the same pipeline
 (used by CI; writes ``BENCH_serve.quick.json`` so the checked-in
 full-workload numbers are not clobbered).

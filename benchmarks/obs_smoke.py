@@ -1,0 +1,235 @@
+"""Distributed ops-plane smoke: scrape + audit a live 2-shard service.
+
+CI gate for the observability plane (DESIGN §10).  The script
+
+1. builds a planted-neighbour workload (64 queries, each with 12 points
+   planted within noise distance of its anchor, filler far away) where
+   a ``c``-approximate method genuinely can reach high exact recall —
+   near-equidistant workloads make top-k membership a coin flip and
+   would gate on noise instead of regressions;
+2. starts a 2-shard :class:`~repro.serve.ShardedSearchService` with a
+   service-level :class:`~repro.obs.Telemetry`, a 100%-sampled
+   :class:`~repro.obs.GuaranteeAuditor` and a capture-all
+   :class:`~repro.obs.SlowQueryLog`, all exported by a live
+   :class:`~repro.obs.ObsExporter`;
+3. scrapes ``/metrics`` and ``/healthz`` concurrently *while the wave
+   is in flight* (a background scraper thread polls throughout);
+4. measures telemetry overhead as min-of-N wall time with the ops
+   plane off vs on over the same worker fleet.
+
+Hard gates (non-zero exit):
+
+* audited recall@10 >= 0.9 and rolling success rate >= the 1/2 - beta
+  bound;
+* every in-flight scrape returned HTTP 200 and a parseable exposition;
+* telemetry overhead <= 3%.
+
+Artifacts: ``benchmarks/results/obs_smoke.report.json``,
+``obs_smoke.metrics.txt`` and ``obs_smoke.slowlog.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import LazyLSHConfig
+from repro.core.lazylsh import LazyLSH
+from repro.obs import (
+    GuaranteeAuditor,
+    ObsExporter,
+    SlowQueryLog,
+    Telemetry,
+    parse_prometheus_text,
+)
+from repro.serve import ShardedSearchService
+from repro.serve.bench import _measure_telemetry_overhead
+
+SEED = 7
+N, D, N_QUERIES, K, P = 4000, 16, 64, 10, 0.75
+PLANTED_PER_QUERY = 12
+N_SHARDS = 2
+
+MIN_RECALL = 0.9
+MAX_OVERHEAD = 0.03
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def make_planted_workload(
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dataset + queries where each query has a clear true top-k."""
+    anchors = rng.normal(scale=20.0, size=(N_QUERIES, D))
+    planted = np.repeat(anchors, PLANTED_PER_QUERY, axis=0) + rng.normal(
+        scale=0.05, size=(N_QUERIES * PLANTED_PER_QUERY, D)
+    )
+    filler = rng.normal(
+        scale=20.0, size=(N - N_QUERIES * PLANTED_PER_QUERY, D)
+    )
+    data = np.concatenate([planted, filler])[rng.permutation(N)]
+    queries = anchors + rng.normal(scale=0.05, size=(N_QUERIES, D))
+    return data, queries
+
+
+class Scraper(threading.Thread):
+    """Polls /metrics + /healthz while the wave runs."""
+
+    def __init__(self, url: str) -> None:
+        super().__init__(name="obs-smoke-scraper", daemon=True)
+        self.url = url
+        self.stop_event = threading.Event()
+        self.scrapes = 0
+        self.failures: list[str] = []
+
+    def run(self) -> None:
+        while not self.stop_event.is_set():
+            try:
+                with urllib.request.urlopen(
+                    self.url + "/metrics", timeout=5
+                ) as fh:
+                    status, text = fh.status, fh.read().decode()
+                if status != 200:
+                    raise RuntimeError(f"/metrics returned {status}")
+                parse_prometheus_text(text)  # must be strictly parseable
+                with urllib.request.urlopen(
+                    self.url + "/healthz", timeout=5
+                ) as fh:
+                    if fh.status != 200:
+                        raise RuntimeError(f"/healthz returned {fh.status}")
+                    json.loads(fh.read().decode())
+                self.scrapes += 1
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                self.failures.append(repr(exc))
+            self.stop_event.wait(0.02)
+
+
+def main() -> int:
+    rng = np.random.default_rng(SEED)
+    data, queries = make_planted_workload(rng)
+    cfg = LazyLSHConfig(
+        c=3.0, p_min=0.5, seed=SEED, mc_samples=50_000, mc_buckets=150
+    )
+    index = LazyLSH(cfg).build(data)
+
+    slowlog = SlowQueryLog(capacity=N_QUERIES)  # capture-all
+    telemetry = Telemetry(capture_traces=False, slowlog=slowlog)
+    auditor = GuaranteeAuditor(
+        index,
+        registry=telemetry.registry,
+        sample_rate=1.0,
+        window=N_QUERIES,
+        queue_size=2 * N_QUERIES,
+    )
+    with ShardedSearchService(
+        index, n_shards=N_SHARDS, telemetry=telemetry, auditor=auditor
+    ) as service:
+        exporter = ObsExporter(
+            telemetry.registry, health=service.health, slowlog=slowlog
+        ).start()
+        scraper = Scraper(exporter.url)
+        scraper.start()
+        try:
+            t0 = time.perf_counter()
+            service.search_batch(queries, K, p=P)
+            wave_seconds = time.perf_counter() - t0
+            auditor.drain(timeout=120.0)
+            # Final scrape after drain so the written artifact carries
+            # the audit gauges (in-flight scrapes already checked 200s).
+            with urllib.request.urlopen(
+                exporter.url + "/metrics", timeout=5
+            ) as fh:
+                metrics_text = fh.read().decode()
+            with urllib.request.urlopen(
+                exporter.url + "/slowlog", timeout=5
+            ) as fh:
+                slowlog_json = fh.read().decode()
+        finally:
+            scraper.stop_event.set()
+            scraper.join(timeout=10.0)
+            exporter.stop()
+            auditor.close()
+        health = service.health()
+
+    audit = auditor.summary()
+    overhead = _measure_telemetry_overhead(
+        index, queries, K, P, n_shards=N_SHARDS, start_method=None
+    )
+
+    samples = parse_prometheus_text(metrics_text)
+    shard_series = sorted(
+        labels["shard"]
+        for labels, _v in samples.get("lazylsh_shard_rows_scanned_total", [])
+    )
+
+    checks = {
+        "recall_ok": audit["recall_at_k"] is not None
+        and audit["recall_at_k"] >= MIN_RECALL,
+        "success_rate_ok": audit["success_rate"] is not None
+        and audit["success_rate"] >= audit["bound"],
+        "all_queries_audited": audit["samples"] == N_QUERIES,
+        "scrapes_in_flight": scraper.scrapes > 0
+        and not scraper.failures,
+        "healthy": bool(health["healthy"]),
+        "all_shards_labeled": shard_series
+        == [str(s) for s in range(N_SHARDS)],
+        "slowlog_captured": len(json.loads(slowlog_json)) == N_QUERIES,
+        "overhead_ok": overhead["overhead_fraction"] is not None
+        and overhead["overhead_fraction"] <= MAX_OVERHEAD,
+        "overhead_scrape_ok": bool(overhead["scrape_ok"]),
+    }
+    report = {
+        "bench": "obs_smoke",
+        "workload": {
+            "n": N,
+            "d": D,
+            "n_queries": N_QUERIES,
+            "k": K,
+            "p": P,
+            "planted_per_query": PLANTED_PER_QUERY,
+            "seed": SEED,
+        },
+        "n_shards": N_SHARDS,
+        "wave_seconds": wave_seconds,
+        "audit": audit,
+        "scraper": {
+            "scrapes": scraper.scrapes,
+            "failures": scraper.failures,
+        },
+        "health": health,
+        "telemetry_overhead": overhead,
+        "thresholds": {
+            "min_recall_at_k": MIN_RECALL,
+            "max_overhead_fraction": MAX_OVERHEAD,
+        },
+        "checks": checks,
+    }
+
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    (RESULTS / "obs_smoke.report.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    (RESULTS / "obs_smoke.metrics.txt").write_text(metrics_text)
+    (RESULTS / "obs_smoke.slowlog.json").write_text(slowlog_json)
+    print(json.dumps(report, indent=2))
+
+    failed = [name for name, ok in checks.items() if not ok]
+    if failed:
+        print(f"obs smoke FAILED: {failed}")
+        return 1
+    print(
+        f"obs smoke ok: recall@{K}={audit['recall_at_k']:.3f} "
+        f"success={audit['success_rate']:.3f} (bound {audit['bound']:.3f}), "
+        f"{scraper.scrapes} in-flight scrapes, "
+        f"overhead={overhead['overhead_fraction']:.2%}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

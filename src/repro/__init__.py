@@ -35,7 +35,15 @@ from repro.errors import (
     UnsupportedMetricError,
 )
 from repro.metrics.lp import lp_distance, lp_distance_matrix, lp_norm
-from repro.obs import MetricsRegistry, QueryTrace, SpanTracer, Telemetry
+from repro.obs import (
+    GuaranteeAuditor,
+    MetricsRegistry,
+    ObsExporter,
+    QueryTrace,
+    SlowQueryLog,
+    SpanTracer,
+    Telemetry,
+)
 from repro.serve import ShardedSearchService
 from repro.storage.io_stats import IOStats
 
@@ -45,6 +53,7 @@ __all__ = [
     "BatchKnnResult",
     "DatasetError",
     "DimensionalityMismatchError",
+    "GuaranteeAuditor",
     "IOStats",
     "IndexNotBuiltError",
     "InvalidParameterError",
@@ -55,6 +64,7 @@ __all__ = [
     "MetricsRegistry",
     "MultiQueryEngine",
     "MultiQueryResult",
+    "ObsExporter",
     "ParameterEngine",
     "QueryTrace",
     "RangeResult",
@@ -62,6 +72,7 @@ __all__ = [
     "SearchRequest",
     "SearchResult",
     "ShardedSearchService",
+    "SlowQueryLog",
     "SpanTracer",
     "Telemetry",
     "UnsupportedMetricError",

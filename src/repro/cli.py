@@ -23,11 +23,21 @@ Commands
 ``stats``
     Run a query workload with telemetry enabled and print the metrics
     registry (Prometheus text format, or JSON with ``--format json``).
+    With ``--shards N`` the workload runs through the sharded service
+    and a per-shard random-I/O breakdown table is printed next to the
+    totals.
 
 ``serve``
     Load (or build) an index, start the sharded multiprocess query
     service, answer a query workload through it and print the merged
-    results plus per-shard service stats as JSON.
+    results plus per-shard service stats as JSON.  ``--metrics-port``
+    additionally starts the ops exporter (``/metrics``, ``/healthz``,
+    ``/slowlog``) and ``--audit-rate`` the online guarantee auditor.
+
+``top``
+    Live one-screen operations view: polls a running exporter's
+    ``/metrics`` + ``/healthz`` and renders per-shard QPS, p50/p99
+    latency, I/O and audit recall.
 
 ``bench-serve``
     Run the sharded-service benchmark (wall-clock + load-balance model,
@@ -43,6 +53,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
@@ -227,16 +238,70 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_sharded_workload(
+    args: argparse.Namespace,
+) -> tuple[Telemetry, list]:
+    """The ``stats --shards N`` workload: run through the service."""
+    from repro.serve import ShardedSearchService
+
+    index = load_index(args.index)
+    queries = _workload_queries(index, args)
+    metrics = _parse_p_list(args.p)
+    if len(metrics) != 1:
+        raise ReproError(
+            "stats --shards answers one metric per wave; pass a single --p"
+        )
+    telemetry = Telemetry()
+    with ShardedSearchService(index, n_shards=args.shards) as service:
+        results = service.search_batch(
+            queries, args.k, p=metrics[0], telemetry=telemetry
+        )
+    return telemetry, results
+
+
+def _shard_io_table(results: list) -> str:
+    """Per-shard random-I/O breakdown of a sharded run's results."""
+    n_shards = len(results[0].shard_io)
+    per_shard = [0] * n_shards
+    for result in results:
+        for sid, io in enumerate(result.shard_io):
+            per_shard[sid] += io.random
+    total_random = sum(per_shard)
+    table = ResultTable(
+        "per-shard random I/O (candidate fetches, by owning shard)",
+        ["shard", "random I/O", "share"],
+    )
+    for sid, random_io in enumerate(per_shard):
+        share = random_io / total_random if total_random else 0.0
+        table.add_row([sid, random_io, f"{share:.1%}"])
+    table.add_row(["total", total_random, "100.0%"])
+    return table.render()
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
-    telemetry, _num_queries = _run_traced_workload(args)
+    if args.shards:
+        telemetry, results = _run_sharded_workload(args)
+    else:
+        telemetry, _num_queries = _run_traced_workload(args)
+        results = []
     if args.format == "json":
-        print(json.dumps(telemetry.metrics_dict(), indent=2, sort_keys=True))
+        report = telemetry.metrics_dict()
+        if results:
+            report["shard_io"] = [
+                [io.to_dict() for io in result.shard_io]
+                for result in results
+            ]
+        print(json.dumps(report, indent=2, sort_keys=True))
     else:
         print(telemetry.metrics_text(), end="")
+        if results:
+            print()
+            print(_shard_io_table(results))
     return 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import GuaranteeAuditor, ObsExporter, SlowQueryLog
     from repro.serve import ShardedSearchService
 
     index = load_index(args.index)
@@ -247,20 +312,222 @@ def cmd_serve(args: argparse.Namespace) -> int:
             "serve answers one metric per wave; pass a single --p (use "
             "`query` or knn_batch(metrics=...) for multi-metric runs)"
         )
+    ops_plane = args.metrics_port is not None
+    telemetry = auditor = exporter = slowlog = None
+    if ops_plane:
+        slowlog = SlowQueryLog(
+            capacity=128,
+            latency_threshold_seconds=args.slow_ms / 1e3
+            if args.slow_ms
+            else None,
+        )
+        telemetry = Telemetry(capture_traces=False, slowlog=slowlog)
+        if args.audit_rate > 0:
+            auditor = GuaranteeAuditor(
+                index,
+                registry=telemetry.registry,
+                sample_rate=args.audit_rate,
+            )
     timer = Timer()
-    with ShardedSearchService(
-        index, n_shards=args.shards, start_method=args.start_method
-    ) as service:
-        with timer:
-            results = service.search_batch(queries, args.k, p=metrics[0])
-        report = {
-            "k": args.k,
-            "p": metrics[0],
-            "wall_seconds": timer.seconds,
-            "results": [result.to_dict() for result in results],
-            "service": service.stats(),
-        }
+    try:
+        with ShardedSearchService(
+            index,
+            n_shards=args.shards,
+            start_method=args.start_method,
+            telemetry=telemetry,
+            auditor=auditor,
+        ) as service:
+            if ops_plane:
+                exporter = ObsExporter(
+                    telemetry.registry,
+                    health=service.health,
+                    slowlog=slowlog,
+                    port=args.metrics_port,
+                ).start()
+                print(f"ops endpoints: {exporter.url}/metrics "
+                      f"{exporter.url}/healthz {exporter.url}/slowlog",
+                      file=sys.stderr)
+            with timer:
+                results = service.search_batch(queries, args.k, p=metrics[0])
+            if auditor is not None:
+                auditor.drain(timeout=60.0)
+            report = {
+                "k": args.k,
+                "p": metrics[0],
+                "wall_seconds": timer.seconds,
+                "results": [result.to_dict() for result in results],
+                "service": service.stats(),
+            }
+            if auditor is not None:
+                report["audit"] = auditor.summary()
+            if args.linger:
+                print(
+                    f"serving ops endpoints for {args.linger:g}s "
+                    "(ctrl-C to stop early)",
+                    file=sys.stderr,
+                )
+                try:
+                    time.sleep(args.linger)
+                except KeyboardInterrupt:
+                    pass
+    finally:
+        if exporter is not None:
+            exporter.stop()
+        if auditor is not None:
+            auditor.close()
     print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+def _metric_total(samples: dict, name: str, **labels: str) -> float:
+    """Sum of a family's sample values matching the given labels."""
+    total = 0.0
+    for sample_labels, value in samples.get(name, []):
+        if all(sample_labels.get(k) == v for k, v in labels.items()):
+            total += value
+    return total
+
+
+def _shard_labels(samples: dict, name: str) -> list[str]:
+    return sorted(
+        {
+            labels["shard"]
+            for labels, _v in samples.get(name, [])
+            if "shard" in labels
+        },
+        key=lambda s: int(s) if s.isdigit() else 0,
+    )
+
+
+def _render_top(
+    samples: dict,
+    prev: dict | None,
+    dt: float | None,
+    health: dict | None,
+) -> str:
+    from repro.obs.exporter import histogram_quantile
+
+    def rate(name: str, **labels: str) -> float | None:
+        if prev is None or not dt:
+            return None
+        return (
+            _metric_total(samples, name, **labels)
+            - _metric_total(prev, name, **labels)
+        ) / dt
+
+    def fmt(value: float | None, spec: str = ".1f") -> str:
+        return "-" if value is None else format(value, spec)
+
+    lines = []
+    queries = _metric_total(samples, "lazylsh_queries_total")
+    qps = rate("lazylsh_queries_total")
+    lat = samples.get("lazylsh_query_latency_seconds_bucket", [])
+    p50 = histogram_quantile(lat, 0.50)
+    p99 = histogram_quantile(lat, 0.99)
+    seq_io = _metric_total(samples, "lazylsh_query_io_sequential_sum")
+    rnd_io = _metric_total(samples, "lazylsh_query_io_random_sum")
+    status = "?"
+    if health is not None:
+        status = "healthy" if health.get("healthy") else "DEGRADED"
+    lines.append(
+        f"lazylsh top — {status} | queries {queries:.0f} "
+        f"| QPS {fmt(qps)} | p50 {fmt(p50 * 1e3 if p50 is not None else None, '.2f')} ms "
+        f"| p99 {fmt(p99 * 1e3 if p99 is not None else None, '.2f')} ms "
+        f"| I/O seq {seq_io:.0f} rnd {rnd_io:.0f}"
+    )
+    shards = _shard_labels(samples, "lazylsh_shard_rows_scanned_total")
+    if shards:
+        alive_by_shard = {}
+        if health is not None:
+            alive_by_shard = {
+                str(s.get("shard")): s.get("alive")
+                for s in health.get("shards", [])
+            }
+        table = ResultTable(
+            "per-shard fleet",
+            ["shard", "alive", "rows/s", "rows", "crossings", "busy s", "ops"],
+        )
+        for shard in shards:
+            table.add_row(
+                [
+                    shard,
+                    {True: "yes", False: "NO"}.get(
+                        alive_by_shard.get(shard), "?"
+                    ),
+                    fmt(rate("lazylsh_shard_rows_scanned_total", shard=shard)),
+                    int(_metric_total(
+                        samples, "lazylsh_shard_rows_scanned_total",
+                        shard=shard,
+                    )),
+                    int(_metric_total(
+                        samples, "lazylsh_shard_crossings_total", shard=shard
+                    )),
+                    round(_metric_total(
+                        samples, "lazylsh_shard_busy_seconds_total",
+                        shard=shard,
+                    ), 3),
+                    int(_metric_total(
+                        samples, "lazylsh_shard_ops_total", shard=shard
+                    )),
+                ]
+            )
+        lines.append(table.render())
+    if "lazylsh_audit_success_rate" in samples:
+        bound = _metric_total(samples, "lazylsh_audit_guarantee_bound")
+        success = _metric_total(samples, "lazylsh_audit_success_rate")
+        flag = "OK" if success >= bound else "VIOLATION"
+        lines.append(
+            f"audit: recall@k "
+            f"{_metric_total(samples, 'lazylsh_audit_recall_at_k'):.3f} "
+            f"| ratio "
+            f"{_metric_total(samples, 'lazylsh_audit_overall_ratio'):.3f} "
+            f"| success {success:.3f} vs bound {bound:.3f} [{flag}] "
+            f"| samples "
+            f"{_metric_total(samples, 'lazylsh_audit_samples_total'):.0f}"
+        )
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.exporter import parse_prometheus_text
+
+    base = args.url.rstrip("/")
+    prev = None
+    prev_t = None
+    iteration = 0
+    while args.iterations is None or iteration < args.iterations:
+        if iteration:
+            time.sleep(args.interval)
+        try:
+            with urllib.request.urlopen(base + "/metrics", timeout=5) as fh:
+                text = fh.read().decode()
+        except (urllib.error.URLError, OSError) as exc:
+            raise ReproError(f"cannot scrape {base}/metrics: {exc}") from exc
+        now = time.monotonic()
+        samples = parse_prometheus_text(text)
+        health = None
+        try:
+            with urllib.request.urlopen(base + "/healthz", timeout=5) as fh:
+                health = json.loads(fh.read().decode())
+        except (urllib.error.HTTPError,) as exc:
+            # 503 still carries the health JSON body
+            try:
+                health = json.loads(exc.read().decode())
+            except Exception:
+                health = None
+        except (urllib.error.URLError, OSError):
+            health = None
+        if not args.no_clear and iteration:
+            print("\x1b[2J\x1b[H", end="")
+        print(_render_top(
+            samples, prev, now - prev_t if prev_t is not None else None,
+            health,
+        ))
+        prev, prev_t = samples, now
+        iteration += 1
     return 0
 
 
@@ -376,6 +643,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument(
         "--format", choices=("prometheus", "json"), default="prometheus"
     )
+    p_stats.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="run through the sharded service with this many shards and "
+        "print the per-shard random-I/O breakdown (0 = single-process)",
+    )
     p_stats.set_defaults(func=cmd_stats)
 
     p_serve = sub.add_parser(
@@ -399,7 +673,58 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="multiprocessing start method (platform default if omitted)",
     )
+    p_serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="start the ops exporter (/metrics /healthz /slowlog) on this "
+        "port (0 = OS-assigned)",
+    )
+    p_serve.add_argument(
+        "--audit-rate",
+        type=float,
+        default=0.0,
+        help="guarantee-auditor sample rate in [0, 1] (0 = off; needs "
+        "--metrics-port)",
+    )
+    p_serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=0.0,
+        help="slow-query log latency threshold in ms (0 = capture all)",
+    )
+    p_serve.add_argument(
+        "--linger",
+        type=float,
+        default=0.0,
+        help="keep the ops endpoints up this many seconds after the "
+        "workload (so `repro top` can watch)",
+    )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_top = sub.add_parser(
+        "top", help="live ops view of a running exporter"
+    )
+    p_top.add_argument(
+        "--url",
+        default="http://127.0.0.1:9100",
+        help="base URL of the ops exporter",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=2.0, help="poll interval seconds"
+    )
+    p_top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="stop after this many polls (default: run until ctrl-C)",
+    )
+    p_top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append screens instead of clearing the terminal",
+    )
+    p_top.set_defaults(func=cmd_top)
 
     p_bserve = sub.add_parser(
         "bench-serve", help="benchmark the sharded query service"

@@ -343,13 +343,12 @@ def _flat_single(
         lane = group.lanes[0]
         results.append(_lane_result(lane))
         if lane.trace is not None:
-            telemetry.record(
-                lane.trace.finish(
-                    termination=lane.stop_reason,
-                    io=lane.io,
-                    candidates=results[-1].candidates,
-                )
+            results[-1].trace = lane.trace.finish(
+                termination=lane.stop_reason,
+                io=lane.io,
+                candidates=results[-1].candidates,
             )
+            telemetry.record(results[-1].trace)
         index.io_stats.add_sequential(lane.io.sequential)
         index.io_stats.add_random(lane.io.random)
     return BatchKnnResult(results=results, io=aggregate_io(results))
@@ -410,13 +409,12 @@ def _flat_multi(
         if telemetry is not None:
             for lane in group.lanes:
                 if lane.trace is not None:
-                    telemetry.record(
-                        lane.trace.finish(
-                            termination=lane.stop_reason,
-                            io=lane.io,
-                            candidates=per_metric[lane.p].candidates,
-                        )
+                    per_metric[lane.p].trace = lane.trace.finish(
+                        termination=lane.stop_reason,
+                        io=lane.io,
+                        candidates=per_metric[lane.p].candidates,
                     )
+                    telemetry.record(per_metric[lane.p].trace)
         total = aggregate_io(per_metric.values())
         index.io_stats.add_sequential(total.sequential)
         index.io_stats.add_random(total.random)

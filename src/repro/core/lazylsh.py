@@ -605,13 +605,12 @@ class LazyLSH:
         execute_rounds([group], error=_KNN_ABORT)
         result = _lane_result(lane)
         if lane.trace is not None:
-            telemetry.record(
-                lane.trace.finish(
-                    termination=lane.stop_reason,
-                    io=lane.io,
-                    candidates=result.candidates,
-                )
+            result.trace = lane.trace.finish(
+                termination=lane.stop_reason,
+                io=lane.io,
+                candidates=result.candidates,
             )
+            telemetry.record(result.trace)
         self.io_stats.add_sequential(lane.io.sequential)
         self.io_stats.add_random(lane.io.random)
         return result
@@ -783,12 +782,12 @@ class LazyLSH:
         order = np.argsort(np.asarray(cand_dists))[:k]
         ids = np.asarray(cand_ids, dtype=np.int64)[order]
         dists = np.asarray(cand_dists, dtype=np.float64)[order]
+        finished = None
         if trace is not None:
-            telemetry.record(
-                trace.finish(
-                    termination=reason, io=stats, candidates=len(cand_ids)
-                )
+            finished = trace.finish(
+                termination=reason, io=stats, candidates=len(cand_ids)
             )
+            telemetry.record(finished)
         return KnnResult(
             ids=ids,
             distances=dists,
@@ -798,4 +797,5 @@ class LazyLSH:
             candidates=len(cand_ids),
             rounds=rounds,
             termination=reason,
+            trace=finished,
         )

@@ -384,13 +384,12 @@ class MultiQueryEngine:
         for state in states:
             results[state.p] = state.finish()
             if state.trace is not None:
-                telemetry.record(
-                    state.trace.finish(
-                        termination=state.reason,
-                        io=state.io,
-                        candidates=len(state.cand_ids),
-                    )
+                results[state.p].trace = state.trace.finish(
+                    termination=state.reason,
+                    io=state.io,
+                    candidates=len(state.cand_ids),
                 )
+                telemetry.record(results[state.p].trace)
             total.add_sequential(state.io.sequential)
             total.add_random(state.io.random)
         self.index.io_stats.add_sequential(total.sequential)
@@ -446,13 +445,12 @@ class MultiQueryEngine:
         for lane in lanes:
             results[lane.p] = _lane_result(lane)
             if lane.trace is not None:
-                telemetry.record(
-                    lane.trace.finish(
-                        termination=lane.stop_reason,
-                        io=lane.io,
-                        candidates=results[lane.p].candidates,
-                    )
+                results[lane.p].trace = lane.trace.finish(
+                    termination=lane.stop_reason,
+                    io=lane.io,
+                    candidates=results[lane.p].candidates,
                 )
+                telemetry.record(results[lane.p].trace)
             total.add_sequential(lane.io.sequential)
             total.add_random(lane.io.random)
         index.io_stats.add_sequential(total.sequential)

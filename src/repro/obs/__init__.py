@@ -9,6 +9,16 @@ Three layers, composable but independently usable:
 * :mod:`repro.obs.query_trace` — structured round-by-round
   :class:`QueryTrace` records with schema validation and JSONL I/O.
 
+On top of those, the distributed ops plane (DESIGN §10):
+
+* :mod:`repro.obs.slowlog` — ring-buffer :class:`SlowQueryLog` of
+  threshold-exceeding traces;
+* :mod:`repro.obs.exporter` — stdlib HTTP :class:`ObsExporter` serving
+  ``/metrics``, ``/healthz`` and ``/slowlog``;
+* :mod:`repro.obs.auditor` — :class:`GuaranteeAuditor` re-answering
+  sampled live queries by exact linear scan and publishing rolling
+  recall / success-rate gauges against the Theorem 1 bound.
+
 :class:`Telemetry` bundles all three and is what the query entry points
 accept::
 
@@ -35,6 +45,12 @@ from repro.obs.query_trace import (
     validate_trace_dict,
     write_traces_jsonl,
 )
+from repro.obs.auditor import GuaranteeAuditor
+from repro.obs.exporter import (
+    ObsExporter,
+    histogram_quantile,
+    parse_prometheus_text,
+)
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -42,17 +58,21 @@ from repro.obs.registry import (
     MetricsRegistry,
     get_default_registry,
 )
+from repro.obs.slowlog import SlowQueryLog
 from repro.obs.telemetry import StoreObserver, Telemetry
 from repro.obs.tracer import Span, SpanTracer, load_spans_jsonl
 
 __all__ = [
     "Counter",
     "Gauge",
+    "GuaranteeAuditor",
     "Histogram",
     "MetricsRegistry",
+    "ObsExporter",
     "QueryTrace",
     "QueryTraceBuilder",
     "RoundRecord",
+    "SlowQueryLog",
     "Span",
     "SpanTracer",
     "StoreObserver",
@@ -64,8 +84,10 @@ __all__ = [
     "Telemetry",
     "TraceSchemaError",
     "get_default_registry",
+    "histogram_quantile",
     "load_spans_jsonl",
     "load_traces_jsonl",
+    "parse_prometheus_text",
     "validate_trace_dict",
     "write_traces_jsonl",
 ]

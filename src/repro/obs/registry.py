@@ -46,6 +46,15 @@ def _escape_label_value(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring per the text exposition format.
+
+    Only backslash and line feed are escaped on HELP lines (quotes are
+    legal there, unlike in label values).
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(key: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
     items = key + extra
     if not items:
@@ -85,7 +94,7 @@ class _Instrument:
     def _header(self) -> list[str]:
         lines = []
         if self.help:
-            lines.append(f"# HELP {self.name} {self.help}")
+            lines.append(f"# HELP {self.name} {_escape_help(self.help)}")
         lines.append(f"# TYPE {self.name} {self.kind}")
         return lines
 
@@ -359,9 +368,16 @@ class MetricsRegistry:
         }
 
     def render_prometheus(self) -> str:
-        """The registry in the Prometheus text exposition format."""
+        """The registry in the Prometheus text exposition format.
+
+        One ``# HELP``/``# TYPE`` header per metric family (emitted once
+        even when the family has many labeled children), label values
+        escaped per the exposition rules.  Iterates over a snapshot of
+        the instrument table so a background exporter thread can render
+        while the query path registers new instruments.
+        """
         lines: list[str] = []
-        for instrument in self._instruments.values():
+        for instrument in list(self._instruments.values()):
             lines.extend(instrument.render())
         return "\n".join(lines) + ("\n" if lines else "")
 

@@ -14,7 +14,13 @@ metric                                  kind       labels
 ``lazylsh_query_candidates``            histogram  —
 ``lazylsh_query_io_sequential``         histogram  —
 ``lazylsh_query_io_random``             histogram  —
+``lazylsh_query_latency_seconds``       histogram  —
 ======================================  =========  =============================
+
+An optional :class:`~repro.obs.slowlog.SlowQueryLog` can be attached at
+construction; :meth:`Telemetry.record` offers every finished trace to
+it, so slow-query capture rides the same single chokepoint as the
+instrument updates and core modules never touch the log directly.
 
 When no telemetry object is passed (the default), the engines run a
 no-op fast path: the only residue is one ``is None`` check per hook
@@ -37,6 +43,7 @@ from repro.obs.query_trace import (
     write_traces_jsonl,
 )
 from repro.obs.registry import MetricsRegistry
+from repro.obs.slowlog import SlowQueryLog
 from repro.obs.tracer import SpanTracer
 
 #: Rehashing rounds per query; the engine caps rounds at 128.
@@ -56,6 +63,25 @@ COUNT_BUCKETS = (
     65_536,
     262_144,
     1_048_576,
+)
+
+#: Wall-clock latency buckets (seconds); sub-millisecond toy queries up
+#: to multi-second million-point scans.
+LATENCY_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
 )
 
 
@@ -108,6 +134,9 @@ class Telemetry:
         Keep every recorded :class:`QueryTrace` in :attr:`traces`
         (default).  Disable for long-running servers that only want the
         registry aggregates.
+    slowlog:
+        Optional :class:`SlowQueryLog`; every recorded trace is offered
+        to it (the log applies its own thresholds).
     """
 
     def __init__(
@@ -116,10 +145,12 @@ class Telemetry:
         registry: MetricsRegistry | None = None,
         tracer: SpanTracer | None = None,
         capture_traces: bool = True,
+        slowlog: SlowQueryLog | None = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else SpanTracer()
         self.capture_traces = capture_traces
+        self.slowlog = slowlog
         self.traces: list[QueryTrace] = []
         self._auto_query_id = 0
         reg = self.registry
@@ -150,6 +181,11 @@ class Telemetry:
             "Simulated random I/Os per query",
             buckets=COUNT_BUCKETS,
         )
+        self._latency = reg.histogram(
+            "lazylsh_query_latency_seconds",
+            "Wall-clock query latency",
+            buckets=LATENCY_BUCKETS,
+        )
 
     # -- query traces ---------------------------------------------------
 
@@ -172,14 +208,22 @@ class Telemetry:
             p=p, k=k, engine=engine, rehashing=rehashing, query_id=query_id
         )
 
-    def record(self, trace: QueryTrace) -> QueryTrace:
-        """Fold one finished trace into the registry (and keep it)."""
+    def record(self, trace: QueryTrace, *, shard_io=None) -> QueryTrace:
+        """Fold one finished trace into the registry (and keep it).
+
+        ``shard_io`` is the per-shard I/O list of a sharded run; it is
+        only forwarded to the slow-query log (the registry's per-shard
+        series are fed by the service itself).
+        """
         self._queries.inc(engine=trace.engine, p=f"{trace.p:g}")
         self._terminations.inc(reason=trace.termination)
         self._rounds.observe(trace.num_rounds)
         self._candidates.observe(trace.candidates)
         self._io_sequential.observe(trace.io.sequential)
         self._io_random.observe(trace.io.random)
+        self._latency.observe(trace.elapsed_seconds)
+        if self.slowlog is not None:
+            self.slowlog.offer(trace, shard_io=shard_io)
         if self.capture_traces:
             self.traces.append(trace)
         return trace

@@ -62,6 +62,71 @@ def _results_match(single, sharded) -> dict:
     return checks
 
 
+def _measure_telemetry_overhead(
+    index,
+    queries: np.ndarray,
+    k: int,
+    p: float,
+    *,
+    n_shards: int,
+    start_method: str | None,
+    repeats: int = 5,
+) -> dict:
+    """Exporter-off vs exporter-on wall time over the same worker fleet.
+
+    One service answers the same wave ``repeats`` times bare and
+    ``repeats`` times with the full ops plane (telemetry + slow-query
+    log + a live scraped exporter), *interleaved* off/on so slow host
+    drift hits both sides equally; min-of-N on both sides cancels
+    scheduler noise, and using one fleet for both sides removes worker
+    start-up variance from the comparison.
+    """
+    import urllib.request
+
+    from repro.obs import ObsExporter, SlowQueryLog, Telemetry
+
+    slowlog = SlowQueryLog(capacity=32)
+    telemetry = Telemetry(capture_traces=False, slowlog=slowlog)
+    with ShardedSearchService(
+        index, n_shards=n_shards, start_method=start_method
+    ) as service:
+        exporter = ObsExporter(
+            telemetry.registry, health=service.health, slowlog=slowlog
+        ).start()
+        try:
+            service.search_batch(queries, k, p=p)  # warm (full wave)
+            off_times = []
+            on_times = []
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                service.search_batch(queries, k, p=p)
+                off_times.append(time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                service.search_batch(queries, k, p=p, telemetry=telemetry)
+                on_times.append(time.perf_counter() - t0)
+            with urllib.request.urlopen(
+                exporter.url + "/metrics", timeout=5
+            ) as fh:
+                scrape_ok = fh.status == 200 and b"lazylsh" in fh.read()
+        finally:
+            exporter.stop()
+    off = min(off_times)
+    on = min(on_times)
+    return {
+        "n_shards": n_shards,
+        "repeats": repeats,
+        "exporter_off_seconds": off,
+        "exporter_on_seconds": on,
+        "overhead_fraction": (on - off) / off if off else None,
+        "scrape_ok": bool(scrape_ok),
+        "note": (
+            "min-of-N wall time for the same wave over one worker fleet; "
+            "'on' runs full per-shard telemetry, slow-query capture and a "
+            "live /metrics exporter"
+        ),
+    }
+
+
 def run_serve_benchmark(
     *,
     n: int = 4000,
@@ -131,6 +196,15 @@ def run_serve_benchmark(
             }
         )
 
+    overhead = _measure_telemetry_overhead(
+        index,
+        queries,
+        k,
+        p,
+        n_shards=max(shard_counts),
+        start_method=start_method,
+    )
+
     return {
         "bench": "serve",
         "workload": {
@@ -153,6 +227,7 @@ def run_serve_benchmark(
             "io_total": baseline.io.to_dict(),
         },
         "sharded": configs,
+        "telemetry_overhead": overhead,
         "note": (
             "Results and simulated I/O are verified bit-identical to the "
             "single-process flat engine. modeled_speedup is the "

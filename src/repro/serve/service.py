@@ -71,6 +71,7 @@ from repro.errors import (
     ReproError,
 )
 from repro.metrics.lp import validate_p
+from repro.obs.tracer import Span
 from repro.serve.sharding import pack_shard, plan_shards
 from repro.serve.worker import worker_main
 from repro.storage.io_stats import IOStats
@@ -82,6 +83,24 @@ _HULL_EMPTY_FIRST = 2**62
 
 _KNN_ABORT = "knn did not terminate; this indicates a corrupted index"
 
+#: Pipe round-trip latency buckets (seconds): a round trip is one op's
+#: send → worker scan → reply receipt, so sub-millisecond to ~1s.
+_ROUNDTRIP_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+)
+
 
 class _WorkerDied(Exception):
     """A worker's pipe broke mid-wave; the coordinator should repair."""
@@ -89,6 +108,30 @@ class _WorkerDied(Exception):
     def __init__(self, shard_id: int) -> None:
         super().__init__(f"worker for shard {shard_id} died")
         self.shard_id = shard_id
+
+
+class _WaveObs:
+    """Per-shard telemetry buffered over one wave attempt.
+
+    The buffer is merged into the parent telemetry only when the wave
+    *succeeds*; an attempt aborted by a worker death is discarded whole,
+    so replayed waves never double-count (repair events themselves are
+    recorded separately — they are facts about the service, not
+    residue of the aborted attempt).
+    """
+
+    def __init__(self, n_shards: int) -> None:
+        self.rows = [0] * n_shards
+        self.crossings = [0] * n_shards
+        self.busy = [0.0] * n_shards
+        self.ops = [0] * n_shards
+        self.roundtrips: list[list[float]] = [[] for _ in range(n_shards)]
+        self.spans: list[list[dict]] = [[] for _ in range(n_shards)]
+
+    def add_delta(self, sid: int, delta: dict) -> None:
+        self.rows[sid] += int(delta.get("rows", 0))
+        self.crossings[sid] += int(delta.get("crossings", 0))
+        self.spans[sid].extend(delta.get("spans", ()))
 
 
 class _QueryRun:
@@ -182,6 +225,16 @@ class ShardedSearchService:
     start_method:
         ``multiprocessing`` start method (``"fork"``, ``"spawn"``,
         ``"forkserver"``) or ``None`` for the platform default.
+    telemetry:
+        Service-level :class:`~repro.obs.telemetry.Telemetry` used for
+        every wave that does not pass its own (per-call ``telemetry=``
+        wins).  This is what a long-running server scraped through
+        :class:`~repro.obs.exporter.ObsExporter` wants: one registry
+        accumulating across all waves.
+    auditor:
+        Optional :class:`~repro.obs.auditor.GuaranteeAuditor`; every
+        successfully answered query is offered to it (the auditor does
+        its own sampling).
 
     Use as a context manager (or call :meth:`close`) to release the
     worker processes and shared-memory segments::
@@ -196,6 +249,8 @@ class ShardedSearchService:
         *,
         n_shards: int = 2,
         start_method: str | None = None,
+        telemetry=None,
+        auditor=None,
     ) -> None:
         if not getattr(index, "is_built", False):
             raise IndexNotBuiltError(
@@ -213,10 +268,17 @@ class ShardedSearchService:
         self._conns: list = [None] * self.n_shards
         self.busy_seconds = [0.0] * self.n_shards
         self.restarts = 0
+        self.replays = 0
         self.queries_served = 0
+        self.telemetry = telemetry
+        self.auditor = auditor
         self._op_seq = 0
         self._qid_seq = 0
         self._closed = False
+        self._wave_obs: _WaveObs | None = None
+        # Wall-clock time of each shard's last successful reply; read by
+        # health() (never poked from the exporter thread).
+        self._last_reply = [0.0] * self.n_shards
         try:
             for sid, (lo, hi) in enumerate(self.ranges):
                 spec, shm = pack_shard(
@@ -298,7 +360,53 @@ class ShardedSearchService:
             "shard_points": [hi - lo for lo, hi in self.ranges],
             "busy_seconds": list(self.busy_seconds),
             "restarts": self.restarts,
+            "replays": self.replays,
             "queries_served": self.queries_served,
+        }
+
+    def health(self) -> dict:
+        """Read-only health report (safe from the exporter thread).
+
+        Per-shard worker liveness, last-heartbeat age and shared-memory
+        attachment status; ``healthy`` is true iff the service is open
+        and every worker process is alive.  Strictly reads cached state
+        — no pipe traffic — so a scrape can never interleave with (or
+        block on) an in-flight wave's op sequence.
+        """
+        now = time.time()
+        shards = []
+        healthy = not self._closed
+        for sid in range(self.n_shards):
+            proc = self._procs[sid]
+            alive = bool(proc is not None and proc.is_alive())
+            healthy = healthy and alive
+            last = self._last_reply[sid]
+            attached = not self._closed and sid < len(self._shms)
+            shards.append(
+                {
+                    "shard": sid,
+                    "alive": alive,
+                    "points": int(self.ranges[sid][1] - self.ranges[sid][0]),
+                    "last_heartbeat_age_seconds": (
+                        now - last if last else None
+                    ),
+                    "shm": {
+                        "name": self._specs[sid].shm_name,
+                        "size": (
+                            int(self._shms[sid].size) if attached else 0
+                        ),
+                        "attached": attached,
+                    },
+                }
+            )
+        return {
+            "healthy": bool(healthy),
+            "closed": self._closed,
+            "n_shards": self.n_shards,
+            "restarts": self.restarts,
+            "replays": self.replays,
+            "queries_served": self.queries_served,
+            "shards": shards,
         }
 
     # ------------------------------------------------------------------
@@ -334,6 +442,13 @@ class ShardedSearchService:
                 )
             if reply_id == op_id:
                 self.busy_seconds[sid] += payload["busy"]
+                self._last_reply[sid] = time.time()
+                wave_obs = self._wave_obs
+                if wave_obs is not None:
+                    wave_obs.busy[sid] += payload["busy"]
+                    delta = payload.get("obs")
+                    if delta is not None:
+                        wave_obs.add_delta(sid, delta)
                 return payload["result"]
             if reply_id > op_id:  # pragma: no cover - protocol bug
                 raise ReproError(
@@ -345,28 +460,60 @@ class ShardedSearchService:
     def _broadcast(self, op: str, payload=None) -> list:
         """Send one op to every shard, then collect every reply."""
         op_id = self._next_op()
+        t0 = time.perf_counter()
         for sid in range(self.n_shards):
             self._send(sid, op_id, op, payload)
-        return [self._recv(sid, op_id) for sid in range(self.n_shards)]
+        replies = []
+        wave_obs = self._wave_obs
+        for sid in range(self.n_shards):
+            replies.append(self._recv(sid, op_id))
+            if wave_obs is not None:
+                wave_obs.ops[sid] += 1
+                wave_obs.roundtrips[sid].append(time.perf_counter() - t0)
+        return replies
 
-    def _repair(self) -> None:
-        """Respawn dead workers and reset survivors for a wave replay."""
+    def _repair(self, known_dead: int | None = None) -> list[int]:
+        """Respawn dead workers and reset survivors for a wave replay.
+
+        ``known_dead`` is the shard whose pipe broke: its EOF can arrive
+        before ``waitpid`` observes the exit, so it is joined first
+        rather than trusting ``is_alive()``.  Returns the shard ids that
+        were respawned.
+        """
+        if known_dead is not None:
+            self._procs[known_dead].join(timeout=5)
+        respawned = []
         for sid in range(self.n_shards):
             proc = self._procs[sid]
-            if proc.is_alive():
+            if sid != known_dead and proc.is_alive():
                 continue
             self._conns[sid].close()
             self._spawn(sid)
             self.restarts += 1
+            respawned.append(sid)
         # Survivors may hold per-query state and queued replies from the
         # aborted wave; the reset's fresh op id flushes both (stale
         # replies are skipped by _recv's sequence check).
         self._broadcast("reset")
+        return respawned
 
-    def _crash_worker(self, shard_id: int) -> None:
-        """Test hook: kill one worker mid-service (``os._exit(1)``)."""
-        self._send(shard_id, self._next_op(), "crash", None)
-        self._procs[shard_id].join(timeout=5)
+    def _crash_worker(
+        self, shard_id: int, after_rounds: int | None = None
+    ) -> None:
+        """Test hook: kill one worker (``os._exit(1)``).
+
+        With ``after_rounds=n`` the worker acknowledges and arms a
+        deferred crash: it dies while handling the n-th subsequent
+        ``round`` op, i.e. *mid-wave*, exercising the repair-and-replay
+        path from inside a wave rather than between waves.
+        """
+        if after_rounds is None:
+            self._send(shard_id, self._next_op(), "crash", None)
+            self._procs[shard_id].join(timeout=5)
+        else:
+            op_id = self._next_op()
+            self._send(shard_id, op_id, "crash", int(after_rounds))
+            self._recv(shard_id, op_id)
 
     # ------------------------------------------------------------------
     # Search API
@@ -494,6 +641,8 @@ class ShardedSearchService:
         delta0 = 1.0 / float(params.r_hat) if radius is None else float(radius)
         hashes = index._bank.hash_points(queries)  # one matmul for the wave
         if telemetry is None:
+            telemetry = self.telemetry  # service-level fallback
+        if telemetry is None:
             return self._execute(
                 queries, k, p, params, cap_value, delta0, hashes, None
             )
@@ -536,34 +685,119 @@ class ShardedSearchService:
                         p=p, k=k, engine="sharded",
                         rehashing=self.index.rehashing,
                     )
+            self._wave_obs = (
+                _WaveObs(self.n_shards) if telemetry is not None else None
+            )
             try:
                 self._run_wave(runs)
                 break
-            except _WorkerDied:
+            except _WorkerDied as died:
+                self._wave_obs = None  # aborted attempt leaves no residue
                 if attempt:
                     raise ReproError(
                         "sharded service: worker died again after repair; "
                         "giving up on this wave"
                     ) from None
-                self._repair()
+                respawned = self._repair(known_dead=died.shard_id)
+                self.replays += 1
+                if telemetry is not None:
+                    # Repair events are facts about the service, not
+                    # residue of the aborted attempt — record them now.
+                    self._record_repair(telemetry, respawned)
+        wave_obs, self._wave_obs = self._wave_obs, None
         self._qid_seq += len(runs)
         # Success: only now fold the wave into the index-level counters
         # and telemetry (an aborted attempt leaves no residue).
+        if telemetry is not None and wave_obs is not None:
+            self._merge_wave_obs(telemetry, wave_obs)
         results = []
         for run in runs:
             result = self._finish_run(run)
             self.index.io_stats.merge(run.io)
             if telemetry is not None:
-                telemetry.record(
-                    run.trace.finish(
-                        termination=run.reason,
-                        io=run.io,
-                        candidates=run.n_cand,
-                    )
+                result.trace = run.trace.finish(
+                    termination=run.reason,
+                    io=run.io,
+                    candidates=run.n_cand,
+                )
+                telemetry.record(result.trace, shard_io=result.shard_io)
+            if self.auditor is not None:
+                self.auditor.observe(
+                    run.query,
+                    k=run.k,
+                    p=run.p,
+                    ids=result.ids,
+                    distances=result.distances,
                 )
             results.append(result)
         self.queries_served += len(runs)
         return results
+
+    # -- telemetry merge ------------------------------------------------
+
+    def _record_repair(self, telemetry, respawned: list[int]) -> None:
+        """Publish a repair event under per-shard labels."""
+        reg = telemetry.registry
+        respawns = reg.counter(
+            "lazylsh_shard_respawns_total",
+            "Shard workers respawned after a mid-wave death",
+        )
+        for sid in range(self.n_shards):
+            # inc(0) materialises every shard's series so dashboards see
+            # an explicit zero for the survivors.
+            respawns.inc(
+                1.0 if sid in respawned else 0.0, shard=str(sid)
+            )
+        reg.counter(
+            "lazylsh_wave_replays_total",
+            "Query waves replayed after a worker-death repair",
+        ).inc()
+
+    def _merge_wave_obs(self, telemetry, wave_obs: _WaveObs) -> None:
+        """Fold one successful wave's per-shard buffer into telemetry.
+
+        Counter series are labelled ``shard="<id>"`` and every shard's
+        series is materialised each wave (zero increments included), so
+        a 4-shard fleet always exposes 4 labelled children.  Worker-side
+        spans are rehydrated into the parent tracer tagged with their
+        origin shard (span ids are scoped to the worker's own tracer —
+        the ``shard`` attribute disambiguates).
+        """
+        reg = telemetry.registry
+        rows = reg.counter(
+            "lazylsh_shard_rows_scanned_total",
+            "Inverted-list entries scanned, by shard",
+        )
+        crossings = reg.counter(
+            "lazylsh_shard_crossings_total",
+            "Collision-threshold crossings found, by shard",
+        )
+        busy = reg.counter(
+            "lazylsh_shard_busy_seconds_total",
+            "Worker wall-clock busy seconds, by shard",
+        )
+        ops = reg.counter(
+            "lazylsh_shard_ops_total",
+            "Pipe ops answered, by shard",
+        )
+        roundtrip = reg.histogram(
+            "lazylsh_shard_roundtrip_seconds",
+            "Pipe round-trip time (op send to reply receipt), by shard",
+            buckets=_ROUNDTRIP_BUCKETS,
+        )
+        for sid in range(self.n_shards):
+            label = str(sid)
+            rows.inc(wave_obs.rows[sid], shard=label)
+            crossings.inc(wave_obs.crossings[sid], shard=label)
+            busy.inc(wave_obs.busy[sid], shard=label)
+            ops.inc(wave_obs.ops[sid], shard=label)
+            for dt in wave_obs.roundtrips[sid]:
+                roundtrip.observe(dt, shard=label)
+            for record in wave_obs.spans[sid]:
+                span = Span.from_dict(record)
+                span.attributes.setdefault("shard", sid)
+                span.attributes["origin"] = "worker"
+                telemetry.tracer.spans.append(span)
 
     def _run_wave(self, runs: list) -> None:
         c = float(self.index.config.c)
@@ -605,7 +839,12 @@ class ShardedSearchService:
                     r.cur_los = base * width
                     r.cur_his = r.cur_los + width - 1
             requests = [(r.qid, r.cur_los, r.cur_his) for r in active]
-            replies = self._broadcast("round", requests)
+            payload = (
+                requests
+                if self._wave_obs is None
+                else {"requests": requests, "obs": True}
+            )
+            replies = self._broadcast("round", payload)
             for r in active:
                 self._merge_round(r, [reply[r.qid] for reply in replies])
             for r in active:

@@ -33,9 +33,22 @@ wave.  Ops:
 ``round``      scan one round for a list of active queries
 ``end``        drop the listed queries' state
 ``reset``      drop *all* query state (coordinator repair/replay)
-``crash``      ``os._exit(1)`` — test hook for worker-death recovery
+``crash``      ``os._exit(1)`` — test hook for worker-death recovery;
+               an int payload ``n`` arms a deferred crash during the
+               n-th subsequent ``round`` op instead (mid-wave death)
 ``shutdown``   clean exit
 =============  ======================================================
+
+Telemetry piggyback (DESIGN §10): each worker runs its *own*
+:class:`~repro.obs.registry.MetricsRegistry` and :class:`~repro.obs.
+tracer.SpanTracer`.  A ``round`` payload may be the legacy request list
+or ``{"requests": [...], "obs": bool}``; with ``obs`` set the reply
+payload carries an ``"obs"`` dict of deltas since the last ship —
+rows scanned, crossings found, and the finished span dicts of this
+round's ``worker.round`` scan span — which the coordinator merges into
+the parent telemetry under per-shard labels.  With ``obs`` unset the
+only residue is two integer adds per scan, keeping the no-telemetry
+fast path inside the <= 3% overhead budget.
 """
 
 from __future__ import annotations
@@ -47,6 +60,8 @@ import traceback
 import numpy as np
 
 from repro.metrics.lp import lp_distance
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import SpanTracer
 from repro.serve.sharding import ShardSpec, attach_shard
 
 #: Mirrors the engine's dead-row slack sentinel (see repro.core.engine):
@@ -124,6 +139,10 @@ class ShardSearcher:
         self.alive = alive
         self.m = int(hi - lo)
         self.queries: dict[int, _QueryState] = {}
+        # Always-on scan accumulators (two int adds per scan); the
+        # obs-enabled reply path ships deltas of these.
+        self.rows_scanned = 0
+        self.crossings = 0
 
     # -- protocol ops ---------------------------------------------------
 
@@ -218,6 +237,7 @@ class ShardSearcher:
         seg_stops[1::2] = right_stops
         seg_lens = seg_stops - seg_starts
         total = int(seg_lens.sum())
+        self.rows_scanned += total
         # Per-function full-run extents of the two ring runs (-1 = empty).
         l_lo, l_hi = self._extents(left_starts, left_stops)
         r_lo, r_hi = self._extents(right_starts, right_stops)
@@ -274,6 +294,7 @@ class ShardSearcher:
             gids = cross_func = cross_pos = _EMPTY_I64
             dists = _EMPTY_F64
             cross_local = _EMPTY_I64
+        self.crossings += int(gids.size)
         np.subtract(q.slack, add, out=q.slack, casting="unsafe")
         if cross_local.size:
             q.slack[cross_local] = _SLACK_DEAD
@@ -326,6 +347,21 @@ def worker_main(conn, spec: ShardSpec) -> None:
     except Exception:  # pragma: no cover - attach failures are fatal
         conn.send((-1, "err", traceback.format_exc()))
         return
+    # Worker-local observability: its own registry + tracer, shipped to
+    # the coordinator as deltas on obs-enabled round replies.
+    registry = MetricsRegistry()
+    tracer = SpanTracer()
+    rows_total = registry.counter(
+        "lazylsh_worker_rows_scanned_total",
+        "Inverted-list entries scanned by this shard worker",
+    )
+    crossings_total = registry.counter(
+        "lazylsh_worker_crossings_total",
+        "Collision-threshold crossings found by this shard worker",
+    )
+    shipped_rows = 0
+    shipped_crossings = 0
+    crash_in_rounds: int | None = None  # armed mid-wave crash countdown
     while True:
         try:
             op_id, op, payload = conn.recv()
@@ -333,13 +369,47 @@ def worker_main(conn, spec: ShardSpec) -> None:
             break
         t0 = time.perf_counter()
         try:
+            obs_delta = None
             if op == "ping":
                 result = {"shard": searcher.shard_id, "points": searcher.m}
             elif op == "begin":
                 searcher.begin(payload)
                 result = None
             elif op == "round":
-                result = searcher.round(payload)
+                requests = payload
+                ship_obs = False
+                if isinstance(payload, dict):
+                    requests = payload["requests"]
+                    ship_obs = bool(payload.get("obs", False))
+                if crash_in_rounds is not None:
+                    crash_in_rounds -= 1
+                    if crash_in_rounds <= 0:
+                        os._exit(1)
+                if ship_obs:
+                    with tracer.span(
+                        "worker.round",
+                        shard=searcher.shard_id,
+                        queries=len(requests),
+                    ) as span:
+                        result = searcher.round(requests)
+                        span.set(
+                            rows=searcher.rows_scanned - shipped_rows,
+                            crossings=searcher.crossings - shipped_crossings,
+                        )
+                    d_rows = searcher.rows_scanned - shipped_rows
+                    d_crossings = searcher.crossings - shipped_crossings
+                    shipped_rows = searcher.rows_scanned
+                    shipped_crossings = searcher.crossings
+                    rows_total.inc(d_rows)
+                    crossings_total.inc(d_crossings)
+                    obs_delta = {
+                        "rows": d_rows,
+                        "crossings": d_crossings,
+                        "spans": tracer.to_dicts(),
+                    }
+                    tracer.clear()
+                else:
+                    result = searcher.round(requests)
             elif op == "end":
                 searcher.end(payload)
                 result = None
@@ -347,15 +417,20 @@ def worker_main(conn, spec: ShardSpec) -> None:
                 searcher.reset()
                 result = None
             elif op == "crash":
-                os._exit(1)
+                if isinstance(payload, int) and payload > 0:
+                    crash_in_rounds = payload
+                    result = None
+                else:
+                    os._exit(1)
             elif op == "shutdown":
                 conn.send((op_id, "ok", {"busy": 0.0, "result": None}))
                 break
             else:
                 raise ValueError(f"unknown worker op {op!r}")
-            conn.send(
-                (op_id, "ok", {"busy": time.perf_counter() - t0, "result": result})
-            )
+            reply = {"busy": time.perf_counter() - t0, "result": result}
+            if obs_delta is not None:
+                reply["obs"] = obs_delta
+            conn.send((op_id, "ok", reply))
         except Exception:
             try:
                 conn.send((op_id, "err", traceback.format_exc()))

@@ -177,6 +177,110 @@ class TestTraceAndStats:
         assert snapshot["lazylsh_query_rounds"]["type"] == "histogram"
 
 
+class TestOpsCli:
+    @pytest.fixture
+    def index_path(self, tmp_path):
+        path = tmp_path / "idx.npz"
+        rc = main(
+            [
+                "build",
+                "synthetic:300x8",
+                str(path),
+                "--mc-samples", "5000",
+                "--seed", "3",
+            ]
+        )
+        assert rc == 0
+        return path
+
+    def test_stats_shards_prints_breakdown_table(self, capsys, index_path):
+        rc = main(["stats", str(index_path), "--shards", "2", "--p", "0.8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-shard random I/O" in out
+        assert 'lazylsh_shard_rows_scanned_total{shard="0"}' in out
+        assert 'lazylsh_shard_rows_scanned_total{shard="1"}' in out
+
+    def test_stats_shards_json_breakdown(self, capsys, index_path):
+        import json
+
+        capsys.readouterr()  # drop the fixture's build output
+        rc = main(
+            [
+                "stats", str(index_path),
+                "--shards", "2",
+                "--format", "json",
+                "--p", "0.8",
+            ]
+        )
+        assert rc == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["shard_io"]
+        for per_query in snapshot["shard_io"]:
+            assert len(per_query) == 2
+            assert all(io["sequential"] == 0 for io in per_query)
+
+    def test_serve_with_ops_plane_reports_audit(self, capsys, index_path):
+        import json
+
+        capsys.readouterr()
+        rc = main(
+            [
+                "serve", str(index_path),
+                "--k", "5",
+                "--p", "0.8",
+                "--shards", "2",
+                "--metrics-port", "0",
+                "--audit-rate", "1.0",
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "/metrics" in captured.err  # endpoint URL announced
+        report = json.loads(captured.out)
+        audit = report["audit"]
+        assert audit["samples"] == len(report["results"])
+        assert audit["success_rate"] >= audit["bound"]
+
+    def test_top_renders_fleet_view(self, capsys, index_path):
+        from repro import Telemetry
+        from repro.obs import ObsExporter
+        from repro.persistence import load_index
+        from repro.serve import ShardedSearchService
+
+        index = load_index(index_path)
+        telemetry = Telemetry()
+        with ShardedSearchService(
+            index, n_shards=2, telemetry=telemetry
+        ) as svc:
+            svc.search_batch(index.data[:3], 5, p=0.8)
+            with ObsExporter(
+                telemetry.registry, health=svc.health
+            ) as exporter:
+                capsys.readouterr()
+                rc = main(
+                    [
+                        "top",
+                        "--url", exporter.url,
+                        "--iterations", "2",
+                        "--interval", "0.01",
+                        "--no-clear",
+                    ]
+                )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lazylsh top — healthy" in out
+        assert "per-shard fleet" in out
+        assert out.count("queries 3") == 2  # both polls rendered
+
+    def test_top_unreachable_url_errors(self, capsys):
+        rc = main(
+            ["top", "--url", "http://127.0.0.1:9", "--iterations", "1"]
+        )
+        assert rc == 2
+        assert "cannot scrape" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_unknown_dataset(self, capsys, tmp_path):
         rc = main(["build", "imagenet", str(tmp_path / "x.npz")])

@@ -18,6 +18,7 @@ from repro.errors import (
     InvalidParameterError,
     ReproError,
 )
+from repro.obs import parse_prometheus_text
 from repro.obs.query_trace import validate_trace_dict
 from repro.persistence import load_index, save_index
 from repro.serve import ShardedSearchService, plan_shards
@@ -175,6 +176,122 @@ class TestTelemetry:
         )
         rendered = telemetry.metrics_text()
         assert 'engine="sharded"' in rendered
+
+
+class TestFleetTelemetry:
+    """Acceptance: one Telemetry object sees the whole worker fleet."""
+
+    def test_every_shard_reports_counters_and_spans(
+        self, built_index, small_split
+    ):
+        telemetry = Telemetry()
+        with ShardedSearchService(built_index, n_shards=4) as svc:
+            svc.search_batch(
+                small_split.queries[:4], 5, p=0.8, telemetry=telemetry
+            )
+        samples = parse_prometheus_text(telemetry.metrics_text())
+        shards = {str(s) for s in range(4)}
+        for family in (
+            "lazylsh_shard_rows_scanned_total",
+            "lazylsh_shard_crossings_total",
+            "lazylsh_shard_busy_seconds_total",
+            "lazylsh_shard_ops_total",
+        ):
+            labeled = {lbl["shard"] for lbl, _v in samples[family]}
+            assert labeled == shards, f"{family} missing shards"
+        rows = dict(
+            (lbl["shard"], v)
+            for lbl, v in samples["lazylsh_shard_rows_scanned_total"]
+        )
+        assert all(v > 0 for v in rows.values())
+        # Worker-side spans were shipped over the pipe and rehydrated
+        # into the coordinator's tracer, tagged with their shard.
+        worker_spans = [
+            s
+            for s in telemetry.tracer.spans
+            if s.attributes.get("origin") == "worker"
+        ]
+        assert worker_spans
+        assert all(s.name == "worker.round" for s in worker_spans)
+        assert {
+            str(s.attributes["shard"]) for s in worker_spans
+        } == shards
+        # Pipe round-trip latency is observed per wave round.
+        assert any(
+            name == "lazylsh_shard_roundtrip_seconds_count"
+            for name in samples
+        )
+
+    def test_service_level_telemetry_fallback(self, built_index, small_split):
+        telemetry = Telemetry()
+        with ShardedSearchService(
+            built_index, n_shards=2, telemetry=telemetry
+        ) as svc:
+            result = svc.search(small_split.queries[0], 5, p=0.8)
+        # No per-call telemetry was passed; the service-level one
+        # captured the wave and the result carries its trace.
+        assert len(telemetry.traces) == 1
+        assert result.trace is not None
+        validate_trace_dict(result.trace.to_dict())
+
+    def test_aborted_attempt_leaves_no_residue(
+        self, built_index, small_split
+    ):
+        """Satellite: kill a worker mid-wave; the replayed wave's trace
+        and counters must look like a clean single run."""
+        telemetry = Telemetry()
+        with ShardedSearchService(built_index, n_shards=2) as svc:
+            clean = svc.search(small_split.queries[0], 5, p=0.75)
+            svc._crash_worker(1, after_rounds=2)
+            result = svc.search(
+                small_split.queries[0], 5, p=0.75, telemetry=telemetry
+            )
+            _assert_identical(clean, result)
+            assert svc.restarts == 1
+            assert svc.replays == 1
+            stats = svc.stats()
+            assert stats["replays"] == 1
+        # The replayed wave's trace validates and its per-round I/O
+        # deltas still sum to the totals (no double-counted rounds from
+        # the aborted attempt).
+        record = result.trace.to_dict()
+        validate_trace_dict(record)
+        assert (
+            sum(r["io"]["sequential"] for r in record["rounds"])
+            == record["io"]["sequential"]
+        )
+        assert (
+            sum(r["io"]["random"] for r in record["rounds"])
+            == record["io"]["random"]
+        )
+        samples = parse_prometheus_text(telemetry.metrics_text())
+        respawns = {
+            lbl["shard"]: v
+            for lbl, v in samples["lazylsh_shard_respawns_total"]
+        }
+        # Exactly one respawn, attributed to the killed shard; the
+        # surviving shard's series is materialised at zero.
+        assert respawns == {"0": 0.0, "1": 1.0}
+        assert sum(
+            v for _lbl, v in samples["lazylsh_wave_replays_total"]
+        ) == 1.0
+
+    def test_health_report(self, built_index, small_split):
+        with ShardedSearchService(built_index, n_shards=2) as svc:
+            svc.search(small_split.queries[0], 5, p=0.8)
+            health = svc.health()
+            assert health["healthy"] is True
+            assert health["closed"] is False
+            assert health["n_shards"] == 2
+            assert len(health["shards"]) == 2
+            for shard in health["shards"]:
+                assert shard["alive"] is True
+                assert shard["shm"]["attached"] is True
+                assert shard["last_heartbeat_age_seconds"] >= 0.0
+            json.dumps(health)  # JSON-serialisable for /healthz
+        after = svc.health()
+        assert after["closed"] is True
+        assert after["healthy"] is False
 
 
 class TestLifecycle:

@@ -1,0 +1,205 @@
+"""Durable update plane: WAL ingest throughput and recovery latency.
+
+Measures the two costs a durability layer adds (DESIGN.md section 11):
+
+* **Ingest throughput** — committed insert batches per second through
+  :class:`~repro.durability.wal.DurableIndex`, with fsync-on-commit on
+  and off.  The gap between the two is the price of the crash-safety
+  guarantee (a committed record survives power loss).
+* **Recovery latency** — wall time of :func:`~repro.durability.
+  checkpoint.recover` as a function of log length, with and without an
+  intermediate checkpoint, pinning down the motivation for log
+  compaction: replay cost grows linearly with the tail, a checkpoint
+  resets it to near zero.
+
+Every recovery is verified bit-identical (data, tombstones, inverted
+lists, kNN answers) to a reference index that applied the same
+mutations in-process — the benchmark doubles as an end-to-end check of
+the recovery invariant.
+
+Run ``--smoke`` for the seconds-scale CI version (writes
+``BENCH_wal.smoke.json`` so checked-in full numbers are not
+clobbered); the full run writes ``BENCH_wal.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import LazyLSH, LazyLSHConfig
+from repro.durability import recover
+from repro.durability import create as create_durable
+from repro.durability.checkpoint import (
+    checkpoint_now,
+    states_identical,
+)
+
+FULL = {
+    "n": 4000,
+    "d": 16,
+    "batch": 8,
+    "ingest_batches": 120,
+    "recovery_lengths": (0, 40, 120, 240),
+}
+SMOKE = {
+    "n": 600,
+    "d": 12,
+    "batch": 4,
+    "ingest_batches": 16,
+    "recovery_lengths": (0, 8, 16),
+}
+
+SEED = 7
+
+
+def _build(workload: dict) -> tuple[LazyLSH, np.ndarray]:
+    rng = np.random.default_rng(SEED)
+    data = rng.standard_normal((workload["n"], workload["d"]))
+    index = LazyLSH(LazyLSHConfig(seed=SEED)).build(data)
+    return index, data
+
+
+def _fresh_batches(workload: dict, count: int) -> list[np.ndarray]:
+    rng = np.random.default_rng(SEED + 1)
+    return [
+        rng.standard_normal((workload["batch"], workload["d"]))
+        for _ in range(count)
+    ]
+
+
+def bench_ingest(workload: dict) -> dict:
+    """Committed records/s and points/s with fsync on vs off."""
+    batches = _fresh_batches(workload, workload["ingest_batches"])
+    out = {}
+    for sync in (True, False):
+        index, _ = _build(workload)
+        home = Path(tempfile.mkdtemp(prefix="bench-wal-"))
+        durable = create_durable(index, home, sync=sync)
+        try:
+            start = time.perf_counter()
+            for batch in batches:
+                durable.insert(batch)
+            elapsed = time.perf_counter() - start
+            records = len(batches)
+            points = records * workload["batch"]
+            out["fsync" if sync else "no_fsync"] = {
+                "records": records,
+                "points": points,
+                "wall_seconds": elapsed,
+                "records_per_second": records / elapsed,
+                "points_per_second": points / elapsed,
+            }
+        finally:
+            durable.close()
+            shutil.rmtree(home, ignore_errors=True)
+    out["fsync_cost_factor"] = (
+        out["no_fsync"]["records_per_second"]
+        / out["fsync"]["records_per_second"]
+    )
+    return out
+
+
+def bench_recovery(workload: dict) -> dict:
+    """Recovery wall time vs WAL tail length, verified bit-identical."""
+    rng = np.random.default_rng(SEED + 2)
+    rows = []
+    for length in workload["recovery_lengths"]:
+        for compacted in (False, True):
+            if compacted and length == 0:
+                continue
+            index, data = _build(workload)
+            reference = LazyLSH(LazyLSHConfig(seed=SEED)).build(data)
+            home = Path(tempfile.mkdtemp(prefix="bench-wal-"))
+            durable = create_durable(index, home, sync=False)
+            try:
+                batches = _fresh_batches(workload, max(length, 1))
+                for i in range(length):
+                    durable.insert(batches[i])
+                    reference.insert(batches[i])
+                    if rng.random() < 0.25 and reference.num_points > 2:
+                        victim = int(
+                            rng.integers(0, reference.num_rows)
+                        )
+                        if reference._alive[victim]:
+                            durable.remove([victim])
+                            reference.remove([victim])
+                if compacted:
+                    checkpoint_now(durable, home)
+                durable.close()
+                start = time.perf_counter()
+                recovered, report = recover(home, sync=False)
+                elapsed = time.perf_counter() - start
+                queries = data[:4]
+                identical = states_identical(
+                    recovered.index, reference, queries=queries, k=5
+                )
+                recovered.close()
+                if not identical:
+                    raise AssertionError(
+                        f"recovered state diverged at log length {length} "
+                        f"(compacted={compacted})"
+                    )
+                rows.append(
+                    {
+                        "log_records": length,
+                        "compacted": compacted,
+                        "replayed_records": report["replayed_records"],
+                        "recovery_seconds": elapsed,
+                        "live_points": report["live_points"],
+                        "identical_to_reference": True,
+                    }
+                )
+            finally:
+                shutil.rmtree(home, ignore_errors=True)
+    return {"rows": rows}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-scale CI version (writes BENCH_wal.smoke.json)",
+    )
+    args = parser.parse_args()
+    workload = SMOKE if args.smoke else FULL
+    report = {
+        "workload": {
+            k: list(v) if isinstance(v, tuple) else v
+            for k, v in workload.items()
+        },
+        "seed": SEED,
+        "python": platform.python_version(),
+        "ingest": bench_ingest(workload),
+        "recovery": bench_recovery(workload),
+    }
+    name = "BENCH_wal.smoke.json" if args.smoke else "BENCH_wal.json"
+    out_path = Path(__file__).parent / "results" / name
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    ingest = report["ingest"]
+    print(
+        f"ingest: {ingest['fsync']['records_per_second']:.0f} rec/s fsync, "
+        f"{ingest['no_fsync']['records_per_second']:.0f} rec/s no-fsync "
+        f"(cost factor {ingest['fsync_cost_factor']:.1f}x)"
+    )
+    for row in report["recovery"]["rows"]:
+        print(
+            f"recovery: {row['log_records']:4d} records "
+            f"{'(compacted) ' if row['compacted'] else '            '}"
+            f"replayed={row['replayed_records']:4d} "
+            f"{row['recovery_seconds'] * 1e3:8.1f} ms  identical=True"
+        )
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

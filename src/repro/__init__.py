@@ -22,6 +22,7 @@ Quickstart
 
 from repro.api import SearchRequest, SearchResult, aggregate_io
 from repro.core.batch import BatchKnnResult, knn_batch
+from repro.durability import DurableIndex, WalFeed, WriteAheadLog
 from repro.core.config import LazyLSHConfig
 from repro.core.lazylsh import KnnResult, LazyLSH, RangeResult
 from repro.core.multiquery import MultiQueryEngine, MultiQueryResult
@@ -53,6 +54,7 @@ __all__ = [
     "BatchKnnResult",
     "DatasetError",
     "DimensionalityMismatchError",
+    "DurableIndex",
     "GuaranteeAuditor",
     "IOStats",
     "IndexNotBuiltError",
@@ -76,6 +78,8 @@ __all__ = [
     "SpanTracer",
     "Telemetry",
     "UnsupportedMetricError",
+    "WalFeed",
+    "WriteAheadLog",
     "aggregate_io",
     "knn_batch",
     "lp_distance",

@@ -300,11 +300,152 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_id_list(text: str) -> np.ndarray:
+    return np.array(
+        [int(part) for part in text.split(",") if part.strip()], dtype=np.int64
+    )
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Apply durable updates to a WAL-backed index home directory."""
+    from repro import durability
+
+    home = Path(args.home)
+    report: dict = {"home": str(home)}
+    if args.init is not None:
+        data = _load_dataset(args.init, args.n, args.seed)
+        config = LazyLSHConfig(
+            c=args.c,
+            p_min=args.p_min,
+            seed=args.seed,
+            mc_samples=args.mc_samples,
+        )
+        index = LazyLSH(config).build(data)
+        durable = durability.create(index, home, sync=not args.no_fsync)
+        report["initialized"] = True
+        report["points"] = int(index.num_points)
+    else:
+        durable, recovery = durability.recover(home, sync=not args.no_fsync)
+        report["initialized"] = False
+        report["recovery"] = recovery
+    rng = np.random.default_rng(args.seed)
+    lsn_before = durable.last_lsn
+    records = 0
+    timer = Timer()
+    try:
+        with timer:
+            for _ in range(args.batches):
+                if args.insert is not None:
+                    batch = _load_dataset(args.insert, None, args.seed)
+                    if args.jitter:
+                        batch = batch + rng.normal(
+                            0.0, args.jitter, size=batch.shape
+                        )
+                    durable.insert(batch)
+                    records += 1
+            if args.remove:
+                durable.remove(_parse_id_list(args.remove))
+                records += 1
+        if args.checkpoint:
+            report["checkpoint"] = str(
+                durability.checkpoint_now(durable, home)
+            )
+        report.update(
+            {
+                "fsync": not args.no_fsync,
+                "lsn_before": int(lsn_before),
+                "lsn_after": int(durable.last_lsn),
+                "records_committed": records,
+                "live_points": int(durable.num_points),
+                "total_rows": int(durable.num_rows),
+                "wall_seconds": timer.seconds,
+                "records_per_second": (
+                    records / timer.seconds if timer.seconds else None
+                ),
+            }
+        )
+    finally:
+        durable.close()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    """Recover a WAL-backed index home and report what replay did."""
+    from repro import durability
+    from repro.durability.checkpoint import (
+        RecoveryError,
+        _reference_index_from,
+        states_identical,
+    )
+
+    home = Path(args.home)
+    durable, report = durability.recover(home)
+    try:
+        out = {"home": str(home), "recovery": report}
+        if args.verify:
+            try:
+                reference = _reference_index_from(home)
+            except RecoveryError as exc:
+                out["verified"] = None
+                out["verify_skipped"] = str(exc)
+            else:
+                queries = reference.data[
+                    : min(4, reference.data.shape[0])
+                ]
+                out["verified"] = bool(
+                    states_identical(
+                        durable.index, reference, queries=queries, k=args.k
+                    )
+                )
+                if not out["verified"]:
+                    print(json.dumps(out, indent=2, sort_keys=True))
+                    raise ReproError(
+                        "recovered index diverges from the full-history "
+                        "reference replay"
+                    )
+        if args.checkpoint:
+            out["checkpoint"] = str(durability.checkpoint_now(durable, home))
+    finally:
+        durable.close()
+    print(json.dumps(out, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs import GuaranteeAuditor, ObsExporter, SlowQueryLog
     from repro.serve import ShardedSearchService
 
-    index = load_index(args.index)
+    feed = None
+    base_lsn = 0
+    if args.wal is not None:
+        from repro.durability import (
+            CHECKPOINT_SUBDIR,
+            WAL_SUBDIR,
+            WalFeed,
+            latest_checkpoint,
+        )
+
+        home = Path(args.wal)
+        found = latest_checkpoint(home / CHECKPOINT_SUBDIR)
+        if found is None:
+            raise ReproError(
+                f"{home} holds no loadable checkpoint; run `repro ingest "
+                f"{home} --init <dataset>` first"
+            )
+        base_lsn, ckpt_path = found
+        index = load_index(ckpt_path)
+        # Read-only tail of the (possibly live) log: never truncates.
+        feed = WalFeed(home / WAL_SUBDIR, start_lsn=base_lsn)
+        print(
+            f"serving from {ckpt_path.name} (LSN {base_lsn}), tailing "
+            f"{home / WAL_SUBDIR}",
+            file=sys.stderr,
+        )
+    elif args.index is not None:
+        index = load_index(args.index)
+    else:
+        raise ReproError("serve needs an index path or --wal <home-dir>")
     queries = _workload_queries(index, args)
     metrics = _parse_p_list(args.p)
     if len(metrics) != 1:
@@ -336,7 +477,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
             start_method=args.start_method,
             telemetry=telemetry,
             auditor=auditor,
+            base_lsn=base_lsn,
         ) as service:
+            if feed is not None:
+                applied = service.ingest(feed.poll())
+                if applied:
+                    print(
+                        f"applied {applied} WAL records "
+                        f"(now at LSN {service.acked_lsn})",
+                        file=sys.stderr,
+                    )
             if ops_plane:
                 exporter = ObsExporter(
                     telemetry.registry,
@@ -366,8 +516,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     "(ctrl-C to stop early)",
                     file=sys.stderr,
                 )
+                deadline = time.monotonic() + args.linger
                 try:
-                    time.sleep(args.linger)
+                    while time.monotonic() < deadline:
+                        if feed is not None:
+                            applied = service.ingest(feed.poll())
+                            if applied:
+                                print(
+                                    f"applied {applied} WAL records "
+                                    f"(now at LSN {service.acked_lsn})",
+                                    file=sys.stderr,
+                                )
+                        remaining = deadline - time.monotonic()
+                        step = (
+                            min(args.poll_interval, remaining)
+                            if feed is not None
+                            else remaining
+                        )
+                        if step > 0:
+                            time.sleep(step)
                 except KeyboardInterrupt:
                     pass
     finally:
@@ -652,10 +819,94 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stats.set_defaults(func=cmd_stats)
 
+    p_ingest = sub.add_parser(
+        "ingest", help="durably apply inserts/removals through a WAL"
+    )
+    p_ingest.add_argument("home", help="durable index home directory")
+    p_ingest.add_argument(
+        "--init",
+        default=None,
+        metavar="DATASET",
+        help="initialise the home from this dataset (.npy path, dataset "
+        "name, or synthetic:<n>x<d>); omit to recover an existing home",
+    )
+    p_ingest.add_argument(
+        "--insert",
+        default=None,
+        metavar="SPEC",
+        help="insert this batch (.npy path or synthetic:<n>x<d>)",
+    )
+    p_ingest.add_argument(
+        "--batches",
+        type=int,
+        default=1,
+        help="append --insert this many times (throughput runs)",
+    )
+    p_ingest.add_argument(
+        "--jitter",
+        type=float,
+        default=0.0,
+        help="per-batch gaussian noise added to --insert points",
+    )
+    p_ingest.add_argument(
+        "--remove", default=None, help="comma-separated point ids to remove"
+    )
+    p_ingest.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="compact the WAL into a checkpoint after applying updates",
+    )
+    p_ingest.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip fsync on commit (faster, loses the durability guarantee)",
+    )
+    p_ingest.add_argument("--n", type=int, default=None, help="cardinality override")
+    p_ingest.add_argument("--c", type=float, default=3.0)
+    p_ingest.add_argument("--p-min", type=float, default=0.5)
+    p_ingest.add_argument("--mc-samples", type=int, default=50_000)
+    p_ingest.add_argument("--seed", type=int, default=7)
+    p_ingest.set_defaults(func=cmd_ingest)
+
+    p_recover = sub.add_parser(
+        "recover", help="recover a durable home and print the replay report"
+    )
+    p_recover.add_argument("home", help="durable index home directory")
+    p_recover.add_argument(
+        "--verify",
+        action="store_true",
+        help="also rebuild the full-history reference and require "
+        "bit-identical state (needs an unpruned WAL)",
+    )
+    p_recover.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="write a fresh checkpoint after recovery",
+    )
+    p_recover.add_argument(
+        "--k", type=int, default=5, help="kNN depth for --verify probes"
+    )
+    p_recover.set_defaults(func=cmd_recover)
+
     p_serve = sub.add_parser(
         "serve", help="answer queries through the sharded query service"
     )
-    p_serve.add_argument("index", help="index .npz path")
+    p_serve.add_argument(
+        "index", nargs="?", default=None, help="index .npz path"
+    )
+    p_serve.add_argument(
+        "--wal",
+        default=None,
+        metavar="HOME",
+        help="serve a durable home directory instead of a static .npz: "
+        "load its newest checkpoint and tail the WAL for live updates",
+    )
+    p_serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        help="WAL poll cadence during --linger (seconds; needs --wal)",
+    )
     p_serve.add_argument("--k", type=int, default=10)
     p_serve.add_argument("--p", default="1.0", help="single metric")
     p_serve.add_argument(

@@ -194,6 +194,25 @@ class LazyLSH:
     # Dynamic updates
     # ------------------------------------------------------------------
 
+    def _validate_insert(self, points: PointMatrix) -> np.ndarray:
+        """Validate an insert batch without mutating; returns the batch.
+
+        Shared by :meth:`insert` and the durability layer, which must
+        reject a bad batch *before* journaling it to the write-ahead log.
+        """
+        self._require_built()
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.ndim != 2 or points.shape[1] != self.dimensionality:
+            raise DimensionalityMismatchError(
+                f"points have dimensionality {points.shape[1] if points.ndim == 2 else '?'}, "
+                f"index expects {self.dimensionality}"
+            )
+        if points.shape[0] == 0:
+            raise InvalidParameterError("cannot insert an empty batch")
+        if not np.all(np.isfinite(points)):
+            raise InvalidParameterError("points contain non-finite values")
+        return np.ascontiguousarray(points)
+
     def insert(self, points: PointMatrix) -> IdArray:
         """Insert new points into the built index; returns their ids.
 
@@ -202,38 +221,41 @@ class LazyLSH:
         No per-metric work is needed — the new points are immediately
         visible to queries under every supported ``lp``.
         """
-        self._require_built()
+        ids, _plan = self._apply_insert(points)
+        return ids
+
+    def _apply_insert(self, points: PointMatrix):
+        """Insert and also return the store's placement plan.
+
+        The :class:`~repro.storage.inverted_index.InsertPlan` describes
+        exactly where each new entry landed in every sorted run, which is
+        what the serve layer ships to shard workers so their copies stay
+        bit-identical to a fresh build (DESIGN §11).
+        """
+        points = self._validate_insert(points)
         assert self._bank is not None and self._store is not None and self._data is not None
-        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
-        if points.shape[1] != self.dimensionality:
-            raise DimensionalityMismatchError(
-                f"points have dimensionality {points.shape[1]}, index expects "
-                f"{self.dimensionality}"
-            )
-        if not np.all(np.isfinite(points)):
-            raise InvalidParameterError("points contain non-finite values")
         start = self._data.shape[0]
         new_ids = np.arange(start, start + points.shape[0], dtype=np.int64)
-        self._store.insert(self._bank.hash_points(points), new_ids)
+        plan = self._store.insert(self._bank.hash_points(points), new_ids)
         self._data = np.vstack([self._data, points])
         self._alive = np.concatenate(
             [self._alive, np.ones(points.shape[0], dtype=bool)]
         )
-        return new_ids
+        return new_ids, plan
 
-    def remove(self, point_ids) -> None:
-        """Remove points by id (tombstoning).
+    def _validate_remove(self, point_ids) -> IdArray:
+        """Validate a removal batch without mutating.
 
-        Removed entries stay in the inverted lists — and keep costing
-        sequential I/O — until the index is rebuilt, exactly like a
-        deferred-compaction disk index; queries simply never promote them
-        to candidates.
+        Returns the deduplicated ids that :meth:`remove` would tombstone.
+        All failure modes are checked here, *before* any state changes,
+        so a mid-batch validation error leaves the index untouched and
+        the durability layer can journal only removals that will apply.
         """
         self._require_built()
         assert self._data is not None
         ids = np.atleast_1d(np.asarray(point_ids, dtype=np.int64))
         if ids.size == 0:
-            return
+            return ids
         if ids.min() < 0 or ids.max() >= self._data.shape[0]:
             raise InvalidParameterError(
                 f"point ids must lie in [0, {self._data.shape[0]}), got "
@@ -249,6 +271,20 @@ class LazyLSH:
             raise InvalidParameterError(
                 "cannot remove the last remaining point of an index"
             )
+        return unique
+
+    def remove(self, point_ids) -> None:
+        """Remove points by id (tombstoning).
+
+        Removed entries stay in the inverted lists — and keep costing
+        sequential I/O — until the index is rebuilt, exactly like a
+        deferred-compaction disk index; queries simply never promote them
+        to candidates.  Validation happens entirely before mutation, so a
+        failed batch never leaves partial tombstones behind.
+        """
+        unique = self._validate_remove(point_ids)
+        if unique.size == 0:
+            return
         self._alive[unique] = False
 
     def compact(self) -> np.ndarray:

@@ -1,0 +1,47 @@
+"""Durable update plane: WAL, checkpoint/recovery, live update feed.
+
+See DESIGN §11.  The write path is journal-then-apply
+(:class:`DurableIndex` over :class:`WriteAheadLog`), the compaction path
+is atomic checkpoints stamped with the covered LSN
+(:mod:`repro.durability.checkpoint`), and the propagation path is a
+read-only log tailer (:class:`WalFeed`) feeding the sharded service's
+``ingest``.
+"""
+
+from repro.durability.checkpoint import (
+    CHECKPOINT_SUBDIR,
+    WAL_SUBDIR,
+    RecoveryError,
+    checkpoint_now,
+    create,
+    latest_checkpoint,
+    list_checkpoints,
+    recover,
+    write_checkpoint,
+)
+from repro.durability.feed import WalFeed
+from repro.durability.wal import (
+    DurableIndex,
+    WalCorruptionError,
+    WalRecord,
+    WriteAheadLog,
+    apply_record,
+)
+
+__all__ = [
+    "CHECKPOINT_SUBDIR",
+    "WAL_SUBDIR",
+    "DurableIndex",
+    "RecoveryError",
+    "WalCorruptionError",
+    "WalFeed",
+    "WalRecord",
+    "WriteAheadLog",
+    "apply_record",
+    "checkpoint_now",
+    "create",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "recover",
+    "write_checkpoint",
+]

@@ -1,0 +1,324 @@
+"""Checkpointing and crash recovery for the durable update plane.
+
+A checkpoint is an ordinary :func:`repro.persistence.save_index` snapshot
+stamped with the WAL LSN it covers, written atomically::
+
+    checkpoints/
+        checkpoint-00000000000000000000.npz      # initial (build-time)
+        checkpoint-00000000000000000431.npz      # covers LSNs 1..431
+
+Atomicity: the snapshot is first written to a ``tmp-`` prefixed file
+(never matched by the recovery glob), fsynced, then :func:`os.replace`\\ d
+to its final name — so a crash mid-checkpoint leaves either no new
+checkpoint (plus an ignorable temp file) or a complete one, never a
+half-written file under a recoverable name.
+
+Recovery (:func:`recover`) is the classic ARIES-lite sequence:
+
+1. rank checkpoint files by LSN, newest first;
+2. load the newest one whose header parses and whose payload loads —
+   unreadable candidates are skipped, falling back to older snapshots;
+3. open the WAL (which itself truncates a torn tail);
+4. replay every record with ``lsn > checkpoint_lsn`` in order;
+5. hand back a :class:`~repro.durability.wal.DurableIndex` ready for
+   more writes.
+
+The recovered index is bit-identical — same data, tombstones, inverted
+lists and therefore same kNN answers — to an index that applied exactly
+the durably-acked mutation prefix, which is the invariant the crash
+tests pin down.
+"""
+
+from __future__ import annotations
+
+import os
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.durability.wal import (
+    DurableIndex,
+    WalCorruptionError,
+    WriteAheadLog,
+    apply_record,
+)
+from repro.errors import InvalidParameterError, ReproError
+from repro.persistence import IndexFormatError, load_index, read_header, save_index
+
+_CHECKPOINT_PREFIX = "checkpoint-"
+_CHECKPOINT_TMP_PREFIX = "tmp-checkpoint-"
+_CHECKPOINT_SUFFIX = ".npz"
+
+#: Subdirectory names of a durable index home directory.
+WAL_SUBDIR = "wal"
+CHECKPOINT_SUBDIR = "checkpoints"
+
+
+class RecoveryError(ReproError):
+    """No usable checkpoint/WAL state could be recovered."""
+
+
+def checkpoint_name(lsn: int) -> str:
+    """File name of the checkpoint covering WAL records ``1..lsn``."""
+    return f"{_CHECKPOINT_PREFIX}{lsn:020d}{_CHECKPOINT_SUFFIX}"
+
+
+def _checkpoint_lsn(path: Path) -> int | None:
+    name = path.name
+    if not (
+        name.startswith(_CHECKPOINT_PREFIX) and name.endswith(_CHECKPOINT_SUFFIX)
+    ):
+        return None
+    digits = name[len(_CHECKPOINT_PREFIX):-len(_CHECKPOINT_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+def list_checkpoints(directory: str | Path) -> list[tuple[int, Path]]:
+    """``(lsn, path)`` of every checkpoint file, ascending by LSN.
+
+    ``tmp-`` files (crashed half-writes) are deliberately excluded.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    found = []
+    for path in directory.iterdir():
+        lsn = _checkpoint_lsn(path)
+        if lsn is not None:
+            found.append((lsn, path))
+    found.sort()
+    return found
+
+
+def write_checkpoint(
+    index, directory: str | Path, *, lsn: int, epoch: int = 0
+) -> Path:
+    """Atomically snapshot ``index`` as the checkpoint covering ``lsn``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    final = directory / checkpoint_name(lsn)
+    tmp = directory / f"{_CHECKPOINT_TMP_PREFIX}{lsn:020d}{_CHECKPOINT_SUFFIX}"
+    save_index(index, tmp, wal_lsn=lsn, wal_epoch=epoch)
+    # fsync file contents, atomically rename, then fsync the directory so
+    # the new name itself survives power loss.
+    fd = os.open(tmp, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    os.replace(tmp, final)
+    dir_fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+    return final
+
+
+def latest_checkpoint(directory: str | Path) -> tuple[int, Path] | None:
+    """Newest checkpoint whose header parses, or None.
+
+    Candidates are tried newest-first; a corrupt or truncated file is
+    skipped so recovery degrades to the previous snapshot instead of
+    failing outright.
+    """
+    for lsn, path in reversed(list_checkpoints(directory)):
+        try:
+            header = read_header(path)
+        except (IndexFormatError, InvalidParameterError):
+            continue
+        if int(header.get("wal_lsn", 0)) != lsn:
+            # File name and header disagree — do not trust it.
+            continue
+        return lsn, path
+    return None
+
+
+def create(
+    index,
+    directory: str | Path,
+    *,
+    sync: bool = True,
+    segment_bytes: int | None = None,
+    registry=None,
+) -> DurableIndex:
+    """Initialise a durable home directory around a freshly built index.
+
+    Writes the initial (LSN 0) checkpoint and opens an empty WAL.  The
+    directory must not already contain durable state.
+    """
+    directory = Path(directory)
+    ckpt_dir = directory / CHECKPOINT_SUBDIR
+    wal_dir = directory / WAL_SUBDIR
+    if list_checkpoints(ckpt_dir):
+        raise InvalidParameterError(
+            f"{directory} already holds checkpoints; use recover() instead"
+        )
+    write_checkpoint(index, ckpt_dir, lsn=0)
+    kwargs: dict = {"sync": sync, "registry": registry}
+    if segment_bytes is not None:
+        kwargs["segment_bytes"] = segment_bytes
+    wal = WriteAheadLog(wal_dir, **kwargs)
+    if wal.last_lsn != 0:
+        wal.close()
+        raise InvalidParameterError(
+            f"{wal_dir} already holds {wal.last_lsn} WAL records; use recover()"
+        )
+    return DurableIndex(index, wal)
+
+
+def recover(
+    directory: str | Path,
+    *,
+    sync: bool = True,
+    segment_bytes: int | None = None,
+    registry=None,
+) -> tuple[DurableIndex, dict]:
+    """Rebuild the durable index from ``directory`` after a crash.
+
+    Returns ``(durable_index, report)`` where ``report`` records what
+    recovery did: the checkpoint used, records replayed, torn-tail bytes
+    dropped, and checkpoints skipped as corrupt.
+    """
+    directory = Path(directory)
+    ckpt_dir = directory / CHECKPOINT_SUBDIR
+    wal_dir = directory / WAL_SUBDIR
+    candidates = list_checkpoints(ckpt_dir)
+    if not candidates:
+        raise RecoveryError(
+            f"{ckpt_dir} holds no checkpoints; nothing to recover"
+        )
+    index = None
+    ckpt_lsn = -1
+    ckpt_path: Path | None = None
+    skipped: list[str] = []
+    for lsn, path in reversed(candidates):
+        try:
+            header = read_header(path)
+            if int(header.get("wal_lsn", 0)) != lsn:
+                raise IndexFormatError(
+                    f"{path} header LSN {header.get('wal_lsn')} does not "
+                    f"match its file name"
+                )
+            index = load_index(path)
+        except (IndexFormatError, InvalidParameterError, zipfile.BadZipFile,
+                OSError, ValueError, KeyError) as exc:
+            skipped.append(f"{path.name}: {exc}")
+            continue
+        ckpt_lsn = lsn
+        ckpt_path = path
+        break
+    if index is None or ckpt_path is None:
+        raise RecoveryError(
+            f"no loadable checkpoint in {ckpt_dir}; skipped: "
+            f"{[s.split(':', 1)[0] for s in skipped]}"
+        )
+    kwargs: dict = {"sync": sync, "registry": registry}
+    if segment_bytes is not None:
+        kwargs["segment_bytes"] = segment_bytes
+    wal = WriteAheadLog(wal_dir, **kwargs)
+    if wal.last_lsn < ckpt_lsn:
+        wal.close()
+        raise RecoveryError(
+            f"checkpoint {ckpt_path.name} covers LSN {ckpt_lsn} but the WAL "
+            f"only reaches {wal.last_lsn}; the log was truncated below its "
+            "newest checkpoint"
+        )
+    if wal.last_lsn > ckpt_lsn and wal.first_lsn > ckpt_lsn + 1:
+        wal.close()
+        raise RecoveryError(
+            f"the WAL starts at LSN {wal.first_lsn} but checkpoint "
+            f"{ckpt_path.name} only covers LSN {ckpt_lsn}; records "
+            f"{ckpt_lsn + 1}..{wal.first_lsn - 1} are missing"
+        )
+    replayed = 0
+    try:
+        for record in wal.replay(start_lsn=ckpt_lsn):
+            apply_record(index, record)
+            replayed += 1
+    except WalCorruptionError:
+        wal.close()
+        raise
+    durable = DurableIndex(index, wal)
+    report = {
+        "checkpoint": ckpt_path.name,
+        "checkpoint_lsn": int(ckpt_lsn),
+        "last_lsn": int(wal.last_lsn),
+        "replayed_records": int(replayed),
+        "torn_tail_bytes_dropped": int(wal.torn_bytes_dropped),
+        "checkpoints_skipped": skipped,
+        "live_points": int(index.num_points),
+        "total_rows": int(index.num_rows),
+    }
+    if registry is not None:
+        registry.counter(
+            "lazylsh_wal_replayed_records_total",
+            "WAL records replayed during recovery",
+        ).inc(replayed)
+    return durable, report
+
+
+def checkpoint_now(durable: DurableIndex, directory: str | Path) -> Path:
+    """Checkpoint a durable index's home ``directory`` and prune the log."""
+    directory = Path(directory)
+    path = write_checkpoint(
+        durable.index, directory / CHECKPOINT_SUBDIR, lsn=durable.wal.last_lsn
+    )
+    durable.wal.truncate_through(durable.wal.last_lsn)
+    return path
+
+
+def _reference_index_from(directory: str | Path):
+    """Fresh index equal to the recovered state — test/benchmark helper.
+
+    Loads the *initial* (LSN 0) checkpoint and replays the entire log
+    onto it in one pass, yielding the ground-truth index that any
+    recovery path must match bit for bit.
+    """
+    directory = Path(directory)
+    candidates = list_checkpoints(directory / CHECKPOINT_SUBDIR)
+    if not candidates or candidates[0][0] != 0:
+        raise RecoveryError(
+            f"{directory} has no initial (LSN 0) checkpoint to rebuild from"
+        )
+    index = load_index(candidates[0][1])
+    wal = WriteAheadLog(directory / WAL_SUBDIR, sync=False)
+    try:
+        if wal.last_lsn > 0 and wal.first_lsn > 1:
+            raise RecoveryError(
+                f"the WAL was pruned (starts at LSN {wal.first_lsn}); a "
+                "full-history reference replay is no longer possible"
+            )
+        for record in wal.replay(start_lsn=0):
+            apply_record(index, record)
+    finally:
+        wal.close()
+    return index
+
+
+def states_identical(a, b, *, queries: np.ndarray | None = None, k: int = 5) -> bool:
+    """True when two indexes hold identical durable state (and answers).
+
+    Compares data, tombstone masks and the inverted-list runs; when
+    ``queries`` is given, also requires bit-identical kNN ids/distances.
+    """
+    if a.num_rows != b.num_rows or a.num_points != b.num_points:
+        return False
+    if not np.array_equal(a.data, b.data):
+        return False
+    if not np.array_equal(a._alive, b._alive):
+        return False
+    if not np.array_equal(a._store._values, b._store._values):
+        return False
+    if not np.array_equal(a._store._ids, b._store._ids):
+        return False
+    if queries is not None:
+        for q in np.atleast_2d(queries):
+            ra = a.knn(q, k, p=1.0)
+            rb = b.knn(q, k, p=1.0)
+            if not np.array_equal(ra.ids, rb.ids):
+                return False
+            if not np.array_equal(ra.distances, rb.distances):
+                return False
+    return True

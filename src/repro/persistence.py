@@ -6,6 +6,18 @@ stores exactly those in one compressed ``.npz``; ``load_index`` restores
 the bank verbatim (no re-drawing — the stored random projections are the
 index) and rebuilds the inverted lists deterministically by re-hashing
 the data, which is cheaper to store than the sorted runs themselves.
+
+Format history
+--------------
+
+* **version 1** — header (config, rehashing, eta, beta) + ``data``,
+  ``alive``, ``projections``, ``offsets``.
+* **version 2** — adds durability metadata to the header: ``wal_lsn``
+  (the write-ahead-log sequence number the snapshot covers), ``wal_epoch``
+  (the serving fleet's update-epoch counter at checkpoint time) and
+  ``live_count`` (non-tombstoned rows, cross-checked against ``alive``
+  on load).  The array payload is unchanged, so version-1 files still
+  load — their WAL fields default to zero.
 """
 
 from __future__ import annotations
@@ -25,20 +37,35 @@ from repro.storage.inverted_index import InvertedListStore
 from repro.storage.pages import PageLayout
 
 #: Bumped when the on-disk layout changes incompatibly.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions :func:`load_index` knows how to read.
+SUPPORTED_FORMAT_VERSIONS = frozenset({1, 2})
 
 
 class IndexFormatError(ReproError):
     """The file is not a LazyLSH index or uses an incompatible format."""
 
 
-def save_index(index: LazyLSH, path: str | Path) -> Path:
+def save_index(
+    index: LazyLSH,
+    path: str | Path,
+    *,
+    wal_lsn: int = 0,
+    wal_epoch: int = 0,
+) -> Path:
     """Serialise a built index to ``path`` (``.npz`` appended if absent).
 
-    Returns the path actually written.
+    ``wal_lsn``/``wal_epoch`` stamp the snapshot with the write-ahead-log
+    position it covers (zero for a plain manual save); recovery replays
+    only records newer than ``wal_lsn``.  Returns the path written.
     """
     if not index.is_built:
         raise IndexNotBuiltError("cannot save an index that was never built")
+    if wal_lsn < 0 or wal_epoch < 0:
+        raise InvalidParameterError(
+            f"wal_lsn/wal_epoch must be >= 0, got {wal_lsn}/{wal_epoch}"
+        )
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
@@ -51,6 +78,9 @@ def save_index(index: LazyLSH, path: str | Path) -> Path:
         "rehashing": index.rehashing,
         "eta": index.eta,
         "beta": index.beta,
+        "wal_lsn": int(wal_lsn),
+        "wal_epoch": int(wal_epoch),
+        "live_count": int(index._alive.sum()),
     }
     np.savez_compressed(
         path,
@@ -63,18 +93,56 @@ def save_index(index: LazyLSH, path: str | Path) -> Path:
     return path
 
 
-def load_index(path: str | Path) -> LazyLSH:
-    """Restore an index saved by :func:`save_index`.
+def read_header(path: str | Path) -> dict:
+    """Parse and validate the JSON header of a saved index.
 
-    The restored index answers queries identically to the original: the
-    hash bank's random projections are loaded, not re-drawn.
+    Cheap relative to a full :func:`load_index` (the arrays are not
+    decompressed beyond the header member); used by checkpoint recovery
+    to rank candidate snapshots by their ``wal_lsn`` before loading one.
     """
     path = Path(path)
     if not path.exists():
         raise InvalidParameterError(f"no such index file: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            try:
+                header_bytes = archive["header"].tobytes()
+            except KeyError as exc:
+                raise IndexFormatError(
+                    f"{path} is missing field {exc}; not a LazyLSH index file"
+                ) from exc
+    except (OSError, ValueError) as exc:
+        raise IndexFormatError(f"{path} is not a readable .npz file: {exc}") from exc
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise IndexFormatError(f"{path} has a corrupt header: {exc}") from exc
+    if header.get("library") != "repro-lazylsh":
+        raise IndexFormatError(f"{path} was not written by save_index")
+    version = header.get("format_version")
+    if version not in SUPPORTED_FORMAT_VERSIONS:
+        supported = sorted(SUPPORTED_FORMAT_VERSIONS)
+        raise IndexFormatError(
+            f"{path} uses format version {version}; this library reads "
+            f"versions {supported}"
+        )
+    # Version-1 files predate the durability metadata.
+    header.setdefault("wal_lsn", 0)
+    header.setdefault("wal_epoch", 0)
+    return header
+
+
+def load_index(path: str | Path) -> LazyLSH:
+    """Restore an index saved by :func:`save_index`.
+
+    The restored index answers queries identically to the original: the
+    hash bank's random projections are loaded, not re-drawn, and the
+    tombstone (``alive``) mask is restored bit for bit.
+    """
+    path = Path(path)
+    header = read_header(path)
     with np.load(path, allow_pickle=False) as archive:
         try:
-            header_bytes = archive["header"].tobytes()
             data = archive["data"]
             alive = archive["alive"]
             projections = archive["projections"]
@@ -83,14 +151,6 @@ def load_index(path: str | Path) -> LazyLSH:
             raise IndexFormatError(
                 f"{path} is missing field {exc}; not a LazyLSH index file"
             ) from exc
-        header = json.loads(header_bytes.decode("utf-8"))
-    if header.get("library") != "repro-lazylsh":
-        raise IndexFormatError(f"{path} was not written by save_index")
-    if header.get("format_version") != FORMAT_VERSION:
-        raise IndexFormatError(
-            f"{path} uses format version {header.get('format_version')}; "
-            f"this library reads version {FORMAT_VERSION}"
-        )
     config = LazyLSHConfig(**header["config"])
     index = LazyLSH(config, rehashing=header["rehashing"])
     n, d = data.shape
@@ -99,6 +159,17 @@ def load_index(path: str | Path) -> LazyLSH:
         raise IndexFormatError(
             f"{path} has inconsistent bank shapes "
             f"{projections.shape}/{offsets.shape} for d={d}, eta={eta}"
+        )
+    if alive.shape != (n,):
+        raise IndexFormatError(
+            f"{path} has an alive mask of shape {alive.shape} for n={n} rows"
+        )
+    alive = alive.astype(bool)
+    stored_live = header.get("live_count")
+    if stored_live is not None and int(stored_live) != int(alive.sum()):
+        raise IndexFormatError(
+            f"{path} header claims {stored_live} live rows but the alive "
+            f"mask holds {int(alive.sum())}; the file is corrupt"
         )
     # Reconstruct the internals without re-drawing randomness.
     index._beta = float(header["beta"])
@@ -127,5 +198,5 @@ def load_index(path: str | Path) -> LazyLSH:
     layout = PageLayout(page_size=config.page_size, entry_size=config.entry_size)
     index._store = InvertedListStore(bank.hash_points(data), layout)
     index._data = np.ascontiguousarray(data)
-    index._alive = alive.astype(bool)
+    index._alive = alive
     return index

@@ -215,9 +215,11 @@ class ShardedSearchService:
     ----------
     index:
         A built :class:`~repro.core.lazylsh.LazyLSH`.  The service
-        snapshots its data and inverted lists at construction time;
-        later ``insert``/``remove`` calls on the index are not visible
-        to the service (build a new service for the updated index).
+        snapshots its data and inverted lists at construction time and
+        *owns* the index afterwards: direct ``insert``/``remove`` calls
+        on it are not visible to the workers — route updates through
+        :meth:`ingest` (committed WAL records), which mutates the
+        coordinator's copy and ships per-shard deltas in one step.
     n_shards:
         Number of shards — and worker processes; clamped to the number
         of stored rows.  Each shard owns a contiguous id range of
@@ -235,6 +237,11 @@ class ShardedSearchService:
         Optional :class:`~repro.obs.auditor.GuaranteeAuditor`; every
         successfully answered query is offered to it (the auditor does
         its own sampling).
+    base_lsn:
+        WAL position the snapshotted index already covers (the
+        checkpoint's ``wal_lsn`` when serving a recovered index);
+        :meth:`ingest` expects the next record at ``base_lsn + 1`` and
+        silently skips anything at or below it.
 
     Use as a context manager (or call :meth:`close`) to release the
     worker processes and shared-memory segments::
@@ -251,6 +258,7 @@ class ShardedSearchService:
         start_method: str | None = None,
         telemetry=None,
         auditor=None,
+        base_lsn: int = 0,
     ) -> None:
         if not getattr(index, "is_built", False):
             raise IndexNotBuiltError(
@@ -260,6 +268,19 @@ class ShardedSearchService:
         self.ranges = plan_shards(index.num_rows, n_shards)
         self.n_shards = len(self.ranges)
         self._shard_los = np.array([lo for lo, _hi in self.ranges], dtype=np.int64)
+        # Live-update plane (DESIGN §11): rows beyond the packed base are
+        # owned per _extra_owner; epoch counts applied updates, acked_lsn
+        # the newest WAL record folded in.  _update_log keeps every
+        # shipped delta so a respawned worker can catch up by replay.
+        self._base_rows = int(index.num_rows)
+        self._extra_owner = np.empty(0, dtype=np.int64)
+        self._shard_points = np.array(
+            [hi - lo for lo, hi in self.ranges], dtype=np.int64
+        )
+        self.epoch = 0
+        self.acked_lsn = int(base_lsn)
+        self._update_log: list[dict] = []
+        self.updates_applied = 0
         self._epp = int(index.store.layout.entries_per_page)
         self._ctx = mp.get_context(start_method)
         self._specs = []
@@ -275,6 +296,7 @@ class ShardedSearchService:
         self._op_seq = 0
         self._qid_seq = 0
         self._closed = False
+        self._test_kill_during_catchup: int | None = None
         self._wave_obs: _WaveObs | None = None
         # Wall-clock time of each shard's last successful reply; read by
         # health() (never poked from the exporter thread).
@@ -357,11 +379,14 @@ class ShardedSearchService:
         return {
             "n_shards": self.n_shards,
             "shard_ranges": [list(r) for r in self.ranges],
-            "shard_points": [hi - lo for lo, hi in self.ranges],
+            "shard_points": [int(x) for x in self._shard_points],
             "busy_seconds": list(self.busy_seconds),
             "restarts": self.restarts,
             "replays": self.replays,
             "queries_served": self.queries_served,
+            "epoch": self.epoch,
+            "acked_lsn": self.acked_lsn,
+            "updates_applied": self.updates_applied,
         }
 
     def health(self) -> dict:
@@ -386,7 +411,7 @@ class ShardedSearchService:
                 {
                     "shard": sid,
                     "alive": alive,
-                    "points": int(self.ranges[sid][1] - self.ranges[sid][0]),
+                    "points": int(self._shard_points[sid]),
                     "last_heartbeat_age_seconds": (
                         now - last if last else None
                     ),
@@ -407,6 +432,12 @@ class ShardedSearchService:
             "replays": self.replays,
             "queries_served": self.queries_served,
             "shards": shards,
+            "wal": {
+                "epoch": self.epoch,
+                "acked_lsn": self.acked_lsn,
+                "updates_applied": self.updates_applied,
+                "extra_points": int(self._extra_owner.size),
+            },
         }
 
     # ------------------------------------------------------------------
@@ -473,29 +504,58 @@ class ShardedSearchService:
         return replies
 
     def _repair(self, known_dead: int | None = None) -> list[int]:
-        """Respawn dead workers and reset survivors for a wave replay.
+        """Respawn dead workers, replay updates to them, reset survivors.
 
         ``known_dead`` is the shard whose pipe broke: its EOF can arrive
         before ``waitpid`` observes the exit, so it is joined first
-        rather than trusting ``is_alive()``.  Returns the shard ids that
-        were respawned.
+        rather than trusting ``is_alive()``.  A respawned worker attaches
+        the *original* shared-memory snapshot, so it catches up by
+        replaying the whole update log (cheap idempotent skip for
+        records at or below its acked LSN — zero for a fresh attach).
+        A worker dying again mid-catch-up restarts the repair, up to
+        three attempts.  Returns the shard ids that were respawned.
         """
-        if known_dead is not None:
-            self._procs[known_dead].join(timeout=5)
-        respawned = []
-        for sid in range(self.n_shards):
-            proc = self._procs[sid]
-            if sid != known_dead and proc.is_alive():
-                continue
-            self._conns[sid].close()
-            self._spawn(sid)
-            self.restarts += 1
-            respawned.append(sid)
-        # Survivors may hold per-query state and queued replies from the
-        # aborted wave; the reset's fresh op id flushes both (stale
-        # replies are skipped by _recv's sequence check).
-        self._broadcast("reset")
-        return respawned
+        all_respawned: set[int] = set()
+        for _attempt in range(3):
+            try:
+                if known_dead is not None:
+                    self._procs[known_dead].join(timeout=5)
+                respawned = []
+                for sid in range(self.n_shards):
+                    proc = self._procs[sid]
+                    if sid != known_dead and proc.is_alive():
+                        continue
+                    self._conns[sid].close()
+                    self._spawn(sid)
+                    self.restarts += 1
+                    respawned.append(sid)
+                all_respawned.update(respawned)
+                known_dead = None
+                self._catch_up(respawned)
+                # Survivors may hold per-query state and queued replies
+                # from the aborted wave; the reset's fresh op id flushes
+                # both (stale replies are skipped by _recv's check).
+                self._broadcast("reset")
+                return sorted(all_respawned)
+            except _WorkerDied as died:
+                known_dead = died.shard_id
+        raise ReproError(
+            "sharded service: workers kept dying during repair; giving up"
+        )
+
+    def _catch_up(self, shard_ids: list[int]) -> None:
+        """Replay the update log to the given (freshly spawned) shards."""
+        for sid in shard_ids:
+            for j, delta in enumerate(self._update_log):
+                if (
+                    self._test_kill_during_catchup == sid and j == 1
+                ):  # deterministic mid-catch-up death (test hook)
+                    self._test_kill_during_catchup = None
+                    self._send(sid, self._next_op(), "crash", None)
+                    self._procs[sid].join(timeout=5)
+                op_id = self._next_op()
+                self._send(sid, op_id, "update", delta)
+                self._recv(sid, op_id)
 
     def _crash_worker(
         self, shard_id: int, after_rounds: int | None = None
@@ -514,6 +574,126 @@ class ShardedSearchService:
             op_id = self._next_op()
             self._send(shard_id, op_id, "crash", int(after_rounds))
             self._recv(shard_id, op_id)
+
+    # ------------------------------------------------------------------
+    # Live updates (DESIGN §11)
+    # ------------------------------------------------------------------
+
+    def _owner_of(self, gids: np.ndarray) -> np.ndarray:
+        """Owning shard of each global id (base ranges or ingest-assigned)."""
+        owner = np.searchsorted(self._shard_los, gids, side="right") - 1
+        extra = gids >= self._base_rows
+        if extra.any():
+            owner[extra] = self._extra_owner[gids[extra] - self._base_rows]
+        return owner
+
+    def _assign_owners(self, count: int) -> np.ndarray:
+        """Deterministically place ``count`` new points on shards.
+
+        Each point goes to the currently least-loaded shard (ties break
+        to the lowest id), so ownership stays balanced and every
+        coordinator replaying the same WAL assigns identically.
+        """
+        owners = np.empty(count, dtype=np.int64)
+        for j in range(count):
+            sid = int(np.argmin(self._shard_points))
+            owners[j] = sid
+            self._shard_points[sid] += 1
+        return owners
+
+    def ingest(self, records) -> int:
+        """Apply committed WAL records to the live fleet.
+
+        ``records`` is an iterable of :class:`~repro.durability.wal.
+        WalRecord` (e.g. a :class:`~repro.durability.feed.WalFeed`
+        poll).  Records at or below the service's acked LSN are skipped
+        (idempotent replay); a gap raises.  Each applied record bumps the
+        service epoch, mutates the coordinator's index, and ships the
+        shard deltas over the worker pipes; queries issued after
+        ``ingest`` returns see the new state bit-identically to a
+        single-process index that applied the same records.  Returns the
+        number of records applied.
+        """
+        if self._closed:
+            raise ReproError("service is closed")
+        applied = 0
+        for record in records:
+            lsn = int(record.lsn)
+            if lsn <= self.acked_lsn:
+                continue
+            if lsn != self.acked_lsn + 1:
+                raise ReproError(
+                    f"update gap: service acked LSN {self.acked_lsn} but "
+                    f"received {lsn}; replay the WAL from the acked LSN"
+                )
+            if record.op == "insert":
+                start = self.index.num_rows
+                expected = np.arange(
+                    start, start + record.ids.shape[0], dtype=np.int64
+                )
+                if not np.array_equal(record.ids, expected):
+                    raise ReproError(
+                        f"WAL insert at LSN {lsn} carries ids "
+                        f"[{record.ids[0]}..] but the coordinator would "
+                        f"assign [{start}..]: log and service state diverge"
+                    )
+                _ids, plan = self.index._apply_insert(record.points)
+                owners = self._assign_owners(record.ids.shape[0])
+                self._extra_owner = np.concatenate(
+                    [self._extra_owner, owners]
+                )
+                delta = {
+                    "op": "insert",
+                    "lsn": lsn,
+                    "epoch": self.epoch + 1,
+                    "rel": plan.rel_positions,
+                    "values": plan.values,
+                    "ids": plan.ids,
+                    "dest": plan.dest_positions,
+                    "points": np.ascontiguousarray(
+                        record.points, dtype=np.float64
+                    ),
+                    "batch_start": start,
+                    "owners": owners,
+                }
+            elif record.op == "remove":
+                self.index.remove(record.ids)
+                removed_owner = self._owner_of(record.ids)
+                np.subtract.at(self._shard_points, removed_owner, 1)
+                delta = {
+                    "op": "remove",
+                    "lsn": lsn,
+                    "epoch": self.epoch + 1,
+                    "gids": np.ascontiguousarray(record.ids, dtype=np.int64),
+                }
+            else:
+                raise ReproError(f"unknown WAL op {record.op!r} at LSN {lsn}")
+            self._update_log.append(delta)
+            self.epoch += 1
+            self.acked_lsn = lsn
+            self.updates_applied += 1
+            self._ship(delta)
+            applied += 1
+        return applied
+
+    def _ship(self, delta: dict) -> None:
+        """Broadcast one update delta, repairing on a worker death.
+
+        The delta is already in the update log, so the repair's catch-up
+        replays it to respawned workers; survivors that applied it before
+        the death skip the retry by LSN.
+        """
+        for attempt in range(2):
+            try:
+                self._broadcast("update", delta)
+                return
+            except _WorkerDied as died:
+                if attempt:
+                    raise ReproError(
+                        "sharded service: worker died again while shipping "
+                        "an update; giving up"
+                    ) from None
+                self._repair(known_dead=died.shard_id)
 
     # ------------------------------------------------------------------
     # Search API
@@ -926,9 +1106,7 @@ class ShardedSearchService:
             kept_ids = gids[order[:kept]]
             kept_dists = dists[order[:kept]]
             r.io.add_random(kept)
-            owner = (
-                np.searchsorted(self._shard_los, kept_ids, side="right") - 1
-            )
+            owner = self._owner_of(kept_ids)
             r.shard_random += np.bincount(owner, minlength=self.n_shards)
             if r.trace is not None:
                 r.trace.add_crossings(kept)

@@ -33,11 +33,29 @@ wave.  Ops:
 ``round``      scan one round for a list of active queries
 ``end``        drop the listed queries' state
 ``reset``      drop *all* query state (coordinator repair/replay)
+``update``     apply one WAL record's delta to the shard (epoch/LSN
+               sequenced, idempotent by LSN — see DESIGN §11)
 ``crash``      ``os._exit(1)`` — test hook for worker-death recovery;
                an int payload ``n`` arms a deferred crash during the
-               n-th subsequent ``round`` op instead (mid-wave death)
+               n-th subsequent ``round`` op instead (mid-wave death),
+               ``{"after_updates": n}`` the same for ``update`` ops
+               (death mid-catch-up)
 ``shutdown``   clean exit
 =============  ======================================================
+
+Live updates (DESIGN §11): an ``update`` payload carries one committed
+WAL record translated into shard terms — for an insert, the store's
+:class:`~repro.storage.inverted_index.InsertPlan` (full-run insertion
+and destination positions) plus the batch's points and owner
+assignment; for a remove, the tombstoned ids.  The worker applies it
+copy-on-write (the shared-memory arrays stay pristine for future
+respawns): old sub-run positions shift by the number of plan entries at
+or before them, owned new entries merge into the sub-runs at their
+plan-given positions, so the shard arrays stay exactly the restriction
+of the coordinator's full index and query waves remain bit-identical to
+single-process execution.  Updates are sequenced by LSN: a record at or
+below the shard's acked LSN is acknowledged but not re-applied, which
+makes coordinator replay after a repair idempotent.
 
 Telemetry piggyback (DESIGN §10): each worker runs its *own*
 :class:`~repro.obs.registry.MetricsRegistry` and :class:`~repro.obs.
@@ -143,6 +161,18 @@ class ShardSearcher:
         # obs-enabled reply path ships deltas of these.
         self.rows_scanned = 0
         self.crossings = 0
+        # Live-update state (DESIGN §11).  Until the first insert update
+        # the shard's point ids are exactly [lo, hi) and local rows are
+        # ``gid - lo``; afterwards ``_gid_of`` maps local row -> global id
+        # and ``_lookup`` (sized to the full index) maps back.  ``alive``
+        # starts as a read-only shared-memory view and is copied on the
+        # first tombstone (copy-on-write keeps the segment pristine for
+        # respawned workers, which catch up by replay instead).
+        self.epoch = 0
+        self.acked_lsn = 0
+        self._gid_of: np.ndarray | None = None
+        self._lookup: np.ndarray | None = None
+        self._owns_alive = False
 
     # -- protocol ops ---------------------------------------------------
 
@@ -169,6 +199,117 @@ class ShardSearcher:
             qid: self._round_one(self.queries[qid], los, his)
             for qid, los, his in requests
         }
+
+    def apply_update(self, delta: dict) -> dict:
+        """Apply one WAL record's shard delta (idempotent by LSN)."""
+        lsn = int(delta["lsn"])
+        applied = False
+        if lsn > self.acked_lsn:
+            if delta["op"] == "insert":
+                self._apply_insert_delta(delta)
+            elif delta["op"] == "remove":
+                self._apply_remove_delta(
+                    np.asarray(delta["gids"], dtype=np.int64)
+                )
+            else:
+                raise ValueError(f"unknown update op {delta['op']!r}")
+            self.acked_lsn = lsn
+            self.epoch = int(delta["epoch"])
+            applied = True
+        return {
+            "shard": self.shard_id,
+            "lsn": self.acked_lsn,
+            "epoch": self.epoch,
+            "points": self.m,
+            "applied": applied,
+        }
+
+    def _apply_insert_delta(self, delta: dict) -> None:
+        """Merge an insert batch's plan into the shard's sub-runs.
+
+        Every worker receives the *full* batch plan plus the owner
+        assignment; it extends its data rows with the points it owns and
+        splices its share of each run in at the plan's positions, while
+        shifting every pre-existing entry's full-run position by the
+        number of plan entries inserted at or before it.
+        """
+        rel = np.asarray(delta["rel"], dtype=np.int64)
+        plan_values = np.asarray(delta["values"], dtype=np.int64)
+        plan_ids = np.asarray(delta["ids"], dtype=np.int64)
+        plan_dest = np.asarray(delta["dest"], dtype=np.int64)
+        points = np.asarray(delta["points"], dtype=np.float64)
+        start = int(delta["batch_start"])
+        owners = np.asarray(delta["owners"], dtype=np.int64)
+        num_funcs, m_batch = plan_values.shape
+        if self._gid_of is None:
+            self._gid_of = np.arange(self.lo, self.hi, dtype=np.int64)
+        # Points this shard now owns (ascending gid order).
+        sel = np.flatnonzero(owners == self.shard_id)
+        new_gids = start + sel
+        m_own = int(sel.size)
+        self.data = np.vstack([self.data, points[sel]])
+        self.alive = np.concatenate(
+            [self.alive, np.ones(m_own, dtype=bool)]
+        )
+        self._owns_alive = True
+        self._gid_of = np.concatenate([self._gid_of, new_gids])
+        m_old = int(self.values.shape[1])
+        m_new = m_old + m_own
+        new_values = np.empty((num_funcs, m_new), dtype=np.int64)
+        new_ids = np.empty((num_funcs, m_new), dtype=np.int64)
+        new_positions = np.empty((num_funcs, m_new), dtype=np.int64)
+        if m_own:
+            own_mask = (owners[plan_ids - start] == self.shard_id)
+            vals_own = plan_values[own_mask].reshape(num_funcs, m_own)
+            gids_own = plan_ids[own_mask].reshape(num_funcs, m_own)
+            dest_own = plan_dest[own_mask].reshape(num_funcs, m_own)
+        for f in range(num_funcs):
+            old_v = self.values[f]
+            # Old entries shift right by the number of batch entries whose
+            # old-run insertion position is <= theirs (ties resolve after
+            # equal-valued old entries, so "<=" is exact).
+            shifted = self.positions[f] + np.searchsorted(
+                rel[f], self.positions[f], side="right"
+            )
+            if m_own:
+                loc = np.searchsorted(
+                    old_v, vals_own[f], side="right"
+                ) + np.arange(m_own, dtype=np.int64)
+                taken = np.zeros(m_new, dtype=bool)
+                taken[loc] = True
+                new_values[f, loc] = vals_own[f]
+                new_values[f, ~taken] = old_v
+                new_ids[f, loc] = gids_own[f]
+                new_ids[f, ~taken] = self.ids[f]
+                new_positions[f, loc] = dest_own[f]
+                new_positions[f, ~taken] = shifted
+            else:
+                new_values[f] = old_v
+                new_ids[f] = self.ids[f]
+                new_positions[f] = shifted
+        self.values = new_values
+        self.ids = new_ids
+        self.positions = new_positions
+        self.m = m_new
+        # Global id -> local row map over the grown index.
+        lookup = np.full(start + m_batch, -1, dtype=np.int64)
+        lookup[self._gid_of] = np.arange(self.m, dtype=np.int64)
+        self._lookup = lookup
+
+    def _apply_remove_delta(self, gids: np.ndarray) -> None:
+        """Tombstone the removed ids this shard owns (copy-on-write)."""
+        if self._lookup is None:
+            owned = gids[(gids >= self.lo) & (gids < self.hi)]
+            local = owned - self.lo
+        else:
+            local = self._lookup[gids]
+            local = local[local >= 0]
+        if local.size == 0:
+            return
+        if not self._owns_alive:
+            self.alive = self.alive.copy()
+            self._owns_alive = True
+        self.alive[local] = False
 
     # -- the per-round shard scan --------------------------------------
 
@@ -258,7 +399,10 @@ class ShardSearcher:
         np.cumsum(seg_lens[:-1], out=offsets[1:])
         idx = np.repeat(flat_base + seg_starts - offsets, seg_lens)
         idx += np.arange(total, dtype=np.int64)
-        sub = self.ids.ravel()[idx] - self.lo  # shard-local point rows
+        if self._lookup is None:
+            sub = self.ids.ravel()[idx] - self.lo  # shard-local point rows
+        else:
+            sub = self._lookup[self.ids.ravel()[idx]]
         subpos = self.positions.ravel()[idx]
         func_lens = seg_lens[0::2] + seg_lens[1::2]
         bounds = np.empty(eta + 1, dtype=np.int64)
@@ -289,7 +433,10 @@ class ShardSearcher:
             cross_func = np.searchsorted(bounds, elems, side="right") - 1
             cross_pos = subpos[elems]
             dists = lp_distance(self.data[cross_local], q.query, q.p)
-            gids = cross_local + self.lo
+            if self._gid_of is None:
+                gids = cross_local + self.lo
+            else:
+                gids = self._gid_of[cross_local]
         else:
             gids = cross_func = cross_pos = _EMPTY_I64
             dists = _EMPTY_F64
@@ -362,6 +509,7 @@ def worker_main(conn, spec: ShardSpec) -> None:
     shipped_rows = 0
     shipped_crossings = 0
     crash_in_rounds: int | None = None  # armed mid-wave crash countdown
+    crash_in_updates: int | None = None  # armed mid-catch-up crash countdown
     while True:
         try:
             op_id, op, payload = conn.recv()
@@ -416,8 +564,17 @@ def worker_main(conn, spec: ShardSpec) -> None:
             elif op == "reset":
                 searcher.reset()
                 result = None
+            elif op == "update":
+                if crash_in_updates is not None:
+                    crash_in_updates -= 1
+                    if crash_in_updates <= 0:
+                        os._exit(1)
+                result = searcher.apply_update(payload)
             elif op == "crash":
-                if isinstance(payload, int) and payload > 0:
+                if isinstance(payload, dict) and payload.get("after_updates"):
+                    crash_in_updates = int(payload["after_updates"])
+                    result = None
+                elif isinstance(payload, int) and payload > 0:
                     crash_in_rounds = payload
                     result = None
                 else:

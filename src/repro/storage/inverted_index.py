@@ -25,12 +25,41 @@ per-page Python loop.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro._typing import IdArray
 from repro.errors import InvalidParameterError
 from repro.storage.io_stats import IOStats
 from repro.storage.pages import PageLayout, PageTracker
+
+
+@dataclass(frozen=True)
+class InsertPlan:
+    """Where an :meth:`InvertedListStore.insert` batch landed, per run.
+
+    All matrices have shape ``(num_functions, m)``; row ``f`` is sorted
+    by hash value (ties in original batch order, matching the store's
+    stable per-function batch sort).
+
+    ``rel_positions[f, r]`` is the ``side="right"`` insertion position of
+    entry ``r`` in function ``f``'s *old* run — every old entry at
+    position ``p`` therefore shifts right by the count of plan entries
+    with ``rel_positions <= p`` (strictly ``< p`` never occurs at equal
+    positions because new entries land after equal-valued old ones).
+    ``dest_positions[f, r] = rel_positions[f, r] + r`` is the entry's
+    final position in the new, ``old_rows + m``-long run.  A replica that
+    holds only a sub-run of each list (a shard worker) can replay this
+    plan and end up bit-identical to a fresh rebuild — the contract the
+    sharded service's live update path relies on (DESIGN §11).
+    """
+
+    values: np.ndarray
+    ids: np.ndarray
+    rel_positions: np.ndarray
+    dest_positions: np.ndarray
+    old_rows: int
 
 #: Composite window-search keys must stay well inside int64; wider value
 #: ranges fall back to a per-function ``searchsorted`` loop.
@@ -550,7 +579,7 @@ class InvertedListStore:
     # Mutation
     # ------------------------------------------------------------------
 
-    def insert(self, hash_values: np.ndarray, ids: np.ndarray) -> None:
+    def insert(self, hash_values: np.ndarray, ids: np.ndarray) -> "InsertPlan":
         """Insert new points into every function's sorted run.
 
         One allocation pass: the destination slot of every old and new
@@ -559,6 +588,10 @@ class InvertedListStore:
         ids are placed into freshly allocated ``(functions, points + m)``
         matrices — instead of reallocating every run twice via per-function
         ``np.insert`` calls.
+
+        Returns an :class:`InsertPlan` recording exactly where every new
+        entry landed, so a replica holding a sub-run of each list (a shard
+        worker) can apply the same placement without re-sorting.
 
         Parameters
         ----------
@@ -585,7 +618,11 @@ class InvertedListStore:
                 f"hash values must be integers, got dtype {hash_values.dtype}"
             )
         if ids.size == 0:
-            return
+            empty = np.empty((self._num_functions, 0), dtype=np.int64)
+            return InsertPlan(
+                values=empty, ids=empty, rel_positions=empty,
+                dest_positions=empty, old_rows=self._num_points,
+            )
         num_funcs = self._num_functions
         n = self._num_points
         m = int(ids.size)
@@ -623,6 +660,13 @@ class InvertedListStore:
         self._rebuild_search_keys()
         self._id_order = None
         self._ids_by_id = None
+        return InsertPlan(
+            values=values,
+            ids=batch_ids,
+            rel_positions=rel_positions,
+            dest_positions=rel_positions + np.arange(m, dtype=np.int64)[None, :],
+            old_rows=n,
+        )
 
     # ------------------------------------------------------------------
     # Diagnostics

@@ -281,6 +281,78 @@ class TestOpsCli:
         assert "cannot scrape" in capsys.readouterr().err
 
 
+class TestDurabilityCommands:
+    def _init_home(self, tmp_path):
+        home = tmp_path / "home"
+        rc = main(
+            [
+                "ingest", str(home),
+                "--init", "synthetic:250x8",
+                "--insert", "synthetic:4x8",
+                "--batches", "2",
+                "--jitter", "0.1",
+                "--mc-samples", "5000",
+                "--seed", "3",
+                "--no-fsync",
+            ]
+        )
+        assert rc == 0
+        return home
+
+    def test_ingest_init_then_update(self, capsys, tmp_path):
+        import json
+
+        home = self._init_home(tmp_path)
+        report = json.loads(capsys.readouterr().out)
+        assert report["initialized"] is True
+        assert report["lsn_after"] == 2
+        assert report["live_points"] == 258
+        rc = main(["ingest", str(home), "--remove", "3,9", "--no-fsync"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["initialized"] is False
+        assert report["recovery"]["replayed_records"] == 2
+        assert report["lsn_after"] == 3
+        assert report["live_points"] == 256
+
+    def test_recover_verify_and_checkpoint(self, capsys, tmp_path):
+        import json
+
+        home = self._init_home(tmp_path)
+        capsys.readouterr()
+        rc = main(["recover", str(home), "--verify", "--checkpoint"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["verified"] is True
+        assert report["recovery"]["last_lsn"] == 2
+        assert "checkpoint-00000000000000000002" in report["checkpoint"]
+
+    def test_serve_wal_applies_log(self, capsys, tmp_path):
+        import json
+
+        home = self._init_home(tmp_path)
+        capsys.readouterr()
+        rc = main(
+            ["serve", "--wal", str(home), "--k", "3", "--shards", "2"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "applied 2 WAL records" in captured.err
+        report = json.loads(captured.out)
+        assert report["service"]["acked_lsn"] == 2
+        assert report["service"]["epoch"] == 2
+
+    def test_serve_requires_index_or_wal(self, capsys):
+        rc = main(["serve"])
+        assert rc == 2
+        assert "index path or --wal" in capsys.readouterr().err
+
+    def test_recover_without_home_errors(self, capsys, tmp_path):
+        rc = main(["recover", str(tmp_path / "missing")])
+        assert rc == 2
+        assert "nothing to recover" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_unknown_dataset(self, capsys, tmp_path):
         rc = main(["build", "imagenet", str(tmp_path / "x.npz")])

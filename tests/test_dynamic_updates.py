@@ -111,6 +111,39 @@ class TestRemove:
         with pytest.raises(InvalidParameterError):
             index.remove([0, 1, 2])
 
+    def test_remove_last_point_message_and_no_mutation(self):
+        data = make_synthetic(4, 4, seed=2)
+        cfg = LazyLSHConfig(
+            c=3.0, p_min=1.0, seed=2, mc_samples=5000, mc_buckets=50
+        )
+        index = LazyLSH(cfg).build(data)
+        index.remove([0, 1, 2])
+        with pytest.raises(
+            InvalidParameterError,
+            match="cannot remove the last remaining point",
+        ):
+            index.remove(3)
+        # The failed call must not have touched the tombstone mask.
+        assert index.num_points == 1
+        assert index._alive[3]
+
+    def test_failed_batch_leaves_index_unmutated(self, dyn_index):
+        # Validation happens before any mutation: a batch mixing valid
+        # ids with an out-of-range id must leave every valid id alive.
+        index, _data = dyn_index
+        alive_before = index._alive.copy()
+        with pytest.raises(
+            InvalidParameterError, match=r"point ids must lie in \[0, 500\)"
+        ):
+            index.remove([10, 11, 10_000])
+        np.testing.assert_array_equal(index._alive, alive_before)
+        assert index.num_points == 500
+        index.remove(99)
+        with pytest.raises(InvalidParameterError, match="already removed"):
+            index.remove([10, 11, 99])
+        assert index._alive[10] and index._alive[11]
+        assert index.num_points == 499
+
     def test_k_validated_against_live_count(self, dyn_index):
         index, data = dyn_index
         index.remove(list(range(100)))

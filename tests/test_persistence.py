@@ -3,9 +3,16 @@
 import numpy as np
 import pytest
 
-from repro import LazyLSH
+from repro import LazyLSH, LazyLSHConfig
+from repro.datasets import make_synthetic
 from repro.errors import IndexNotBuiltError, InvalidParameterError
-from repro.persistence import IndexFormatError, load_index, save_index
+from repro.persistence import (
+    FORMAT_VERSION,
+    IndexFormatError,
+    load_index,
+    read_header,
+    save_index,
+)
 
 
 class TestRoundTrip:
@@ -43,6 +50,65 @@ class TestRoundTrip:
         assert a.point_id == b.point_id
 
 
+class TestTombstoneRoundTrip:
+    @pytest.fixture
+    def mutated_index(self):
+        data = make_synthetic(300, 10, value_range=(0, 200), seed=21)
+        cfg = LazyLSHConfig(
+            c=3.0, p_min=0.7, seed=22, mc_samples=10_000, mc_buckets=60
+        )
+        index = LazyLSH(cfg).build(data)
+        index.remove([4, 9, 250])
+        index.insert(
+            np.random.default_rng(23).uniform(0, 200, size=(6, 10))
+        )
+        return index, data
+
+    def test_live_set_preserved(self, mutated_index, tmp_path):
+        index, _data = mutated_index
+        path = save_index(index, tmp_path / "dyn.npz")
+        restored = load_index(path)
+        assert restored.num_points == index.num_points
+        assert restored.num_rows == index.num_rows
+        np.testing.assert_array_equal(restored._alive, index._alive)
+
+    def test_header_carries_live_count(self, mutated_index, tmp_path):
+        index, _data = mutated_index
+        path = save_index(index, tmp_path / "dyn.npz", wal_lsn=17, wal_epoch=3)
+        header = read_header(path)
+        assert header["format_version"] == FORMAT_VERSION
+        assert header["live_count"] == index.num_points
+        assert header["wal_lsn"] == 17
+        assert header["wal_epoch"] == 3
+
+    def test_knn_identical_after_round_trip(self, mutated_index, tmp_path):
+        index, data = mutated_index
+        path = save_index(index, tmp_path / "dyn.npz")
+        restored = load_index(path)
+        for query in (data[4], data[100], np.full(10, 50.0)):
+            a = index.knn(query, 5, p=1.0)
+            b = restored.knn(query, 5, p=1.0)
+            np.testing.assert_array_equal(a.ids, b.ids)
+            np.testing.assert_array_equal(a.distances, b.distances)
+            assert 4 not in b.ids and 9 not in b.ids
+
+    def test_corrupt_live_count_rejected(self, mutated_index, tmp_path):
+        import json
+
+        index, _data = mutated_index
+        path = save_index(index, tmp_path / "dyn.npz")
+        with np.load(path) as archive:
+            fields = {name: archive[name] for name in archive.files}
+        header = json.loads(fields["header"].tobytes().decode())
+        header["live_count"] = header["live_count"] + 1
+        fields["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        np.savez(path, **fields)
+        with pytest.raises(IndexFormatError, match="live rows"):
+            load_index(path)
+
+
 class TestErrors:
     def test_unbuilt_index_rejected(self, small_config, tmp_path):
         with pytest.raises(IndexNotBuiltError):
@@ -70,5 +136,27 @@ class TestErrors:
             json.dumps(header).encode(), dtype=np.uint8
         )
         np.savez(path, **fields)
-        with pytest.raises(IndexFormatError):
+        with pytest.raises(
+            IndexFormatError,
+            match=r"uses format version 999; this library reads versions",
+        ):
             load_index(path)
+
+    def test_version_1_headers_still_load(self, built_index, tmp_path):
+        import json
+
+        path = save_index(built_index, tmp_path / "index.npz")
+        with np.load(path) as archive:
+            fields = {name: archive[name] for name in archive.files}
+        header = json.loads(fields["header"].tobytes().decode())
+        # Strip the v2 fields to simulate a pre-durability snapshot.
+        header["format_version"] = 1
+        for key in ("wal_lsn", "wal_epoch", "live_count"):
+            header.pop(key, None)
+        fields["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        np.savez(path, **fields)
+        restored = load_index(path)
+        assert restored.num_points == built_index.num_points
+        assert read_header(path)["wal_lsn"] == 0

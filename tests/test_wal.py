@@ -1,0 +1,367 @@
+"""Tests for the durable update plane (repro.durability).
+
+Covers the WAL on-disk format (framing, segmentation, torn-tail
+truncation), the journal-then-apply contract of ``DurableIndex``,
+checkpoint/recovery equivalence, the read-only ``WalFeed`` tail, and
+live propagation of WAL records into the sharded service — which must
+stay bit-identical to a single-process index that applied the same
+records (DESIGN.md section 11).
+"""
+
+import numpy as np
+import pytest
+
+from repro import LazyLSH, LazyLSHConfig
+from repro.datasets import make_synthetic
+from repro.durability import (
+    CHECKPOINT_SUBDIR,
+    WAL_SUBDIR,
+    DurableIndex,
+    RecoveryError,
+    WalCorruptionError,
+    WalFeed,
+    WriteAheadLog,
+    create,
+    latest_checkpoint,
+    list_checkpoints,
+    recover,
+)
+from repro.durability.checkpoint import (
+    _reference_index_from,
+    checkpoint_now,
+    states_identical,
+)
+from repro.durability.wal import list_segments
+from repro.errors import InvalidParameterError, ReproError
+
+CFG = dict(c=3.0, p_min=0.7, seed=41, mc_samples=10_000, mc_buckets=60)
+
+
+def _build(n=240, d=10, seed=40):
+    data = make_synthetic(n, d, value_range=(0, 200), seed=seed)
+    return LazyLSH(LazyLSHConfig(**CFG)).build(data), data
+
+
+def _batch(m, d=10, seed=50):
+    return np.random.default_rng(seed).uniform(0.0, 200.0, size=(m, d))
+
+
+class TestFraming:
+    def test_append_replay_round_trip(self, tmp_path):
+        points = _batch(3)
+        with WriteAheadLog(tmp_path, sync=False) as wal:
+            lsn1 = wal.append_insert(points, np.arange(240, 243))
+            lsn2 = wal.append_remove(np.array([7, 11]))
+            assert (lsn1, lsn2) == (1, 2)
+        with WriteAheadLog(tmp_path, sync=False) as wal:
+            records = list(wal.replay())
+            assert [r.lsn for r in records] == [1, 2]
+            assert [r.op for r in records] == ["insert", "remove"]
+            np.testing.assert_array_equal(records[0].ids, [240, 241, 242])
+            np.testing.assert_array_equal(records[0].points, points)
+            np.testing.assert_array_equal(records[1].ids, [7, 11])
+            assert records[1].points is None
+            assert wal.last_lsn == 2
+
+    def test_segment_rotation_and_partial_replay(self, tmp_path):
+        with WriteAheadLog(tmp_path, sync=False, segment_bytes=256) as wal:
+            for i in range(12):
+                wal.append_insert(_batch(2, seed=i), np.arange(2 * i, 2 * i + 2))
+        segments = list_segments(tmp_path)
+        assert len(segments) > 1
+        assert segments[0][0] == 1  # named by their first LSN
+        with WriteAheadLog(tmp_path, sync=False, segment_bytes=256) as wal:
+            assert [r.lsn for r in wal.replay()] == list(range(1, 13))
+            assert [r.lsn for r in wal.replay(start_lsn=7)] == list(range(8, 13))
+            assert wal.append_remove(np.array([0])) == 13
+
+    def test_fsync_toggle_both_commit(self, tmp_path):
+        for sync, sub in ((True, "a"), (False, "b")):
+            with WriteAheadLog(tmp_path / sub, sync=sync) as wal:
+                wal.append_remove(np.array([1]))
+            with WriteAheadLog(tmp_path / sub, sync=False) as wal:
+                assert wal.last_lsn == 1
+
+
+class TestTornTail:
+    def _write_three(self, directory):
+        with WriteAheadLog(directory, sync=False) as wal:
+            for i in range(3):
+                wal.append_insert(_batch(2, seed=i), np.arange(2 * i, 2 * i + 2))
+
+    def test_garbage_tail_truncated(self, tmp_path):
+        self._write_three(tmp_path)
+        (_, path), = list_segments(tmp_path)
+        clean_size = path.stat().st_size
+        with path.open("ab") as fh:
+            fh.write(b"\x01\x02\x03partial-frame")
+        with WriteAheadLog(tmp_path, sync=False) as wal:
+            assert wal.last_lsn == 3
+            assert wal.torn_bytes_dropped > 0
+            assert path.stat().st_size == clean_size
+            # The log stays appendable after truncation.
+            assert wal.append_remove(np.array([0])) == 4
+
+    def test_corrupt_tail_record_dropped(self, tmp_path):
+        self._write_three(tmp_path)
+        (_, path), = list_segments(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[-3] ^= 0xFF  # flip a byte inside the last record's body
+        path.write_bytes(bytes(raw))
+        with WriteAheadLog(tmp_path, sync=False) as wal:
+            assert wal.last_lsn == 2
+            assert wal.torn_bytes_dropped > 0
+
+    def test_non_tail_corruption_raises(self, tmp_path):
+        with WriteAheadLog(tmp_path, sync=False, segment_bytes=256) as wal:
+            for i in range(12):
+                wal.append_insert(_batch(2, seed=i), np.arange(2 * i, 2 * i + 2))
+        segments = list_segments(tmp_path)
+        assert len(segments) > 2
+        _, victim = segments[0]
+        raw = bytearray(victim.read_bytes())
+        raw[10] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        with pytest.raises(WalCorruptionError):
+            WriteAheadLog(tmp_path, sync=False)
+
+
+class TestDurableIndex:
+    def test_journal_then_apply(self, tmp_path):
+        index, _data = _build()
+        wal = WriteAheadLog(tmp_path, sync=False)
+        durable = DurableIndex(index, wal)
+        seen = []
+        durable.subscribe(seen.append)
+        ids = durable.insert(_batch(4))
+        np.testing.assert_array_equal(ids, np.arange(240, 244))
+        durable.remove([3, 9])
+        durable.close()
+        assert [r.lsn for r in seen] == [1, 2]
+        assert index.num_points == 242
+        with WriteAheadLog(tmp_path, sync=False) as reopened:
+            ops = [(r.op, r.ids.tolist()) for r in reopened.replay()]
+        assert ops == [("insert", [240, 241, 242, 243]), ("remove", [3, 9])]
+
+    def test_validation_failure_writes_nothing(self, tmp_path):
+        index, _data = _build()
+        durable = DurableIndex(index, WriteAheadLog(tmp_path, sync=False))
+        with pytest.raises(InvalidParameterError):
+            durable.remove([5, 10_000])
+        with pytest.raises(InvalidParameterError):
+            durable.insert(np.full((1, 10), np.nan))
+        assert durable.last_lsn == 0
+        assert index.num_points == 240
+        assert index._alive[5]
+        durable.close()
+
+
+@pytest.fixture
+def home(tmp_path):
+    """A durable home with a built index, 3 inserts and 1 remove."""
+    index, data = _build()
+    durable = create(index, tmp_path, sync=False)
+    for i in range(3):
+        durable.insert(_batch(4, seed=60 + i))
+    durable.remove([2, 17, 241])
+    durable.close()
+    return tmp_path, data
+
+
+class TestRecovery:
+    def test_recover_matches_full_replay_reference(self, home):
+        directory, data = home
+        durable, report = recover(directory, sync=False)
+        reference = _reference_index_from(directory)
+        assert states_identical(
+            durable.index, reference, queries=data[:3], k=5
+        )
+        assert report["checkpoint_lsn"] == 0
+        assert report["replayed_records"] == 4
+        assert report["live_points"] == 249
+        durable.close()
+
+    def test_recover_with_torn_tail_uses_acked_prefix(self, home):
+        directory, data = home
+        segments = list_segments(directory / WAL_SUBDIR)
+        with segments[-1][1].open("ab") as fh:
+            fh.write(b"crashed-mid-append")
+        durable, report = recover(directory, sync=False)
+        assert report["torn_tail_bytes_dropped"] > 0
+        assert report["replayed_records"] == 4
+        assert states_identical(
+            durable.index, _reference_index_from(directory), queries=data[:2]
+        )
+        durable.close()
+
+    def test_checkpoint_prunes_and_recovers(self, home):
+        directory, data = home
+        durable, _ = recover(directory, sync=False)
+        checkpoint_now(durable, directory)
+        durable.insert(_batch(2, seed=70))
+        final_lsn = durable.last_lsn
+        expected = durable.index
+        durable.close()
+        recovered, report = recover(directory, sync=False)
+        assert report["checkpoint_lsn"] == 4
+        assert report["replayed_records"] == final_lsn - 4
+        assert states_identical(recovered.index, expected, queries=data[:2])
+        recovered.close()
+        # The pruned log can no longer support a full-history reference.
+        lsns = [lsn for lsn, _ in list_checkpoints(directory / CHECKPOINT_SUBDIR)]
+        assert 0 in lsns and 4 in lsns
+
+    def test_mid_checkpoint_crash_falls_back(self, home):
+        directory, data = home
+        durable, _ = recover(directory, sync=False)
+        path = checkpoint_now(durable, directory)
+        durable.close()
+        # Simulate a crash mid-checkpoint: a half-written tmp- file plus
+        # a truncated (corrupt) newest checkpoint.
+        ckpt_dir = directory / CHECKPOINT_SUBDIR
+        (ckpt_dir / "tmp-checkpoint-00000000000000000099.npz").write_bytes(
+            path.read_bytes()[:100]
+        )
+        good = path.read_bytes()
+        path.write_bytes(good[: len(good) // 2])
+        recovered, report = recover(directory, sync=False)
+        assert report["checkpoint_lsn"] == 0
+        assert [s for s in report["checkpoints_skipped"]]
+        assert recovered.index.num_points == 249
+        recovered.close()
+        # Restore the newest checkpoint: recovery prefers it again.
+        path.write_bytes(good)
+        recovered, report = recover(directory, sync=False)
+        assert report["checkpoint_lsn"] == 4
+        assert report["checkpoints_skipped"] == []
+        recovered.close()
+
+    def test_latest_checkpoint_skips_header_mismatch(self, home):
+        directory, _data = home
+        ckpt_dir = directory / CHECKPOINT_SUBDIR
+        found = latest_checkpoint(ckpt_dir)
+        assert found is not None and found[0] == 0
+        # A checkpoint renamed to claim a later LSN is not trusted.
+        lied = ckpt_dir / "checkpoint-00000000000000000009.npz"
+        lied.write_bytes(found[1].read_bytes())
+        assert latest_checkpoint(ckpt_dir)[0] == 0
+
+    def test_recover_empty_directory_raises(self, tmp_path):
+        with pytest.raises(RecoveryError):
+            recover(tmp_path / "nothing")
+
+    def test_create_refuses_existing_home(self, home):
+        directory, _data = home
+        index, _ = _build()
+        with pytest.raises(InvalidParameterError):
+            create(index, directory, sync=False)
+
+
+class TestWalFeed:
+    def test_poll_is_incremental_and_idempotent(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, sync=False, segment_bytes=256)
+        feed = WalFeed(tmp_path)
+        assert feed.poll() == []
+        for i in range(5):
+            wal.append_insert(_batch(2, seed=i), np.arange(2 * i, 2 * i + 2))
+        first = feed.poll()
+        assert [r.lsn for r in first] == [1, 2, 3, 4, 5]
+        assert feed.poll() == []
+        # New records after rotation are still picked up.
+        for i in range(5, 9):
+            wal.append_insert(_batch(2, seed=i), np.arange(2 * i, 2 * i + 2))
+        assert [r.lsn for r in feed.poll()] == [6, 7, 8, 9]
+        assert feed.lag() == 0
+        wal.close()
+
+    def test_start_lsn_skips_checkpointed_prefix(self, tmp_path):
+        with WriteAheadLog(tmp_path, sync=False) as wal:
+            for i in range(4):
+                wal.append_remove(np.array([i]))
+        feed = WalFeed(tmp_path, start_lsn=2)
+        assert [r.lsn for r in feed.poll()] == [3, 4]
+
+
+class TestLiveServicePropagation:
+    """WAL-fed fleet must answer bit-identically to the writer's index."""
+
+    @staticmethod
+    def _assert_identical(flat, sharded):
+        np.testing.assert_array_equal(flat.ids, sharded.ids)
+        np.testing.assert_array_equal(flat.distances, sharded.distances)
+        assert flat.io.total == sharded.io.total
+        assert flat.rounds == sharded.rounds
+        assert flat.termination == sharded.termination
+
+    def test_fleet_tracks_wal_bit_identically(self, tmp_path):
+        from repro.serve import ShardedSearchService
+
+        writer_index, data = _build()
+        writer = create(writer_index, tmp_path, sync=False)
+        served_index, _ = _build()  # deterministic twin of the snapshot
+        feed = WalFeed(tmp_path / WAL_SUBDIR)
+        queries = [data[5], data[100], np.full(10, 77.0)]
+        with ShardedSearchService(served_index, n_shards=2) as svc:
+            for q in queries:
+                self._assert_identical(
+                    writer.knn(q, 5, p=1.0), svc.search(q, 5, p=1.0)
+                )
+            # Three update records: insert, remove, insert.
+            writer.insert(_batch(7, seed=80))
+            writer.remove([4, 100])
+            fresh = _batch(4, seed=81)
+            writer.insert(fresh)
+            assert svc.ingest(feed.poll()) == 3
+            assert svc.acked_lsn == 3 and svc.epoch == 3
+            for q in queries + [fresh[0], fresh[3]]:
+                self._assert_identical(
+                    writer.knn(q, 5, p=1.0), svc.search(q, 5, p=1.0)
+                )
+            wal_health = svc.health()["wal"]
+            assert wal_health["acked_lsn"] == 3
+            assert wal_health["extra_points"] == 11
+            # Ingesting the same records again is a no-op (idempotent).
+            assert svc.ingest(feed.poll()) == 0
+        writer.close()
+
+    def test_gap_in_update_stream_rejected(self, tmp_path):
+        from repro.durability.wal import WalRecord
+        from repro.serve import ShardedSearchService
+
+        index, _data = _build()
+        with ShardedSearchService(index, n_shards=2) as svc:
+            record = WalRecord(lsn=5, op="remove", ids=np.array([1]))
+            with pytest.raises(ReproError, match="update gap"):
+                svc.ingest([record])
+
+    def test_respawned_workers_catch_up(self, tmp_path):
+        from repro.serve import ShardedSearchService
+
+        writer_index, data = _build()
+        writer = create(writer_index, tmp_path, sync=False)
+        served_index, _ = _build()
+        feed = WalFeed(tmp_path / WAL_SUBDIR)
+        with ShardedSearchService(served_index, n_shards=2) as svc:
+            writer.insert(_batch(6, seed=90))
+            writer.remove([8])
+            svc.ingest(feed.poll())
+            # Kill a worker after it applied updates: the respawn must
+            # replay the update log before serving again.
+            svc._crash_worker(0)
+            writer.insert(_batch(3, seed=91))
+            svc.ingest(feed.poll())
+            assert svc.restarts >= 1
+            for q in (data[8], data[30], np.full(10, 12.0)):
+                self._assert_identical(
+                    writer.knn(q, 5, p=1.0), svc.search(q, 5, p=1.0)
+                )
+            # Worker dying again *mid-catch-up* restarts the repair.
+            svc._test_kill_during_catchup = 1
+            svc._crash_worker(1)
+            restarts_before = svc.restarts
+            for q in (data[8], np.full(10, 12.0)):
+                self._assert_identical(
+                    writer.knn(q, 5, p=1.0), svc.search(q, 5, p=1.0)
+                )
+            assert svc.restarts > restarts_before
+        writer.close()

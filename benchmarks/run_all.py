@@ -40,6 +40,7 @@ MODULES = [
     "bench_table1_classification",
     "bench_ablation_storage",
     "bench_ablation_all_baselines",
+    "bench_mmap",
 ]
 
 

@@ -69,7 +69,7 @@ from repro.datasets import (
 from repro.errors import ReproError, UnsupportedMetricError
 from repro.eval.harness import ResultTable, Timer
 from repro.obs import Telemetry
-from repro.persistence import load_index, save_index
+from repro.persistence import load_index, mmap_capable, save_index
 
 
 def _parse_p_list(text: str) -> list[float]:
@@ -137,11 +137,11 @@ def cmd_build(args: argparse.Namespace) -> int:
         mc_samples=args.mc_samples,
     )
     index = LazyLSH(config).build(data)
-    path = save_index(index, args.output)
+    path = save_index(index, args.output, format_version=args.format_version)
     print(
         f"built index over {index.num_points} x {index.dimensionality} points: "
         f"eta={index.eta}, {index.index_size_mb():.1f} MB (simulated), "
-        f"saved to {path}"
+        f"saved to {path} (format v{args.format_version or 2})"
     )
     return 0
 
@@ -195,7 +195,8 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 def _run_traced_workload(args: argparse.Namespace) -> tuple[Telemetry, int]:
     """Run the shared ``trace``/``stats`` workload; returns telemetry."""
-    index = load_index(args.index)
+    # trace shares this loader but has no --backend flag; default eager.
+    index = load_index(args.index, backend=getattr(args, "backend", "eager"))
     queries = _workload_queries(index, args)
     metrics = _parse_p_list(args.p)
     telemetry = Telemetry()
@@ -244,7 +245,8 @@ def _run_sharded_workload(
     """The ``stats --shards N`` workload: run through the service."""
     from repro.serve import ShardedSearchService
 
-    index = load_index(args.index)
+    backend = getattr(args, "backend", "eager")
+    index = load_index(args.index, backend=backend)
     queries = _workload_queries(index, args)
     metrics = _parse_p_list(args.p)
     if len(metrics) != 1:
@@ -252,7 +254,10 @@ def _run_sharded_workload(
             "stats --shards answers one metric per wave; pass a single --p"
         )
     telemetry = Telemetry()
-    with ShardedSearchService(index, n_shards=args.shards) as service:
+    attach = "mmap" if backend == "mmap" else "shm"
+    with ShardedSearchService(
+        index, n_shards=args.shards, attach=attach
+    ) as service:
         results = service.search_batch(
             queries, args.k, p=metrics[0], telemetry=telemetry
         )
@@ -325,7 +330,9 @@ def cmd_ingest(args: argparse.Namespace) -> int:
         report["initialized"] = True
         report["points"] = int(index.num_points)
     else:
-        durable, recovery = durability.recover(home, sync=not args.no_fsync)
+        durable, recovery = durability.recover(
+            home, sync=not args.no_fsync, backend=args.backend
+        )
         report["initialized"] = False
         report["recovery"] = recovery
     rng = np.random.default_rng(args.seed)
@@ -348,7 +355,12 @@ def cmd_ingest(args: argparse.Namespace) -> int:
                 records += 1
         if args.checkpoint:
             report["checkpoint"] = str(
-                durability.checkpoint_now(durable, home)
+                durability.checkpoint_now(
+                    durable,
+                    home,
+                    format_version=args.format_version,
+                    compress=not args.no_compress,
+                )
             )
         report.update(
             {
@@ -434,16 +446,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 f"{home} --init <dataset>` first"
             )
         base_lsn, ckpt_path = found
-        index = load_index(ckpt_path)
+        # Old-format checkpoints cannot be mapped; degrade quietly.
+        backend = args.backend if mmap_capable(ckpt_path) else "eager"
+        index = load_index(ckpt_path, backend=backend)
         # Read-only tail of the (possibly live) log: never truncates.
         feed = WalFeed(home / WAL_SUBDIR, start_lsn=base_lsn)
         print(
-            f"serving from {ckpt_path.name} (LSN {base_lsn}), tailing "
-            f"{home / WAL_SUBDIR}",
+            f"serving from {ckpt_path.name} (LSN {base_lsn}, "
+            f"{backend} open), tailing {home / WAL_SUBDIR}",
             file=sys.stderr,
         )
     elif args.index is not None:
-        index = load_index(args.index)
+        index = load_index(args.index, backend=args.backend)
     else:
         raise ReproError("serve needs an index path or --wal <home-dir>")
     queries = _workload_queries(index, args)
@@ -469,6 +483,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 registry=telemetry.registry,
                 sample_rate=args.audit_rate,
             )
+    storage = index.storage_info()
+    if telemetry is not None:
+        registry = telemetry.registry
+        registry.gauge(
+            "lazylsh_store_resident_bytes",
+            "Index bytes held in process RAM (eager arrays + mutable state)",
+        ).set(float(storage["resident_bytes"]))
+        registry.gauge(
+            "lazylsh_store_mapped_bytes",
+            "Index bytes memory-mapped from the v3 file (OS page cache)",
+        ).set(float(storage["mapped_bytes"]))
+        registry.gauge(
+            "lazylsh_store_backend_info",
+            "Storage backend of the serving index (1 = active)",
+        ).set(1.0, backend=storage["backend"])
     timer = Timer()
     try:
         with ShardedSearchService(
@@ -478,6 +507,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             telemetry=telemetry,
             auditor=auditor,
             base_lsn=base_lsn,
+            attach="mmap" if storage["backend"] == "mmap" else "shm",
         ) as service:
             if feed is not None:
                 applied = service.ingest(feed.poll())
@@ -763,6 +793,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--p-min", type=float, default=0.5)
     p_build.add_argument("--mc-samples", type=int, default=50_000)
     p_build.add_argument("--seed", type=int, default=7)
+    p_build.add_argument(
+        "--format-version",
+        type=int,
+        choices=(2, 3),
+        default=None,
+        help="on-disk format: 2 = compressed npz (default), 3 = page-aligned "
+        "binary that `--backend mmap` can open without reading it",
+    )
     p_build.set_defaults(func=cmd_build)
 
     p_query = sub.add_parser("query", help="query a saved index")
@@ -817,6 +855,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run through the sharded service with this many shards and "
         "print the per-shard random-I/O breakdown (0 = single-process)",
     )
+    p_stats.add_argument(
+        "--backend",
+        choices=("eager", "mmap"),
+        default="eager",
+        help="how to open the index: eager loads every array into RAM, "
+        "mmap maps a format-v3 file and pages on demand",
+    )
     p_stats.set_defaults(func=cmd_stats)
 
     p_ingest = sub.add_parser(
@@ -855,6 +900,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint",
         action="store_true",
         help="compact the WAL into a checkpoint after applying updates",
+    )
+    p_ingest.add_argument(
+        "--format-version",
+        type=int,
+        choices=(2, 3),
+        default=None,
+        help="checkpoint format: 2 = compressed npz (default), 3 = "
+        "page-aligned binary for mmap cold starts (needs --checkpoint)",
+    )
+    p_ingest.add_argument(
+        "--no-compress",
+        action="store_true",
+        help="skip zlib on v2 checkpoints (bigger file, faster write)",
+    )
+    p_ingest.add_argument(
+        "--backend",
+        choices=("eager", "mmap"),
+        default="eager",
+        help="how to open the recovered checkpoint (mmap needs a "
+        "format-v3 checkpoint; older ones fall back to eager)",
     )
     p_ingest.add_argument(
         "--no-fsync",
@@ -917,6 +982,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--query-file", default=None, help=".npy file of query vectors"
+    )
+    p_serve.add_argument(
+        "--backend",
+        choices=("eager", "mmap"),
+        default="eager",
+        help="how to open the index: eager loads into RAM and ships shards "
+        "over shared memory; mmap maps a format-v3 file and workers attach "
+        "to the same file in O(1) (a non-v3 --wal checkpoint falls back "
+        "to eager)",
     )
     p_serve.add_argument(
         "--start-method",

@@ -382,6 +382,24 @@ class LazyLSH:
         assert self._store is not None
         return self._store.size_mb()
 
+    def storage_info(self) -> dict:
+        """Open-mode and memory accounting for the whole index.
+
+        Extends :meth:`InvertedListStore.storage_info` with the data
+        matrix and tombstone mask, so health endpoints and the metrics
+        exporter can report how many bytes are resident RAM versus
+        lazily paged file mappings (the mmap backend's whole point).
+        """
+        self._require_built()
+        assert self._store is not None
+        info = self._store.storage_info()
+        for arr in (self._data, self._alive):
+            if isinstance(arr, np.memmap):
+                info["mapped_bytes"] += int(arr.nbytes)
+            elif arr is not None:
+                info["resident_bytes"] += int(arr.nbytes)
+        return info
+
     def metric_params(self, p: float) -> MetricParams:
         """Per-metric parameters, validated against the materialised bank.
 

@@ -44,7 +44,13 @@ from repro.durability.wal import (
     apply_record,
 )
 from repro.errors import InvalidParameterError, ReproError
-from repro.persistence import IndexFormatError, load_index, read_header, save_index
+from repro.persistence import (
+    IndexFormatError,
+    load_index,
+    mmap_capable,
+    read_header,
+    save_index,
+)
 
 _CHECKPOINT_PREFIX = "checkpoint-"
 _CHECKPOINT_TMP_PREFIX = "tmp-checkpoint-"
@@ -92,14 +98,33 @@ def list_checkpoints(directory: str | Path) -> list[tuple[int, Path]]:
 
 
 def write_checkpoint(
-    index, directory: str | Path, *, lsn: int, epoch: int = 0
+    index,
+    directory: str | Path,
+    *,
+    lsn: int,
+    epoch: int = 0,
+    format_version: int | None = None,
+    compress: bool = True,
 ) -> Path:
-    """Atomically snapshot ``index`` as the checkpoint covering ``lsn``."""
+    """Atomically snapshot ``index`` as the checkpoint covering ``lsn``.
+
+    ``format_version=3`` writes the mmap-able binary layout so a later
+    ``recover(..., backend="mmap")`` or worker attach opens in O(1);
+    ``compress=False`` skips zlib on the v2 npz path, trading checkpoint
+    size for write latency on hot WAL-triggered snapshots.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     final = directory / checkpoint_name(lsn)
     tmp = directory / f"{_CHECKPOINT_TMP_PREFIX}{lsn:020d}{_CHECKPOINT_SUFFIX}"
-    save_index(index, tmp, wal_lsn=lsn, wal_epoch=epoch)
+    save_index(
+        index,
+        tmp,
+        wal_lsn=lsn,
+        wal_epoch=epoch,
+        format_version=format_version,
+        compress=compress,
+    )
     # fsync file contents, atomically rename, then fsync the directory so
     # the new name itself survives power loss.
     fd = os.open(tmp, os.O_RDONLY)
@@ -174,12 +199,19 @@ def recover(
     sync: bool = True,
     segment_bytes: int | None = None,
     registry=None,
+    backend: str = "eager",
 ) -> tuple[DurableIndex, dict]:
     """Rebuild the durable index from ``directory`` after a crash.
 
     Returns ``(durable_index, report)`` where ``report`` records what
     recovery did: the checkpoint used, records replayed, torn-tail bytes
     dropped, and checkpoints skipped as corrupt.
+
+    ``backend="mmap"`` opens the checkpoint without reading its pages
+    eagerly (format-v3 checkpoints only) — cold recovery of a large,
+    mostly-checkpointed index starts in milliseconds and pages in on
+    demand.  WAL replay onto a mapped index materialises the mutated
+    arrays in RAM, exactly as live inserts do.
     """
     directory = Path(directory)
     ckpt_dir = directory / CHECKPOINT_SUBDIR
@@ -201,7 +233,10 @@ def recover(
                     f"{path} header LSN {header.get('wal_lsn')} does not "
                     f"match its file name"
                 )
-            index = load_index(path)
+            # Older (npz) checkpoints cannot be mapped — degrade to an
+            # eager load rather than skipping a perfectly good snapshot.
+            use = backend if mmap_capable(path) else "eager"
+            index = load_index(path, backend=use)
         except (IndexFormatError, InvalidParameterError, zipfile.BadZipFile,
                 OSError, ValueError, KeyError) as exc:
             skipped.append(f"{path.name}: {exc}")
@@ -244,6 +279,7 @@ def recover(
     report = {
         "checkpoint": ckpt_path.name,
         "checkpoint_lsn": int(ckpt_lsn),
+        "backend": index.storage_info()["backend"],
         "last_lsn": int(wal.last_lsn),
         "replayed_records": int(replayed),
         "torn_tail_bytes_dropped": int(wal.torn_bytes_dropped),
@@ -259,11 +295,21 @@ def recover(
     return durable, report
 
 
-def checkpoint_now(durable: DurableIndex, directory: str | Path) -> Path:
+def checkpoint_now(
+    durable: DurableIndex,
+    directory: str | Path,
+    *,
+    format_version: int | None = None,
+    compress: bool = True,
+) -> Path:
     """Checkpoint a durable index's home ``directory`` and prune the log."""
     directory = Path(directory)
     path = write_checkpoint(
-        durable.index, directory / CHECKPOINT_SUBDIR, lsn=durable.wal.last_lsn
+        durable.index,
+        directory / CHECKPOINT_SUBDIR,
+        lsn=durable.wal.last_lsn,
+        format_version=format_version,
+        compress=compress,
     )
     durable.wal.truncate_through(durable.wal.last_lsn)
     return path

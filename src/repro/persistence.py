@@ -1,11 +1,16 @@
 """Saving and loading built LazyLSH indexes.
 
 An index is fully determined by its configuration, the indexed data and
-the materialised hash bank (projection vectors + offsets).  ``save_index``
-stores exactly those in one compressed ``.npz``; ``load_index`` restores
-the bank verbatim (no re-drawing — the stored random projections are the
-index) and rebuilds the inverted lists deterministically by re-hashing
-the data, which is cheaper to store than the sorted runs themselves.
+the materialised hash bank (projection vectors + offsets).  Two on-disk
+representations exist:
+
+* the ``.npz`` formats (v1/v2) store exactly those inputs and rebuild the
+  inverted lists deterministically by re-hashing the data on load — small
+  files, linear-time open;
+* the binary v3 format additionally materialises the *sorted runs and
+  search keys* into page-aligned sections behind a fixed superblock, so
+  :func:`load_index` can memory-map the file and answer queries without
+  re-hashing — O(1) open, and the OS page cache becomes the buffer pool.
 
 Format history
 --------------
@@ -18,12 +23,26 @@ Format history
   ``live_count`` (non-tombstoned rows, cross-checked against ``alive``
   on load).  The array payload is unchanged, so version-1 files still
   load — their WAL fields default to zero.
+* **version 3** — raw binary layout (no zip container): a 48-byte
+  superblock (magic ``LZLSHIX3``, version, section count, wal_lsn/epoch,
+  JSON header locator), a section table, the JSON header, then the
+  arrays as 4096-byte-aligned sections — ``data``, ``alive``,
+  ``projections``, ``offsets`` plus the store's sorted runs (``values``,
+  ``ids``) and search-acceleration shadows (``ids32``, ``rel32``,
+  ``row_top``).  Migration: ``save_index(load_index(old), new,
+  format_version=3)`` upgrades any v1/v2 file; v3 files load through
+  either the eager or the mmap backend, v1/v2 only eagerly.
+
+Writers are atomic (tmp file + ``os.replace``), so a reader never
+observes a partially written index.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict
+import os
+import struct
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 import numpy as np
@@ -33,46 +52,60 @@ from repro.core.hashing import StableHashBank
 from repro.core.lazylsh import LazyLSH
 from repro.core.params import ParameterEngine
 from repro.errors import IndexNotBuiltError, InvalidParameterError, ReproError
-from repro.storage.inverted_index import InvertedListStore
+from repro.storage.backend import EagerBackend, MmapBackend, SearchState
+from repro.storage.inverted_index import _TOP_STRIDE, InvertedListStore
 from repro.storage.pages import PageLayout
 
-#: Bumped when the on-disk layout changes incompatibly.
+#: Bumped when the *default* on-disk layout changes incompatibly.
 FORMAT_VERSION = 2
 
+#: The mmap-able binary layout (opt-in via ``format_version=3``).
+MMAP_FORMAT_VERSION = 3
+
 #: Versions :func:`load_index` knows how to read.
-SUPPORTED_FORMAT_VERSIONS = frozenset({1, 2})
+SUPPORTED_FORMAT_VERSIONS = frozenset({1, 2, 3})
+
+#: v3 superblock: magic, version, section count, wal_lsn, wal_epoch,
+#: JSON header offset, JSON header length.
+_V3_MAGIC = b"LZLSHIX3"
+_V3_SUPERBLOCK = struct.Struct("<8sIIQQQQ")
+
+#: v3 section-table entry: name (NUL-padded), numpy dtype string, ndim,
+#: padding, shape[0], shape[1], byte offset, byte length.
+_V3_SECTION = struct.Struct("<16s8sIIQQQQ")
+
+#: Section payloads start on 4096-byte boundaries so ``np.memmap`` views
+#: are page-aligned and a run's simulated pages line up with real pages.
+_V3_ALIGN = 4096
 
 
 class IndexFormatError(ReproError):
     """The file is not a LazyLSH index or uses an incompatible format."""
 
 
-def save_index(
-    index: LazyLSH,
-    path: str | Path,
-    *,
-    wal_lsn: int = 0,
-    wal_epoch: int = 0,
-) -> Path:
-    """Serialise a built index to ``path`` (``.npz`` appended if absent).
+@dataclass(frozen=True)
+class _Section:
+    """One parsed v3 section-table entry."""
 
-    ``wal_lsn``/``wal_epoch`` stamp the snapshot with the write-ahead-log
-    position it covers (zero for a plain manual save); recovery replays
-    only records newer than ``wal_lsn``.  Returns the path written.
-    """
-    if not index.is_built:
-        raise IndexNotBuiltError("cannot save an index that was never built")
+    name: str
+    dtype: np.dtype
+    shape: tuple[int, ...]
+    offset: int
+    nbytes: int
+
+
+def _check_wal_stamp(wal_lsn: int, wal_epoch: int) -> None:
     if wal_lsn < 0 or wal_epoch < 0:
         raise InvalidParameterError(
             f"wal_lsn/wal_epoch must be >= 0, got {wal_lsn}/{wal_epoch}"
         )
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
-    bank = index._bank
-    assert bank is not None
-    header = {
-        "format_version": FORMAT_VERSION,
+
+
+def _index_header(
+    index: LazyLSH, *, format_version: int, wal_lsn: int, wal_epoch: int
+) -> dict:
+    return {
+        "format_version": int(format_version),
         "library": "repro-lazylsh",
         "config": asdict(index.config),
         "rehashing": index.rehashing,
@@ -82,7 +115,51 @@ def save_index(
         "wal_epoch": int(wal_epoch),
         "live_count": int(index._alive.sum()),
     }
-    np.savez_compressed(
+
+
+def save_index(
+    index: LazyLSH,
+    path: str | Path,
+    *,
+    wal_lsn: int = 0,
+    wal_epoch: int = 0,
+    format_version: int | None = None,
+    compress: bool = True,
+) -> Path:
+    """Serialise a built index to ``path`` (``.npz`` appended if absent).
+
+    ``wal_lsn``/``wal_epoch`` stamp the snapshot with the write-ahead-log
+    position it covers (zero for a plain manual save); recovery replays
+    only records newer than ``wal_lsn``.
+
+    ``format_version`` selects the layout: ``2`` (default) writes the
+    compact ``.npz`` snapshot, ``3`` the mmap-able binary layout with the
+    sorted runs materialised.  ``compress=False`` switches the v2 writer
+    from ``np.savez_compressed`` to plain ``np.savez`` — WAL checkpoints
+    on the hot path use it to skip zlib; v3 is never compressed (its
+    sections must stay byte-addressable).  Returns the path written.
+    """
+    if not index.is_built:
+        raise IndexNotBuiltError("cannot save an index that was never built")
+    _check_wal_stamp(wal_lsn, wal_epoch)
+    version = FORMAT_VERSION if format_version is None else int(format_version)
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    if version == MMAP_FORMAT_VERSION:
+        return _save_v3(index, path, wal_lsn=wal_lsn, wal_epoch=wal_epoch)
+    if version != FORMAT_VERSION:
+        raise InvalidParameterError(
+            f"save_index writes format versions {FORMAT_VERSION} and "
+            f"{MMAP_FORMAT_VERSION}, got {version}"
+        )
+    bank = index._bank
+    assert bank is not None
+    header = _index_header(
+        index, format_version=version, wal_lsn=wal_lsn, wal_epoch=wal_epoch
+    )
+    saver = np.savez_compressed if compress else np.savez
+    saver(
         path,
         header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
         data=index.data,
@@ -93,16 +170,199 @@ def save_index(
     return path
 
 
+def _v3_sections(index: LazyLSH) -> list[tuple[str, np.ndarray]]:
+    """The arrays a v3 file materialises, in on-disk order."""
+    store = index._store
+    bank = index._bank
+    assert store is not None and bank is not None
+    sections = [
+        ("data", np.ascontiguousarray(index.data)),
+        ("alive", np.ascontiguousarray(index._alive.astype(bool))),
+        ("projections", np.ascontiguousarray(bank._projections)),
+        ("offsets", np.ascontiguousarray(bank._offsets)),
+        ("values", np.ascontiguousarray(store._values)),
+        ("ids", np.ascontiguousarray(store._ids)),
+    ]
+    if store._rel32 is not None:
+        ids32 = store._ids32_flat
+        if ids32 is None:
+            ids32 = store._ids.ravel().astype(np.int32)
+        sections.extend(
+            [
+                ("ids32", np.ascontiguousarray(ids32)),
+                ("rel32", np.ascontiguousarray(store._rel32)),
+                ("row_top", np.ascontiguousarray(store._row_top)),
+            ]
+        )
+    return sections
+
+
+def _save_v3(
+    index: LazyLSH, path: Path, *, wal_lsn: int, wal_epoch: int
+) -> Path:
+    """Write the page-aligned binary layout atomically (tmp + rename)."""
+    store = index._store
+    assert store is not None
+    header = _index_header(
+        index,
+        format_version=MMAP_FORMAT_VERSION,
+        wal_lsn=wal_lsn,
+        wal_epoch=wal_epoch,
+    )
+    header["v3"] = {
+        "vmin": int(store._vmin),
+        "stride": int(store._stride),
+        "top_per_row": int(store._top_per_row),
+        "top_stride": int(_TOP_STRIDE),
+    }
+    header_bytes = json.dumps(header).encode("utf-8")
+    sections = _v3_sections(index)
+    table_size = len(sections) * _V3_SECTION.size
+    json_offset = _V3_SUPERBLOCK.size + table_size
+    cursor = json_offset + len(header_bytes)
+    placed: list[tuple[str, np.ndarray, int]] = []
+    for name, arr in sections:
+        offset = -(-cursor // _V3_ALIGN) * _V3_ALIGN
+        placed.append((name, arr, offset))
+        cursor = offset + arr.nbytes
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    with open(tmp, "wb") as fh:
+        fh.write(
+            _V3_SUPERBLOCK.pack(
+                _V3_MAGIC,
+                MMAP_FORMAT_VERSION,
+                len(sections),
+                int(wal_lsn),
+                int(wal_epoch),
+                json_offset,
+                len(header_bytes),
+            )
+        )
+        for name, arr, offset in placed:
+            shape = arr.shape if arr.ndim == 2 else (arr.shape[0], 0)
+            fh.write(
+                _V3_SECTION.pack(
+                    name.encode("ascii"),
+                    arr.dtype.str.encode("ascii"),
+                    arr.ndim,
+                    0,
+                    shape[0],
+                    shape[1],
+                    offset,
+                    arr.nbytes,
+                )
+            )
+        fh.write(header_bytes)
+        for _name, arr, offset in placed:
+            fh.write(b"\0" * (offset - fh.tell()))
+            arr.tofile(fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def _is_v3(path: Path) -> bool:
+    """Sniff the v3 magic — format detection never trusts the suffix."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(_V3_MAGIC)) == _V3_MAGIC
+    except OSError:  # pragma: no cover - racing deletion
+        return False
+
+
+def mmap_capable(path: str | Path) -> bool:
+    """True when ``path`` is a format-v3 file that ``backend="mmap"`` can open.
+
+    v1/v2 archives always return False — callers that accept either
+    format (e.g. checkpoint recovery) use this to fall back to an eager
+    load instead of erroring on older snapshots.
+    """
+    path = Path(path)
+    return path.is_file() and _is_v3(path)
+
+
+def _read_v3_layout(path: Path) -> tuple[dict, dict[str, _Section]]:
+    """Parse a v3 file's superblock, section table and JSON header."""
+    file_size = path.stat().st_size
+    with open(path, "rb") as fh:
+        raw = fh.read(_V3_SUPERBLOCK.size)
+        if len(raw) < _V3_SUPERBLOCK.size:
+            raise IndexFormatError(f"{path} is truncated: superblock missing")
+        (
+            magic,
+            _version,
+            n_sections,
+            _wal_lsn,
+            _wal_epoch,
+            json_offset,
+            json_len,
+        ) = _V3_SUPERBLOCK.unpack(raw)
+        if magic != _V3_MAGIC:  # pragma: no cover - callers sniff first
+            raise IndexFormatError(f"{path} is not a v3 LazyLSH index")
+        table = fh.read(n_sections * _V3_SECTION.size)
+        if len(table) < n_sections * _V3_SECTION.size:
+            raise IndexFormatError(f"{path} is truncated: section table missing")
+        fh.seek(json_offset)
+        header_bytes = fh.read(json_len)
+        if len(header_bytes) < json_len:
+            raise IndexFormatError(f"{path} is truncated: header missing")
+    sections: dict[str, _Section] = {}
+    for i in range(n_sections):
+        name_raw, dtype_raw, ndim, _pad, shape0, shape1, offset, nbytes = (
+            _V3_SECTION.unpack_from(table, i * _V3_SECTION.size)
+        )
+        name = name_raw.rstrip(b"\0").decode("ascii")
+        try:
+            dtype = np.dtype(dtype_raw.rstrip(b"\0").decode("ascii"))
+        except TypeError as exc:
+            raise IndexFormatError(
+                f"{path} section {name!r} has a corrupt dtype: {exc}"
+            ) from exc
+        shape = (shape0,) if ndim == 1 else (shape0, shape1)
+        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if expected != nbytes or offset + nbytes > file_size:
+            raise IndexFormatError(
+                f"{path} is truncated or corrupt: section {name!r} claims "
+                f"[{offset}, {offset + nbytes}) of a {file_size}-byte file"
+            )
+        sections[name] = _Section(name, dtype, shape, offset, nbytes)
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise IndexFormatError(f"{path} has a corrupt header: {exc}") from exc
+    return header, sections
+
+
+def _validate_header(path: Path, header: dict) -> None:
+    if header.get("library") != "repro-lazylsh":
+        raise IndexFormatError(f"{path} was not written by save_index")
+    version = header.get("format_version")
+    if version not in SUPPORTED_FORMAT_VERSIONS:
+        supported = sorted(SUPPORTED_FORMAT_VERSIONS)
+        raise IndexFormatError(
+            f"{path} uses format version {version}; this library reads "
+            f"versions {supported}"
+        )
+
+
 def read_header(path: str | Path) -> dict:
     """Parse and validate the JSON header of a saved index.
 
     Cheap relative to a full :func:`load_index` (the arrays are not
-    decompressed beyond the header member); used by checkpoint recovery
+    decompressed or mapped beyond the header); used by checkpoint recovery
     to rank candidate snapshots by their ``wal_lsn`` before loading one.
+    Works on every supported format — v3 files are sniffed by magic.
     """
     path = Path(path)
     if not path.exists():
         raise InvalidParameterError(f"no such index file: {path}")
+    if _is_v3(path):
+        header, _sections = _read_v3_layout(path)
+        _validate_header(path, header)
+        header.setdefault("wal_lsn", 0)
+        header.setdefault("wal_epoch", 0)
+        return header
     try:
         with np.load(path, allow_pickle=False) as archive:
             try:
@@ -117,40 +377,22 @@ def read_header(path: str | Path) -> dict:
         header = json.loads(header_bytes.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise IndexFormatError(f"{path} has a corrupt header: {exc}") from exc
-    if header.get("library") != "repro-lazylsh":
-        raise IndexFormatError(f"{path} was not written by save_index")
-    version = header.get("format_version")
-    if version not in SUPPORTED_FORMAT_VERSIONS:
-        supported = sorted(SUPPORTED_FORMAT_VERSIONS)
-        raise IndexFormatError(
-            f"{path} uses format version {version}; this library reads "
-            f"versions {supported}"
-        )
+    _validate_header(path, header)
     # Version-1 files predate the durability metadata.
     header.setdefault("wal_lsn", 0)
     header.setdefault("wal_epoch", 0)
     return header
 
 
-def load_index(path: str | Path) -> LazyLSH:
-    """Restore an index saved by :func:`save_index`.
-
-    The restored index answers queries identically to the original: the
-    hash bank's random projections are loaded, not re-drawn, and the
-    tombstone (``alive``) mask is restored bit for bit.
-    """
-    path = Path(path)
-    header = read_header(path)
-    with np.load(path, allow_pickle=False) as archive:
-        try:
-            data = archive["data"]
-            alive = archive["alive"]
-            projections = archive["projections"]
-            offsets = archive["offsets"]
-        except KeyError as exc:
-            raise IndexFormatError(
-                f"{path} is missing field {exc}; not a LazyLSH index file"
-            ) from exc
+def _assemble_index(
+    path: Path,
+    header: dict,
+    data: np.ndarray,
+    alive: np.ndarray,
+    projections: np.ndarray,
+    offsets: np.ndarray,
+) -> tuple[LazyLSH, PageLayout]:
+    """Rebuild everything but the store from validated header + arrays."""
     config = LazyLSHConfig(**header["config"])
     index = LazyLSH(config, rehashing=header["rehashing"])
     n, d = data.shape
@@ -164,7 +406,6 @@ def load_index(path: str | Path) -> LazyLSH:
         raise IndexFormatError(
             f"{path} has an alive mask of shape {alive.shape} for n={n} rows"
         )
-    alive = alive.astype(bool)
     stored_live = header.get("live_count")
     if stored_live is not None and int(stored_live) != int(alive.sum()):
         raise IndexFormatError(
@@ -196,6 +437,148 @@ def load_index(path: str | Path) -> LazyLSH:
     bank.offset_upper = float(offsets.max()) if eta else 0.0
     index._bank = bank
     layout = PageLayout(page_size=config.page_size, entry_size=config.entry_size)
+    return index, layout
+
+
+def _mmap_section(path: Path, section: _Section) -> np.ndarray:
+    return np.memmap(
+        path,
+        dtype=section.dtype,
+        mode="r",
+        offset=section.offset,
+        shape=section.shape,
+    )
+
+
+def _load_section(fh, section: _Section) -> np.ndarray:
+    fh.seek(section.offset)
+    count = int(np.prod(section.shape, dtype=np.int64))
+    arr = np.fromfile(fh, dtype=section.dtype, count=count)
+    if arr.size != count:  # pragma: no cover - caught by layout validation
+        raise IndexFormatError(
+            f"{getattr(fh, 'name', '<index file>')} section "
+            f"{section.name!r} truncated"
+        )
+    return arr.reshape(section.shape)
+
+
+def open_v3_arrays(
+    path: str | Path, names: tuple[str, ...] | None = None
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """Memory-map sections of a v3 file without restoring a :class:`LazyLSH`.
+
+    Shard workers use this for O(1) attach: no ``ParameterEngine``, no
+    hash bank — just the header and read-only ``np.memmap`` views of the
+    requested sections (all of them when ``names`` is ``None``).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise InvalidParameterError(f"no such index file: {path}")
+    if not _is_v3(path):
+        raise IndexFormatError(
+            f"{path} is not a format-version-3 index; only v3 files can be "
+            "memory-mapped"
+        )
+    header, sections = _read_v3_layout(path)
+    _validate_header(path, header)
+    if names is not None:
+        missing = [n for n in names if n not in sections]
+        if missing:
+            raise IndexFormatError(
+                f"{path} is missing field {missing[0]!r}; not a LazyLSH "
+                "index file"
+            )
+        sections = {n: sections[n] for n in names}
+    return header, {n: _mmap_section(path, s) for n, s in sections.items()}
+
+
+def _load_v3(path: Path, backend: str) -> LazyLSH:
+    header, sections = _read_v3_layout(path)
+    _validate_header(path, header)
+    for name in ("data", "alive", "projections", "offsets", "values", "ids"):
+        if name not in sections:
+            raise IndexFormatError(
+                f"{path} is missing field {name!r}; not a LazyLSH index file"
+            )
+    if backend == "mmap":
+        arrays = {n: _mmap_section(path, s) for n, s in sections.items()}
+    else:
+        with open(path, "rb") as fh:
+            arrays = {n: _load_section(fh, s) for n, s in sections.items()}
+    data = arrays["data"]
+    # The tombstone mask is mutated in place by ``remove``; always own a
+    # writable RAM copy even when everything else stays mapped.
+    alive = np.array(arrays["alive"], dtype=bool)
+    index, layout = _assemble_index(
+        path, header, data, alive, arrays["projections"], arrays["offsets"]
+    )
+    rel32 = arrays.get("rel32")
+    state = header.get("v3")
+    search = None
+    if rel32 is not None and state is not None:
+        search = SearchState(
+            vmin=int(state["vmin"]),
+            stride=int(state["stride"]),
+            top_per_row=int(state["top_per_row"]),
+        )
+    backend_cls = MmapBackend if backend == "mmap" else EagerBackend
+    store_backend = backend_cls(
+        values=arrays["values"],
+        ids=arrays["ids"],
+        ids32=arrays.get("ids32"),
+        rel32=rel32,
+        row_top=arrays.get("row_top"),
+        search_state=search,
+        source_path=path,
+    )
+    index._store = InvertedListStore.from_backend(store_backend, layout)
+    index._data = data if backend == "mmap" else np.ascontiguousarray(data)
+    index._alive = alive
+    return index
+
+
+def load_index(path: str | Path, *, backend: str = "eager") -> LazyLSH:
+    """Restore an index saved by :func:`save_index`.
+
+    The restored index answers queries identically to the original: the
+    hash bank's random projections are loaded, not re-drawn, and the
+    tombstone (``alive``) mask is restored bit for bit.
+
+    ``backend`` selects how a format-v3 file's arrays are held:
+    ``"eager"`` reads them into RAM, ``"mmap"`` maps them read-only so
+    open cost and resident memory are O(1) in index size.  v1/v2 files
+    only support the eager path (they must re-hash on load).
+    """
+    if backend not in ("eager", "mmap"):
+        raise InvalidParameterError(
+            f"backend must be 'eager' or 'mmap', got {backend!r}"
+        )
+    path = Path(path)
+    header = read_header(path)
+    if _is_v3(path):
+        return _load_v3(path, backend)
+    if backend == "mmap":
+        raise IndexFormatError(
+            f"{path} uses format version {header['format_version']}, which "
+            "cannot be memory-mapped; re-save it with "
+            "save_index(..., format_version=3)"
+        )
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            data = archive["data"]
+            alive = archive["alive"]
+            projections = archive["projections"]
+            offsets = archive["offsets"]
+        except KeyError as exc:
+            raise IndexFormatError(
+                f"{path} is missing field {exc}; not a LazyLSH index file"
+            ) from exc
+    alive = alive.astype(bool)
+    index, layout = _assemble_index(
+        path, header, data, alive, projections, offsets
+    )
+    bank = index._bank
+    assert bank is not None
     index._store = InvertedListStore(bank.hash_points(data), layout)
     index._data = np.ascontiguousarray(data)
     index._alive = alive

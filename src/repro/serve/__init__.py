@@ -17,19 +17,24 @@ benchmark behind ``repro bench-serve``).
 from repro.serve.bench import run_serve_benchmark
 from repro.serve.service import ShardedSearchService, default_shards
 from repro.serve.sharding import (
+    MmapShardSpec,
     ShardSpec,
     attach_shard,
+    open_mmap_shard,
     pack_shard,
     plan_shards,
 )
-from repro.serve.worker import ShardSearcher, worker_main
+from repro.serve.worker import MmapShardSearcher, ShardSearcher, worker_main
 
 __all__ = [
+    "MmapShardSearcher",
+    "MmapShardSpec",
     "ShardSearcher",
     "ShardSpec",
     "ShardedSearchService",
     "attach_shard",
     "default_shards",
+    "open_mmap_shard",
     "pack_shard",
     "plan_shards",
     "run_serve_benchmark",

@@ -72,7 +72,7 @@ from repro.errors import (
 )
 from repro.metrics.lp import validate_p
 from repro.obs.tracer import Span
-from repro.serve.sharding import pack_shard, plan_shards
+from repro.serve.sharding import MmapShardSpec, pack_shard, plan_shards
 from repro.serve.worker import worker_main
 from repro.storage.io_stats import IOStats
 
@@ -242,6 +242,18 @@ class ShardedSearchService:
         checkpoint's ``wal_lsn`` when serving a recovered index);
         :meth:`ingest` expects the next record at ``base_lsn + 1`` and
         silently skips anything at or below it.
+    attach:
+        How workers get their shard: ``"shm"`` (default) packs each
+        shard's sub-runs into a shared-memory segment; ``"mmap"`` skips
+        packing entirely — every worker memory-maps the same format-v3
+        index file read-only (O(1) start, the OS page cache is the
+        shared buffer pool).  ``"mmap"`` needs the index to have been
+        opened from a v3 file (``load_index(..., backend=...)``), or an
+        explicit ``index_path``; results are bit-identical either way.
+    index_path:
+        Path of the v3 file backing ``attach="mmap"``.  Defaults to the
+        file the index was loaded from; required when the index was
+        built in-process.  The file must match the index state exactly.
 
     Use as a context manager (or call :meth:`close`) to release the
     worker processes and shared-memory segments::
@@ -259,11 +271,29 @@ class ShardedSearchService:
         telemetry=None,
         auditor=None,
         base_lsn: int = 0,
+        attach: str = "shm",
+        index_path=None,
     ) -> None:
         if not getattr(index, "is_built", False):
             raise IndexNotBuiltError(
                 "ShardedSearchService needs a built index; call build(data)"
             )
+        if attach not in ("shm", "mmap"):
+            raise InvalidParameterError(
+                f"attach must be 'shm' or 'mmap', got {attach!r}"
+            )
+        self.attach = attach
+        self._index_path = None
+        if attach == "mmap":
+            if index_path is None:
+                index_path = index.store.storage_info().get("source_path")
+            if index_path is None:
+                raise InvalidParameterError(
+                    "attach='mmap' needs an index opened from a format-v3 "
+                    "file (load_index(..., backend='mmap')) or an explicit "
+                    "index_path"
+                )
+            self._index_path = str(index_path)
         self.index = index
         self.ranges = plan_shards(index.num_rows, n_shards)
         self.n_shards = len(self.ranges)
@@ -302,12 +332,21 @@ class ShardedSearchService:
         # health() (never poked from the exporter thread).
         self._last_reply = [0.0] * self.n_shards
         try:
-            for sid, (lo, hi) in enumerate(self.ranges):
-                spec, shm = pack_shard(
-                    sid, lo, hi, index.store, index.data, index._alive
-                )
-                self._specs.append(spec)
-                self._shms.append(shm)
+            if self.attach == "mmap":
+                # Zero-copy: no packing, no segments — every worker maps
+                # the v3 file itself, so startup cost is O(1) in index
+                # size and the only copy is each worker's alive slice.
+                self._specs = [
+                    MmapShardSpec(sid, lo, hi, self._index_path)
+                    for sid, (lo, hi) in enumerate(self.ranges)
+                ]
+            else:
+                for sid, (lo, hi) in enumerate(self.ranges):
+                    spec, shm = pack_shard(
+                        sid, lo, hi, index.store, index.data, index._alive
+                    )
+                    self._specs.append(spec)
+                    self._shms.append(shm)
             for sid in range(self.n_shards):
                 self._spawn(sid)
             self._broadcast("ping")
@@ -378,6 +417,7 @@ class ShardedSearchService:
         """Service-level counters (JSON-serialisable)."""
         return {
             "n_shards": self.n_shards,
+            "attach": self.attach,
             "shard_ranges": [list(r) for r in self.ranges],
             "shard_points": [int(x) for x in self._shard_points],
             "busy_seconds": list(self.busy_seconds),
@@ -406,24 +446,31 @@ class ShardedSearchService:
             alive = bool(proc is not None and proc.is_alive())
             healthy = healthy and alive
             last = self._last_reply[sid]
-            attached = not self._closed and sid < len(self._shms)
-            shards.append(
-                {
-                    "shard": sid,
-                    "alive": alive,
-                    "points": int(self._shard_points[sid]),
-                    "last_heartbeat_age_seconds": (
-                        now - last if last else None
-                    ),
-                    "shm": {
-                        "name": self._specs[sid].shm_name,
-                        "size": (
-                            int(self._shms[sid].size) if attached else 0
-                        ),
-                        "attached": attached,
-                    },
+            entry = {
+                "shard": sid,
+                "alive": alive,
+                "points": int(self._shard_points[sid]),
+                "last_heartbeat_age_seconds": (
+                    now - last if last else None
+                ),
+            }
+            if self.attach == "mmap":
+                entry["mmap"] = {
+                    "path": self._index_path,
+                    "attached": alive,
                 }
-            )
+            else:
+                attached = not self._closed and sid < len(self._shms)
+                entry["shm"] = {
+                    "name": self._specs[sid].shm_name,
+                    "size": (
+                        int(self._shms[sid].size) if attached else 0
+                    ),
+                    "attached": attached,
+                }
+            shards.append(entry)
+        storage = {"attach": self.attach}
+        storage.update(self.index.storage_info())
         return {
             "healthy": bool(healthy),
             "closed": self._closed,
@@ -431,6 +478,7 @@ class ShardedSearchService:
             "restarts": self.restarts,
             "replays": self.replays,
             "queries_served": self.queries_served,
+            "storage": storage,
             "shards": shards,
             "wal": {
                 "epoch": self.epoch,

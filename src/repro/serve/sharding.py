@@ -22,12 +22,19 @@ Shared-memory lifetime rules (see DESIGN.md section 9):
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
 
 import numpy as np
 
 from repro.errors import InvalidParameterError
+
+#: Serialises the Python < 3.13 ``resource_tracker.register`` patch in
+#: :func:`attach_shard`: the patch swaps a process-global attribute, so
+#: two concurrent attaches could otherwise restore the wrong original.
+_TRACKER_PATCH_LOCK = threading.Lock()
 
 
 def plan_shards(n_rows: int, n_shards: int) -> list[tuple[int, int]]:
@@ -67,6 +74,44 @@ class ShardSpec:
     hi: int
     shm_name: str
     arrays: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class MmapShardSpec:
+    """Zero-copy attach: the worker maps the v3 index file itself.
+
+    Nothing is packed or copied — the spec is just the shard's id range
+    plus the path of the format-v3 index file every worker opens
+    read-only (:func:`open_mmap_shard`), which makes worker start O(1)
+    in index size and lets the OS page cache act as the shared buffer
+    pool the shm path emulates with an explicit segment.
+    """
+
+    shard_id: int
+    lo: int
+    hi: int
+    path: str
+
+
+def open_mmap_shard(spec: MmapShardSpec) -> dict:
+    """Open a worker's view of an mmap-attached shard.
+
+    Returns the full-index ``values``/``ids``/``data`` sections as
+    read-only memmaps plus a private, writable RAM copy of the shard's
+    ``alive`` slice (tombstones are per-worker copy-on-write state).
+    """
+    from repro.persistence import open_v3_arrays
+
+    _header, arrays = open_v3_arrays(
+        Path(spec.path), names=("values", "ids", "data", "alive")
+    )
+    alive = np.array(arrays["alive"][spec.lo : spec.hi], dtype=bool)
+    return {
+        "values": arrays["values"],
+        "ids": arrays["ids"],
+        "data": arrays["data"],
+        "alive": alive,
+    }
 
 
 #: Array layout of one shard segment, in packing order.
@@ -130,18 +175,21 @@ def attach_shard(
         # Python < 3.13 has no track= parameter and registers every
         # attach with the (process-tree-wide) resource tracker, which
         # would let a worker's exit clobber the parent's registration.
-        # Suppress the registration for the duration of the attach.
-        original = resource_tracker.register
+        # Suppress the registration for the duration of the attach; the
+        # lock keeps concurrent attaches from racing the save/restore of
+        # the process-global attribute.
+        with _TRACKER_PATCH_LOCK:
+            original = resource_tracker.register
 
-        def _skip(name: str, rtype: str) -> None:
-            if rtype != "shared_memory":  # pragma: no cover
-                original(name, rtype)
+            def _skip(name: str, rtype: str) -> None:
+                if rtype != "shared_memory":  # pragma: no cover
+                    original(name, rtype)
 
-        resource_tracker.register = _skip
-        try:
-            shm = shared_memory.SharedMemory(name=spec.shm_name)
-        finally:
-            resource_tracker.register = original
+            resource_tracker.register = _skip
+            try:
+                shm = shared_memory.SharedMemory(name=spec.shm_name)
+            finally:
+                resource_tracker.register = original
     arrays = {}
     for name, (off, shape, dtype) in spec.arrays.items():
         view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)

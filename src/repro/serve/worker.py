@@ -80,7 +80,12 @@ import numpy as np
 from repro.metrics.lp import lp_distance
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import SpanTracer
-from repro.serve.sharding import ShardSpec, attach_shard
+from repro.serve.sharding import (
+    MmapShardSpec,
+    ShardSpec,
+    attach_shard,
+    open_mmap_shard,
+)
 
 #: Mirrors the engine's dead-row slack sentinel (see repro.core.engine):
 #: rows that can never cross the threshold again.
@@ -471,7 +476,200 @@ class ShardSearcher:
         return lo, hi
 
 
-def worker_main(conn, spec: ShardSpec) -> None:
+class MmapShardSearcher(ShardSearcher):
+    """A shard searcher over the memory-mapped *full* index file.
+
+    Nothing is packed per shard: ``values``/``ids``/``data`` are
+    read-only memmaps of the whole v3 file, shared byte-for-byte with
+    every other worker through the OS page cache.  The per-round window
+    search runs directly on the full runs; the scan then keeps only the
+    entries this shard owns (``lo <= id < hi``).  Because a shard's
+    sub-run preserves full-run order, restricting the full-run ring
+    segments to owned entries yields exactly the entry set, order and
+    extents the shm-packed :class:`ShardSearcher` scans — replies are
+    bit-identical, so the coordinator cannot tell the attach modes apart.
+
+    Live updates mutate shard-private arrays, so the first ``update`` op
+    makes ``worker_main`` swap this searcher for a materialised
+    :class:`ShardSearcher` via :meth:`materialize`; the memmap pages are
+    dropped and the classic copy-on-write delta path takes over.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        lo: int,
+        hi: int,
+        values: np.ndarray,
+        ids: np.ndarray,
+        data: np.ndarray,
+        alive: np.ndarray,
+    ) -> None:
+        super().__init__(shard_id, lo, hi, values, ids, None, data, alive)
+        # ``open_mmap_shard`` hands each worker a private alive slice.
+        self._owns_alive = True
+        self.num_rows = int(values.shape[1])
+
+    def materialize(self) -> ShardSearcher:
+        """Copy the owned sub-runs into RAM and return a classic searcher.
+
+        The extraction is exactly ``InvertedListStore.shard_view`` (same
+        mask, same flat order), so the materialised worker starts from
+        the same arrays a shm pack would have shipped — the update path
+        stays bit-identical across attach modes.
+        """
+        n = self.num_rows
+        mask = (self.ids >= self.lo) & (self.ids < self.hi)
+        flat = np.flatnonzero(mask.ravel())
+        shape = (self.values.shape[0], self.m)
+        searcher = ShardSearcher(
+            self.shard_id,
+            self.lo,
+            self.hi,
+            np.ascontiguousarray(self.values.ravel()[flat].reshape(shape)),
+            np.ascontiguousarray(self.ids.ravel()[flat].reshape(shape)),
+            np.ascontiguousarray((flat % n).reshape(shape)),
+            np.array(self.data[self.lo : self.hi]),
+            self.alive,
+        )
+        searcher._owns_alive = True
+        searcher.queries = self.queries
+        searcher.rows_scanned = self.rows_scanned
+        searcher.crossings = self.crossings
+        searcher.epoch = self.epoch
+        searcher.acked_lsn = self.acked_lsn
+        return searcher
+
+    def _scan(
+        self,
+        q: _QueryState,
+        left_starts: np.ndarray,
+        left_stops: np.ndarray,
+        right_starts: np.ndarray,
+        right_stops: np.ndarray,
+    ) -> dict:
+        eta = q.eta
+        n = self.num_rows
+        m = self.m
+        seg_starts = np.empty(2 * eta, dtype=np.int64)
+        seg_stops = np.empty(2 * eta, dtype=np.int64)
+        seg_starts[0::2] = left_starts
+        seg_stops[0::2] = left_stops
+        seg_starts[1::2] = right_starts
+        seg_stops[1::2] = right_stops
+        seg_lens = seg_stops - seg_starts
+        total_full = int(seg_lens.sum())
+        l_lo = np.full(eta, -1, dtype=np.int64)
+        l_hi = np.full(eta, -1, dtype=np.int64)
+        r_lo = np.full(eta, -1, dtype=np.int64)
+        r_hi = np.full(eta, -1, dtype=np.int64)
+        if total_full == 0:
+            return {
+                "gids": _EMPTY_I64,
+                "funcs": _EMPTY_I64,
+                "pos": _EMPTY_I64,
+                "dists": _EMPTY_F64,
+                "l_lo": l_lo,
+                "l_hi": l_hi,
+                "r_lo": r_lo,
+                "r_hi": r_hi,
+            }
+        seg_rows = np.repeat(np.arange(eta, dtype=np.int64), 2)
+        offsets = np.empty(2 * eta, dtype=np.int64)
+        offsets[0] = 0
+        np.cumsum(seg_lens[:-1], out=offsets[1:])
+        # Full-run positions of every scanned entry, segment-major: this
+        # gather is the real disk read the simulated charge models.
+        run_pos = np.repeat(seg_starts - offsets, seg_lens)
+        run_pos += np.arange(total_full, dtype=np.int64)
+        flat_idx = run_pos + np.repeat(seg_rows * n, seg_lens)
+        gid_all = self.ids.ravel()[flat_idx]
+        keep = (gid_all >= self.lo) & (gid_all < self.hi)
+        seg_col = np.repeat(np.arange(2 * eta, dtype=np.int64), seg_lens)
+        kept_seg = seg_col[keep]
+        sub = gid_all[keep] - self.lo
+        subpos = run_pos[keep]
+        total = int(sub.size)
+        self.rows_scanned += total
+        # Per-segment owned extents: kept_seg is sorted (segments were
+        # gathered in order) and subpos ascends within each segment, so
+        # the extents are the first/last owned entry of each slice.
+        seg_ids = np.arange(2 * eta, dtype=np.int64)
+        first = np.searchsorted(kept_seg, seg_ids, side="left")
+        last = np.searchsorted(kept_seg, seg_ids, side="right")
+        for i in range(eta):
+            a, b = first[2 * i], last[2 * i]
+            if b > a:
+                l_lo[i] = subpos[a]
+                l_hi[i] = subpos[b - 1]
+            a, b = first[2 * i + 1], last[2 * i + 1]
+            if b > a:
+                r_lo[i] = subpos[a]
+                r_hi[i] = subpos[b - 1]
+        if total == 0:
+            return {
+                "gids": _EMPTY_I64,
+                "funcs": _EMPTY_I64,
+                "pos": _EMPTY_I64,
+                "dists": _EMPTY_F64,
+                "l_lo": l_lo,
+                "l_hi": l_hi,
+                "r_lo": r_lo,
+                "r_hi": r_hi,
+            }
+        func_lens = (last - first)[0::2] + (last - first)[1::2]
+        bounds = np.empty(eta + 1, dtype=np.int64)
+        bounds[0] = 0
+        np.cumsum(func_lens, out=bounds[1:])
+        add = np.bincount(sub, minlength=m)
+        crossers = np.flatnonzero(add > q.slack)
+        if crossers.size:
+            lookup = np.zeros(m, dtype=bool)
+            lookup[crossers] = True
+            pos = np.flatnonzero(lookup[sub])
+            psub = sub[pos]
+            order = np.argsort(psub, kind="stable")
+            sid = psub[order]
+            first_occ = np.empty(sid.size, dtype=bool)
+            first_occ[0] = True
+            np.not_equal(sid[1:], sid[:-1], out=first_occ[1:])
+            group_starts = np.flatnonzero(first_occ)
+            group_idx = np.cumsum(first_occ) - 1
+            rank = np.arange(sid.size, dtype=np.int64) - group_starts[group_idx]
+            hits = rank == q.slack[sid]
+            elems = pos[order[hits]]
+            elems.sort()
+            cross_local = sub[elems]
+            cross_func = np.searchsorted(bounds, elems, side="right") - 1
+            cross_pos = subpos[elems]
+            # Distances come straight off the mapped data rows (global
+            # row index == global id until the first update, which
+            # materialises this searcher away).
+            dists = lp_distance(
+                self.data[cross_local + self.lo], q.query, q.p
+            )
+            gids = cross_local + self.lo
+        else:
+            gids = cross_func = cross_pos = _EMPTY_I64
+            dists = _EMPTY_F64
+            cross_local = _EMPTY_I64
+        self.crossings += int(gids.size)
+        np.subtract(q.slack, add, out=q.slack, casting="unsafe")
+        if cross_local.size:
+            q.slack[cross_local] = _SLACK_DEAD
+        return {
+            "gids": gids,
+            "funcs": cross_func,
+            "pos": cross_pos,
+            "dists": dists,
+            "l_lo": l_lo,
+            "l_hi": l_hi,
+            "r_lo": r_lo,
+            "r_hi": r_hi,
+        }
+
+
+def worker_main(conn, spec: ShardSpec | MmapShardSpec) -> None:
     """Worker process entry point (importable, spawn-safe).
 
     Attaches the shard, then serves ``(op_id, op, payload)`` requests
@@ -480,17 +678,30 @@ def worker_main(conn, spec: ShardSpec) -> None:
     coordinator can report per-shard utilisation.
     """
     try:
-        arrays, shm = attach_shard(spec)
-        searcher = ShardSearcher(
-            spec.shard_id,
-            spec.lo,
-            spec.hi,
-            arrays["values"],
-            arrays["ids"],
-            arrays["positions"],
-            arrays["data"],
-            arrays["alive"],
-        )
+        if isinstance(spec, MmapShardSpec):
+            shm = None
+            arrays = open_mmap_shard(spec)
+            searcher: ShardSearcher = MmapShardSearcher(
+                spec.shard_id,
+                spec.lo,
+                spec.hi,
+                arrays["values"],
+                arrays["ids"],
+                arrays["data"],
+                arrays["alive"],
+            )
+        else:
+            arrays, shm = attach_shard(spec)
+            searcher = ShardSearcher(
+                spec.shard_id,
+                spec.lo,
+                spec.hi,
+                arrays["values"],
+                arrays["ids"],
+                arrays["positions"],
+                arrays["data"],
+                arrays["alive"],
+            )
     except Exception:  # pragma: no cover - attach failures are fatal
         conn.send((-1, "err", traceback.format_exc()))
         return
@@ -569,6 +780,10 @@ def worker_main(conn, spec: ShardSpec) -> None:
                     crash_in_updates -= 1
                     if crash_in_updates <= 0:
                         os._exit(1)
+                if isinstance(searcher, MmapShardSearcher):
+                    # The delta path mutates shard-private arrays; leave
+                    # the read-only mapping behind first.
+                    searcher = searcher.materialize()
                 result = searcher.apply_update(payload)
             elif op == "crash":
                 if isinstance(payload, dict) and payload.get("after_updates"):
@@ -593,4 +808,5 @@ def worker_main(conn, spec: ShardSpec) -> None:
                 conn.send((op_id, "err", traceback.format_exc()))
             except (BrokenPipeError, OSError):  # pragma: no cover
                 break
-    shm.close()
+    if shm is not None:
+        shm.close()

@@ -9,9 +9,17 @@ counts as one *random* I/O.  This package reproduces exactly that model:
 * :mod:`repro.storage.pages` — block-layout arithmetic for fixed-size
   records on 4 KB pages,
 * :mod:`repro.storage.inverted_index` — the per-hash-function sorted
-  ``(hash value, id)`` runs that back virtual/query-centric rehashing.
+  ``(hash value, id)`` runs that back virtual/query-centric rehashing,
+* :mod:`repro.storage.backend` — the eager (in-RAM) and mmap
+  (page-cache-backed) array sources the store can run over.
 """
 
+from repro.storage.backend import (
+    EagerBackend,
+    MmapBackend,
+    SearchState,
+    StorageBackend,
+)
 from repro.storage.inverted_index import InvertedListStore
 from repro.storage.io_stats import IOStats
 from repro.storage.pages import PageLayout, DEFAULT_PAGE_SIZE, DEFAULT_ENTRY_SIZE
@@ -19,7 +27,11 @@ from repro.storage.pages import PageLayout, DEFAULT_PAGE_SIZE, DEFAULT_ENTRY_SIZ
 __all__ = [
     "DEFAULT_ENTRY_SIZE",
     "DEFAULT_PAGE_SIZE",
+    "EagerBackend",
     "IOStats",
     "InvertedListStore",
+    "MmapBackend",
     "PageLayout",
+    "SearchState",
+    "StorageBackend",
 ]

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro._typing import IdArray
 from repro.errors import InvalidParameterError
+from repro.storage.backend import StorageBackend
 from repro.storage.io_stats import IOStats
 from repro.storage.pages import PageLayout, PageTracker
 
@@ -115,10 +116,72 @@ class InvertedListStore:
             np.take_along_axis(hash_values.astype(np.int64), order, axis=1)
         )
         self._rebuild_search_keys()
+        self._backend: StorageBackend | None = None
         self._iota_cache: np.ndarray | None = None
         # Lazy inverse permutation for bucket_of (diagnostics only).
         self._id_order: np.ndarray | None = None
         self._ids_by_id: np.ndarray | None = None
+
+    @classmethod
+    def from_backend(
+        cls, backend: StorageBackend, layout: PageLayout | None = None
+    ) -> "InvertedListStore":
+        """Adopt pre-sorted runs (and search state) from a storage backend.
+
+        Unlike ``__init__``, which sorts the raw hash values and rebuilds
+        the two-level search index, this constructor trusts the backend's
+        arrays verbatim — the v3 saver materialised them from an already
+        consistent store, so opening is O(1) array bookkeeping.  Missing
+        acceleration arrays (old files, wide hash domains) fall back to
+        :meth:`_rebuild_search_keys`.
+        """
+        store = cls.__new__(cls)
+        store.observer = None
+        store._layout = layout or PageLayout()
+        num_functions, num_points = backend.values.shape
+        store._num_functions = int(num_functions)
+        store._num_points = int(num_points)
+        store._values = backend.values
+        store._ids = backend.ids
+        state = backend.search_state
+        if state is None or backend.rel32 is None:  # pragma: no cover
+            store._rebuild_search_keys()
+        else:
+            store._keys = None
+            store._vmin = int(state.vmin)
+            store._stride = int(state.stride)
+            store._top_per_row = int(state.top_per_row)
+            store._rel32 = backend.rel32
+            store._row_top = backend.row_top
+            store._ids32_flat = backend.ids32
+        store._backend = backend
+        store._iota_cache = None
+        store._id_order = None
+        store._ids_by_id = None
+        return store
+
+    @property
+    def backend_kind(self) -> str:
+        """``"eager"`` or ``"mmap"`` — how the run arrays are held."""
+        return "eager" if self._backend is None else self._backend.kind
+
+    def storage_info(self) -> dict:
+        """Open-mode and memory accounting for health/metrics surfaces."""
+        arrays: list[np.ndarray] = [self._values, self._ids]
+        for arr in (self._ids32_flat, self._rel32, self._row_top, self._keys):
+            if arr is not None:
+                arrays.append(arr)
+        resident = sum(
+            a.nbytes for a in arrays if not isinstance(a, np.memmap)
+        )
+        mapped = sum(a.nbytes for a in arrays if isinstance(a, np.memmap))
+        source = None if self._backend is None else self._backend.source_path
+        return {
+            "backend": self.backend_kind,
+            "source_path": None if source is None else str(source),
+            "resident_bytes": int(resident),
+            "mapped_bytes": int(mapped),
+        }
 
     # ------------------------------------------------------------------
     # Flat-layout internals
@@ -292,9 +355,16 @@ class InvertedListStore:
         """:meth:`gather_segments` from a compact int32 id shadow.
 
         The flat engine's block scans are bandwidth-bound streaming reads;
-        halving the entry width halves the traffic.  Point ids always fit
-        int32 (they index the data matrix).
+        halving the entry width halves the traffic.  Point ids index the
+        data matrix, so they fit int32 for any store this engine can hold;
+        the guard below keeps the invariant explicit rather than letting a
+        hypothetical >2**31-point store silently truncate ids.
         """
+        if self._num_points > 2**31 - 1:
+            raise InvalidParameterError(
+                f"int32 id shadow cannot represent {self._num_points} points;"
+                " use gather_segments"
+            )
         idx = self._segment_indices(starts, lens)
         if idx is None:
             return np.empty(0, dtype=np.int32)
@@ -658,6 +728,9 @@ class InvertedListStore:
         self._ids = new_ids.reshape(num_funcs, new_n)
         self._num_points = new_n
         self._rebuild_search_keys()
+        # The fresh runs live in RAM regardless of how the old ones were
+        # held: a previously mmap-backed store materialises on mutation.
+        self._backend = None
         self._id_order = None
         self._ids_by_id = None
         return InsertPlan(

@@ -144,6 +144,103 @@ class TestBucketOf:
         assert tiny_store.bucket_of(1, 5) == 4
 
 
+class TestShardView:
+    def test_full_range_is_whole_store(self, tiny_store):
+        values, ids, positions = tiny_store.shard_view(0, 6)
+        assert np.array_equal(values, tiny_store._values)
+        assert np.array_equal(ids, tiny_store._ids)
+        assert np.array_equal(
+            positions, np.tile(np.arange(6), (2, 1))
+        )
+
+    def test_subrun_preserves_run_order(self, rng):
+        hash_values = rng.integers(-50, 50, size=(3, 40)).astype(np.int64)
+        store = InvertedListStore(hash_values)
+        for lo, hi in [(0, 40), (0, 7), (13, 14), (25, 40)]:
+            values, ids, positions = store.shard_view(lo, hi)
+            assert values.shape == ids.shape == positions.shape == (3, hi - lo)
+            for func in range(3):
+                # Entries come back in full-run order (positions strictly
+                # ascending), with the owned id set exactly once each.
+                assert np.all(np.diff(positions[func]) > 0)
+                assert sorted(ids[func].tolist()) == list(range(lo, hi))
+                assert np.array_equal(
+                    values[func], store._values[func, positions[func]]
+                )
+
+    def test_bounds_validated(self, tiny_store):
+        for lo, hi in [(-1, 3), (3, 3), (4, 2), (0, 7)]:
+            with pytest.raises(InvalidParameterError):
+                tiny_store.shard_view(lo, hi)
+
+
+class _GatherObserver:
+    def __init__(self):
+        self.gathered = 0
+
+    def on_gather(self, count: int) -> None:
+        self.gathered += count
+
+
+class TestGatherSegments:
+    def test_known_segments(self, tiny_store):
+        # Function 0 run ids (sorted by value [1,1,3,5,7,9]): [1,3,5,0,4,2].
+        starts = np.array([0, 3], dtype=np.int64)
+        lens = np.array([2, 1], dtype=np.int64)
+        assert tiny_store.gather_segments(starts, lens).tolist() == [1, 3, 0]
+        assert tiny_store.gather_segments32(starts, lens).tolist() == [1, 3, 0]
+
+    def test_empty_segments_return_empty(self, tiny_store):
+        starts = np.array([2, 5], dtype=np.int64)
+        lens = np.zeros(2, dtype=np.int64)
+        out = tiny_store.gather_segments(starts, lens)
+        assert out.size == 0 and out.dtype == np.int64
+        out32 = tiny_store.gather_segments32(starts, lens)
+        assert out32.size == 0 and out32.dtype == np.int32
+
+    def test_no_segments_at_all(self, tiny_store):
+        empty = np.empty(0, dtype=np.int64)
+        assert tiny_store.gather_segments(empty, empty).size == 0
+        assert tiny_store.gather_segments32(empty, empty).size == 0
+
+    def test_empty_gather_skips_observer(self, tiny_store):
+        observer = _GatherObserver()
+        tiny_store.observer = observer
+        try:
+            tiny_store.gather_segments(
+                np.array([1], dtype=np.int64), np.zeros(1, dtype=np.int64)
+            )
+            assert observer.gathered == 0
+            tiny_store.gather_segments(
+                np.array([1], dtype=np.int64), np.ones(1, dtype=np.int64)
+            )
+            assert observer.gathered == 1
+        finally:
+            tiny_store.observer = None
+
+    def test_gather32_matches_gather(self, rng):
+        hash_values = rng.integers(-30, 30, size=(2, 100)).astype(np.int64)
+        store = InvertedListStore(hash_values)
+        starts = np.array([0, 100, 150], dtype=np.int64)
+        lens = np.array([17, 0, 50], dtype=np.int64)
+        wide = store.gather_segments(starts, lens)
+        narrow = store.gather_segments32(starts, lens)
+        assert narrow.dtype == np.int32
+        assert np.array_equal(wide, narrow.astype(np.int64))
+
+    def test_int32_overflow_guard(self, tiny_store, monkeypatch):
+        monkeypatch.setattr(tiny_store, "_num_points", 2**31)
+        with pytest.raises(InvalidParameterError, match="int32 id shadow"):
+            tiny_store.gather_segments32(
+                np.array([0], dtype=np.int64), np.ones(1, dtype=np.int64)
+            )
+        monkeypatch.undo()
+        # The wide gather has no such limit and still works.
+        assert tiny_store.gather_segments(
+            np.array([0], dtype=np.int64), np.ones(1, dtype=np.int64)
+        ).size == 1
+
+
 class TestLargeStore:
     def test_window_matches_bruteforce(self, rng):
         hash_values = rng.integers(-50, 50, size=(3, 400)).astype(np.int64)

@@ -1,0 +1,302 @@
+"""Tests for the zero-copy mmap storage backend (DESIGN.md section 12).
+
+Covers the format-v3 binary layout (round trip, header, corruption
+errors), the eager/mmap open modes of ``load_index`` — which must answer
+every query bit-identically — the sharded service's mmap attach at 1, 2
+and 4 shards (including an all-tombstoned shard), WAL ingest against a
+mapped fleet (materialise-on-update), and v3 checkpoint/recovery.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LazyLSH, LazyLSHConfig
+from repro.datasets import make_synthetic
+from repro.durability import WAL_SUBDIR, WalFeed, create, recover
+from repro.durability.checkpoint import checkpoint_now, states_identical
+from repro.errors import InvalidParameterError
+from repro.persistence import (
+    IndexFormatError,
+    load_index,
+    mmap_capable,
+    open_v3_arrays,
+    read_header,
+    save_index,
+)
+
+CFG = dict(c=3.0, p_min=0.7, seed=43, mc_samples=10_000, mc_buckets=60)
+TOMBSTONES = [3, 77, 150, 299]
+
+
+def _build(n=300, d=10, seed=44):
+    data = make_synthetic(n, d, value_range=(0, 200), seed=seed)
+    return LazyLSH(LazyLSHConfig(**CFG)).build(data), data
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """A built index with a few tombstones, plus its data."""
+    index, data = _build()
+    index.remove(TOMBSTONES)
+    return index, data
+
+
+@pytest.fixture(scope="module")
+def v3_path(corpus, tmp_path_factory):
+    index, _ = corpus
+    path = tmp_path_factory.mktemp("v3") / "idx.npz"
+    return save_index(index, path, wal_lsn=9, wal_epoch=2, format_version=3)
+
+
+def _queries(data):
+    return [data[0], data[123], np.full(data.shape[1], 99.0)]
+
+
+def _assert_identical(a, b):
+    np.testing.assert_array_equal(a.ids, b.ids)
+    np.testing.assert_array_equal(a.distances, b.distances)
+    assert a.io.sequential == b.io.sequential
+    assert a.io.random == b.io.random
+    assert a.rounds == b.rounds
+    assert a.candidates == b.candidates
+    assert a.termination == b.termination
+
+
+class TestV3RoundTrip:
+    def test_eager_and_mmap_bit_identical(self, corpus, v3_path):
+        index, data = corpus
+        eager = load_index(v3_path)
+        mapped = load_index(v3_path, backend="mmap")
+        for q in _queries(data):
+            for p in (0.7, 1.0):
+                original = index.knn(q, 5, p=p)
+                _assert_identical(original, eager.knn(q, 5, p=p))
+                _assert_identical(original, mapped.knn(q, 5, p=p))
+
+    def test_backend_kind_and_storage_info(self, v3_path):
+        eager = load_index(v3_path)
+        info = eager.storage_info()
+        assert info["backend"] == "eager"
+        assert info["mapped_bytes"] == 0
+        assert info["resident_bytes"] > 0
+        mapped = load_index(v3_path, backend="mmap")
+        info = mapped.storage_info()
+        assert info["backend"] == "mmap"
+        assert info["mapped_bytes"] > 0
+        assert info["source_path"] == str(v3_path)
+        # Mutable state (alive mask) stays resident even when mapped.
+        assert 0 < info["resident_bytes"] < info["mapped_bytes"]
+
+    def test_read_header_v3(self, v3_path):
+        header = read_header(v3_path)
+        assert header["format_version"] == 3
+        assert header["wal_lsn"] == 9
+        assert header["wal_epoch"] == 2
+        assert header["live_count"] == 300 - len(TOMBSTONES)
+
+    def test_mmap_capable(self, v3_path, tmp_path, corpus):
+        assert mmap_capable(v3_path)
+        index, _ = corpus
+        v2 = save_index(index, tmp_path / "v2.npz")
+        assert not mmap_capable(v2)
+        assert not mmap_capable(tmp_path / "missing.npz")
+
+    def test_open_v3_arrays(self, corpus, v3_path):
+        index, _ = corpus
+        header, arrays = open_v3_arrays(v3_path, names=("values", "ids"))
+        assert header["format_version"] == 3
+        assert np.array_equal(arrays["values"], index.store._values)
+        assert np.array_equal(arrays["ids"], index.store._ids)
+
+    def test_insert_materialises_mmap_index(self, corpus, v3_path):
+        _, data = corpus
+        mapped = load_index(v3_path, backend="mmap")
+        twin = load_index(v3_path)
+        assert mapped.store.backend_kind == "mmap"
+        batch = make_synthetic(5, data.shape[1], value_range=(0, 200), seed=9)
+        mapped.insert(batch)
+        twin.insert(batch)
+        assert mapped.store.backend_kind == "eager"
+        for q in (_queries(data)[0], batch[2]):
+            _assert_identical(twin.knn(q, 5, p=1.0), mapped.knn(q, 5, p=1.0))
+
+    def test_remove_on_mmap_index(self, corpus, v3_path):
+        _, data = corpus
+        mapped = load_index(v3_path, backend="mmap")
+        twin = load_index(v3_path)
+        mapped.remove([10, 20])
+        twin.remove([10, 20])
+        for q in _queries(data):
+            _assert_identical(twin.knn(q, 5, p=1.0), mapped.knn(q, 5, p=1.0))
+
+    def test_uncompressed_v2_round_trip(self, corpus, tmp_path):
+        index, data = corpus
+        plain = save_index(index, tmp_path / "plain.npz", compress=False)
+        packed = save_index(index, tmp_path / "packed.npz", compress=True)
+        assert plain.stat().st_size > packed.stat().st_size
+        restored = load_index(plain)
+        for q in _queries(data)[:1]:
+            _assert_identical(index.knn(q, 5, p=1.0), restored.knn(q, 5, p=1.0))
+
+
+class TestErrors:
+    def test_mmap_rejected_for_v2(self, corpus, tmp_path):
+        index, _ = corpus
+        path = save_index(index, tmp_path / "old.npz")
+        with pytest.raises(IndexFormatError, match="cannot be memory-mapped"):
+            load_index(path, backend="mmap")
+
+    def test_unknown_backend_rejected(self, v3_path):
+        with pytest.raises(InvalidParameterError, match="backend"):
+            load_index(v3_path, backend="zram")
+
+    def test_truncated_v3_rejected(self, v3_path, tmp_path):
+        stub = tmp_path / "torn.npz"
+        stub.write_bytes(v3_path.read_bytes()[: v3_path.stat().st_size // 2])
+        with pytest.raises(IndexFormatError, match="truncated or corrupt"):
+            load_index(stub)
+
+    def test_open_v3_arrays_rejects_npz(self, corpus, tmp_path):
+        index, _ = corpus
+        path = save_index(index, tmp_path / "old.npz")
+        with pytest.raises(IndexFormatError, match="only v3"):
+            open_v3_arrays(path)
+
+    def test_unwritable_format_version(self, corpus, tmp_path):
+        index, _ = corpus
+        with pytest.raises(InvalidParameterError, match="format versions"):
+            save_index(index, tmp_path / "x.npz", format_version=1)
+
+
+class TestShardedIdentity:
+    """mmap-attached fleets must answer exactly like shm ones."""
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_shm_vs_mmap_vs_flat(self, corpus, v3_path, n_shards):
+        from repro.serve import ShardedSearchService
+
+        index, data = corpus
+        mapped = load_index(v3_path, backend="mmap")
+        with ShardedSearchService(
+            index, n_shards=n_shards
+        ) as shm_svc, ShardedSearchService(
+            mapped, n_shards=n_shards, attach="mmap"
+        ) as mm_svc:
+            for q in _queries(data):
+                for p in (0.7, 1.0):
+                    flat = index.knn(q, 5, p=p)
+                    _assert_identical(flat, shm_svc.search(q, 5, p=p))
+                    _assert_identical(flat, mm_svc.search(q, 5, p=p))
+            health = mm_svc.health()
+            assert health["storage"]["attach"] == "mmap"
+            assert health["storage"]["backend"] == "mmap"
+            for shard in health["shards"]:
+                assert shard["mmap"]["attached"] is True
+
+    def test_all_tombstoned_shard(self, tmp_path):
+        from repro.serve import ShardedSearchService
+
+        index, data = _build(n=200, seed=46)
+        # With 4 contiguous shards over 200 points, shard 0 owns [0, 50):
+        # tombstone all of it so one worker scans only dead entries.
+        index.remove(np.arange(50))
+        path = save_index(index, tmp_path / "dead.npz", format_version=3)
+        mapped = load_index(path, backend="mmap")
+        with ShardedSearchService(
+            index, n_shards=4
+        ) as shm_svc, ShardedSearchService(
+            mapped, n_shards=4, attach="mmap"
+        ) as mm_svc:
+            for q in (data[0], data[120]):
+                flat = index.knn(q, 5, p=1.0)
+                assert np.all(flat.ids >= 50)
+                _assert_identical(flat, shm_svc.search(q, 5, p=1.0))
+                _assert_identical(flat, mm_svc.search(q, 5, p=1.0))
+
+
+class TestWalIngestMmap:
+    def test_mmap_fleet_tracks_wal_bit_identically(self, tmp_path):
+        from repro.serve import ShardedSearchService
+
+        writer_index, data = _build(n=240, seed=47)
+        path = save_index(
+            writer_index, tmp_path / "snap.npz", format_version=3
+        )
+        writer = create(writer_index, tmp_path / "home", sync=False)
+        mapped = load_index(path, backend="mmap")
+        feed = WalFeed(tmp_path / "home" / WAL_SUBDIR)
+        queries = [data[5], data[100]]
+        try:
+            with ShardedSearchService(
+                mapped, n_shards=2, attach="mmap"
+            ) as svc:
+                for q in queries:
+                    _assert_identical(
+                        writer.knn(q, 5, p=1.0), svc.search(q, 5, p=1.0)
+                    )
+                batch = np.random.default_rng(48).uniform(
+                    0.0, 200.0, size=(7, data.shape[1])
+                )
+                writer.insert(batch)
+                writer.remove([4, 100])
+                assert svc.ingest(feed.poll()) == 2
+                # Workers materialised on the first update; answers must
+                # still match the writer exactly.
+                for q in queries + [batch[0], batch[6]]:
+                    _assert_identical(
+                        writer.knn(q, 5, p=1.0), svc.search(q, 5, p=1.0)
+                    )
+        finally:
+            writer.close()
+
+
+class TestCheckpointRecovery:
+    def test_v3_checkpoint_recovers_on_both_backends(self, tmp_path):
+        index, data = _build(n=220, seed=49)
+        reference, _ = _build(n=220, seed=49)
+        durable = create(index, tmp_path, sync=False)
+        batch = np.random.default_rng(50).uniform(
+            0.0, 200.0, size=(6, data.shape[1])
+        )
+        durable.insert(batch)
+        durable.remove([17])
+        reference.insert(batch)
+        reference.remove([17])
+        ckpt = checkpoint_now(durable, tmp_path, format_version=3)
+        durable.close()
+        assert mmap_capable(ckpt)
+        for backend in ("eager", "mmap"):
+            recovered, report = recover(tmp_path, sync=False, backend=backend)
+            try:
+                assert report["backend"] == backend
+                assert states_identical(
+                    recovered.index, reference, queries=data[:3], k=5
+                )
+            finally:
+                recovered.close()
+
+    def test_mmap_recovery_falls_back_on_v2_checkpoint(self, tmp_path):
+        index, _data = _build(n=200, seed=51)
+        durable = create(index, tmp_path, sync=False)  # v2 LSN-0 checkpoint
+        durable.close()
+        recovered, report = recover(tmp_path, sync=False, backend="mmap")
+        try:
+            assert report["backend"] == "eager"
+        finally:
+            recovered.close()
+
+    def test_uncompressed_checkpoint(self, tmp_path):
+        index, data = _build(n=200, seed=52)
+        reference, _ = _build(n=200, seed=52)
+        durable = create(index, tmp_path, sync=False)
+        durable.remove([5, 6])
+        reference.remove([5, 6])
+        checkpoint_now(durable, tmp_path, compress=False)
+        durable.close()
+        recovered, _report = recover(tmp_path, sync=False)
+        try:
+            assert states_identical(
+                recovered.index, reference, queries=data[:2], k=5
+            )
+        finally:
+            recovered.close()

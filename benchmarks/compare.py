@@ -1,0 +1,279 @@
+"""Diff two sets of ``BENCH_*.json`` artifacts and flag regressions.
+
+The perf benches (``bench_serve``, ``bench_mmap``, ``bench_wal``,
+``bench_batch_knn``) emit machine-readable JSON into
+``benchmarks/results/``.  This tool compares a baseline set against a
+candidate set -- typically an old checkout's results directory against a
+new one -- and reports time / IO / RSS deltas per metric path:
+
+    python benchmarks/compare.py baseline_results/ new_results/ \
+        --threshold 0.25
+
+A metric *regresses* when it moves in the bad direction by more than the
+threshold fraction: lower-is-better metrics (``*_seconds``, ``io``,
+``rss``, fault counts, byte counts) by growing, higher-is-better metrics
+(``queries_per_second``, ``speedup``, ``recall``) by shrinking.  Metrics
+with no known direction (workload descriptors, ids, booleans) are
+compared for drift but never fail the run.  Exit status is 1 when any
+regression is found, 2 on usage errors, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Path components implying "lower is better".
+_LOWER_TOKENS = (
+    "seconds",
+    "wall",
+    "latency",
+    "_kb",
+    "rss",
+    "bytes",
+    "faults",
+    "io",
+    "sequential",
+    "random",
+    "total",
+    "restarts",
+    "replays",
+    "overhead",
+)
+
+#: Path components implying "higher is better".
+_HIGHER_TOKENS = (
+    "queries_per_second",
+    "per_second",
+    "speedup",
+    "efficiency",
+    "recall",
+    "hit",
+)
+
+#: Path components that are workload / configuration descriptors, never
+#: performance signals, even when their names contain a token above
+#: (e.g. ``workload.n_queries``).
+_NEUTRAL_TOKENS = (
+    "workload",
+    "host",
+    "python",
+    "seed",
+    "sizes",
+    "ids",
+    "distances",
+    "eta",
+    "shard_points",
+    "cpu_count",
+)
+
+
+def classify(path: str) -> str | None:
+    """Direction of metric ``path``: ``"lower"``, ``"higher"`` or None."""
+    lowered = path.lower()
+    for token in _NEUTRAL_TOKENS:
+        if token in lowered:
+            return None
+    for token in _HIGHER_TOKENS:
+        if token in lowered:
+            return "higher"
+    for token in _LOWER_TOKENS:
+        if token in lowered:
+            return "lower"
+    return None
+
+
+def flatten(obj: object, prefix: str = "") -> dict[str, float]:
+    """All numeric leaves of a JSON tree as ``{dotted.path: value}``.
+
+    Booleans are excluded (they are identity flags, not metrics); list
+    elements are addressed by index so shard-wise series line up when
+    both runs used the same shard counts.
+    """
+    out: dict[str, float] = {}
+    if isinstance(obj, bool):
+        return out
+    if isinstance(obj, (int, float)):
+        out[prefix or "value"] = float(obj)
+        return out
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten(value, path))
+        return out
+    if isinstance(obj, list):
+        for i, value in enumerate(obj):
+            path = f"{prefix}[{i}]"
+            out.update(flatten(value, path))
+        return out
+    return out
+
+
+@dataclass
+class Delta:
+    """One compared metric between baseline and candidate."""
+
+    file: str
+    path: str
+    baseline: float
+    candidate: float
+    direction: str | None
+    regressed: bool
+
+    @property
+    def pct(self) -> float | None:
+        if self.baseline == 0:
+            return None
+        return (self.candidate - self.baseline) / abs(self.baseline)
+
+
+def compare_docs(
+    name: str,
+    baseline: object,
+    candidate: object,
+    threshold: float,
+) -> list[Delta]:
+    """Deltas for every metric path present in both documents."""
+    base_flat = flatten(baseline)
+    cand_flat = flatten(candidate)
+    deltas = []
+    for path in sorted(base_flat.keys() & cand_flat.keys()):
+        old, new = base_flat[path], cand_flat[path]
+        direction = classify(path)
+        regressed = False
+        if direction is not None and old > 0:
+            change = (new - old) / old
+            if direction == "lower":
+                regressed = change > threshold
+            else:
+                regressed = change < -threshold
+        deltas.append(Delta(name, path, old, new, direction, regressed))
+    return deltas
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def render(deltas: list[Delta], *, show_all: bool) -> str:
+    """A plain-text delta table; regressions are always shown."""
+    lines = []
+    shown = [
+        d
+        for d in deltas
+        if d.regressed or (show_all and d.direction is not None)
+    ]
+    if not shown:
+        return "no regressions (and nothing to show)"
+    width = max(len(f"{d.file}:{d.path}") for d in shown)
+    for d in shown:
+        pct = d.pct
+        pct_text = "   n/a" if pct is None else f"{pct:+7.1%}"
+        flag = "  REGRESSION" if d.regressed else ""
+        lines.append(
+            f"{d.file + ':' + d.path:<{width}}  "
+            f"{_fmt(d.baseline):>14} -> {_fmt(d.candidate):>14}  "
+            f"{pct_text}{flag}"
+        )
+    return "\n".join(lines)
+
+
+def _collect(root: Path) -> dict[str, Path]:
+    """``BENCH_*.json`` files under ``root`` (or ``root`` itself)."""
+    if root.is_file():
+        return {root.name: root}
+    return {path.name: path for path in sorted(root.glob("BENCH_*.json"))}
+
+
+def compare_paths(
+    baseline_root: Path,
+    candidate_root: Path,
+    *,
+    threshold: float,
+    only: list[str] | None = None,
+) -> tuple[list[Delta], list[str]]:
+    """Compare all artifact files two roots have in common.
+
+    Returns the deltas plus the list of artifact names that were present
+    in the baseline but missing from the candidate (reported, not fatal:
+    a quick run legitimately produces fewer artifacts).
+    """
+    base_files = _collect(baseline_root)
+    cand_files = _collect(candidate_root)
+    if only:
+        base_files = {
+            name: path
+            for name, path in base_files.items()
+            if any(token in name for token in only)
+        }
+    deltas: list[Delta] = []
+    missing = []
+    for name, base_path in base_files.items():
+        cand_path = cand_files.get(name)
+        if cand_path is None:
+            missing.append(name)
+            continue
+        base_doc = json.loads(base_path.read_text())
+        cand_doc = json.loads(cand_path.read_text())
+        deltas.extend(compare_docs(name, base_doc, cand_doc, threshold))
+    return deltas, missing
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path, help="baseline results dir or file")
+    parser.add_argument("candidate", type=Path, help="candidate results dir or file")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="regression threshold as a fraction (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="substring filters on artifact file names",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="show every directional metric, not just regressions",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        print("--threshold must be positive", file=sys.stderr)
+        return 2
+    for root in (args.baseline, args.candidate):
+        if not root.exists():
+            print(f"no such path: {root}", file=sys.stderr)
+            return 2
+    deltas, missing = compare_paths(
+        args.baseline,
+        args.candidate,
+        threshold=args.threshold,
+        only=args.only,
+    )
+    if not deltas and not missing:
+        print("no common BENCH_*.json artifacts to compare", file=sys.stderr)
+        return 2
+    print(render(deltas, show_all=args.all))
+    for name in missing:
+        print(f"note: {name} missing from candidate set")
+    regressions = [d for d in deltas if d.regressed]
+    compared_files = {d.file for d in deltas}
+    print(
+        f"\ncompared {len(deltas)} metrics across {len(compared_files)} "
+        f"artifact(s); {len(regressions)} regression(s) at "
+        f"threshold {args.threshold:.0%}"
+    )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,15 @@ CI gate for the observability plane (DESIGN §10).  The script
    :class:`~repro.obs.ObsExporter`;
 3. scrapes ``/metrics`` and ``/healthz`` concurrently *while the wave
    is in flight* (a background scraper thread polls throughout);
-4. measures telemetry overhead as min-of-N wall time with the ops
+4. runs one explicitly traced request with a tiny ``deadline_ms``: the
+   resulting cross-process trace tree (coordinator root, per-shard
+   ``worker.round`` children, merge span) is schema-validated, fetched
+   back over ``/trace/<id>`` and round-tripped through the JSONL
+   export, while the deadline overrun trips a flight-recorder dump;
+5. plants an SLO violation (80% error burst against a 99% objective on
+   a fake clock) and asserts the burn-rate engine raises exactly one
+   alert episode for the whole burst;
+6. measures telemetry overhead as min-of-N wall time with the ops
    plane off vs on over the same worker fleet.
 
 Hard gates (non-zero exit):
@@ -22,10 +30,15 @@ Hard gates (non-zero exit):
 * audited recall@10 >= 0.9 and rolling success rate >= the 1/2 - beta
   bound;
 * every in-flight scrape returned HTTP 200 and a parseable exposition;
+* one reconstructable trace tree covering both shards, served over
+  ``/trace/<id>`` and identical after the JSONL round trip;
+* a flight-recorder bundle dumped for the deadline overrun;
+* exactly one SLO alert episode for the planted violation;
 * telemetry overhead <= 3%.
 
 Artifacts: ``benchmarks/results/obs_smoke.report.json``,
-``obs_smoke.metrics.txt`` and ``obs_smoke.slowlog.json``.
+``obs_smoke.metrics.txt``, ``obs_smoke.slowlog.json`` and
+``obs_smoke.traces.jsonl``.
 """
 
 from __future__ import annotations
@@ -41,11 +54,20 @@ import numpy as np
 from repro.core.config import LazyLSHConfig
 from repro.core.lazylsh import LazyLSH
 from repro.obs import (
+    BurnWindow,
+    FlightRecorder,
     GuaranteeAuditor,
+    MetricsRegistry,
     ObsExporter,
+    SLOEngine,
+    SLOSpec,
     SlowQueryLog,
     Telemetry,
+    TraceContext,
+    TraceStore,
+    build_trace_tree,
     parse_prometheus_text,
+    validate_span_dict,
 )
 from repro.serve import ShardedSearchService
 from repro.serve.bench import _measure_telemetry_overhead
@@ -109,6 +131,43 @@ class Scraper(threading.Thread):
             self.stop_event.wait(0.02)
 
 
+def run_slo_violation_smoke() -> dict:
+    """Planted 80% error burst -> exactly one burn-rate alert episode.
+
+    Runs on a fake clock so the multi-minute windows evaluate
+    instantly; mirrors the default fast (5m/1h, 14.4x) window.
+    """
+    clock = {"now": 1000.0}
+    registry = MetricsRegistry()
+    engine = SLOEngine(registry, clock=lambda: clock["now"])
+    state = {"good": 0.0, "total": 0.0}
+    engine.add(SLOSpec(
+        "smoke_availability",
+        objective=0.99,
+        sli=lambda: (state["good"], state["total"]),
+        windows=(BurnWindow("fast", 300.0, 3600.0, 14.4),),
+    ))
+    # Healthy baseline, then a sustained 80%-error burst.
+    state.update(good=500.0, total=500.0)
+    engine.tick()
+    ticks_alerting = 0
+    for _ in range(5):
+        clock["now"] += 60.0
+        state["total"] += 100.0
+        state["good"] += 20.0
+        report = engine.tick()
+        ticks_alerting += bool(report["alerting"])
+    episodes = registry.get("lazylsh_slo_alerts_total").value(
+        slo="smoke_availability"
+    )
+    return {
+        "alert_episodes": episodes,
+        "ticks_alerting": ticks_alerting,
+        "final_report": report,
+        "single_episode": episodes == 1 and ticks_alerting == 5,
+    }
+
+
 def main() -> int:
     rng = np.random.default_rng(SEED)
     data, queries = make_planted_workload(rng)
@@ -118,19 +177,34 @@ def main() -> int:
     index = LazyLSH(cfg).build(data)
 
     slowlog = SlowQueryLog(capacity=N_QUERIES)  # capture-all
-    telemetry = Telemetry(capture_traces=False, slowlog=slowlog)
+    trace_store = TraceStore(capacity=16)
+    telemetry = Telemetry(
+        capture_traces=False, slowlog=slowlog, trace_store=trace_store
+    )
+    flight = FlightRecorder(
+        registry=telemetry.registry,
+        trace_store=trace_store,
+        slowlog=slowlog,
+        min_interval_seconds=5.0,
+    )
+    telemetry.flight_recorder = flight
     auditor = GuaranteeAuditor(
         index,
         registry=telemetry.registry,
         sample_rate=1.0,
         window=N_QUERIES,
         queue_size=2 * N_QUERIES,
+        flight_recorder=flight,
     )
     with ShardedSearchService(
         index, n_shards=N_SHARDS, telemetry=telemetry, auditor=auditor
     ) as service:
+        flight.health = service.health
         exporter = ObsExporter(
-            telemetry.registry, health=service.health, slowlog=slowlog
+            telemetry.registry,
+            health=service.health,
+            slowlog=slowlog,
+            trace_store=trace_store,
         ).start()
         scraper = Scraper(exporter.url)
         scraper.start()
@@ -138,6 +212,13 @@ def main() -> int:
             t0 = time.perf_counter()
             service.search_batch(queries, K, p=P)
             wave_seconds = time.perf_counter() - t0
+            # One explicitly traced request with an impossible deadline:
+            # yields the cross-process trace tree AND a deadline-overrun
+            # flight dump in a single wave.
+            ctx = TraceContext.new()
+            traced = service.search_batch(
+                queries[:1], K, p=P, trace_context=ctx, deadline_ms=1e-6
+            )
             auditor.drain(timeout=120.0)
             # Final scrape after drain so the written artifact carries
             # the audit gauges (in-flight scrapes already checked 200s).
@@ -149,6 +230,10 @@ def main() -> int:
                 exporter.url + "/slowlog", timeout=5
             ) as fh:
                 slowlog_json = fh.read().decode()
+            with urllib.request.urlopen(
+                f"{exporter.url}/trace/{ctx.trace_id}", timeout=5
+            ) as fh:
+                served_tree = json.loads(fh.read().decode())
         finally:
             scraper.stop_event.set()
             scraper.join(timeout=10.0)
@@ -157,6 +242,40 @@ def main() -> int:
         health = service.health()
 
     audit = auditor.summary()
+
+    # -- trace tree: validate, reconstruct, JSONL round trip ------------
+    spans = trace_store.get(ctx.trace_id) or []
+    for record in spans:
+        validate_span_dict(record)
+    tree = build_trace_tree(spans)
+    roots = tree["roots"]
+    root = roots[0] if roots else {"name": None, "children": []}
+    worker_shards = sorted(
+        child["attributes"].get("shard")
+        for child in root["children"]
+        if child["name"] == "worker.round"
+    )
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    jsonl_path = trace_store.export_jsonl(RESULTS / "obs_smoke.traces.jsonl")
+    reloaded = [
+        json.loads(line)
+        for line in jsonl_path.read_text().splitlines()
+        if json.loads(line)["trace_id"] == ctx.trace_id
+    ]
+    reloaded_tree = build_trace_tree(reloaded)
+    trace_smoke = {
+        "trace_id": ctx.trace_id,
+        "span_count": tree["span_count"],
+        "root": root["name"],
+        "worker_shards": worker_shards,
+        "deadline_exceeded": bool(traced[0].deadline_exceeded),
+        "served_span_count": served_tree.get("span_count"),
+        "jsonl_span_count": reloaded_tree["span_count"],
+    }
+
+    slo_smoke = run_slo_violation_smoke()
+    flight_reasons = [bundle["reason"] for bundle in flight.bundles]
+
     overhead = _measure_telemetry_overhead(
         index, queries, K, P, n_shards=N_SHARDS, start_method=None
     )
@@ -172,13 +291,26 @@ def main() -> int:
         and audit["recall_at_k"] >= MIN_RECALL,
         "success_rate_ok": audit["success_rate"] is not None
         and audit["success_rate"] >= audit["bound"],
-        "all_queries_audited": audit["samples"] == N_QUERIES,
+        # The main wave plus the one traced deadline-probe request.
+        "all_queries_audited": audit["samples"] == N_QUERIES + 1,
         "scrapes_in_flight": scraper.scrapes > 0
         and not scraper.failures,
         "healthy": bool(health["healthy"]),
         "all_shards_labeled": shard_series
         == [str(s) for s in range(N_SHARDS)],
         "slowlog_captured": len(json.loads(slowlog_json)) == N_QUERIES,
+        "trace_tree_ok": len(roots) == 1
+        and root["name"] == "serve.search_batch"
+        and tree["trace_id"] == ctx.trace_id
+        and worker_shards == list(range(N_SHARDS))
+        and "serve.merge" in {c["name"] for c in root["children"]},
+        "trace_endpoint_ok": served_tree.get("span_count")
+        == tree["span_count"]
+        and tree["span_count"] > 0,
+        "trace_jsonl_ok": reloaded_tree["span_count"] == tree["span_count"],
+        "deadline_flagged": bool(traced[0].deadline_exceeded),
+        "flight_dump_ok": "deadline_overrun" in flight_reasons,
+        "slo_single_episode": bool(slo_smoke["single_episode"]),
         "overhead_ok": overhead["overhead_fraction"] is not None
         and overhead["overhead_fraction"] <= MAX_OVERHEAD,
         "overhead_scrape_ok": bool(overhead["scrape_ok"]),
@@ -202,6 +334,12 @@ def main() -> int:
             "failures": scraper.failures,
         },
         "health": health,
+        "trace": trace_smoke,
+        "slo_smoke": {
+            "alert_episodes": slo_smoke["alert_episodes"],
+            "ticks_alerting": slo_smoke["ticks_alerting"],
+        },
+        "flight": {"reasons": flight_reasons, **flight.stats()},
         "telemetry_overhead": overhead,
         "thresholds": {
             "min_recall_at_k": MIN_RECALL,

@@ -8,6 +8,11 @@ paper tables as plain-text files instead of pytest output:
 Each module's ``run()`` is executed and its tables saved to
 ``benchmarks/results/<module>.txt``; failures are reported but do not
 stop the sweep.
+
+Pass ``--baseline DIR`` to diff the machine-readable ``BENCH_*.json``
+artifacts in ``results/`` against a previously saved baseline set after
+the sweep (see ``compare.py``); regressions beyond ``--threshold`` make
+the run exit nonzero.
 """
 
 from __future__ import annotations
@@ -52,6 +57,18 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="substring filters; run only matching modules",
     )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline results dir; diff BENCH_*.json artifacts after the sweep",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="regression threshold fraction for --baseline (default 0.25)",
+    )
     args = parser.parse_args(argv)
     sys.path.insert(0, str(BENCH_DIR))
     results_dir = BENCH_DIR / "results"
@@ -86,6 +103,20 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name}: {exc}", file=sys.stderr)
         return 1
     print(f"all {len(selected)} benchmarks completed; tables in {results_dir}")
+    if args.baseline is not None:
+        import compare
+
+        print(f"\n== comparing {results_dir} against baseline {args.baseline}")
+        code = compare.main(
+            [
+                str(args.baseline),
+                str(results_dir),
+                "--threshold",
+                str(args.threshold),
+            ]
+        )
+        if code != 0:
+            return code
     return 0
 
 

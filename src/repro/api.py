@@ -37,6 +37,26 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.query_trace import QueryTrace
 
 
+def _coerce_trace_context(value: Any) -> Any:
+    """Accept a TraceContext, a ``traceparent`` string, or a dict.
+
+    Imported lazily: ``repro.obs.trace_context`` depends only on
+    ``repro.errors``, so this cannot cycle back into ``repro.api``.
+    """
+    from repro.obs.trace_context import TraceContext
+
+    if isinstance(value, TraceContext):
+        return value
+    if isinstance(value, str):
+        return TraceContext.from_traceparent(value)
+    if isinstance(value, dict):
+        return TraceContext.from_dict(value)
+    raise InvalidParameterError(
+        "trace_context must be a TraceContext, a traceparent string or a "
+        f"dict, got {type(value).__name__}"
+    )
+
+
 @dataclass(frozen=True)
 class SearchRequest:
     """One search, fully specified: query point(s) plus tuning knobs.
@@ -66,6 +86,22 @@ class SearchRequest:
         Execution plan: ``"flat"`` (vectorised, default) or ``"scalar"``
         (reference loop).  The sharded service ignores this and always
         runs its own distributed flat plan.
+    request_id:
+        Optional caller-chosen id echoed back on the result, for log
+        correlation.  Hex string; defaults to None (the serving layer
+        mints one per sampled request).
+    trace_context:
+        Optional :class:`~repro.obs.TraceContext` (or its
+        ``traceparent`` string / dict form) joining this request to a
+        distributed trace.  When sampled, every query path opens its
+        spans under this trace and the sharded service ships it to
+        workers so shard scans appear as child spans (DESIGN §13).
+    deadline_ms:
+        Optional latency budget in milliseconds.  Advisory: the search
+        always runs to completion (results stay bit-identical), but
+        overruns are flagged on the result, counted in
+        ``lazylsh_deadline_overruns_total`` and trip the flight
+        recorder.
     """
 
     query: Any
@@ -75,6 +111,9 @@ class SearchRequest:
     cap: float | None = None
     radius: float | None = None
     engine: str = "flat"
+    request_id: str | None = None
+    trace_context: Any = None
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         if int(self.k) < 1:
@@ -101,6 +140,16 @@ class SearchRequest:
             raise InvalidParameterError(
                 "radius override is only supported for single-metric searches"
             )
+        if self.request_id is not None and not str(self.request_id).strip():
+            raise InvalidParameterError("request_id must be non-empty")
+        if self.trace_context is not None:
+            object.__setattr__(
+                self, "trace_context", _coerce_trace_context(self.trace_context)
+            )
+        if self.deadline_ms is not None and not float(self.deadline_ms) > 0:
+            raise InvalidParameterError(
+                f"deadline_ms must be > 0, got {self.deadline_ms}"
+            )
 
 
 @dataclass
@@ -112,7 +161,11 @@ class SearchResult:
     stopped (``"k_within_radius"`` or ``"candidate_cap"``).  ``trace``
     optionally carries the per-round :class:`~repro.obs.QueryTrace` when
     telemetry was enabled, and ``shard_io`` the per-shard I/O breakdown
-    when the result came from the sharded service.
+    when the result came from the sharded service.  ``request_id`` and
+    ``trace_id`` echo the request's correlation ids when it was traced
+    (``/trace/<trace_id>`` then serves the full span tree);
+    ``deadline_exceeded`` is True when the request carried a
+    ``deadline_ms`` and the search overran it.
     """
 
     ids: IdArray
@@ -125,6 +178,9 @@ class SearchResult:
     termination: str = ""
     trace: "QueryTrace | None" = None
     shard_io: list[IOStats] | None = None
+    request_id: str | None = None
+    trace_id: str | None = None
+    deadline_exceeded: bool = False
 
     def to_dict(self) -> dict:
         """JSON-serialisable form (used by the CLI and the service)."""
@@ -140,6 +196,12 @@ class SearchResult:
         }
         if self.shard_io is not None:
             record["shard_io"] = [s.to_dict() for s in self.shard_io]
+        if self.request_id is not None:
+            record["request_id"] = self.request_id
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+        if self.deadline_exceeded:
+            record["deadline_exceeded"] = True
         return record
 
 

@@ -425,7 +425,20 @@ def cmd_recover(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.obs import GuaranteeAuditor, ObsExporter, SlowQueryLog
+    from repro.obs import (
+        FlightRecorder,
+        GuaranteeAuditor,
+        ObsExporter,
+        PagingMetrics,
+        SLOEngine,
+        SLOSpec,
+        SlowQueryLog,
+        TraceStore,
+        counter_ratio_sli,
+        error_rate_sli,
+        latency_sli,
+    )
+    from repro.obs.telemetry import LATENCY_BUCKETS
     from repro.serve import ShardedSearchService
 
     feed = None
@@ -469,6 +482,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
     ops_plane = args.metrics_port is not None
     telemetry = auditor = exporter = slowlog = None
+    trace_store = flight = slo = paging = None
     if ops_plane:
         slowlog = SlowQueryLog(
             capacity=128,
@@ -476,13 +490,80 @@ def cmd_serve(args: argparse.Namespace) -> int:
             if args.slow_ms
             else None,
         )
-        telemetry = Telemetry(capture_traces=False, slowlog=slowlog)
+        trace_store = TraceStore(capacity=64)
+        telemetry = Telemetry(
+            capture_traces=False,
+            slowlog=slowlog,
+            trace_store=trace_store,
+            trace_sample=args.trace_sample,
+        )
+        flight = FlightRecorder(
+            registry=telemetry.registry,
+            trace_store=trace_store,
+            slowlog=slowlog,
+            dump_dir=args.flight_dir,
+        )
+        telemetry.flight_recorder = flight
         if args.audit_rate > 0:
             auditor = GuaranteeAuditor(
                 index,
                 registry=telemetry.registry,
                 sample_rate=args.audit_rate,
+                flight_recorder=flight,
             )
+        slo = SLOEngine(telemetry.registry)
+        if args.slo_latency_ms > 0:
+            threshold = args.slo_latency_ms / 1e3
+            if threshold not in LATENCY_BUCKETS:
+                allowed = ", ".join(f"{b * 1e3:g}" for b in LATENCY_BUCKETS)
+                raise ReproError(
+                    f"--slo-latency-ms must be a histogram bucket bound "
+                    f"(one of {allowed} ms), got {args.slo_latency_ms:g}"
+                )
+            slo.add(SLOSpec(
+                "latency",
+                objective=args.slo_objective,
+                sli=latency_sli(
+                    telemetry.registry.histogram(
+                        "lazylsh_query_latency_seconds",
+                        "Wall-clock query latency",
+                        buckets=LATENCY_BUCKETS,
+                    ),
+                    threshold,
+                ),
+                description=f"queries under {args.slo_latency_ms:g} ms",
+            ))
+        if auditor is not None:
+            slo.add(SLOSpec(
+                "recall_guarantee",
+                objective=max(0.05, min(0.95, auditor.bound)),
+                sli=counter_ratio_sli(
+                    telemetry.registry.counter(
+                        "lazylsh_audit_successes_total",
+                        "Audited queries meeting the Theorem-1 bound",
+                    ),
+                    telemetry.registry.counter(
+                        "lazylsh_audit_samples_total",
+                        "Queries audited by linear scan",
+                    ),
+                ),
+                description="audited queries meeting the Theorem-1 bound",
+            ))
+        slo.add(SLOSpec(
+            "wave_replays",
+            objective=0.95,
+            sli=error_rate_sli(
+                telemetry.registry.counter(
+                    "lazylsh_wave_replays_total",
+                    "Query waves replayed after worker repair",
+                ),
+                telemetry.registry.counter(
+                    "lazylsh_queries_total", "Queries served"
+                ),
+            ),
+            description="queries answered without a wave replay",
+        ))
+        paging = PagingMetrics(telemetry.registry)
     storage = index.storage_info()
     if telemetry is not None:
         registry = telemetry.registry
@@ -518,14 +599,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
                         file=sys.stderr,
                     )
             if ops_plane:
+                flight.health = service.health
                 exporter = ObsExporter(
                     telemetry.registry,
                     health=service.health,
                     slowlog=slowlog,
+                    trace_store=trace_store,
+                    slo=slo,
                     port=args.metrics_port,
                 ).start()
                 print(f"ops endpoints: {exporter.url}/metrics "
-                      f"{exporter.url}/healthz {exporter.url}/slowlog",
+                      f"{exporter.url}/healthz {exporter.url}/slowlog "
+                      f"{exporter.url}/trace",
                       file=sys.stderr)
             with timer:
                 results = service.search_batch(queries, args.k, p=metrics[0])
@@ -540,6 +625,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
             }
             if auditor is not None:
                 report["audit"] = auditor.summary()
+            if ops_plane:
+                report["paging"] = paging.update(
+                    stores=index.mapped_regions()
+                )
+                report["slo"] = slo.tick()
+                report["flight"] = flight.stats()
+                report["traces"] = trace_store.stats()
             if args.linger:
                 print(
                     f"serving ops endpoints for {args.linger:g}s "
@@ -557,10 +649,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                     f"(now at LSN {service.acked_lsn})",
                                     file=sys.stderr,
                                 )
+                        if ops_plane:
+                            paging.update(stores=index.mapped_regions())
                         remaining = deadline - time.monotonic()
                         step = (
                             min(args.poll_interval, remaining)
-                            if feed is not None
+                            if feed is not None or ops_plane
                             else remaining
                         )
                         if step > 0:
@@ -681,6 +775,57 @@ def _render_top(
             f"| success {success:.3f} vs bound {bound:.3f} [{flag}] "
             f"| samples "
             f"{_metric_total(samples, 'lazylsh_audit_samples_total'):.0f}"
+        )
+    slo_names = sorted(
+        {
+            labels["slo"]
+            for labels, _v in samples.get("lazylsh_slo_alert_active", [])
+            if "slo" in labels
+        }
+    )
+    if slo_names:
+        parts = []
+        for name in slo_names:
+            active = _metric_total(
+                samples, "lazylsh_slo_alert_active", slo=name
+            )
+            err = _metric_total(samples, "lazylsh_slo_error_rate", slo=name)
+            burns = [
+                value
+                for labels, value in samples.get("lazylsh_slo_burn_rate", [])
+                if labels.get("slo") == name
+            ]
+            state = "ALERT" if active else "ok"
+            parts.append(
+                f"{name} err {err:.4f} burn {max(burns, default=0.0):.1f} "
+                f"[{state}]"
+            )
+        lines.append("slo: " + " | ".join(parts))
+    if "lazylsh_flight_triggers_total" in samples:
+        lines.append(
+            f"flight: triggers "
+            f"{_metric_total(samples, 'lazylsh_flight_triggers_total'):.0f} "
+            f"| dumps "
+            f"{_metric_total(samples, 'lazylsh_flight_dumps_total'):.0f}"
+        )
+    if "lazylsh_major_faults_total" in samples:
+        residency = [
+            value
+            for _labels, value in samples.get(
+                "lazylsh_page_cache_resident_ratio", []
+            )
+        ]
+        resident_text = (
+            f" | resident {min(residency):.0%}..{max(residency):.0%}"
+            if residency
+            else ""
+        )
+        lines.append(
+            f"paging: major faults "
+            f"{_metric_total(samples, 'lazylsh_major_faults_total'):.0f} "
+            f"| minor "
+            f"{_metric_total(samples, 'lazylsh_minor_faults_total'):.0f}"
+            f"{resident_text}"
         )
     return "\n".join(lines)
 
@@ -1024,6 +1169,34 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="keep the ops endpoints up this many seconds after the "
         "workload (so `repro top` can watch)",
+    )
+    p_serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.0,
+        help="head-sampling probability in [0, 1] for distributed "
+        "traces (needs --metrics-port; sampled traces appear under "
+        "/trace/<id>)",
+    )
+    p_serve.add_argument(
+        "--flight-dir",
+        default=None,
+        metavar="DIR",
+        help="write flight-recorder bundles (JSON) here on incident "
+        "triggers; without it bundles stay in memory",
+    )
+    p_serve.add_argument(
+        "--slo-latency-ms",
+        type=float,
+        default=0.0,
+        help="enable a latency SLO with this threshold in ms (must be "
+        "a latency-histogram bucket bound; 0 = off)",
+    )
+    p_serve.add_argument(
+        "--slo-objective",
+        type=float,
+        default=0.99,
+        help="target good-fraction for the latency SLO (default 0.99)",
     )
     p_serve.set_defaults(func=cmd_serve)
 

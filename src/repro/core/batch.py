@@ -161,7 +161,11 @@ def knn_batch(
         engine = request.engine
         cap = request.cap
         radius = request.radius
+        request_id = request.request_id
+        trace_context = request.trace_context
     else:
+        request_id = None
+        trace_context = None
         if k is None:
             raise InvalidParameterError(
                 "k is required when not passing a SearchRequest"
@@ -206,10 +210,21 @@ def knn_batch(
         return _knn_batch_impl(
             index, queries, k, p, metrics, engine, share_pages, None, cap, radius
         )
+    ctx = (
+        trace_context
+        if trace_context is not None and trace_context.sampled
+        else None
+    )
     with telemetry.tracer.span(
-        "knn_batch", engine=engine, k=k, queries=int(queries.shape[0])
-    ):
-        return _knn_batch_impl(
+        "knn_batch",
+        context=ctx,
+        engine=engine,
+        k=k,
+        queries=int(queries.shape[0]),
+    ) as span:
+        if request_id is not None:
+            span.set(request_id=request_id)
+        result = _knn_batch_impl(
             index,
             queries,
             k,
@@ -221,6 +236,8 @@ def knn_batch(
             cap,
             radius,
         )
+    telemetry.finish_trace(ctx)
+    return result
 
 
 def _knn_batch_impl(

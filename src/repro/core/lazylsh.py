@@ -19,6 +19,7 @@ counting) and ``range_query`` implements Algorithm 3.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -400,6 +401,21 @@ class LazyLSH:
                 info["resident_bytes"] += int(arr.nbytes)
         return info
 
+    def mapped_regions(self) -> dict[str, np.ndarray]:
+        """File-backed regions of the open index, labelled for probes.
+
+        Empty on the eager backend.  The ops plane feeds these buffers
+        to ``mincore(2)`` for per-store page-cache residency gauges.
+        """
+        self._require_built()
+        assert self._store is not None
+        regions: dict[str, np.ndarray] = dict(self._store.mapped_arrays())
+        if isinstance(self._data, np.memmap):
+            regions["data"] = self._data
+        if isinstance(self._alive, np.memmap):
+            regions["alive"] = self._alive
+        return regions
+
     def metric_params(self, p: float) -> MetricParams:
         """Per-metric parameters, validated against the materialised bank.
 
@@ -568,6 +584,9 @@ class LazyLSH:
           structured :class:`~repro.obs.QueryTrace` per call; ``None``
           (the default) runs the no-op fast path.
         """
+        request_id: str | None = None
+        trace_context = None
+        deadline_ms: float | None = None
         if isinstance(query, SearchRequest):
             if k is not None or args:
                 raise InvalidParameterError(
@@ -587,6 +606,9 @@ class LazyLSH:
             engine = request.engine
             cap = request.cap
             radius = request.radius
+            request_id = request.request_id
+            trace_context = request.trace_context
+            deadline_ms = request.deadline_ms
         else:
             if k is None:
                 raise InvalidParameterError(
@@ -612,12 +634,44 @@ class LazyLSH:
             raise InvalidParameterError(
                 f"radius override must be > 0, got {radius}"
             )
+        # ``trace_context`` was coerced to a TraceContext by the
+        # SearchRequest; the sampled flag is the span-recording gate.
+        # (Checked inline: importing repro.obs here would cycle through
+        # the baselines package init.)
+        ctx = (
+            trace_context
+            if trace_context is not None and trace_context.sampled
+            else None
+        )
+        start = time.perf_counter() if deadline_ms is not None else 0.0
         if telemetry is None:
-            return self._knn_dispatch(query, k, p, engine, None, cap, radius)
-        with telemetry.tracer.span("lazylsh.knn", engine=engine, k=k):
-            return self._knn_dispatch(
-                query, k, p, engine, telemetry, cap, radius
-            )
+            result = self._knn_dispatch(query, k, p, engine, None, cap, radius)
+        else:
+            with telemetry.tracer.span(
+                "lazylsh.knn", context=ctx, engine=engine, k=k
+            ) as span:
+                if request_id is not None:
+                    span.set(request_id=request_id)
+                result = self._knn_dispatch(
+                    query, k, p, engine, telemetry, cap, radius
+                )
+            telemetry.finish_trace(ctx)
+        if request_id is not None:
+            result.request_id = request_id
+        if ctx is not None:
+            result.trace_id = ctx.trace_id
+        if deadline_ms is not None:
+            elapsed = time.perf_counter() - start
+            if elapsed * 1000.0 > deadline_ms:
+                result.deadline_exceeded = True
+                if telemetry is not None:
+                    telemetry.note_deadline_overrun(
+                        deadline_ms=deadline_ms,
+                        elapsed_seconds=elapsed,
+                        where="lazylsh.knn",
+                        request_id=request_id,
+                    )
+        return result
 
     def _knn_dispatch(
         self,

@@ -201,7 +201,11 @@ class MultiQueryEngine:
             )
             engine = request.engine
             cap = request.cap
+            request_id = request.request_id
+            trace_context = request.trace_context
         else:
+            request_id = None
+            trace_context = None
             if k is None:
                 raise InvalidParameterError(
                     "k is required when not passing a SearchRequest"
@@ -238,10 +242,25 @@ class MultiQueryEngine:
                 f"candidate cap must be >= k={k}, got {cap}"
             )
         if telemetry is not None:
+            ctx = (
+                trace_context
+                if trace_context is not None and trace_context.sampled
+                else None
+            )
             with telemetry.tracer.span(
-                "multiquery.knn", engine=engine, k=k, metrics=len(metrics)
-            ):
-                return self._knn_impl(query, k, metrics, engine, telemetry, cap)
+                "multiquery.knn",
+                context=ctx,
+                engine=engine,
+                k=k,
+                metrics=len(metrics),
+            ) as span:
+                if request_id is not None:
+                    span.set(request_id=request_id)
+                result = self._knn_impl(
+                    query, k, metrics, engine, telemetry, cap
+                )
+            telemetry.finish_trace(ctx)
+            return result
         return self._knn_impl(query, k, metrics, engine, None, cap)
 
     def _knn_impl(

@@ -14,12 +14,24 @@ On top of those, the distributed ops plane (DESIGN §10):
 * :mod:`repro.obs.slowlog` — ring-buffer :class:`SlowQueryLog` of
   threshold-exceeding traces;
 * :mod:`repro.obs.exporter` — stdlib HTTP :class:`ObsExporter` serving
-  ``/metrics``, ``/healthz`` and ``/slowlog``;
+  ``/metrics``, ``/healthz``, ``/slowlog`` and ``/trace``;
 * :mod:`repro.obs.auditor` — :class:`GuaranteeAuditor` re-answering
   sampled live queries by exact linear scan and publishing rolling
   recall / success-rate gauges against the Theorem 1 bound.
 
-:class:`Telemetry` bundles all three and is what the query entry points
+And the incident plane (DESIGN §13):
+
+* :mod:`repro.obs.trace_context` — W3C-style :class:`TraceContext`
+  propagation, cross-process trace trees and the bounded
+  :class:`TraceStore` ring;
+* :mod:`repro.obs.flight_recorder` — :class:`FlightRecorder` bundles of
+  traces + metrics snapshots, auto-dumped on trigger events;
+* :mod:`repro.obs.slo` — declarative :class:`SLOSpec` objectives
+  evaluated by :class:`SLOEngine` as multi-window burn rates;
+* :mod:`repro.obs.procstat` — real paging metrics (major faults,
+  page-cache residency) beside the simulated I/O charge.
+
+:class:`Telemetry` bundles all of it and is what the query entry points
 accept::
 
     from repro import LazyLSH, Telemetry
@@ -51,6 +63,8 @@ from repro.obs.exporter import (
     histogram_quantile,
     parse_prometheus_text,
 )
+from repro.obs.flight_recorder import FlightRecorder
+from repro.obs.procstat import PagingMetrics, read_fault_counts, residency_ratio
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -58,23 +72,48 @@ from repro.obs.registry import (
     MetricsRegistry,
     get_default_registry,
 )
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    BurnWindow,
+    SLOEngine,
+    SLOSpec,
+    counter_ratio_sli,
+    error_rate_sli,
+    latency_sli,
+)
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.telemetry import StoreObserver, Telemetry
+from repro.obs.trace_context import (
+    SPAN_SCHEMA,
+    SpanSchemaError,
+    TraceContext,
+    TraceStore,
+    build_trace_tree,
+    validate_span_dict,
+)
 from repro.obs.tracer import Span, SpanTracer, load_spans_jsonl
 
 __all__ = [
+    "BurnWindow",
     "Counter",
+    "DEFAULT_WINDOWS",
+    "FlightRecorder",
     "Gauge",
     "GuaranteeAuditor",
     "Histogram",
     "MetricsRegistry",
     "ObsExporter",
+    "PagingMetrics",
     "QueryTrace",
     "QueryTraceBuilder",
     "RoundRecord",
+    "SLOEngine",
+    "SLOSpec",
     "SlowQueryLog",
     "Span",
     "SpanTracer",
+    "SpanSchemaError",
+    "SPAN_SCHEMA",
     "StoreObserver",
     "TERMINATION_CAP",
     "TERMINATION_K_WITHIN",
@@ -82,12 +121,21 @@ __all__ = [
     "TRACE_SCHEMA",
     "TRACE_VERSION",
     "Telemetry",
+    "TraceContext",
     "TraceSchemaError",
+    "TraceStore",
+    "build_trace_tree",
+    "counter_ratio_sli",
+    "error_rate_sli",
     "get_default_registry",
     "histogram_quantile",
+    "latency_sli",
     "load_spans_jsonl",
     "load_traces_jsonl",
     "parse_prometheus_text",
+    "read_fault_counts",
+    "residency_ratio",
+    "validate_span_dict",
     "validate_trace_dict",
     "write_traces_jsonl",
 ]

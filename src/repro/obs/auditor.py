@@ -90,6 +90,10 @@ class GuaranteeAuditor:
     background:
         Run audits on a daemon thread (default).  ``False`` audits
         synchronously inside :meth:`observe` — deterministic for tests.
+    flight_recorder:
+        Optional :class:`~repro.obs.flight_recorder.FlightRecorder`;
+        tripped with reason ``guarantee_violation`` when a violation
+        episode *starts* (once per episode, like the alert counter).
     """
 
     def __init__(
@@ -103,6 +107,7 @@ class GuaranteeAuditor:
         queue_size: int = 64,
         seed: int = 0,
         background: bool = True,
+        flight_recorder: Any = None,
     ) -> None:
         if not 0.0 <= sample_rate <= 1.0:
             raise InvalidParameterError(
@@ -122,6 +127,7 @@ class GuaranteeAuditor:
         self._window: deque[dict] = deque(maxlen=int(window))
         self._lock = threading.Lock()
         self._in_violation = False
+        self.flight_recorder = flight_recorder
 
         reg = registry if registry is not None else MetricsRegistry()
         self.registry = reg
@@ -144,6 +150,10 @@ class GuaranteeAuditor:
         self._g_bound.set(self.bound)
         self._c_samples = reg.counter(
             "lazylsh_audit_samples_total", "Queries audited by linear scan"
+        )
+        self._c_successes = reg.counter(
+            "lazylsh_audit_successes_total",
+            "Audited queries meeting the c-approximation (SLO SLI numerator)",
         )
         self._c_dropped = reg.counter(
             "lazylsh_audit_dropped_total",
@@ -248,6 +258,8 @@ class GuaranteeAuditor:
                 {"recall": recall, "ratio": ratio, "success": success}
             )
             self._c_samples.inc()
+            if success:
+                self._c_successes.inc()
             rolled = list(self._window)
             n = len(rolled)
             recall_mean = float(np.mean([s["recall"] for s in rolled]))
@@ -261,7 +273,8 @@ class GuaranteeAuditor:
                 self._g_ratio.set(ratio_mean)
             self._g_success.set(success_rate)
             violating = n >= self.min_samples and success_rate < self.bound
-            if violating and not self._in_violation:
+            episode_started = violating and not self._in_violation
+            if episode_started:
                 self._c_alerts.inc()
                 logger.warning(
                     "guarantee violation: rolling success rate %.3f over "
@@ -273,6 +286,15 @@ class GuaranteeAuditor:
                     self.c,
                 )
             self._in_violation = violating
+        # Outside the lock: the recorder snapshots the registry, which
+        # may itself read auditor gauges.
+        if episode_started and self.flight_recorder is not None:
+            self.flight_recorder.trigger(
+                "guarantee_violation",
+                success_rate=success_rate,
+                bound=self.bound,
+                window=n,
+            )
 
     # -- lifecycle / introspection ---------------------------------------
 

@@ -14,6 +14,10 @@ observability objects:
     otherwise — so a load balancer can act on the status code alone.
 ``/slowlog``
     The :class:`~repro.obs.slowlog.SlowQueryLog` ring as JSON.
+``/trace`` and ``/trace/<trace_id>``
+    The :class:`~repro.obs.trace_context.TraceStore`: the bare route
+    lists stored trace ids, the id route returns one reconstructed
+    cross-process span tree (404 for evicted/unknown ids).
 
 Lifetime rules (see DESIGN §10): the exporter owns only its HTTP
 server, never the registry/health/slowlog objects it reads — callers
@@ -36,13 +40,15 @@ import threading
 from typing import Any, Callable, Mapping
 
 from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import SLOEngine
 from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace_context import TraceStore
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class ObsExporter:
-    """Background HTTP server exposing /metrics, /healthz and /slowlog.
+    """Background HTTP server exposing /metrics, /healthz, /slowlog, /trace.
 
     Parameters
     ----------
@@ -54,6 +60,15 @@ class ObsExporter:
         reports a plain ``{"healthy": true}``.
     slowlog:
         Slow-query log served at ``/slowlog``.  Omitted → empty list.
+    trace_store:
+        Trace ring served at ``/trace``/``/trace/<id>``.  Omitted →
+        404 on both routes.
+    slo:
+        Optional :class:`~repro.obs.slo.SLOEngine`.  When attached,
+        every ``/metrics`` scrape ticks it first (so the burn-rate
+        gauges in the scrape are current) and ``/healthz`` gains an
+        ``"slo"`` section; an open SLO alert episode flips ``healthy``
+        to false (and the status code to 503).
     host / port:
         Bind address; ``port=0`` (default) lets the OS pick a free
         port — read it back from :attr:`port` or :attr:`url`.
@@ -65,12 +80,16 @@ class ObsExporter:
         *,
         health: Callable[[], Mapping[str, Any]] | None = None,
         slowlog: SlowQueryLog | None = None,
+        trace_store: TraceStore | None = None,
+        slo: SLOEngine | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
         self.registry = registry
         self.health = health
         self.slowlog = slowlog
+        self.trace_store = trace_store
+        self.slo = slo
         self.host = host
         self._requested_port = port
         self._server: http.server.ThreadingHTTPServer | None = None
@@ -119,17 +138,28 @@ class ObsExporter:
                 path = self.path.split("?", 1)[0]
                 try:
                     if path == "/metrics":
+                        if exporter.slo is not None:
+                            exporter.slo.tick()
                         text = exporter.registry.render_prometheus()
                         self._send(
                             200, text.encode(), PROMETHEUS_CONTENT_TYPE
                         )
                     elif path == "/healthz":
                         if exporter.health is None:
-                            report: Mapping[str, Any] = {"healthy": True}
+                            report: dict[str, Any] = {"healthy": True}
                         else:
-                            report = exporter.health()
+                            report = dict(exporter.health())
+                        if exporter.slo is not None:
+                            slo_report = exporter.slo.tick()
+                            report["slo"] = {
+                                "healthy": slo_report["healthy"],
+                                "alerting": slo_report["alerting"],
+                                "slos": slo_report["slos"],
+                            }
+                            if not slo_report["healthy"]:
+                                report["healthy"] = False
                         status = 200 if report.get("healthy", False) else 503
-                        body = json.dumps(dict(report), indent=2).encode()
+                        body = json.dumps(report, indent=2).encode()
                         self._send(status, body, "application/json")
                     elif path == "/slowlog":
                         entries = (
@@ -139,10 +169,41 @@ class ObsExporter:
                         )
                         body = json.dumps(entries, indent=2).encode()
                         self._send(200, body, "application/json")
+                    elif path == "/trace" or path == "/trace/":
+                        if exporter.trace_store is None:
+                            self._send(
+                                404,
+                                b"no trace store attached\n",
+                                "text/plain",
+                            )
+                        else:
+                            listing = {
+                                "traces": exporter.trace_store.ids(),
+                                "stats": exporter.trace_store.stats(),
+                            }
+                            body = json.dumps(listing, indent=2).encode()
+                            self._send(200, body, "application/json")
+                    elif path.startswith("/trace/"):
+                        trace_id = path[len("/trace/"):]
+                        tree = (
+                            None
+                            if exporter.trace_store is None
+                            else exporter.trace_store.tree(trace_id)
+                        )
+                        if tree is None:
+                            self._send(
+                                404,
+                                f"unknown trace {trace_id}\n".encode(),
+                                "text/plain",
+                            )
+                        else:
+                            body = json.dumps(tree, indent=2).encode()
+                            self._send(200, body, "application/json")
                     else:
                         self._send(
                             404,
-                            b"not found; endpoints: /metrics /healthz /slowlog\n",
+                            b"not found; endpoints: /metrics /healthz "
+                            b"/slowlog /trace /trace/<id>\n",
                             "text/plain",
                         )
                 except BrokenPipeError:

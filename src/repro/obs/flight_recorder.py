@@ -1,0 +1,189 @@
+"""Incident flight recorder: auto-dumped diagnostic bundles.
+
+A long-running fleet that misbehaves for three seconds at 2 a.m. leaves
+nothing behind: by the time someone scrapes ``/metrics`` the slow wave
+is gone and the traces have been evicted.  The :class:`FlightRecorder`
+closes that gap.  It keeps references to the live observability state —
+the metrics registry, the bounded :class:`~repro.obs.trace_context.
+TraceStore` of recent traces, the slow-query log, an optional health
+callable — and on a *trigger event* freezes all of it into one
+JSON bundle ("what the process knew at the moment things went wrong").
+
+Trigger events (DESIGN §13) are wired by their owning subsystems:
+
+* ``slowlog_admission`` — :meth:`Telemetry.record` when the slow-query
+  log admits a query;
+* ``guarantee_violation`` — the :class:`~repro.obs.auditor.
+  GuaranteeAuditor` when a Theorem-1 violation episode *starts*;
+* ``worker_respawn`` — the sharded service after repairing a dead
+  worker;
+* ``deadline_overrun`` — the serving layer when a request with a
+  ``deadline_ms`` overruns it.
+
+Dumps are debounced per reason (``min_interval_seconds``) so a burst of
+slow queries produces one bundle, not hundreds; every trigger —
+dumped or debounced — is counted in
+``lazylsh_flight_dumps_total{reason=...}`` /
+``lazylsh_flight_triggers_total{reason=...}``.  With ``dump_dir`` set,
+bundles are written as ``flight_<seq>_<reason>.json``; without it they
+stay in the in-memory :attr:`bundles` ring (newest last), which tests
+and the obs-smoke gate read directly.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import InvalidParameterError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace_context import TraceStore
+
+logger = logging.getLogger(__name__)
+
+#: Trigger reasons the recorder expects; unknown reasons are accepted
+#: (forward compatibility) but these are the wired ones.
+KNOWN_REASONS = (
+    "slowlog_admission",
+    "guarantee_violation",
+    "worker_respawn",
+    "deadline_overrun",
+    "manual",
+)
+
+
+class FlightRecorder:
+    """Bounded ring of diagnostic bundles, dumped on trigger events.
+
+    Thread safety: triggers arrive from the query thread (slowlog,
+    deadline), the auditor's daemon thread and the serving repair path;
+    one lock serialises bundle construction and the debounce bookkeeping.
+    """
+
+    def __init__(
+        self,
+        *,
+        registry: MetricsRegistry,
+        trace_store: TraceStore | None = None,
+        slowlog: SlowQueryLog | None = None,
+        health: Callable[[], dict] | None = None,
+        dump_dir: str | Path | None = None,
+        capacity: int = 16,
+        min_interval_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise InvalidParameterError(
+                f"flight recorder capacity must be >= 1, got {capacity}"
+            )
+        if min_interval_seconds < 0:
+            raise InvalidParameterError(
+                "flight recorder min_interval_seconds must be >= 0, "
+                f"got {min_interval_seconds}"
+            )
+        self.registry = registry
+        self.trace_store = trace_store
+        self.slowlog = slowlog
+        self.health = health
+        self.dump_dir = Path(dump_dir) if dump_dir is not None else None
+        self.capacity = int(capacity)
+        self.min_interval = float(min_interval_seconds)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._last_dump: dict[str, float] = {}
+        self._seq = 0
+        #: In-memory ring of dumped bundles, oldest first.
+        self.bundles: list[dict] = []
+        self._c_triggers = registry.counter(
+            "lazylsh_flight_triggers_total",
+            "Flight-recorder trigger events by reason (incl. debounced)",
+        )
+        self._c_dumps = registry.counter(
+            "lazylsh_flight_dumps_total",
+            "Flight-recorder bundles dumped by reason",
+        )
+        if self.dump_dir is not None:
+            self.dump_dir.mkdir(parents=True, exist_ok=True)
+
+    def trigger(self, reason: str, **detail: Any) -> dict | None:
+        """Record a trigger event; dump a bundle unless debounced.
+
+        Returns the bundle dict when one was dumped, None when the
+        per-reason debounce suppressed it.  Never raises out of the
+        dump path — the recorder must not take down the query path it
+        is observing.
+        """
+        self._c_triggers.inc(reason=reason)
+        now = self._clock()
+        with self._lock:
+            last = self._last_dump.get(reason)
+            if last is not None and now - last < self.min_interval:
+                return None
+            self._last_dump[reason] = now
+            self._seq += 1
+            seq = self._seq
+        try:
+            bundle = self._build_bundle(reason, seq, detail)
+        except Exception:  # pragma: no cover - defensive
+            logger.exception("flight recorder failed to build bundle")
+            return None
+        with self._lock:
+            self.bundles.append(bundle)
+            while len(self.bundles) > self.capacity:
+                self.bundles.pop(0)
+        self._c_dumps.inc(reason=reason)
+        path = self._write_bundle(bundle)
+        logger.warning(
+            "flight recorder dumped bundle #%d (reason=%s%s)",
+            seq,
+            reason,
+            f", file={path}" if path else "",
+        )
+        return bundle
+
+    def _build_bundle(self, reason: str, seq: int, detail: dict) -> dict:
+        bundle: dict[str, Any] = {
+            "seq": seq,
+            "reason": reason,
+            "detail": detail,
+            "dumped_at_unix": time.time(),
+            "metrics": self.registry.to_dict(),
+        }
+        if self.trace_store is not None:
+            bundle["traces"] = self.trace_store.to_dicts()
+            bundle["trace_store"] = self.trace_store.stats()
+        if self.slowlog is not None:
+            bundle["slowlog"] = self.slowlog.to_dicts()
+        if self.health is not None:
+            try:
+                bundle["health"] = self.health()
+            except Exception as exc:  # pragma: no cover - defensive
+                bundle["health"] = {"error": type(exc).__name__}
+        return bundle
+
+    def _write_bundle(self, bundle: dict) -> Path | None:
+        if self.dump_dir is None:
+            return None
+        path = self.dump_dir / f"flight_{bundle['seq']:04d}_{bundle['reason']}.json"
+        try:
+            with path.open("w", encoding="utf-8") as fh:
+                json.dump(bundle, fh, indent=2, default=str)
+        except OSError:  # pragma: no cover - disk full etc.
+            logger.exception("flight recorder failed to write %s", path)
+            return None
+        return path
+
+    def stats(self) -> dict:
+        """Trigger/dump counts and ring occupancy (for ``repro top``)."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "bundles": len(self.bundles),
+                "seq": self._seq,
+                "last_reasons": [b["reason"] for b in self.bundles[-5:]],
+            }

@@ -121,6 +121,14 @@ class Counter(_Instrument):
         """Current value of the labelled series (0 if never written)."""
         return self._values.get(_label_key(labels), 0.0)
 
+    def total(self) -> float:
+        """Sum over every labelled series (0.0 when never written).
+
+        The SLO engine reads SLIs off counters that the query path keys
+        by engine/shard labels; the objective cares about the aggregate.
+        """
+        return sum(self._values.values())
+
     def reset(self) -> None:
         self._values.clear()
 
@@ -166,6 +174,10 @@ class Gauge(_Instrument):
 
     def value(self, **labels: Any) -> float:
         return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every labelled series (0.0 when never written)."""
+        return sum(self._values.values())
 
     def reset(self) -> None:
         self._values.clear()

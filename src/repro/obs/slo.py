@@ -1,0 +1,355 @@
+"""Declarative SLOs evaluated as multi-window burn rates.
+
+An SLO here is an objective over a *service-level indicator* — a
+callable returning cumulative ``(good, total)`` event counts read off
+the live metrics registry.  The three indicators that matter for a
+LazyLSH fleet map directly onto instruments the query path already
+maintains:
+
+* **p-latency** — fraction of queries under a latency bound, read from
+  the ``lazylsh_query_latency_seconds`` histogram
+  (:func:`latency_sli`);
+* **recall@k** — fraction of audited queries meeting the Theorem-1
+  guarantee, read from the auditor's sample/success counters
+  (:func:`counter_ratio_sli`);
+* **error/replay rate** — fraction of waves that did *not* need a
+  repair-and-replay (:func:`error_rate_sli` over
+  ``lazylsh_wave_replays_total`` vs ``lazylsh_queries_total``).
+
+Evaluation follows the multi-window, multi-burn-rate alerting scheme
+(Google SRE workbook ch. 5).  The **burn rate** over a window is::
+
+    burn = windowed_error_rate / (1 - objective)
+
+i.e. how many times faster than "exactly on objective" the error budget
+is burning; burn 1.0 spends a 30-day budget in 30 days, burn 14.4
+spends it in 50 hours.  Each :class:`BurnWindow` pairs a short and a
+long lookback with a threshold, and fires only when **both** exceed it
+— the long window proves the problem is material, the short window
+proves it is *still happening* (fast reset).  The engine alerts once
+per episode: a rising edge of "any window firing" increments
+``lazylsh_slo_alerts_total{slo=...}`` exactly once until the SLO
+recovers.
+
+Windowed rates are computed from periodic snapshots of the cumulative
+SLI counters (taken on each :meth:`SLOEngine.tick`, e.g. per ``/metrics``
+scrape).  When the history is younger than a window, the oldest
+snapshot stands in — a fresh process alerts on a real violation
+immediately instead of waiting an hour to accumulate history.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import InvalidParameterError
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+#: An SLI: cumulative (good_events, total_events), monotone in both.
+SLICallable = Callable[[], "tuple[float, float]"]
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One (short, long) lookback pair with its burn-rate threshold."""
+
+    name: str
+    short_seconds: float
+    long_seconds: float
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.short_seconds <= self.long_seconds:
+            raise InvalidParameterError(
+                f"burn window {self.name!r} needs "
+                f"0 < short <= long, got ({self.short_seconds}, "
+                f"{self.long_seconds})"
+            )
+        if self.threshold <= 0:
+            raise InvalidParameterError(
+                f"burn window {self.name!r} threshold must be > 0, "
+                f"got {self.threshold}"
+            )
+
+
+#: The SRE-workbook page/ticket pair scaled to a service fleet: the fast
+#: window catches a budget burning 14.4x too fast (2% of a 30-day budget
+#: in an hour), the slow window catches sustained 6x burns.
+DEFAULT_WINDOWS: tuple[BurnWindow, ...] = (
+    BurnWindow("fast", short_seconds=300.0, long_seconds=3600.0, threshold=14.4),
+    BurnWindow("slow", short_seconds=1800.0, long_seconds=21600.0, threshold=6.0),
+)
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One objective over one SLI.
+
+    ``objective`` is the target good fraction (e.g. ``0.99`` for "99% of
+    queries under 50 ms"); the error budget is ``1 - objective``.
+    """
+
+    name: str
+    objective: float
+    sli: SLICallable
+    description: str = ""
+    windows: tuple[BurnWindow, ...] = field(default=DEFAULT_WINDOWS)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.objective < 1:
+            raise InvalidParameterError(
+                f"SLO {self.name!r} objective must be in (0, 1), "
+                f"got {self.objective}"
+            )
+        if not self.windows:
+            raise InvalidParameterError(
+                f"SLO {self.name!r} needs at least one burn window"
+            )
+
+
+class SLOEngine:
+    """Evaluates registered :class:`SLOSpec`\\ s against snapshot history.
+
+    Call :meth:`tick` periodically (the exporter does it on every
+    ``/metrics`` scrape); read :meth:`state` for ``/healthz`` and
+    ``repro top``.  Gauges/counters are published to the registry:
+
+    * ``lazylsh_slo_burn_rate{slo, window}`` — current burn per lookback
+      (window label is the lookback length, e.g. ``"300s"``);
+    * ``lazylsh_slo_alert_active{slo}`` — 1 while an episode is open;
+    * ``lazylsh_slo_alerts_total{slo}`` — episodes since start;
+    * ``lazylsh_slo_error_rate{slo}`` — cumulative error fraction.
+
+    Thread safety: one lock around tick/state, so the exporter thread
+    and ``repro top``'s reader cannot interleave mid-evaluation.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        on_alert: Callable[[str, dict], None] | None = None,
+    ) -> None:
+        self.registry = registry
+        self._clock = clock
+        self._on_alert = on_alert
+        self._lock = threading.Lock()
+        self._specs: dict[str, SLOSpec] = {}
+        #: Per-SLO snapshot history: list of (t, good, total), oldest first.
+        self._history: dict[str, list[tuple[float, float, float]]] = {}
+        self._alerting: dict[str, bool] = {}
+        self._g_burn = registry.gauge(
+            "lazylsh_slo_burn_rate",
+            "Error-budget burn rate per SLO and lookback window",
+        )
+        self._g_active = registry.gauge(
+            "lazylsh_slo_alert_active",
+            "1 while the SLO has an open alert episode",
+        )
+        self._c_alerts = registry.counter(
+            "lazylsh_slo_alerts_total",
+            "SLO alert episodes since process start",
+        )
+        self._g_error = registry.gauge(
+            "lazylsh_slo_error_rate",
+            "Cumulative error fraction per SLO",
+        )
+
+    def add(self, spec: SLOSpec) -> SLOSpec:
+        """Register (or replace) one SLO spec."""
+        with self._lock:
+            self._specs[spec.name] = spec
+            self._history.setdefault(spec.name, [])
+            self._alerting.setdefault(spec.name, False)
+        return spec
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return list(self._specs)
+
+    @staticmethod
+    def _windowed_error_rate(
+        history: list[tuple[float, float, float]],
+        now: float,
+        window_seconds: float,
+    ) -> float:
+        """Error fraction of events inside the lookback window.
+
+        Uses the newest snapshot at or before ``now - window`` as the
+        baseline; with history younger than the window, the oldest
+        snapshot stands in (rate over all available history).
+        """
+        if not history:
+            return 0.0
+        cutoff = now - window_seconds
+        baseline = history[0]
+        for snap in history:
+            if snap[0] <= cutoff:
+                baseline = snap
+            else:
+                break
+        _, good0, total0 = baseline
+        _, good1, total1 = history[-1]
+        d_total = total1 - total0
+        if d_total <= 0:
+            return 0.0
+        d_bad = (total1 - good1) - (total0 - good0)
+        return min(1.0, max(0.0, d_bad / d_total))
+
+    def tick(self, now: float | None = None) -> dict:
+        """Snapshot every SLI, evaluate burn rates, update alert state.
+
+        Returns the same structure as :meth:`state` (evaluated fresh).
+        """
+        if now is None:
+            now = self._clock()
+        with self._lock:
+            report = {"now": now, "alerting": [], "slos": []}
+            horizon = max(
+                (
+                    w.long_seconds
+                    for spec in self._specs.values()
+                    for w in spec.windows
+                ),
+                default=0.0,
+            )
+            for name, spec in self._specs.items():
+                good, total = spec.sli()
+                history = self._history[name]
+                history.append((now, float(good), float(total)))
+                # Prune to the longest lookback (keep one pre-cutoff
+                # snapshot as the window baseline).
+                cutoff = now - horizon
+                while len(history) > 2 and history[1][0] <= cutoff:
+                    history.pop(0)
+                budget = 1.0 - spec.objective
+                cumulative_err = (
+                    (total - good) / total if total > 0 else 0.0
+                )
+                self._g_error.set(cumulative_err, slo=name)
+                windows_state = []
+                firing = False
+                for window in spec.windows:
+                    burns = {}
+                    for seconds in (window.short_seconds, window.long_seconds):
+                        err = self._windowed_error_rate(history, now, seconds)
+                        burn = err / budget
+                        burns[seconds] = burn
+                        self._g_burn.set(
+                            burn, slo=name, window=f"{int(seconds)}s"
+                        )
+                    window_firing = all(
+                        burn > window.threshold for burn in burns.values()
+                    )
+                    firing = firing or window_firing
+                    windows_state.append(
+                        {
+                            "name": window.name,
+                            "threshold": window.threshold,
+                            "short_seconds": window.short_seconds,
+                            "long_seconds": window.long_seconds,
+                            "short_burn": burns[window.short_seconds],
+                            "long_burn": burns[window.long_seconds],
+                            "firing": window_firing,
+                        }
+                    )
+                was_alerting = self._alerting[name]
+                if firing and not was_alerting:
+                    self._c_alerts.inc(slo=name)
+                    if self._on_alert is not None:
+                        try:
+                            self._on_alert(
+                                name,
+                                {
+                                    "objective": spec.objective,
+                                    "error_rate": cumulative_err,
+                                    "windows": windows_state,
+                                },
+                            )
+                        except Exception:  # pragma: no cover - defensive
+                            pass
+                self._alerting[name] = firing
+                self._g_active.set(1.0 if firing else 0.0, slo=name)
+                if firing:
+                    report["alerting"].append(name)
+                report["slos"].append(
+                    {
+                        "name": name,
+                        "description": spec.description,
+                        "objective": spec.objective,
+                        "good": float(good),
+                        "total": float(total),
+                        "error_rate": cumulative_err,
+                        "alerting": firing,
+                        "alert_episodes": self._c_alerts.value(slo=name),
+                        "windows": windows_state,
+                    }
+                )
+            report["healthy"] = not report["alerting"]
+            return report
+
+    def state(self) -> dict:
+        """The last-evaluated alert state without taking a new snapshot."""
+        with self._lock:
+            return {
+                "alerting": [n for n, on in self._alerting.items() if on],
+                "slos": [
+                    {
+                        "name": name,
+                        "objective": spec.objective,
+                        "alerting": self._alerting[name],
+                        "alert_episodes": self._c_alerts.value(slo=name),
+                    }
+                    for name, spec in self._specs.items()
+                ],
+            }
+
+
+# ---------------------------------------------------------------------------
+# SLI factories over the instruments the query path already maintains.
+
+
+def latency_sli(histogram: Histogram, threshold_seconds: float) -> SLICallable:
+    """Good = observations at or under ``threshold_seconds``.
+
+    The threshold must equal one of the histogram's bucket bounds —
+    Prometheus ``le`` semantics make any other cut line unobservable.
+    """
+    bounds = histogram.buckets
+    if float(threshold_seconds) not in bounds:
+        raise InvalidParameterError(
+            f"latency SLO threshold {threshold_seconds} must be one of the "
+            f"histogram's bucket bounds {list(bounds)}"
+        )
+    cut = bounds.index(float(threshold_seconds)) + 1
+
+    def sli() -> tuple[float, float]:
+        counts = histogram.bucket_counts()
+        return float(sum(counts[:cut])), float(sum(counts))
+
+    return sli
+
+
+def counter_ratio_sli(good: Counter, total: Counter) -> SLICallable:
+    """Good/total read from two cumulative counters (summed over labels)."""
+
+    def sli() -> tuple[float, float]:
+        return good.total(), total.total()
+
+    return sli
+
+
+def error_rate_sli(
+    errors: Counter | Gauge, total: Counter
+) -> SLICallable:
+    """Good = total - errors, for counters that count *failures*."""
+
+    def sli() -> tuple[float, float]:
+        all_events = total.total()
+        return max(0.0, all_events - errors.total()), all_events
+
+    return sli

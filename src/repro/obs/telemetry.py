@@ -35,8 +35,11 @@ entries at the storage layer.
 
 from __future__ import annotations
 
+import random
 from pathlib import Path
+from typing import TYPE_CHECKING
 
+from repro.errors import InvalidParameterError
 from repro.obs.query_trace import (
     QueryTrace,
     QueryTraceBuilder,
@@ -44,7 +47,11 @@ from repro.obs.query_trace import (
 )
 from repro.obs.registry import MetricsRegistry
 from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace_context import TraceContext, TraceStore, active_context
 from repro.obs.tracer import SpanTracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.flight_recorder import FlightRecorder
 
 #: Rehashing rounds per query; the engine caps rounds at 128.
 ROUND_BUCKETS = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128)
@@ -137,6 +144,20 @@ class Telemetry:
     slowlog:
         Optional :class:`SlowQueryLog`; every recorded trace is offered
         to it (the log applies its own thresholds).
+    trace_store:
+        Optional :class:`~repro.obs.trace_context.TraceStore`; finished
+        distributed traces are published here (via
+        :meth:`finish_trace`) for ``/trace/<id>`` and flight-recorder
+        bundles.
+    trace_sample:
+        Head-sampling probability in ``[0, 1]`` used by
+        :meth:`maybe_sample_context` when a request arrives without its
+        own trace context.  0 (default) mints no contexts — requests
+        are only traced when the caller supplies one.
+    flight_recorder:
+        Optional :class:`~repro.obs.flight_recorder.FlightRecorder`;
+        tripped with reason ``slowlog_admission`` whenever the slow-query
+        log admits a trace.
     """
 
     def __init__(
@@ -146,11 +167,22 @@ class Telemetry:
         tracer: SpanTracer | None = None,
         capture_traces: bool = True,
         slowlog: SlowQueryLog | None = None,
+        trace_store: TraceStore | None = None,
+        trace_sample: float = 0.0,
+        flight_recorder: "FlightRecorder | None" = None,
     ) -> None:
+        if not 0.0 <= trace_sample <= 1.0:
+            raise InvalidParameterError(
+                f"trace_sample must be in [0, 1], got {trace_sample}"
+            )
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else SpanTracer()
         self.capture_traces = capture_traces
         self.slowlog = slowlog
+        self.trace_store = trace_store
+        self.trace_sample = float(trace_sample)
+        self.flight_recorder = flight_recorder
+        self._sampler = random.Random(0xC0FFEE)
         self.traces: list[QueryTrace] = []
         self._auto_query_id = 0
         reg = self.registry
@@ -186,6 +218,73 @@ class Telemetry:
             "Wall-clock query latency",
             buckets=LATENCY_BUCKETS,
         )
+        self._deadline_overruns = reg.counter(
+            "lazylsh_deadline_overruns_total",
+            "Requests that finished past their advisory deadline_ms",
+        )
+
+    # -- distributed tracing --------------------------------------------
+
+    def maybe_sample_context(
+        self, context: TraceContext | None = None
+    ) -> TraceContext | None:
+        """The request's effective trace context, or None when untraced.
+
+        A caller-supplied sampled context always wins; without one, a
+        fresh root context is minted with probability
+        :attr:`trace_sample`.  The serving layer calls this once per
+        request and threads the result everywhere.
+        """
+        ctx = active_context(context)
+        if ctx is not None:
+            return ctx
+        if self.trace_sample > 0 and (
+            self.trace_sample >= 1.0
+            or self._sampler.random() < self.trace_sample
+        ):
+            return TraceContext.new()
+        return None
+
+    def note_deadline_overrun(
+        self,
+        *,
+        deadline_ms: float,
+        elapsed_seconds: float,
+        where: str,
+        request_id: str | None = None,
+    ) -> None:
+        """Count a deadline overrun and trip the flight recorder.
+
+        Deadlines are advisory (results are never truncated — they stay
+        bit-identical), so this is the entire enforcement story: a
+        counter, a trigger, and the ``deadline_exceeded`` flag the
+        caller sets on the result.
+        """
+        self._deadline_overruns.inc(where=where)
+        if self.flight_recorder is not None:
+            self.flight_recorder.trigger(
+                "deadline_overrun",
+                where=where,
+                deadline_ms=deadline_ms,
+                elapsed_ms=elapsed_seconds * 1000.0,
+                request_id=request_id,
+            )
+
+    def finish_trace(self, context: TraceContext | None) -> list[dict]:
+        """Move one finished trace's spans into the trace store.
+
+        Called after the request's root span closed.  Pops the trace's
+        spans off the tracer (bounding tracer memory on long-running
+        servers) and publishes them to :attr:`trace_store` when one is
+        attached.  Returns the span dicts either way.
+        """
+        if context is None:
+            return []
+        spans = self.tracer.pop_trace(context.trace_id)
+        records = [span.to_dict() for span in spans]
+        if self.trace_store is not None and records:
+            self.trace_store.add(context.trace_id, records)
+        return records
 
     # -- query traces ---------------------------------------------------
 
@@ -223,7 +322,14 @@ class Telemetry:
         self._io_random.observe(trace.io.random)
         self._latency.observe(trace.elapsed_seconds)
         if self.slowlog is not None:
-            self.slowlog.offer(trace, shard_io=shard_io)
+            admitted = self.slowlog.offer(trace, shard_io=shard_io)
+            if admitted and self.flight_recorder is not None:
+                self.flight_recorder.trigger(
+                    "slowlog_admission",
+                    query_id=trace.query_id,
+                    elapsed_seconds=trace.elapsed_seconds,
+                    engine=trace.engine,
+                )
         if self.capture_traces:
             self.traces.append(trace)
         return trace

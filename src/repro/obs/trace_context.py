@@ -1,0 +1,328 @@
+"""W3C-style trace context: ids, propagation and cross-process trees.
+
+A :class:`TraceContext` is the wire-portable identity of one distributed
+trace: a 128-bit ``trace_id`` shared by every span of the request, the
+64-bit ``span_id`` of the *current* parent, and a sampling bit.  It
+serialises to/from the W3C ``traceparent`` header format
+(``00-<trace_id>-<span_id>-<flags>``) so a future network front door can
+accept upstream contexts unchanged, and it rides the sharded service's
+worker pipes today (DESIGN §13).
+
+On top of the context type, the module ships the scrape-side half of
+the tracing story:
+
+* :func:`build_trace_tree` — reconstruct the parent/child tree of one
+  trace from flat span dicts (the coordinator's JSONL export or a
+  ``/trace/<id>`` response body);
+* :func:`validate_span_dict` — schema check for exported span records;
+* :class:`TraceStore` — bounded, locked ring of recently completed
+  traces, served by the exporter's ``/trace/<id>`` route and snapshotted
+  into flight-recorder bundles.
+
+The module has no dependency on the tracer (the tracer imports *it*),
+so ``repro.api`` can carry a ``TraceContext`` on every
+:class:`~repro.api.SearchRequest` without import cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.errors import InvalidParameterError
+
+#: Schema of one exported span record (see ``Span.to_dict``).  ``span_id``
+#: is an int for process-local spans and a 16-hex string inside a trace;
+#: ``trace_id`` is the 32-hex trace id or None outside any trace.
+SPAN_SCHEMA = {
+    "name": str,
+    "span_id": (int, str),
+    "parent_id": (int, str, type(None)),
+    "trace_id": (str, type(None)),
+    "start": (int, float),
+    "end": (int, float, type(None)),
+    "duration": (int, float),
+    "attributes": dict,
+}
+
+_TRACEPARENT_VERSION = "00"
+_FLAG_SAMPLED = 0x01
+
+
+class SpanSchemaError(ValueError):
+    """An exported span record does not match :data:`SPAN_SCHEMA`."""
+
+
+def _hex_id(n_bytes: int) -> str:
+    """A non-zero random hex id of ``2 * n_bytes`` characters."""
+    while True:
+        value = os.urandom(n_bytes).hex()
+        if any(ch != "0" for ch in value):
+            return value
+
+
+def _is_hex(value: str, length: int) -> bool:
+    if len(value) != length or value == "0" * length:
+        return False
+    try:
+        int(value, 16)
+    except ValueError:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's distributed-trace identity (W3C trace-context style).
+
+    ``trace_id`` is shared by every span of the request across all
+    processes; ``span_id`` names the span that is the *parent* of
+    whatever work the context is handed to; ``sampled`` gates span
+    recording (an unsampled context still propagates its ids so a
+    downstream sampler could revive it, but no spans are kept).
+    """
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def __post_init__(self) -> None:
+        if not _is_hex(self.trace_id, 32):
+            raise InvalidParameterError(
+                f"trace_id must be 32 lowercase hex chars (non-zero), "
+                f"got {self.trace_id!r}"
+            )
+        if not _is_hex(self.span_id, 16):
+            raise InvalidParameterError(
+                f"span_id must be 16 lowercase hex chars (non-zero), "
+                f"got {self.span_id!r}"
+            )
+
+    @classmethod
+    def new(cls, *, sampled: bool = True) -> "TraceContext":
+        """A fresh root context (new trace id, new parent span id)."""
+        return cls(
+            trace_id=_hex_id(16), span_id=_hex_id(8), sampled=sampled
+        )
+
+    def child(self, span_id: str) -> "TraceContext":
+        """The context a child span hands to *its* children."""
+        return TraceContext(
+            trace_id=self.trace_id, span_id=span_id, sampled=self.sampled
+        )
+
+    def to_traceparent(self) -> str:
+        """W3C ``traceparent`` header form: ``00-<trace>-<span>-<flags>``."""
+        flags = _FLAG_SAMPLED if self.sampled else 0
+        return (
+            f"{_TRACEPARENT_VERSION}-{self.trace_id}-{self.span_id}"
+            f"-{flags:02x}"
+        )
+
+    @classmethod
+    def from_traceparent(cls, header: str) -> "TraceContext":
+        """Parse a ``traceparent`` header (unknown versions rejected)."""
+        parts = header.strip().split("-")
+        if len(parts) != 4:
+            raise InvalidParameterError(
+                f"malformed traceparent header {header!r}"
+            )
+        version, trace_id, span_id, flags = parts
+        if version != _TRACEPARENT_VERSION:
+            raise InvalidParameterError(
+                f"unsupported traceparent version {version!r}"
+            )
+        try:
+            sampled = bool(int(flags, 16) & _FLAG_SAMPLED)
+        except ValueError:
+            raise InvalidParameterError(
+                f"malformed traceparent flags {flags!r}"
+            ) from None
+        return cls(trace_id=trace_id, span_id=span_id, sampled=sampled)
+
+    def to_dict(self) -> dict:
+        """Pipe/JSON-portable form (used by the wave protocol)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "sampled": self.sampled,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "TraceContext":
+        return cls(
+            trace_id=record["trace_id"],
+            span_id=record["span_id"],
+            sampled=bool(record.get("sampled", True)),
+        )
+
+
+def active_context(context: "TraceContext | None") -> "TraceContext | None":
+    """The context iff it exists and is sampled (the span-recording gate)."""
+    if context is None or not context.sampled:
+        return None
+    return context
+
+
+def new_request_id() -> str:
+    """A fresh 16-hex request id (the ``request_id`` default generator)."""
+    return _hex_id(8)
+
+
+def validate_span_dict(record: dict) -> dict:
+    """Check one exported span record against :data:`SPAN_SCHEMA`.
+
+    Returns the record on success; raises :class:`SpanSchemaError` with
+    the offending field otherwise.  Used by the obs-smoke CI gate to
+    validate reconstructed cross-process trees.
+    """
+    if not isinstance(record, dict):
+        raise SpanSchemaError(f"span record must be a dict, got {record!r}")
+    for field, types in SPAN_SCHEMA.items():
+        if field not in record:
+            raise SpanSchemaError(f"span record missing field {field!r}")
+        if not isinstance(record[field], types):
+            raise SpanSchemaError(
+                f"span field {field!r} has type "
+                f"{type(record[field]).__name__}, expected {types}"
+            )
+    trace_id = record["trace_id"]
+    if trace_id is not None and not _is_hex(str(trace_id), 32):
+        raise SpanSchemaError(f"span trace_id {trace_id!r} is not 32-hex")
+    return record
+
+
+def build_trace_tree(spans: list[dict]) -> dict:
+    """Reconstruct one trace's span tree from flat span dicts.
+
+    ``spans`` are ``Span.to_dict`` records sharing one ``trace_id`` (the
+    JSONL export or a :class:`TraceStore` entry).  Roots are the spans
+    whose parent is not among the records — for a served query that is
+    the coordinator's request-root span, whose recorded parent is the
+    client context's span id.  Children are ordered by start time.
+    Raises :class:`SpanSchemaError` on records from mixed traces.
+    """
+    trace_ids = {record.get("trace_id") for record in spans}
+    trace_ids.discard(None)
+    if len(trace_ids) > 1:
+        raise SpanSchemaError(
+            f"spans belong to {len(trace_ids)} traces: {sorted(trace_ids)}"
+        )
+    nodes: dict[Any, dict] = {}
+    for record in spans:
+        node = dict(record)
+        node["children"] = []
+        nodes[record["span_id"]] = node
+    roots = []
+    for node in nodes.values():
+        parent = nodes.get(node["parent_id"])
+        if parent is None:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+    for node in nodes.values():
+        node["children"].sort(key=lambda child: child["start"])
+    roots.sort(key=lambda node: node["start"])
+    return {
+        "trace_id": next(iter(trace_ids)) if trace_ids else None,
+        "span_count": len(nodes),
+        "roots": roots,
+    }
+
+
+class TraceStore:
+    """Bounded ring of recently completed traces, keyed by trace id.
+
+    The serving layer adds each sampled request's finished spans here;
+    the exporter's ``/trace/<id>`` route and the flight recorder read
+    them back.  Eviction is oldest-trace-first; ``add`` on an id already
+    present merges the new spans into the existing entry (a request may
+    finish in stages — e.g. the service wave, then a late audit span).
+
+    Thread safety: one lock around every method, so the exporter thread
+    can serve ``/trace`` while the query thread publishes.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise InvalidParameterError(
+                f"trace store capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = int(capacity)
+        self._traces: OrderedDict[str, dict] = OrderedDict()
+        self._added = 0
+        self._evicted = 0
+        self._lock = threading.Lock()
+
+    def add(self, trace_id: str, spans: list[dict]) -> None:
+        """Store (or extend) one trace's finished span records."""
+        with self._lock:
+            entry = self._traces.get(trace_id)
+            if entry is None:
+                entry = {"trace_id": trace_id, "spans": []}
+                self._traces[trace_id] = entry
+                self._added += 1
+            entry["spans"].extend(spans)
+            self._traces.move_to_end(trace_id)
+            while len(self._traces) > self.capacity:
+                self._traces.popitem(last=False)
+                self._evicted += 1
+
+    def get(self, trace_id: str) -> list[dict] | None:
+        """The trace's span records (copies), or None."""
+        with self._lock:
+            entry = self._traces.get(trace_id)
+            return None if entry is None else [dict(s) for s in entry["spans"]]
+
+    def tree(self, trace_id: str) -> dict | None:
+        """The trace reconstructed as a span tree, or None."""
+        spans = self.get(trace_id)
+        return None if spans is None else build_trace_tree(spans)
+
+    def ids(self) -> list[str]:
+        """Stored trace ids, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def to_dicts(self) -> list[dict]:
+        """Every stored trace (oldest first), JSON-serialisable."""
+        with self._lock:
+            return [
+                {
+                    "trace_id": entry["trace_id"],
+                    "spans": [dict(s) for s in entry["spans"]],
+                }
+                for entry in self._traces.values()
+            ]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._traces),
+                "added": self._added,
+                "evicted": self._evicted,
+            }
+
+    def export_jsonl(self, path: str | Path) -> Path:
+        """Write every stored span as one JSON object per line.
+
+        The format matches ``SpanTracer.export_jsonl``, so
+        :func:`~repro.obs.tracer.load_spans_jsonl` round-trips it and
+        :func:`build_trace_tree` can reconstruct each trace offline.
+        """
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fh:
+            for entry in self.to_dicts():
+                for span in entry["spans"]:
+                    fh.write(json.dumps(span) + "\n")
+        return path

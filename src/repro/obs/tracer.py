@@ -15,6 +15,19 @@ Finished spans land in :attr:`SpanTracer.spans` in completion order
 (children before parents, like a profiler's flame graph leaves).  Spans
 are plain records — export is one JSON object per line, and
 :func:`load_spans_jsonl` round-trips them for offline analysis.
+
+Spans come in two flavours:
+
+* **process-local** (the default): sequential integer ``span_id``s,
+  ``trace_id`` None — cheap, and exactly the pre-trace-context
+  behaviour;
+* **distributed**: opened with a :class:`~repro.obs.trace_context.
+  TraceContext` (``tracer.span(name, context=ctx)``), they get random
+  16-hex string ids and carry the context's 32-hex ``trace_id``, so
+  spans recorded by *different processes* (coordinator and shard
+  workers) link into one tree.  Nested spans inherit the enclosing
+  trace automatically; :meth:`SpanTracer.current_context` exposes the
+  innermost trace identity for handing to another process.
 """
 
 from __future__ import annotations
@@ -26,6 +39,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
+from repro.obs.trace_context import TraceContext, _hex_id
+
 
 @dataclass
 class Span:
@@ -33,15 +48,18 @@ class Span:
 
     ``start``/``end`` are monotonic-clock readings (seconds, arbitrary
     epoch); only durations and orderings are meaningful across spans of
-    one tracer.
+    one tracer.  ``span_id``/``parent_id`` are sequential ints for
+    process-local spans and random 16-hex strings inside a distributed
+    trace (``trace_id`` set).
     """
 
     name: str
-    span_id: int
-    parent_id: int | None
+    span_id: int | str
+    parent_id: int | str | None
     start: float
     end: float | None = None
     attributes: dict[str, Any] = field(default_factory=dict)
+    trace_id: str | None = None
 
     @property
     def duration(self) -> float:
@@ -59,6 +77,7 @@ class Span:
             "name": self.name,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
             "start": self.start,
             "end": self.end,
             "duration": self.duration,
@@ -74,6 +93,7 @@ class Span:
             start=record["start"],
             end=record["end"],
             attributes=dict(record.get("attributes", {})),
+            trace_id=record.get("trace_id"),
         )
 
 
@@ -91,17 +111,65 @@ class SpanTracer:
         """The innermost open span, or None outside any span."""
         return self._stack[-1] if self._stack else None
 
+    def current_context(self) -> TraceContext | None:
+        """Trace identity of the innermost open *traced* span, or None.
+
+        This is what a coordinator ships to workers: children opened
+        under the returned context (in any process) parent themselves to
+        the currently open span.
+        """
+        for span in reversed(self._stack):
+            if span.trace_id is not None:
+                return TraceContext(
+                    trace_id=span.trace_id,
+                    span_id=str(span.span_id),
+                )
+        return None
+
     @contextmanager
-    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
-        """Open a child span of the current span for the ``with`` body."""
+    def span(
+        self,
+        name: str,
+        *,
+        context: TraceContext | None = None,
+        **attributes: Any,
+    ) -> Iterator[Span]:
+        """Open a child span of the current span for the ``with`` body.
+
+        With ``context`` (a sampled :class:`TraceContext`), the span
+        joins that distributed trace: random 16-hex string id, parented
+        to the enclosing open span if it shares the trace, else to the
+        context's ``span_id``.  Without ``context``, the span inherits
+        the enclosing span's trace if there is one, and otherwise stays
+        process-local with the legacy sequential integer ids.
+        """
+        enclosing = self._stack[-1] if self._stack else None
+        if context is None and enclosing is not None and (
+            enclosing.trace_id is not None
+        ):
+            trace_id: str | None = enclosing.trace_id
+            span_id: int | str = _hex_id(8)
+            parent_id: int | str | None = enclosing.span_id
+        elif context is not None:
+            trace_id = context.trace_id
+            span_id = _hex_id(8)
+            if enclosing is not None and enclosing.trace_id == context.trace_id:
+                parent_id = enclosing.span_id
+            else:
+                parent_id = context.span_id
+        else:
+            trace_id = None
+            span_id = self._next_id
+            self._next_id += 1
+            parent_id = enclosing.span_id if enclosing is not None else None
         record = Span(
             name=name,
-            span_id=self._next_id,
-            parent_id=self._stack[-1].span_id if self._stack else None,
+            span_id=span_id,
+            parent_id=parent_id,
             start=self._clock(),
             attributes=dict(attributes),
+            trace_id=trace_id,
         )
-        self._next_id += 1
         self._stack.append(record)
         try:
             yield record
@@ -116,6 +184,19 @@ class SpanTracer:
     def clear(self) -> None:
         """Drop finished spans (open spans are unaffected)."""
         self.spans.clear()
+
+    def pop_trace(self, trace_id: str) -> list[Span]:
+        """Remove and return finished spans belonging to ``trace_id``.
+
+        Lets the serving layer move one completed request's spans into a
+        :class:`~repro.obs.trace_context.TraceStore` without disturbing
+        unrelated process-local spans accumulated by the same tracer.
+        """
+        kept, popped = [], []
+        for span in self.spans:
+            (popped if span.trace_id == trace_id else kept).append(span)
+        self.spans[:] = kept
+        return popped
 
     def to_dicts(self) -> list[dict]:
         """Finished spans as JSON-serialisable dicts, completion order."""

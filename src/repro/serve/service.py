@@ -56,6 +56,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import time
+from contextlib import nullcontext
 
 import numpy as np
 
@@ -71,6 +72,7 @@ from repro.errors import (
     ReproError,
 )
 from repro.metrics.lp import validate_p
+from repro.obs.trace_context import new_request_id
 from repro.obs.tracer import Span
 from repro.serve.sharding import MmapShardSpec, pack_shard, plan_shards
 from repro.serve.worker import worker_main
@@ -127,6 +129,9 @@ class _WaveObs:
         self.ops = [0] * n_shards
         self.roundtrips: list[list[float]] = [[] for _ in range(n_shards)]
         self.spans: list[list[dict]] = [[] for _ in range(n_shards)]
+        #: Trace context of the wave's root span (None when unsampled);
+        #: shipped on round payloads so workers parent their spans to it.
+        self.trace = None
 
     def add_delta(self, sid: int, delta: dict) -> None:
         self.rows[sid] += int(delta.get("rows", 0))
@@ -593,17 +598,33 @@ class ShardedSearchService:
 
     def _catch_up(self, shard_ids: list[int]) -> None:
         """Replay the update log to the given (freshly spawned) shards."""
+        tracer = (
+            self.telemetry.tracer if self.telemetry is not None else None
+        )
+        # Catch-up spans only join an already-open trace (a traced wave's
+        # repair or a sampled ingest); untraced repairs open no spans.
+        traced = tracer is not None and tracer.current_context() is not None
         for sid in shard_ids:
-            for j, delta in enumerate(self._update_log):
-                if (
-                    self._test_kill_during_catchup == sid and j == 1
-                ):  # deterministic mid-catch-up death (test hook)
-                    self._test_kill_during_catchup = None
-                    self._send(sid, self._next_op(), "crash", None)
-                    self._procs[sid].join(timeout=5)
-                op_id = self._next_op()
-                self._send(sid, op_id, "update", delta)
-                self._recv(sid, op_id)
+            cm = (
+                tracer.span(
+                    "serve.catch_up",
+                    shard=sid,
+                    records=len(self._update_log),
+                )
+                if traced
+                else nullcontext()
+            )
+            with cm:
+                for j, delta in enumerate(self._update_log):
+                    if (
+                        self._test_kill_during_catchup == sid and j == 1
+                    ):  # deterministic mid-catch-up death (test hook)
+                        self._test_kill_during_catchup = None
+                        self._send(sid, self._next_op(), "crash", None)
+                        self._procs[sid].join(timeout=5)
+                    op_id = self._next_op()
+                    self._send(sid, op_id, "update", delta)
+                    self._recv(sid, op_id)
 
     def _crash_worker(
         self, shard_id: int, after_rounds: int | None = None
@@ -720,7 +741,22 @@ class ShardedSearchService:
             self.epoch += 1
             self.acked_lsn = lsn
             self.updates_applied += 1
-            self._ship(delta)
+            ictx = (
+                self.telemetry.maybe_sample_context()
+                if self.telemetry is not None
+                else None
+            )
+            if ictx is not None:
+                # WAL catch-up gets its own head-sampled trace, so live
+                # ingest is inspectable under /trace without leaking
+                # legacy spans on the unsampled fast path.
+                with self.telemetry.tracer.span(
+                    "serve.ingest", context=ictx, lsn=lsn, op=record.op
+                ):
+                    self._ship(delta)
+                self.telemetry.finish_trace(ictx)
+            else:
+                self._ship(delta)
             applied += 1
         return applied
 
@@ -756,6 +792,9 @@ class ShardedSearchService:
         cap: float | None = None,
         radius: float | None = None,
         telemetry=None,
+        request_id: str | None = None,
+        trace_context=None,
+        deadline_ms: float | None = None,
     ) -> SearchResult:
         """Answer one ``Np(q, k, c)`` query across all shards.
 
@@ -764,6 +803,9 @@ class ShardedSearchService:
         same overload as :meth:`LazyLSH.knn`.  The request's ``engine``
         field is ignored (the service always runs its distributed flat
         plan); ``metrics`` lists are rejected, as on ``LazyLSH.knn``.
+        ``request_id``/``trace_context``/``deadline_ms`` (or the same
+        fields of the SearchRequest) opt the query into distributed
+        tracing and the advisory deadline — see :meth:`search_batch`.
         """
         if isinstance(query, SearchRequest):
             if k is not None:
@@ -783,6 +825,9 @@ class ShardedSearchService:
             p = request.p
             cap = request.cap
             radius = request.radius
+            request_id = request.request_id
+            trace_context = request.trace_context
+            deadline_ms = request.deadline_ms
         elif k is None:
             raise InvalidParameterError(
                 "k is required when not passing a SearchRequest"
@@ -790,7 +835,8 @@ class ShardedSearchService:
         query = self.index._check_query(query)
         return self.search_batch(
             query[None, :], k, p=p, cap=cap, radius=radius,
-            telemetry=telemetry,
+            telemetry=telemetry, request_id=request_id,
+            trace_context=trace_context, deadline_ms=deadline_ms,
         )[0]
 
     def search_batch(
@@ -802,6 +848,9 @@ class ShardedSearchService:
         cap: float | None = None,
         radius: float | None = None,
         telemetry=None,
+        request_id: str | None = None,
+        trace_context=None,
+        deadline_ms: float | None = None,
     ) -> list[SearchResult]:
         """Answer a ``(m, d)`` matrix of queries as one synchronised wave.
 
@@ -811,6 +860,14 @@ class ShardedSearchService:
         :class:`~repro.api.SearchRequest` whose ``query`` is a matrix.
         Returns one :class:`~repro.api.SearchResult` per row, each with
         the per-shard random-I/O breakdown in ``shard_io``.
+
+        Tracing (DESIGN §13): a sampled ``trace_context`` — supplied by
+        the caller or minted by the telemetry's head sampler — makes the
+        wave a distributed trace: the coordinator's root span id rides
+        the round payloads, workers open ``worker.round`` child spans
+        under it, and the finished tree lands in the telemetry's trace
+        store under one trace id.  ``deadline_ms`` is advisory: results
+        stay bit-identical, overruns are flagged/counted.
         """
         if self._closed:
             raise ReproError("service is closed")
@@ -832,6 +889,9 @@ class ShardedSearchService:
             p = request.p
             cap = request.cap
             radius = request.radius
+            request_id = request.request_id
+            trace_context = request.trace_context
+            deadline_ms = request.deadline_ms
         elif k is None:
             raise InvalidParameterError(
                 "k is required when not passing a SearchRequest"
@@ -870,19 +930,60 @@ class ShardedSearchService:
         hashes = index._bank.hash_points(queries)  # one matmul for the wave
         if telemetry is None:
             telemetry = self.telemetry  # service-level fallback
+        start = time.monotonic() if deadline_ms is not None else 0.0
         if telemetry is None:
-            return self._execute(
+            ctx = (
+                trace_context
+                if trace_context is not None and trace_context.sampled
+                else None
+            )
+            results = self._execute(
                 queries, k, p, params, cap_value, delta0, hashes, None
             )
-        with telemetry.tracer.span(
-            "serve.search_batch",
-            shards=self.n_shards,
-            queries=int(queries.shape[0]),
-            k=k,
-        ):
-            return self._execute(
-                queries, k, p, params, cap_value, delta0, hashes, telemetry
-            )
+        else:
+            ctx = telemetry.maybe_sample_context(trace_context)
+            if ctx is None:
+                # Untraced request: no spans are opened anywhere on the
+                # wave path (tracing-off overhead must stay ~zero and
+                # legacy spans must not pile up in a long-lived service).
+                results = self._execute(
+                    queries, k, p, params, cap_value, delta0, hashes,
+                    telemetry,
+                )
+            else:
+                if request_id is None:
+                    request_id = new_request_id()
+                with telemetry.tracer.span(
+                    "serve.search_batch",
+                    context=ctx,
+                    shards=self.n_shards,
+                    queries=int(queries.shape[0]),
+                    k=k,
+                ) as span:
+                    span.set(request_id=request_id)
+                    results = self._execute(
+                        queries, k, p, params, cap_value, delta0, hashes,
+                        telemetry,
+                    )
+                telemetry.finish_trace(ctx)
+        if request_id is not None or ctx is not None:
+            for result in results:
+                result.request_id = request_id
+                if ctx is not None:
+                    result.trace_id = ctx.trace_id
+        if deadline_ms is not None:
+            elapsed = time.monotonic() - start
+            if elapsed * 1000.0 > deadline_ms:
+                for result in results:
+                    result.deadline_exceeded = True
+                if telemetry is not None:
+                    telemetry.note_deadline_overrun(
+                        deadline_ms=deadline_ms,
+                        elapsed_seconds=elapsed,
+                        where="serve.search_batch",
+                        request_id=request_id,
+                    )
+        return results
 
     # ------------------------------------------------------------------
     # Wave execution
@@ -916,6 +1017,10 @@ class ShardedSearchService:
             self._wave_obs = (
                 _WaveObs(self.n_shards) if telemetry is not None else None
             )
+            if self._wave_obs is not None:
+                # Root span of the wave (opened by search_batch); workers
+                # parent their round spans under it.
+                self._wave_obs.trace = telemetry.tracer.current_context()
             try:
                 self._run_wave(runs)
                 break
@@ -938,26 +1043,34 @@ class ShardedSearchService:
         # and telemetry (an aborted attempt leaves no residue).
         if telemetry is not None and wave_obs is not None:
             self._merge_wave_obs(telemetry, wave_obs)
+        merge_cm = (
+            telemetry.tracer.span("serve.merge", queries=len(runs))
+            if telemetry is not None
+            and wave_obs is not None
+            and wave_obs.trace is not None
+            else nullcontext()
+        )
         results = []
-        for run in runs:
-            result = self._finish_run(run)
-            self.index.io_stats.merge(run.io)
-            if telemetry is not None:
-                result.trace = run.trace.finish(
-                    termination=run.reason,
-                    io=run.io,
-                    candidates=run.n_cand,
-                )
-                telemetry.record(result.trace, shard_io=result.shard_io)
-            if self.auditor is not None:
-                self.auditor.observe(
-                    run.query,
-                    k=run.k,
-                    p=run.p,
-                    ids=result.ids,
-                    distances=result.distances,
-                )
-            results.append(result)
+        with merge_cm:
+            for run in runs:
+                result = self._finish_run(run)
+                self.index.io_stats.merge(run.io)
+                if telemetry is not None:
+                    result.trace = run.trace.finish(
+                        termination=run.reason,
+                        io=run.io,
+                        candidates=run.n_cand,
+                    )
+                    telemetry.record(result.trace, shard_io=result.shard_io)
+                if self.auditor is not None:
+                    self.auditor.observe(
+                        run.query,
+                        k=run.k,
+                        p=run.p,
+                        ids=result.ids,
+                        distances=result.distances,
+                    )
+                results.append(result)
         self.queries_served += len(runs)
         return results
 
@@ -980,6 +1093,14 @@ class ShardedSearchService:
             "lazylsh_wave_replays_total",
             "Query waves replayed after a worker-death repair",
         ).inc()
+        recorder = getattr(telemetry, "flight_recorder", None)
+        if recorder is not None:
+            recorder.trigger(
+                "worker_respawn",
+                shards=list(respawned),
+                restarts=self.restarts,
+                replays=self.replays,
+            )
 
     def _merge_wave_obs(self, telemetry, wave_obs: _WaveObs) -> None:
         """Fold one successful wave's per-shard buffer into telemetry.
@@ -1067,11 +1188,14 @@ class ShardedSearchService:
                     r.cur_los = base * width
                     r.cur_his = r.cur_los + width - 1
             requests = [(r.qid, r.cur_los, r.cur_his) for r in active]
-            payload = (
-                requests
-                if self._wave_obs is None
-                else {"requests": requests, "obs": True}
-            )
+            if self._wave_obs is None:
+                payload = requests
+            else:
+                payload = {"requests": requests, "obs": True}
+                if self._wave_obs.trace is not None:
+                    # W3C-style propagation over the pipe: workers open
+                    # child spans under the wave's root span.
+                    payload["trace"] = self._wave_obs.trace.to_dict()
             replies = self._broadcast("round", payload)
             for r in active:
                 self._merge_round(r, [reply[r.qid] for reply in replies])

@@ -79,6 +79,7 @@ import numpy as np
 
 from repro.metrics.lp import lp_distance
 from repro.obs.registry import MetricsRegistry
+from repro.obs.trace_context import TraceContext
 from repro.obs.tracer import SpanTracer
 from repro.serve.sharding import (
     MmapShardSpec,
@@ -737,24 +738,37 @@ def worker_main(conn, spec: ShardSpec | MmapShardSpec) -> None:
             elif op == "round":
                 requests = payload
                 ship_obs = False
+                wave_ctx = None
                 if isinstance(payload, dict):
                     requests = payload["requests"]
                     ship_obs = bool(payload.get("obs", False))
+                    raw_ctx = payload.get("trace")
+                    if raw_ctx is not None:
+                        # The coordinator's wave-root span context: this
+                        # round's span becomes its child in the shared
+                        # distributed trace (DESIGN §13).
+                        wave_ctx = TraceContext.from_dict(raw_ctx)
                 if crash_in_rounds is not None:
                     crash_in_rounds -= 1
                     if crash_in_rounds <= 0:
                         os._exit(1)
                 if ship_obs:
-                    with tracer.span(
-                        "worker.round",
-                        shard=searcher.shard_id,
-                        queries=len(requests),
-                    ) as span:
+                    if wave_ctx is not None:
+                        with tracer.span(
+                            "worker.round",
+                            context=wave_ctx,
+                            shard=searcher.shard_id,
+                            queries=len(requests),
+                        ) as span:
+                            result = searcher.round(requests)
+                            span.set(
+                                rows=searcher.rows_scanned - shipped_rows,
+                                crossings=searcher.crossings
+                                - shipped_crossings,
+                            )
+                    else:
+                        # Untraced wave: no span, zero tracing overhead.
                         result = searcher.round(requests)
-                        span.set(
-                            rows=searcher.rows_scanned - shipped_rows,
-                            crossings=searcher.crossings - shipped_crossings,
-                        )
                     d_rows = searcher.rows_scanned - shipped_rows
                     d_crossings = searcher.crossings - shipped_crossings
                     shipped_rows = searcher.rows_scanned

@@ -183,6 +183,26 @@ class InvertedListStore:
             "mapped_bytes": int(mapped),
         }
 
+    def mapped_arrays(self) -> dict[str, np.ndarray]:
+        """File-backed run arrays by name (empty for the eager backend).
+
+        The ops plane probes these regions with ``mincore(2)`` to
+        publish page-cache residency gauges.
+        """
+        named = {
+            "values": self._values,
+            "ids": self._ids,
+            "ids32": self._ids32_flat,
+            "rel32": self._rel32,
+            "row_top": self._row_top,
+            "keys": self._keys,
+        }
+        return {
+            name: arr
+            for name, arr in named.items()
+            if isinstance(arr, np.memmap)
+        }
+
     # ------------------------------------------------------------------
     # Flat-layout internals
     # ------------------------------------------------------------------

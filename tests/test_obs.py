@@ -18,12 +18,15 @@ from repro.obs import (
     TERMINATION_CAP,
     TERMINATION_K_WITHIN,
     MetricsRegistry,
+    ObsExporter,
     QueryTraceBuilder,
     SpanTracer,
     TraceSchemaError,
     get_default_registry,
+    histogram_quantile,
     load_spans_jsonl,
     load_traces_jsonl,
+    parse_prometheus_text,
     validate_trace_dict,
     write_traces_jsonl,
 )
@@ -358,3 +361,143 @@ class TestNoOpGuard:
         index, split = obs_index
         knn_batch(index, split.queries, 5, 0.5)
         assert index.store.observer is None
+
+
+class TestParsePrometheusText:
+    """Round-trip and edge cases of the scrape-side exposition parser."""
+
+    def test_escaped_label_values_round_trip(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("esc_total", "escape torture test")
+        counter.inc(3, path='a"b', note="line1\nline2", sep="back\\slash")
+        samples = parse_prometheus_text(registry.render_prometheus())
+        labels, value = samples["esc_total"][0]
+        assert value == 3.0
+        assert labels == {
+            "path": 'a"b',
+            "note": "line1\nline2",
+            "sep": "back\\slash",
+        }
+
+    def test_empty_family_yields_no_samples(self):
+        text = (
+            "# HELP empty_total documented but never incremented\n"
+            "# TYPE empty_total counter\n"
+            "# HELP other_total has a sample\n"
+            "# TYPE other_total counter\n"
+            "other_total 2\n"
+        )
+        samples = parse_prometheus_text(text)
+        assert "empty_total" not in samples
+        assert samples["other_total"] == [({}, 2.0)]
+
+    def test_blank_lines_and_comments_skipped(self):
+        samples = parse_prometheus_text("\n# just a comment\n\nm_total 1\n")
+        assert samples == {"m_total": [({}, 1.0)]}
+
+    def test_inf_values(self):
+        samples = parse_prometheus_text('g{le="+Inf"} +Inf\nh 2\n')
+        assert samples["g"][0][1] == float("inf")
+
+    def test_malformed_sample_line_raises(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_prometheus_text("not a metric line!!!\n")
+
+    def test_malformed_label_set_raises(self):
+        with pytest.raises(ValueError, match="malformed label"):
+            parse_prometheus_text("m_total{oops} 1\n")
+
+
+class TestHistogramQuantileEdges:
+    """PromQL-mirror quantile estimation on degenerate bucket layouts."""
+
+    def test_inf_only_bucket_returns_none(self):
+        # All mass in +Inf: there is no finite bound to interpolate to.
+        assert histogram_quantile([({"le": "+Inf"}, 5.0)], 0.5) is None
+
+    def test_zero_count_buckets_return_none(self):
+        samples = [
+            ({"le": "0.1"}, 0.0),
+            ({"le": "1"}, 0.0),
+            ({"le": "+Inf"}, 0.0),
+        ]
+        assert histogram_quantile(samples, 0.99) is None
+
+    def test_empty_sample_list_returns_none(self):
+        assert histogram_quantile([], 0.5) is None
+
+    def test_mass_above_last_finite_bound_clamps(self):
+        samples = [({"le": "0.5"}, 1.0), ({"le": "+Inf"}, 10.0)]
+        assert histogram_quantile(samples, 0.99) == 0.5
+
+    def test_flat_prefix_does_not_divide_by_zero(self):
+        samples = [
+            ({"le": "0.1"}, 4.0),
+            ({"le": "0.5"}, 4.0),
+            ({"le": "+Inf"}, 4.0),
+        ]
+        assert histogram_quantile(samples, 0.5) == pytest.approx(0.05)
+
+    def test_label_matching_selects_series(self):
+        samples = [
+            ({"le": "1", "engine": "flat"}, 10.0),
+            ({"le": "+Inf", "engine": "flat"}, 10.0),
+            ({"le": "1", "engine": "scalar"}, 0.0),
+            ({"le": "+Inf", "engine": "scalar"}, 0.0),
+        ]
+        assert (
+            histogram_quantile(samples, 0.5, match_labels={"engine": "flat"})
+            is not None
+        )
+        assert (
+            histogram_quantile(
+                samples, 0.5, match_labels={"engine": "scalar"}
+            )
+            is None
+        )
+
+
+class TestConcurrentScrapes:
+    """The ThreadingHTTPServer exporter must survive parallel scrapers."""
+
+    def test_parallel_scrapes_are_parseable(self):
+        import threading
+        import urllib.request
+
+        registry = MetricsRegistry()
+        counter = registry.counter("scrape_total", "mutated during scrapes")
+        exporter = ObsExporter(registry).start()
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def mutate():
+            while not stop.is_set():
+                counter.inc(label="a")
+                counter.inc(label="b")
+
+        def scrape():
+            try:
+                for _ in range(20):
+                    with urllib.request.urlopen(
+                        exporter.url + "/metrics", timeout=5
+                    ) as fh:
+                        assert fh.status == 200
+                        parse_prometheus_text(fh.read().decode())
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        writer = threading.Thread(target=mutate, daemon=True)
+        scrapers = [
+            threading.Thread(target=scrape, daemon=True) for _ in range(4)
+        ]
+        writer.start()
+        try:
+            for thread in scrapers:
+                thread.start()
+            for thread in scrapers:
+                thread.join(timeout=30)
+        finally:
+            stop.set()
+            writer.join(timeout=5)
+            exporter.stop()
+        assert not errors

@@ -18,7 +18,7 @@ from repro.errors import (
     InvalidParameterError,
     ReproError,
 )
-from repro.obs import parse_prometheus_text
+from repro.obs import TraceContext, TraceStore, parse_prometheus_text
 from repro.obs.query_trace import validate_trace_dict
 from repro.persistence import load_index, save_index
 from repro.serve import ShardedSearchService, plan_shards
@@ -165,17 +165,33 @@ class TestTelemetry:
             assert ds["termination"] == df["termination"]
 
     def test_spans_and_metrics_recorded(self, built_index, small_split):
+        # Spans only open for traced requests; untraced waves pay zero
+        # tracing overhead.  Request a trace explicitly and read the
+        # finished spans from the trace store.
+        store = TraceStore(capacity=4)
+        telemetry = Telemetry(trace_store=store)
+        ctx = TraceContext.new()
+        with ShardedSearchService(built_index, n_shards=2) as svc:
+            svc.search_batch(
+                small_split.queries[:2],
+                5,
+                p=0.8,
+                telemetry=telemetry,
+                trace_context=ctx,
+            )
+        spans = store.get(ctx.trace_id)
+        assert spans is not None
+        assert any(span["name"] == "serve.search_batch" for span in spans)
+        rendered = telemetry.metrics_text()
+        assert 'engine="sharded"' in rendered
+
+    def test_untraced_wave_opens_no_spans(self, built_index, small_split):
         telemetry = Telemetry()
         with ShardedSearchService(built_index, n_shards=2) as svc:
             svc.search_batch(
                 small_split.queries[:2], 5, p=0.8, telemetry=telemetry
             )
-        assert any(
-            span.name == "serve.search_batch"
-            for span in telemetry.tracer.spans
-        )
-        rendered = telemetry.metrics_text()
-        assert 'engine="sharded"' in rendered
+        assert telemetry.tracer.spans == []
 
 
 class TestFleetTelemetry:
@@ -184,10 +200,16 @@ class TestFleetTelemetry:
     def test_every_shard_reports_counters_and_spans(
         self, built_index, small_split
     ):
-        telemetry = Telemetry()
+        store = TraceStore(capacity=4)
+        telemetry = Telemetry(trace_store=store)
+        ctx = TraceContext.new()
         with ShardedSearchService(built_index, n_shards=4) as svc:
             svc.search_batch(
-                small_split.queries[:4], 5, p=0.8, telemetry=telemetry
+                small_split.queries[:4],
+                5,
+                p=0.8,
+                telemetry=telemetry,
+                trace_context=ctx,
             )
         samples = parse_prometheus_text(telemetry.metrics_text())
         shards = {str(s) for s in range(4)}
@@ -204,17 +226,20 @@ class TestFleetTelemetry:
             for lbl, v in samples["lazylsh_shard_rows_scanned_total"]
         )
         assert all(v > 0 for v in rows.values())
-        # Worker-side spans were shipped over the pipe and rehydrated
-        # into the coordinator's tracer, tagged with their shard.
+        # Worker-side spans were shipped over the pipe, rehydrated into
+        # the coordinator's tracer, and published to the trace store
+        # when the trace finished — tagged with their shard.
+        spans = store.get(ctx.trace_id)
+        assert spans is not None
         worker_spans = [
             s
-            for s in telemetry.tracer.spans
-            if s.attributes.get("origin") == "worker"
+            for s in spans
+            if s["attributes"].get("origin") == "worker"
         ]
         assert worker_spans
-        assert all(s.name == "worker.round" for s in worker_spans)
+        assert all(s["name"] == "worker.round" for s in worker_spans)
         assert {
-            str(s.attributes["shard"]) for s in worker_spans
+            str(s["attributes"]["shard"]) for s in worker_spans
         } == shards
         # Pipe round-trip latency is observed per wave round.
         assert any(

@@ -35,7 +35,7 @@ def _evaluate(engine, name: str, p: float, size_mb: float) -> list:
     true_ids, true_dists = ground_truth(DATASET, K, p)
     ratios, recalls, ios = [], [], []
     for qi, query in enumerate(split.queries):
-        result = engine.knn(query, K, p)
+        result = engine.knn(query, K, p=p)
         if result.ids.size < K:
             # Pad missing results with the worst possible outcome so the
             # comparison never silently favours engines returning less.

@@ -70,7 +70,7 @@ def _traced_run(index, split, workload: dict, flat, t_flat: float, out_path: Pat
     k, p = workload["k"], workload["p"]
     telemetry = Telemetry()
     traced, t_traced = time_knn_batch(
-        index, split.queries, k, p, telemetry=telemetry
+        index, split.queries, k, p=p, telemetry=telemetry
     )
     if len(telemetry.traces) != len(traced.results):
         raise AssertionError(
@@ -113,8 +113,8 @@ def run(workload: dict, out_path: Path, trace: bool = False) -> dict:
     index.metric_params(p)  # warm the offline parameter tables
 
     with Timer() as t_scalar:
-        scalar = knn_batch(index, split.queries, k, p, engine="scalar")
-    flat, t_flat = time_knn_batch(index, split.queries, k, p)
+        scalar = knn_batch(index, split.queries, k, p=p, engine="scalar")
+    flat, t_flat = time_knn_batch(index, split.queries, k, p=p)
 
     same_results, same_io = _results_match(scalar.results, flat.results)
     if not same_results:

@@ -28,7 +28,7 @@ def run() -> list[ResultTable]:
         for k in K_SWEEP:
             row = [k]
             for p in P_VALUES:
-                ios = [index.knn(q, k, p).io.total for q in split.queries]
+                ios = [index.knn(q, k, p=p).io.total for q in split.queries]
                 row.append(round(float(np.mean(ios))))
             table.add_row(row)
         tables.append(table)

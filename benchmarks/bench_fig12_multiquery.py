@@ -27,13 +27,13 @@ def run() -> list[ResultTable]:
         # All query points of a column run through the flat engine in one
         # round-synchronised knn_batch call; per-query I/O is identical to
         # issuing the queries one at a time.
-        singles = [r.io.total for r in knn_batch(index, split.queries, K, 0.5)]
+        singles = [r.io.total for r in knn_batch(index, split.queries, K, p=0.5)]
         batches = [
             r.io.total
             for r in knn_batch(index, split.queries, K, metrics=P_SWEEP)
         ]
         per_metric = [
-            knn_batch(index, split.queries, K, p).results for p in P_SWEEP
+            knn_batch(index, split.queries, K, p=p).results for p in P_SWEEP
         ]
         separates = [
             sum(runs[j].io.total for runs in per_metric)

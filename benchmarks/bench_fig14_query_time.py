@@ -43,7 +43,7 @@ def run() -> list[ResultTable]:
             index.metric_params(p)
         # Each column runs the whole query workload through one flat-engine
         # knn_batch call; reported times are per query.
-        _, t_single = time_knn_batch(index, split.queries, K, 0.5)
+        _, t_single = time_knn_batch(index, split.queries, K, p=0.5)
         _, t_multi = time_knn_batch(index, split.queries, K, metrics=P_SWEEP)
         table.add_row(
             [
@@ -56,11 +56,11 @@ def run() -> list[ResultTable]:
     scan_single, scan_multi = [], []
     for query in split.queries:
         with Timer() as t_single:
-            scan.knn(query, K, 0.5)
+            scan.knn(query, K, p=0.5)
         scan_single.append(t_single.seconds)
         with Timer() as t_multi:
             for p in P_SWEEP:
-                scan.knn(query, K, p)
+                scan.knn(query, K, p=p)
         scan_multi.append(t_multi.seconds)
     table.add_row(
         [

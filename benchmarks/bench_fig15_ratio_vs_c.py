@@ -40,7 +40,7 @@ def run() -> list[ResultTable]:
         for p in P_SWEEP:
             _, true_dists = truth[p]
             ratios = [
-                overall_ratio(index.knn(q, K, p).distances, true_dists[qi])
+                overall_ratio(index.knn(q, K, p=p).distances, true_dists[qi])
                 for qi, q in enumerate(split.queries)
             ]
             row.append(round(float(np.mean(ratios)), 4))

@@ -46,7 +46,7 @@ def run() -> list[ResultTable]:
             lazy_times.append(t_lazy.seconds)
             with Timer() as t_scan:
                 for p in P_SWEEP:
-                    scan.knn(query, K, p)
+                    scan.knn(query, K, p=p)
             scan_times.append(t_scan.seconds)
         table.add_row(
             [

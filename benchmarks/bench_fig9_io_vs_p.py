@@ -24,7 +24,7 @@ K = 100
 def _avg_io(engine, name: str, p: float) -> float:
     split = dataset_split(name)
     return float(
-        np.mean([engine.knn(q, K, p).io.total for q in split.queries])
+        np.mean([engine.knn(q, K, p=p).io.total for q in split.queries])
     )
 
 

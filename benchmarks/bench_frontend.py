@@ -1,0 +1,343 @@
+"""HTTP front door under open-loop load: QPS, tail latency, coalescing.
+
+Drives the :class:`~repro.serve.Frontend` (DESIGN §14) the way a client
+fleet would — fixed-rate *open-loop* arrivals over real HTTP, so queue
+wait shows up in the latency numbers instead of being hidden by a
+closed-loop client that only sends when the previous answer is back:
+
+* **Identity check** — a burst of concurrent requests (duplicates,
+  shared-query-point/different-``p`` groups, singletons) must return
+  ids/distances bit-identical to issuing each request alone through
+  ``ShardedSearchService.search``.  The run aborts on any divergence, so
+  the throughput numbers below are for *correct* coalescing only.
+* **Open-loop sweep** — requests arrive at a fixed offered rate for a
+  fixed duration, drawn from a pool with a hot subset (repeats exercise
+  the result cache).  Reported per offered rate: sustained
+  ``queries_per_second``, arrival-to-response ``p50_seconds`` /
+  ``p99_seconds``, the coalesce ratio (requests answered per index
+  scan), the cache hit rate and the 429 shed count.
+
+Run ``--smoke`` for the seconds-scale CI version (writes
+``BENCH_frontend.smoke.json``); the full run writes
+``BENCH_frontend.json``.  Both feed ``compare.py --baseline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro import LazyLSH, LazyLSHConfig, ShardedSearchService
+from repro.serve import Frontend
+
+SEED = 7
+
+FULL = {
+    "n": 8_000,
+    "d": 16,
+    "shards": 2,
+    "k": 10,
+    "metrics": (0.5, 0.8, 1.0),
+    "coalesce_ms": 2.0,
+    "max_pending": 256,
+    "cache_capacity": 1024,
+    "pool_size": 64,
+    "hot_queries": 8,
+    "hot_fraction": 0.4,
+    "offered_qps": (50.0, 200.0, 400.0),
+    "duration_seconds": 10.0,
+    "identity_requests": 24,
+}
+SMOKE = {
+    "n": 1_200,
+    "d": 12,
+    "shards": 2,
+    "k": 5,
+    "metrics": (0.5, 1.0),
+    "coalesce_ms": 2.0,
+    "max_pending": 256,
+    "cache_capacity": 256,
+    "pool_size": 16,
+    "hot_queries": 4,
+    "hot_fraction": 0.4,
+    "offered_qps": (80.0,),
+    "duration_seconds": 3.0,
+    "identity_requests": 12,
+}
+
+
+def _post(url: str, body: dict, timeout: float = 30.0) -> tuple[int, dict]:
+    data = json.dumps(body).encode()
+    request = urllib.request.Request(
+        url, data=data,
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _get(url: str, timeout: float = 30.0) -> dict:
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+def _wire(query: np.ndarray, k: int, p: float) -> dict:
+    return {"v": 1, "query": query.tolist(), "k": k, "p": float(p)}
+
+
+def check_identity(
+    frontend: Frontend,
+    service: ShardedSearchService,
+    queries: np.ndarray,
+    workload: dict,
+) -> dict:
+    """Concurrent mixed burst == one-by-one ``service.search``, bitwise.
+
+    The burst interleaves (a) one query point asked under every metric
+    (the Sec 4.3 multi-metric merge), (b) exact duplicates (wave dedup +
+    cache) and (c) distinct singletons, all in flight together.
+    """
+    k = workload["k"]
+    metrics = workload["metrics"]
+    bodies: list[dict] = []
+    shared = queries[0]
+    for p in metrics:  # (a) shared point, several metrics
+        bodies.append(_wire(shared, k, p))
+    while len(bodies) < workload["identity_requests"]:
+        row = queries[len(bodies) % len(queries)]
+        bodies.append(_wire(row, k, metrics[len(bodies) % len(metrics)]))
+    url = frontend.url + "/v1/search"
+    with ThreadPoolExecutor(max_workers=len(bodies)) as pool:
+        responses = list(pool.map(lambda b: _post(url, b), bodies))
+    coalesced = 0
+    for body, (status, payload) in zip(bodies, responses):
+        if status != 200:
+            raise AssertionError(f"identity request failed: {payload}")
+        reference = service.search(
+            np.asarray(body["query"]), body["k"], p=body["p"]
+        )
+        if payload["ids"] != [int(i) for i in reference.ids] or payload[
+            "distances"
+        ] != [float(d) for d in reference.distances]:
+            raise AssertionError(
+                f"coalesced answer diverged for p={body['p']}: "
+                f"{payload['ids']} vs {list(reference.ids)}"
+            )
+        coalesced += bool(payload.get("coalesced") or payload.get("cached"))
+    return {
+        "requests": len(bodies),
+        "shared_scans": coalesced,
+        "identical": True,
+    }
+
+
+def run_open_loop(
+    frontend: Frontend,
+    queries: np.ndarray,
+    workload: dict,
+    offered_qps: float,
+) -> dict:
+    """Fire requests at a fixed offered rate; report what came back."""
+    rng = np.random.default_rng(SEED + int(offered_qps))
+    k = workload["k"]
+    metrics = workload["metrics"]
+    hot = workload["hot_queries"]
+    url = frontend.url + "/v1/search"
+    total = max(1, int(offered_qps * workload["duration_seconds"]))
+    interval = 1.0 / offered_qps
+    latencies: list[float] = []
+    statuses: dict[int, int] = {}
+    cached = coalesced = 0
+    lock = threading.Lock()
+
+    def one(body: dict) -> None:
+        nonlocal cached, coalesced
+        t0 = time.perf_counter()
+        try:
+            status, payload = _post(url, body)
+        except (urllib.error.URLError, TimeoutError, OSError):
+            status, payload = -1, {}
+        elapsed = time.perf_counter() - t0
+        with lock:
+            statuses[status] = statuses.get(status, 0) + 1
+            if status == 200:
+                latencies.append(elapsed)
+                cached += bool(payload.get("cached"))
+                coalesced += bool(payload.get("coalesced"))
+
+    stats_before = _get(frontend.url + "/v1/stats")
+    # Open loop: a dispatcher submits on schedule regardless of how many
+    # responses are outstanding; slow service => growing in-flight set
+    # (up to the admission bound), exactly like independent clients.
+    pool = ThreadPoolExecutor(max_workers=min(128, workload["max_pending"]))
+    start = time.perf_counter()
+    for i in range(total):
+        target = start + i * interval
+        delay = target - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        if rng.random() < workload["hot_fraction"]:
+            row = queries[int(rng.integers(hot))]
+        else:
+            row = queries[int(rng.integers(len(queries)))]
+        p = metrics[int(rng.integers(len(metrics)))]
+        pool.submit(one, _wire(row, k, p))
+    pool.shutdown(wait=True)
+    wall = time.perf_counter() - start
+    stats_after = _get(frontend.url + "/v1/stats")
+
+    ok = statuses.get(200, 0)
+    shed = statuses.get(429, 0)
+    scans = stats_after["scans"] - stats_before["scans"]
+    scanned = (
+        stats_after["scanned_requests"] - stats_before["scanned_requests"]
+    )
+    hits = stats_after["cache"]["hits"] - stats_before["cache"]["hits"]
+    misses = stats_after["cache"]["misses"] - stats_before["cache"]["misses"]
+    ordered = sorted(latencies)
+
+    def quantile(q: float) -> float:
+        if not ordered:
+            return 0.0
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    return {
+        "offered_qps": offered_qps,
+        "requests": total,
+        "wall_seconds": wall,
+        "completed": ok,
+        "rejected_429": shed,
+        "errors": sum(
+            count for status, count in statuses.items()
+            if status not in (200, 429)
+        ),
+        "queries_per_second": ok / wall if wall else 0.0,
+        "p50_seconds": quantile(0.50),
+        "p99_seconds": quantile(0.99),
+        "mean_seconds": (sum(ordered) / len(ordered)) if ordered else 0.0,
+        "coalesce_ratio": (scanned / scans) if scans else 0.0,
+        "cache_hit_rate": (
+            hits / (hits + misses) if (hits + misses) else 0.0
+        ),
+        "counters": {
+            "scans": scans,
+            "scanned_requests": scanned,
+            "cache_hits": hits,
+            "coalesced_responses": coalesced,
+            "cached_responses": cached,
+        },
+    }
+
+
+def run_report(workload: dict) -> dict:
+    rng = np.random.default_rng(SEED)
+    data = rng.uniform(0, 100, (workload["n"], workload["d"]))
+    index = LazyLSH(
+        LazyLSHConfig(
+            c=3.0, p_min=0.5, seed=SEED,
+            mc_samples=20_000, mc_buckets=100,
+        )
+    ).build(data)
+    queries = data[rng.integers(len(data), size=workload["pool_size"])]
+    report: dict = {
+        "workload": {
+            key: list(value) if isinstance(value, tuple) else value
+            for key, value in workload.items()
+        },
+        "seed": SEED,
+        "python": platform.python_version(),
+    }
+    with ShardedSearchService(
+        index, n_shards=workload["shards"]
+    ) as service, Frontend(
+        service,
+        coalesce_ms=workload["coalesce_ms"],
+        max_pending=workload["max_pending"],
+        cache_capacity=workload["cache_capacity"],
+    ) as frontend:
+        report["identity"] = check_identity(
+            frontend, service, queries, workload
+        )
+        report["rates"] = [
+            run_open_loop(frontend, queries, workload, qps)
+            for qps in workload["offered_qps"]
+        ]
+    return report
+
+
+def _print_summary(report: dict) -> None:
+    identity = report["identity"]
+    print(
+        f"identity: {identity['requests']} concurrent requests "
+        f"bit-identical ({identity['shared_scans']} shared a scan/cache)"
+    )
+    for row in report["rates"]:
+        print(
+            f"offered {row['offered_qps']:7.1f} qps | sustained "
+            f"{row['queries_per_second']:7.1f} qps | p50 "
+            f"{row['p50_seconds'] * 1e3:7.2f} ms  p99 "
+            f"{row['p99_seconds'] * 1e3:7.2f} ms | coalesce "
+            f"{row['coalesce_ratio']:5.2f}x | cache hit "
+            f"{row['cache_hit_rate']:5.1%} | shed {row['rejected_429']}"
+        )
+
+
+def run():
+    """run_all.py hook: smoke-scale run rendered as a table."""
+    from repro.eval.harness import ResultTable
+
+    report = run_report(SMOKE)
+    table = ResultTable(
+        "HTTP front door under open-loop load (smoke scale)",
+        [
+            "offered qps", "sustained qps", "p50 ms", "p99 ms",
+            "coalesce", "cache hit", "shed",
+        ],
+    )
+    for row in report["rates"]:
+        table.add_row(
+            [
+                f"{row['offered_qps']:.0f}",
+                f"{row['queries_per_second']:.1f}",
+                f"{row['p50_seconds'] * 1e3:.2f}",
+                f"{row['p99_seconds'] * 1e3:.2f}",
+                f"{row['coalesce_ratio']:.2f}x",
+                f"{row['cache_hit_rate']:.1%}",
+                str(row["rejected_429"]),
+            ]
+        )
+    return [table]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-scale CI version (writes BENCH_frontend.smoke.json)",
+    )
+    args = parser.parse_args()
+    workload = SMOKE if args.smoke else FULL
+    report = run_report(workload)
+    name = "BENCH_frontend.smoke.json" if args.smoke else "BENCH_frontend.json"
+    out_path = Path(__file__).parent / "results" / name
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    _print_summary(report)
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -85,7 +85,7 @@ def run_5c() -> ResultTable:
         index = LazyLSH(cfg).build(split.data)
         ios, ratios = [], []
         for qi, query in enumerate(split.queries):
-            result = index.knn(query, 100, 0.5)
+            result = index.knn(query, 100, p=0.5)
             ios.append(result.io.total)
             ratios.append(overall_ratio(result.distances, true_dists[qi]))
         table.add_row(

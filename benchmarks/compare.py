@@ -1,7 +1,7 @@
 """Diff two sets of ``BENCH_*.json`` artifacts and flag regressions.
 
 The perf benches (``bench_serve``, ``bench_mmap``, ``bench_wal``,
-``bench_batch_knn``) emit machine-readable JSON into
+``bench_batch_knn``, ``bench_frontend``) emit machine-readable JSON into
 ``benchmarks/results/``.  This tool compares a baseline set against a
 candidate set -- typically an old checkout's results directory against a
 new one -- and reports time / IO / RSS deltas per metric path:
@@ -52,6 +52,7 @@ _HIGHER_TOKENS = (
     "efficiency",
     "recall",
     "hit",
+    "coalesce",
 )
 
 #: Path components that are workload / configuration descriptors, never

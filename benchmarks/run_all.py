@@ -46,6 +46,7 @@ MODULES = [
     "bench_ablation_storage",
     "bench_ablation_all_baselines",
     "bench_mmap",
+    "bench_frontend",
 ]
 
 

@@ -45,7 +45,7 @@ def main() -> None:
         for engine_name, engine in (("LazyLSH", lazy), ("C2LSH", c2)):
             ratios, recalls, ios = [], [], []
             for qi, query in enumerate(split.queries):
-                result = engine.knn(query, K, p)
+                result = engine.knn(query, K, p=p)
                 ratios.append(overall_ratio(result.distances, true_dists[qi]))
                 recalls.append(recall_at_k(result.ids, true_ids[qi]))
                 ios.append(result.io.total)

@@ -32,11 +32,11 @@ def main() -> None:
     )
     for qi, query in enumerate(split.queries):
         separate = sum(
-            index.knn(query, K, p).io.total for p in P_VALUES
+            index.knn(query, K, p=p).io.total for p in P_VALUES
         )
         with Timer() as timer:
-            batch = engine.knn(query, K, P_VALUES)
-        single = index.knn(query, K, 0.5)
+            batch = engine.knn(query, K, metrics=P_VALUES)
+        single = index.knn(query, K, p=0.5)
         table.add_row(
             [
                 qi,

@@ -36,7 +36,7 @@ def main() -> None:
 
     # Batched multi-metric querying shares I/O (Section 4.3).
     engine = MultiQueryEngine(index)
-    batch = engine.knn(query, k=10, p_values=[0.5, 0.6, 0.7, 0.8, 0.9, 1.0])
+    batch = engine.knn(query, k=10, metrics=[0.5, 0.6, 0.7, 0.8, 0.9, 1.0])
     single = index.knn(query, k=10, p=0.5)
     print(
         f"\nmulti-query (6 metrics): {batch.io.total} I/Os vs "

@@ -32,8 +32,11 @@ from repro.errors import (
     DimensionalityMismatchError,
     IndexNotBuiltError,
     InvalidParameterError,
+    OverloadedError,
     ReproError,
+    ServiceUnhealthyError,
     UnsupportedMetricError,
+    WireFormatError,
 )
 from repro.metrics.lp import lp_distance, lp_distance_matrix, lp_norm
 from repro.obs import (
@@ -45,7 +48,7 @@ from repro.obs import (
     SpanTracer,
     Telemetry,
 )
-from repro.serve import ShardedSearchService
+from repro.serve import Frontend, ShardedSearchService
 from repro.storage.io_stats import IOStats
 
 __version__ = "1.0.0"
@@ -55,6 +58,7 @@ __all__ = [
     "DatasetError",
     "DimensionalityMismatchError",
     "DurableIndex",
+    "Frontend",
     "GuaranteeAuditor",
     "IOStats",
     "IndexNotBuiltError",
@@ -67,18 +71,21 @@ __all__ = [
     "MultiQueryEngine",
     "MultiQueryResult",
     "ObsExporter",
+    "OverloadedError",
     "ParameterEngine",
     "QueryTrace",
     "RangeResult",
     "ReproError",
     "SearchRequest",
     "SearchResult",
+    "ServiceUnhealthyError",
     "ShardedSearchService",
     "SlowQueryLog",
     "SpanTracer",
     "Telemetry",
     "UnsupportedMetricError",
     "WalFeed",
+    "WireFormatError",
     "WriteAheadLog",
     "aggregate_io",
     "knn_batch",

@@ -23,6 +23,7 @@ layer can import it without cycles.
 
 from __future__ import annotations
 
+import os
 import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
@@ -30,11 +31,37 @@ from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
 import numpy as np
 
 from repro._typing import IdArray
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, WireFormatError
 from repro.storage.io_stats import IOStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.query_trace import QueryTrace
+
+#: Version stamped on (and required in) every wire-encoded request and
+#: response body.  Bump only with a new, co-served schema — the wire
+#: contract outlives any one frontend.
+WIRE_VERSION = 1
+
+#: The complete key set of a v1 wire request.  ``from_dict`` rejects
+#: anything else: strict schemas make client typos loud (a silently
+#: ignored ``"K"`` would be a wrong answer, not an error).
+_WIRE_REQUEST_KEYS = frozenset(
+    (
+        "v",
+        "query",
+        "k",
+        "p",
+        "metrics",
+        "cap",
+        "radius",
+        "engine",
+        "request_id",
+        "trace_context",
+        "deadline_ms",
+    )
+)
+
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
 
 
 def _coerce_trace_context(value: Any) -> Any:
@@ -140,8 +167,26 @@ class SearchRequest:
             raise InvalidParameterError(
                 "radius override is only supported for single-metric searches"
             )
-        if self.request_id is not None and not str(self.request_id).strip():
-            raise InvalidParameterError("request_id must be non-empty")
+        try:
+            query = np.asarray(self.query, dtype=np.float64)
+        except (TypeError, ValueError):
+            raise InvalidParameterError(
+                "query must be a numeric vector or matrix"
+            ) from None
+        if query.ndim not in (1, 2) or query.size == 0:
+            raise InvalidParameterError(
+                f"query must be a non-empty vector or (m, d) matrix, got "
+                f"shape {query.shape}"
+            )
+        if not np.all(np.isfinite(query)):
+            raise InvalidParameterError("query contains non-finite values")
+        object.__setattr__(self, "query", query)
+        if self.request_id is not None:
+            rid = str(self.request_id)
+            if not rid or set(rid) - _HEX_DIGITS:
+                raise InvalidParameterError(
+                    f"request_id must be a non-empty hex string, got {rid!r}"
+                )
         if self.trace_context is not None:
             object.__setattr__(
                 self, "trace_context", _coerce_trace_context(self.trace_context)
@@ -150,6 +195,101 @@ class SearchRequest:
             raise InvalidParameterError(
                 f"deadline_ms must be > 0, got {self.deadline_ms}"
             )
+
+    # -- versioned wire codec (DESIGN §14) -----------------------------
+
+    def to_dict(self) -> dict:
+        """The v1 wire form (the HTTP request body, JSON-serialisable).
+
+        Always carries ``"v"``, ``"query"``, ``"k"``, ``"engine"`` and
+        either ``"metrics"`` or ``"p"`` (``p`` is ignored when a metrics
+        list is present, so only one of the two is emitted); optional
+        knobs appear only when set.  ``from_dict`` round-trips the
+        output exactly.
+        """
+        record: dict[str, Any] = {
+            "v": WIRE_VERSION,
+            "query": np.asarray(self.query, dtype=np.float64).tolist(),
+            "k": int(self.k),
+            "engine": self.engine,
+        }
+        if self.metrics is not None:
+            record["metrics"] = [float(p) for p in self.metrics]
+        else:
+            record["p"] = float(self.p)
+        if self.cap is not None:
+            record["cap"] = float(self.cap)
+        if self.radius is not None:
+            record["radius"] = float(self.radius)
+        if self.request_id is not None:
+            record["request_id"] = str(self.request_id)
+        if self.trace_context is not None:
+            record["trace_context"] = self.trace_context.to_traceparent()
+        if self.deadline_ms is not None:
+            record["deadline_ms"] = float(self.deadline_ms)
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Any) -> "SearchRequest":
+        """Decode one v1 wire request (strict).
+
+        Raises :class:`~repro.errors.WireFormatError` on structural
+        problems — a non-dict body, unknown keys, missing ``v``/
+        ``query``/``k``, or an unsupported version — and lets the
+        constructor's domain validation
+        (:class:`~repro.errors.InvalidParameterError`) handle the rest.
+        Unknown keys are rejected rather than ignored so schema typos
+        fail loudly instead of silently changing the query.
+        """
+        if not isinstance(record, dict):
+            raise WireFormatError(
+                f"request body must be a JSON object, got "
+                f"{type(record).__name__}"
+            )
+        unknown = set(record) - _WIRE_REQUEST_KEYS
+        if unknown:
+            raise WireFormatError(
+                f"unknown request field(s): {sorted(unknown)}; "
+                f"v{WIRE_VERSION} accepts {sorted(_WIRE_REQUEST_KEYS)}"
+            )
+        if "v" not in record:
+            raise WireFormatError("request is missing the version field 'v'")
+        if record["v"] != WIRE_VERSION:
+            raise WireFormatError(
+                f"unsupported wire version {record['v']!r}; this server "
+                f"speaks v{WIRE_VERSION}"
+            )
+        missing = [key for key in ("query", "k") if key not in record]
+        if missing:
+            raise WireFormatError(
+                f"request is missing required field(s): {missing}"
+            )
+        metrics = record.get("metrics")
+        if metrics is not None:
+            try:
+                metrics = tuple(float(p) for p in metrics)
+            except (TypeError, ValueError):
+                raise WireFormatError(
+                    f"metrics must be a list of numbers, got {metrics!r}"
+                ) from None
+        try:
+            k = int(record["k"])
+        except (TypeError, ValueError):
+            raise WireFormatError(
+                f"k must be an integer, got {record['k']!r}"
+            ) from None
+        return cls(
+            query=record["query"],
+            k=k,
+            p=float(record.get("p", 1.0)),
+            metrics=metrics,
+            cap=record.get("cap"),
+            radius=record.get("radius"),
+            engine=record.get("engine", "flat"),
+            request_id=record.get("request_id"),
+            trace_context=record.get("trace_context"),
+            deadline_ms=record.get("deadline_ms"),
+        )
 
 
 @dataclass
@@ -185,6 +325,7 @@ class SearchResult:
     def to_dict(self) -> dict:
         """JSON-serialisable form (used by the CLI and the service)."""
         record = {
+            "v": WIRE_VERSION,
             "ids": [int(i) for i in self.ids],
             "distances": [float(d) for d in self.distances],
             "p": self.p,
@@ -241,12 +382,34 @@ def aggregate_io(parts) -> IOStats:
     return total
 
 
+def strict_api_enabled() -> bool:
+    """True when ``REPRO_STRICT_API=1``: deprecations become errors.
+
+    Checked at call time (not import time) so a test suite can flip the
+    environment variable per test.  Any value other than the empty
+    string or ``"0"`` enables strict mode.
+    """
+    return os.environ.get("REPRO_STRICT_API", "0") not in ("", "0")
+
+
+def warn_deprecated(message: str, *, stacklevel: int = 3) -> None:
+    """Emit a DeprecationWarning, or raise it under ``REPRO_STRICT_API=1``.
+
+    The strict-mode error is :class:`~repro.errors.InvalidParameterError`
+    so HTTP callers see a 400 (``invalid_parameter``), not a 500.
+    """
+    if strict_api_enabled():
+        raise InvalidParameterError(
+            f"{message} (rejected because REPRO_STRICT_API=1)"
+        )
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel + 1)
+
+
 def warn_positional(callable_name: str, replacement: str) -> None:
-    """Emit the shared deprecation warning for legacy positional args."""
-    warnings.warn(
+    """Flag legacy positional args: warn, or error under strict mode."""
+    warn_deprecated(
         f"passing {replacement} to {callable_name} positionally is "
         f"deprecated; use the keyword form ({replacement}=...) or a "
         "SearchRequest",
-        DeprecationWarning,
         stacklevel=3,
     )

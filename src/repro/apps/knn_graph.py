@@ -63,7 +63,7 @@ def build_knn_graph(
     graph.add_nodes_from(range(index.num_rows))
     alive_ids = np.flatnonzero(index._alive)
     for u in alive_ids:
-        result = index.knn(index.data[u], fetch, p)
+        result = index.knn(index.data[u], fetch, p=p)
         added = 0
         for v, dist in zip(result.ids, result.distances):
             if not include_self and int(v) == int(u):

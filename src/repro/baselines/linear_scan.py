@@ -104,4 +104,4 @@ class LinearScan:
         self, queries: PointMatrix, k: int, p: float = 1.0
     ) -> list[ScanResult]:
         """Exact kNN for each row of ``queries``."""
-        return [self.knn(q, k, p) for q in np.atleast_2d(queries)]
+        return [self.knn(q, k, p=p) for q in np.atleast_2d(queries)]

@@ -32,7 +32,9 @@ Commands
     service, answer a query workload through it and print the merged
     results plus per-shard service stats as JSON.  ``--metrics-port``
     additionally starts the ops exporter (``/metrics``, ``/healthz``,
-    ``/slowlog``) and ``--audit-rate`` the online guarantee auditor.
+    ``/slowlog``), ``--audit-rate`` the online guarantee auditor, and
+    ``--http-port`` the async HTTP front door (``POST /v1/search`` with
+    request coalescing and an epoch-invalidated result cache).
 
 ``top``
     Live one-screen operations view: polls a running exporter's
@@ -439,7 +441,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         latency_sli,
     )
     from repro.obs.telemetry import LATENCY_BUCKETS
-    from repro.serve import ShardedSearchService
+    from repro.serve import Frontend, ShardedSearchService
 
     feed = None
     base_lsn = 0
@@ -481,6 +483,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             "`query` or knn_batch(metrics=...) for multi-metric runs)"
         )
     ops_plane = args.metrics_port is not None
+    frontend = None
     telemetry = auditor = exporter = slowlog = None
     trace_store = flight = slo = paging = None
     if ops_plane:
@@ -612,6 +615,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
                       f"{exporter.url}/healthz {exporter.url}/slowlog "
                       f"{exporter.url}/trace",
                       file=sys.stderr)
+            if args.http_port is not None:
+                frontend = Frontend(
+                    service,
+                    port=args.http_port,
+                    coalesce_ms=args.coalesce_ms,
+                    max_pending=args.max_pending,
+                    cache_capacity=args.cache_capacity,
+                    registry=(
+                        telemetry.registry if telemetry is not None else None
+                    ),
+                ).start()
+                print(
+                    f"http front door: POST {frontend.url}/v1/search "
+                    f"(GET {frontend.url}/v1/health "
+                    f"{frontend.url}/v1/stats)",
+                    file=sys.stderr,
+                )
             with timer:
                 results = service.search_batch(queries, args.k, p=metrics[0])
             if auditor is not None:
@@ -632,6 +652,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 report["slo"] = slo.tick()
                 report["flight"] = flight.stats()
                 report["traces"] = trace_store.stats()
+            if frontend is not None:
+                report["frontend"] = frontend.stats()
             if args.linger:
                 print(
                     f"serving ops endpoints for {args.linger:g}s "
@@ -642,7 +664,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 try:
                     while time.monotonic() < deadline:
                         if feed is not None:
-                            applied = service.ingest(feed.poll())
+                            # Through the front door so its result cache
+                            # sees the epoch bump (same call when no
+                            # --http-port: Frontend.ingest delegates).
+                            sink = (
+                                frontend if frontend is not None else service
+                            )
+                            applied = sink.ingest(feed.poll())
                             if applied:
                                 print(
                                     f"applied {applied} WAL records "
@@ -661,7 +689,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
                             time.sleep(step)
                 except KeyboardInterrupt:
                     pass
+                if frontend is not None:
+                    # Re-snapshot: include the traffic served while
+                    # lingering, not just the warm-up batch.
+                    report["frontend"] = frontend.stats()
     finally:
+        if frontend is not None:
+            frontend.stop()
         if exporter is not None:
             exporter.stop()
         if auditor is not None:
@@ -1149,6 +1183,34 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="start the ops exporter (/metrics /healthz /slowlog) on this "
         "port (0 = OS-assigned)",
+    )
+    p_serve.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        help="start the async HTTP front door (POST /v1/search, "
+        "GET /v1/health /v1/stats) on this port (0 = OS-assigned); "
+        "pair with --linger to keep it up",
+    )
+    p_serve.add_argument(
+        "--coalesce-ms",
+        type=float,
+        default=2.0,
+        help="front-door batching window in ms (concurrent requests "
+        "arriving within it share one index scan)",
+    )
+    p_serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help="front-door admission bound; requests beyond it get 429",
+    )
+    p_serve.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=1024,
+        help="front-door result-cache entries (LRU, invalidated by WAL "
+        "epoch; 0 = off)",
     )
     p_serve.add_argument(
         "--audit-rate",

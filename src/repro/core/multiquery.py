@@ -25,14 +25,13 @@ paper reports (Figure 12):
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
 from repro._typing import PointVector
-from repro.api import SearchRequest, warn_positional
+from repro.api import SearchRequest, warn_deprecated, warn_positional
 from repro.core.engine import (
     TERMINATION_CAP,
     TERMINATION_K_WITHIN,
@@ -224,10 +223,9 @@ class MultiQueryEngine:
                     raise InvalidParameterError(
                         "pass either metrics or p_values, not both"
                     )
-                warnings.warn(
+                warn_deprecated(
                     "the p_values argument of MultiQueryEngine.knn is "
                     "deprecated; use metrics=...",
-                    DeprecationWarning,
                     stacklevel=2,
                 )
                 metrics = p_values

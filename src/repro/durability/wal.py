@@ -85,6 +85,8 @@ _FSYNC_BUCKETS = (
 class WalCorruptionError(ReproError):
     """Acknowledged WAL history is unreadable (non-tail corruption)."""
 
+    code = "wal_corruption"
+
 
 @dataclass(frozen=True)
 class WalRecord:

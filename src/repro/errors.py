@@ -3,17 +3,50 @@
 Every error raised by :mod:`repro` derives from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while
 still letting programming errors (``TypeError`` etc.) propagate.
+
+Error taxonomy
+--------------
+
+Every class carries a stable, machine-readable :attr:`ReproError.code`
+(snake_case, never renamed once shipped).  The HTTP front door maps codes
+to status codes (see ``repro.serve.frontend.HTTP_STATUS_BY_CODE``):
+invalid-request codes become 400, :class:`OverloadedError` 429,
+:class:`ServiceUnhealthyError` 503 and everything else 500.  Wire error
+bodies are ``{"v": 1, "error": {"code": ..., "message": ...}}`` —
+clients should dispatch on ``code``, never on the human-readable message.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the :mod:`repro` library."""
+    """Base class for all errors raised by the :mod:`repro` library.
+
+    :attr:`code` is the stable machine-readable identifier of the error
+    class; subclasses override it once and never change it afterwards
+    (it is part of the wire API).
+    """
+
+    code: str = "internal"
 
 
 class InvalidParameterError(ReproError, ValueError):
     """A configuration or query parameter is outside its valid domain."""
+
+    code = "invalid_parameter"
+
+
+class WireFormatError(ReproError, ValueError):
+    """A wire-encoded request/response body violates the versioned schema.
+
+    Raised by the :meth:`repro.api.SearchRequest.from_dict` codec on
+    unknown keys, missing required keys, or an unsupported ``"v"`` —
+    deliberately distinct from :class:`InvalidParameterError` so clients
+    can tell "your JSON is malformed" from "your parameters are out of
+    domain".
+    """
+
+    code = "wire_format"
 
 
 class UnsupportedMetricError(ReproError, ValueError):
@@ -28,14 +61,43 @@ class UnsupportedMetricError(ReproError, ValueError):
     R^128 with c = 2).
     """
 
+    code = "unsupported_metric"
+
 
 class IndexNotBuiltError(ReproError, RuntimeError):
     """A query was issued against an index whose ``build`` was never run."""
+
+    code = "index_not_built"
 
 
 class DimensionalityMismatchError(ReproError, ValueError):
     """A query vector's dimensionality differs from the indexed data's."""
 
+    code = "dimensionality_mismatch"
+
 
 class DatasetError(ReproError, ValueError):
     """A dataset generator was asked for an unknown dataset or bad shape."""
+
+    code = "dataset_error"
+
+
+class OverloadedError(ReproError):
+    """The serving front door's admission queue is full (HTTP 429).
+
+    Backpressure, not failure: the request was rejected *before* any
+    index work happened, so the client should retry after a backoff.
+    """
+
+    code = "overloaded"
+
+
+class ServiceUnhealthyError(ReproError):
+    """The shard fleet behind the front door is unhealthy (HTTP 503).
+
+    Raised when :meth:`~repro.serve.ShardedSearchService.health` reports
+    ``healthy: false`` (a dead worker, a closed service) — the request
+    was not attempted.
+    """
+
+    code = "unhealthy"

@@ -144,7 +144,7 @@ def time_knn_batch(
             index,
             queries,
             k,
-            p,
+            p=p,
             metrics=metrics,
             engine=engine,
             share_pages=share_pages,

@@ -57,7 +57,7 @@ class KnnClassifier:
         if self._retriever is None:
             ids, _dists = exact_knn(self._points, query[None, :], k, p)
             return ids[0]
-        result = self._retriever.knn(query, k, p)
+        result = self._retriever.knn(query, k, p=p)
         return np.asarray(result.ids)
 
     def predict_one(self, query: np.ndarray, k: int = 1, p: float = 1.0):

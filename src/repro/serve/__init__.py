@@ -8,6 +8,8 @@ to the single-process engine's (see ``repro.serve.service`` for the
 argument).
 
 Entry points: :class:`ShardedSearchService` (the coordinator),
+:class:`Frontend` (the async HTTP front door with admission control,
+request coalescing and an epoch-invalidated result cache),
 :func:`plan_shards`/:func:`pack_shard`/:func:`attach_shard` (shard
 layout and shared-memory plumbing), :func:`worker_main` (the worker
 process body) and :func:`run_serve_benchmark` (the honest-numbers
@@ -15,6 +17,7 @@ benchmark behind ``repro bench-serve``).
 """
 
 from repro.serve.bench import run_serve_benchmark
+from repro.serve.frontend import HTTP_STATUS_BY_CODE, Frontend
 from repro.serve.service import ShardedSearchService, default_shards
 from repro.serve.sharding import (
     MmapShardSpec,
@@ -27,6 +30,8 @@ from repro.serve.sharding import (
 from repro.serve.worker import MmapShardSearcher, ShardSearcher, worker_main
 
 __all__ = [
+    "Frontend",
+    "HTTP_STATUS_BY_CODE",
     "MmapShardSearcher",
     "MmapShardSpec",
     "ShardSearcher",

@@ -1,0 +1,758 @@
+"""Async HTTP front door over :class:`~repro.serve.ShardedSearchService`.
+
+:class:`Frontend` is the serving layer's network edge: an asyncio
+HTTP/1.1 server (stdlib only, own event loop on a daemon thread — the
+same start/stop lifecycle as :class:`~repro.obs.ObsExporter`) speaking
+the versioned v1 wire API of :mod:`repro.api`.  Three mechanisms sit
+between the socket and the shard fleet (DESIGN §14):
+
+* **Admission control.**  At most ``max_pending`` search requests may be
+  in flight; the next one is rejected with HTTP 429
+  (:class:`~repro.errors.OverloadedError`) *before* any index work
+  happens, so overload sheds cheaply at the edge.  An unhealthy fleet
+  (dead worker, closed service) rejects with 503 without attempting the
+  query.  Deadlines (``deadline_ms``) are stamped from each request's
+  *arrival* time, so queue wait counts against the budget.
+* **Request coalescing.**  Admitted requests buffer for up to
+  ``coalesce_ms``; each flush plans one batch.  Identical single-metric
+  requests dedup to one wave row, requests sharing ``(k, p, cap,
+  radius)`` ride one ``search_batch`` wave, and requests sharing a query
+  point but differing in ``p`` merge into one Section 4.3 multi-metric
+  scan (:class:`~repro.core.MultiQueryEngine`) whose per-metric parts
+  fan back to their requesters.  Every path returns ids/distances
+  bit-identical to issuing the request alone through
+  :meth:`~repro.serve.ShardedSearchService.search` (the batch wave and
+  the shared scan are both pinned bit-identical to the single-process
+  engine).
+* **Result caching.**  An LRU keyed by the query's *base bucket* (its
+  integer hash vector at ``delta_0`` — one matmul, no index scan) plus
+  the exact query digest and tuning knobs.  Entries remember the service
+  epoch they were computed at; :meth:`Frontend.ingest` routes WAL
+  records into the service, whose epoch bump invalidates every older
+  entry on its next lookup.  A hit is served without touching the shard
+  fleet at all.
+
+The service's re-entrant ``lock`` serialises the frontend's plan
+execution (on a single worker thread) against any other caller, so the
+event loop never blocks on index work and the pipe protocol stays
+single-threaded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.api import WIRE_VERSION, SearchRequest, SearchResult
+from repro.core.multiquery import MultiQueryEngine
+from repro.errors import (
+    InvalidParameterError,
+    OverloadedError,
+    ReproError,
+    ServiceUnhealthyError,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.telemetry import LATENCY_BUCKETS
+
+#: Error ``code`` → HTTP status.  Codes missing here are server faults
+#: (500).  The mapping is append-only: a shipped code never changes its
+#: status class.
+HTTP_STATUS_BY_CODE = {
+    "invalid_parameter": 400,
+    "wire_format": 400,
+    "unsupported_metric": 400,
+    "dimensionality_mismatch": 400,
+    "dataset_error": 400,
+    "overloaded": 429,
+    "unhealthy": 503,
+    "index_not_built": 503,
+}
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024  # a 1M-dim float64 query is ~8 MB of JSON
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def error_body(code: str, message: str) -> dict:
+    """The v1 wire error envelope for one error ``code``."""
+    return {"v": WIRE_VERSION, "error": {"code": code, "message": message}}
+
+
+@dataclass
+class _Pending:
+    """One admitted search request waiting for its batch to execute."""
+
+    request: SearchRequest
+    future: asyncio.Future
+    arrival: float
+    cache_hit: bool = False
+    coalesced: bool = False
+
+
+@dataclass
+class _CacheEntry:
+    epoch: int
+    result: SearchResult
+
+
+@dataclass
+class _PlanStats:
+    """What one flush actually did (feeds the coalescing metrics)."""
+
+    requests: int = 0
+    waves: int = 0
+    multi_scans: int = 0
+    cache_hits: int = 0
+    deduped: int = 0
+    groups: list = field(default_factory=list)
+
+
+class Frontend:
+    """Asyncio HTTP front door: admission, coalescing, caching.
+
+    Parameters
+    ----------
+    service:
+        A running :class:`~repro.serve.ShardedSearchService`.
+    host / port:
+        Bind address; ``port=0`` picks a free port (read it back off
+        :attr:`port` after :meth:`start`).
+    coalesce_ms:
+        Batching window: the first request of a batch waits at most this
+        long for company before the flush.  ``0`` flushes on the next
+        loop tick (batching then only happens under concurrency).
+    max_pending:
+        Admission bound — requests in flight beyond it are rejected
+        with 429.
+    cache_capacity:
+        Result-cache entries (LRU).  ``0`` disables caching.
+    registry:
+        Metrics registry to instrument; defaults to the service
+        telemetry's registry when present, else a private one.
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        coalesce_ms: float = 2.0,
+        max_pending: int = 256,
+        cache_capacity: int = 1024,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if coalesce_ms < 0:
+            raise InvalidParameterError(
+                f"coalesce_ms must be >= 0, got {coalesce_ms}"
+            )
+        if max_pending < 1:
+            raise InvalidParameterError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        if cache_capacity < 0:
+            raise InvalidParameterError(
+                f"cache_capacity must be >= 0, got {cache_capacity}"
+            )
+        self.service = service
+        self.host = host
+        self._requested_port = int(port)
+        self.coalesce_ms = float(coalesce_ms)
+        self.max_pending = int(max_pending)
+        self.cache_capacity = int(cache_capacity)
+        if registry is None:
+            telemetry = getattr(service, "telemetry", None)
+            registry = (
+                telemetry.registry if telemetry is not None
+                else MetricsRegistry()
+            )
+        self.registry = registry
+        self._cache: OrderedDict[tuple, _CacheEntry] = OrderedDict()
+        self._queue: list[_Pending] = []
+        self._flush_scheduled = False
+        self._inflight = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._thread: threading.Thread | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._port = 0
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        # Sec 4.3 shared-scan engine over the coordinator's index copy;
+        # only usable under query-centric rehashing.
+        try:
+            self._multi = MultiQueryEngine(service.index)
+        except InvalidParameterError:
+            self._multi = None
+        reg = self.registry
+        self._m_requests = reg.counter(
+            "lazylsh_frontend_http_requests_total",
+            "HTTP requests by status code",
+        )
+        self._m_queue_depth = reg.gauge(
+            "lazylsh_frontend_queue_depth",
+            "Search requests admitted and not yet answered",
+        )
+        self._m_rejected = reg.counter(
+            "lazylsh_frontend_rejected_total",
+            "Search requests shed by admission control (429)",
+        )
+        self._m_coalesced = reg.counter(
+            "lazylsh_frontend_coalesced_requests_total",
+            "Admitted search requests that shared an index scan",
+        )
+        self._m_waves = reg.counter(
+            "lazylsh_frontend_scans_total",
+            "Index scans issued (batch waves + multi-metric scans)",
+        )
+        self._m_scanned_requests = reg.counter(
+            "lazylsh_frontend_scanned_requests_total",
+            "Search requests answered by an index scan (cache misses)",
+        )
+        self._m_cache_hits = reg.counter(
+            "lazylsh_frontend_cache_hits_total",
+            "Search requests served from the result cache",
+        )
+        self._m_cache_misses = reg.counter(
+            "lazylsh_frontend_cache_misses_total",
+            "Search requests that missed the result cache",
+        )
+        self._m_batch_size = reg.histogram(
+            "lazylsh_frontend_batch_size",
+            "Admitted requests per coalescing flush",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+        )
+        self._m_latency = reg.histogram(
+            "lazylsh_frontend_request_latency_seconds",
+            "Arrival-to-response latency of search requests",
+            buckets=LATENCY_BUCKETS,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle (exporter-style: own loop on a daemon thread)
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    @property
+    def port(self) -> int:
+        """The bound port (0 until started)."""
+        return self._port
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running front door."""
+        return f"http://{self.host}:{self._port}"
+
+    def start(self) -> "Frontend":
+        """Bind and serve on a daemon thread (idempotent)."""
+        if self._thread is not None:
+            return self
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-frontend-plan"
+        )
+        self._started.clear()
+        self._startup_error = None
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-frontend", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            error = self._startup_error
+            self.stop()
+            raise error
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and join the loop thread (idempotent)."""
+        thread, loop = self._thread, self._loop
+        if loop is not None and thread is not None and thread.is_alive():
+            loop.call_soon_threadsafe(loop.stop)
+        if thread is not None:
+            thread.join(timeout=10)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        self._thread = None
+        self._loop = None
+        self._server = None
+        self._executor = None
+        self._port = 0
+
+    def __enter__(self) -> "Frontend":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            server = loop.run_until_complete(
+                asyncio.start_server(
+                    self._handle_conn, self.host, self._requested_port
+                )
+            )
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._server = server
+        self._port = server.sockets[0].getsockname()[1]
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            server.close()
+            loop.run_until_complete(server.wait_closed())
+            # Fail any requests still waiting for a flush.
+            for item in self._queue:
+                if not item.future.done():
+                    item.future.set_exception(
+                        ReproError("front door stopped")
+                    )
+            self._queue = []
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    # ------------------------------------------------------------------
+    # Maintenance API (called from any thread)
+    # ------------------------------------------------------------------
+
+    def ingest(self, records) -> int:
+        """Apply WAL records to the fleet; the epoch bump invalidates
+        every cache entry computed before it (checked lazily on lookup).
+        """
+        return self.service.ingest(records)
+
+    def stats(self) -> dict:
+        """Frontend counters plus the service's own stats."""
+        scans = self._m_waves.total()
+        scanned = self._m_scanned_requests.total()
+        hits = self._m_cache_hits.total()
+        misses = self._m_cache_misses.total()
+        looked_up = hits + misses
+        return {
+            "requests": {
+                entry["labels"].get("code", ""): int(entry["value"])
+                for entry in self._m_requests.to_dict()["values"]
+            },
+            "queue_depth": int(self._m_queue_depth.value()),
+            "max_pending": self.max_pending,
+            "coalesce_ms": self.coalesce_ms,
+            "rejected": int(self._m_rejected.total()),
+            "scans": int(scans),
+            "scanned_requests": int(scanned),
+            "coalesced_requests": int(self._m_coalesced.total()),
+            # >1.0 means scans are being shared across requests.
+            "coalesce_ratio": (scanned / scans) if scans else 0.0,
+            "cache": {
+                "capacity": self.cache_capacity,
+                "entries": len(self._cache),
+                "hits": int(hits),
+                "misses": int(misses),
+                "hit_rate": (hits / looked_up) if looked_up else 0.0,
+            },
+            "service": self.service.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                try:
+                    method, target, _version = (
+                        request_line.decode("latin-1").split(None, 2)
+                    )
+                except ValueError:
+                    await self._respond(
+                        writer, 400,
+                        error_body("wire_format", "malformed request line"),
+                    )
+                    break
+                headers = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                try:
+                    length = int(headers.get("content-length", "0"))
+                except ValueError:
+                    length = -1
+                if length < 0 or length > _MAX_BODY_BYTES:
+                    await self._respond(
+                        writer, 413,
+                        error_body(
+                            "wire_format",
+                            f"content-length must be an integer in "
+                            f"[0, {_MAX_BODY_BYTES}]",
+                        ),
+                    )
+                    break
+                body = await reader.readexactly(length) if length else b""
+                status, payload = await self._dispatch(method, target, body)
+                keep = headers.get("connection", "").lower() != "close"
+                await self._respond(writer, status, payload, keep_alive=keep)
+                if not keep:
+                    break
+        except (
+            asyncio.IncompleteReadError, ConnectionError, TimeoutError
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - races
+                pass
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        *,
+        keep_alive: bool = False,
+    ) -> None:
+        self._m_requests.inc(code=status)
+        body = json.dumps(payload).encode()
+        reason = _REASONS.get(status, "Unknown")
+        connection = "keep-alive" if keep_alive else "close"
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, dict]:
+        path = target.split("?", 1)[0]
+        try:
+            if path == "/v1/search":
+                if method != "POST":
+                    return 405, error_body(
+                        "method_not_allowed", "use POST /v1/search"
+                    )
+                return await self._handle_search(body)
+            if path == "/v1/health":
+                if method != "GET":
+                    return 405, error_body(
+                        "method_not_allowed", "use GET /v1/health"
+                    )
+                report = self.service.health()
+                return (200 if report.get("healthy") else 503), report
+            if path == "/v1/stats":
+                if method != "GET":
+                    return 405, error_body(
+                        "method_not_allowed", "use GET /v1/stats"
+                    )
+                return 200, self.stats()
+            return 404, error_body("not_found", f"unknown path {path!r}")
+        except ReproError as exc:
+            return self._error_response(exc)
+        except Exception as exc:  # noqa: BLE001 - the edge must not drop
+            return 500, error_body("internal", f"{type(exc).__name__}: {exc}")
+
+    def _error_response(self, exc: ReproError) -> tuple[int, dict]:
+        status = HTTP_STATUS_BY_CODE.get(exc.code, 500)
+        return status, error_body(exc.code, str(exc))
+
+    # ------------------------------------------------------------------
+    # Search path: admit → coalesce → execute → fan back
+    # ------------------------------------------------------------------
+
+    async def _handle_search(self, body: bytes) -> tuple[int, dict]:
+        arrival = time.monotonic()
+        try:
+            record = json.loads(body.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, error_body("wire_format", f"invalid JSON body: {exc}")
+        request = SearchRequest.from_dict(record)
+        if request.metrics is not None:
+            raise InvalidParameterError(
+                "the front door answers one metric per request; issue one "
+                "request per p (concurrent requests sharing a query point "
+                "are merged into one multi-metric scan server-side)"
+            )
+        if np.asarray(request.query).ndim != 1:
+            raise InvalidParameterError(
+                "the front door answers one query point per request"
+            )
+        # Admission control: shed before any index work.
+        if self._inflight >= self.max_pending:
+            self._m_rejected.inc()
+            raise OverloadedError(
+                f"front door at capacity ({self.max_pending} requests "
+                "in flight); retry after a backoff"
+            )
+        if self.service._closed:
+            raise ServiceUnhealthyError("the sharded service is closed")
+        self._inflight += 1
+        self._m_queue_depth.set(self._inflight)
+        loop = asyncio.get_running_loop()
+        item = _Pending(request, loop.create_future(), arrival)
+        self._queue.append(item)
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            loop.call_later(self.coalesce_ms / 1000.0, self._flush)
+        try:
+            result = await item.future
+        finally:
+            self._inflight -= 1
+            self._m_queue_depth.set(self._inflight)
+        elapsed = time.monotonic() - arrival
+        self._m_latency.observe(elapsed)
+        payload = result.to_dict()
+        if request.request_id is not None:
+            payload["request_id"] = request.request_id
+        payload["cached"] = item.cache_hit
+        payload["coalesced"] = item.coalesced
+        if request.deadline_ms is not None:
+            overrun = elapsed * 1000.0 > request.deadline_ms
+            payload["deadline_exceeded"] = bool(
+                overrun or payload.get("deadline_exceeded", False)
+            )
+            telemetry = getattr(self.service, "telemetry", None)
+            if overrun and telemetry is not None:
+                telemetry.note_deadline_overrun(
+                    deadline_ms=request.deadline_ms,
+                    elapsed_seconds=elapsed,
+                    where="serve.frontend",
+                    request_id=request.request_id,
+                )
+        return 200, payload
+
+    def _flush(self) -> None:
+        """Coalescing-window timer fired: hand the batch to the planner."""
+        self._flush_scheduled = False
+        items, self._queue = self._queue, []
+        if not items:
+            return
+        loop = self._loop
+        assert loop is not None and self._executor is not None
+        self._m_batch_size.observe(len(items))
+        future = loop.run_in_executor(
+            self._executor, self._execute_plan, items
+        )
+
+        def _on_done(fut: "asyncio.Future") -> None:
+            exc = fut.exception()
+            if exc is None:
+                return
+            for item in items:  # plan-level fault: fail the whole batch
+                if not item.future.done():
+                    item.future.set_exception(exc)
+
+        future.add_done_callback(_on_done)
+
+    # -- planner (runs on the single executor thread) -------------------
+
+    def _cache_key(self, request: SearchRequest) -> tuple:
+        """Base bucket + exact-query digest + tuning knobs.
+
+        The base bucket (the query's integer hash vector at ``delta_0``,
+        Section 4.1) costs one matmul and no index I/O; the sha1 digest
+        disambiguates colliding queries within a bucket, since distances
+        depend on the exact point.
+        """
+        query = np.ascontiguousarray(request.query, dtype=np.float64)
+        bucket = self.service.index._bank.hash_points(query[None, :])[:, 0]
+        return (
+            bucket.tobytes(),
+            hashlib.sha1(query.tobytes()).hexdigest(),
+            int(request.k),
+            float(request.p),
+            None if request.cap is None else float(request.cap),
+            None if request.radius is None else float(request.radius),
+        )
+
+    def _cache_get(self, key: tuple) -> SearchResult | None:
+        entry = self._cache.get(key)
+        if entry is None:
+            return None
+        if entry.epoch != self.service.epoch:  # WAL moved on: stale
+            del self._cache[key]
+            return None
+        self._cache.move_to_end(key)
+        return entry.result
+
+    def _cache_put(self, key: tuple, result: SearchResult) -> None:
+        if self.cache_capacity == 0:
+            return
+        self._cache[key] = _CacheEntry(self.service.epoch, result)
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_capacity:
+            self._cache.popitem(last=False)
+
+    def _resolve(self, item: _Pending, result: SearchResult) -> None:
+        loop = self._loop
+        assert loop is not None
+
+        def _set() -> None:
+            if not item.future.done():
+                item.future.set_result(result)
+
+        loop.call_soon_threadsafe(_set)
+
+    def _fail(self, item: _Pending, exc: BaseException) -> None:
+        loop = self._loop
+        assert loop is not None
+
+        def _set() -> None:
+            if not item.future.done():
+                item.future.set_exception(exc)
+
+        loop.call_soon_threadsafe(_set)
+
+    def _execute_plan(self, items: list[_Pending]) -> None:
+        """Serve one flush: cache, then merged scans, under one lock.
+
+        Holding the service's re-entrant lock across the whole plan
+        keeps the epoch stable between cache lookups and scans (an
+        ``ingest`` cannot interleave), so an entry written here is
+        always tagged with the epoch its scan actually saw.
+        """
+        service = self.service
+        with service.lock:
+            misses: list[tuple[_Pending, tuple]] = []
+            for item in items:
+                try:
+                    key = self._cache_key(item.request)
+                except ReproError as exc:
+                    self._fail(item, exc)
+                    continue
+                cached = self._cache_get(key)
+                if cached is not None:
+                    item.cache_hit = True
+                    self._m_cache_hits.inc()
+                    self._resolve(item, cached)
+                else:
+                    self._m_cache_misses.inc()
+                    misses.append((item, key))
+            if misses:
+                self._m_scanned_requests.inc(len(misses))
+                self._run_scans(misses)
+
+    def _run_scans(self, misses: list[tuple[_Pending, tuple]]) -> None:
+        """Group cache misses into the fewest bit-identical scans."""
+        service = self.service
+        # 1) Multi-metric merge (Sec 4.3): same query point, same
+        #    (k, cap), no radius override, >= 2 distinct metrics.
+        by_point: dict[tuple, list[tuple[_Pending, tuple]]] = {}
+        for item, key in misses:
+            r = item.request
+            if self._multi is not None and r.radius is None:
+                digest = key[1]  # exact-query sha1
+                cap = None if r.cap is None else float(r.cap)
+                by_point.setdefault(
+                    (digest, int(r.k), cap), []
+                ).append((item, key))
+        rest: list[tuple[_Pending, tuple]] = []
+        claimed: set[int] = set()
+        for group in by_point.values():
+            metrics = sorted({float(it.request.p) for it, _ in group})
+            if len(metrics) < 2:
+                continue
+            item0 = group[0][0]
+            try:
+                multi = self._multi.knn(
+                    item0.request.query,
+                    int(item0.request.k),
+                    metrics=metrics,
+                    cap=item0.request.cap,
+                )
+            except ReproError as exc:
+                for item, _key in group:
+                    claimed.add(id(item))
+                    self._fail(item, exc)
+                continue
+            self._m_waves.inc()
+            self._m_coalesced.inc(len(group))
+            fanned: set[tuple] = set()
+            for item, key in group:
+                claimed.add(id(item))
+                item.coalesced = True
+                part = multi[float(item.request.p)]
+                if key not in fanned:
+                    fanned.add(key)
+                    self._cache_put(key, part)
+                self._resolve(item, part)
+        for item, key in misses:
+            if id(item) not in claimed:
+                rest.append((item, key))
+        # 2) Batch waves: group by tuning knobs, dedup identical rows.
+        by_knobs: dict[tuple, list[tuple[_Pending, tuple]]] = {}
+        for item, key in rest:
+            r = item.request
+            knob = (
+                int(r.k), float(r.p),
+                None if r.cap is None else float(r.cap),
+                None if r.radius is None else float(r.radius),
+            )
+            by_knobs.setdefault(knob, []).append((item, key))
+        for (k, p, cap, radius), group in by_knobs.items():
+            rows: list[np.ndarray] = []
+            row_of: dict[tuple, int] = {}
+            for item, key in group:
+                if key not in row_of:
+                    row_of[key] = len(rows)
+                    rows.append(
+                        np.asarray(item.request.query, dtype=np.float64)
+                    )
+            try:
+                results = service.search_batch(
+                    np.stack(rows), k, p=p, cap=cap, radius=radius
+                )
+            except ReproError as exc:
+                for item, _key in group:
+                    self._fail(item, exc)
+                continue
+            self._m_waves.inc()
+            if len(group) > 1:
+                self._m_coalesced.inc(len(group))
+            stored: set[tuple] = set()
+            for item, key in group:
+                if len(group) > 1:
+                    item.coalesced = True
+                result = results[row_of[key]]
+                if key not in stored:
+                    stored.add(key)
+                    self._cache_put(key, result)
+                self._resolve(item, result)

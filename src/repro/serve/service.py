@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import threading
 import time
 from contextlib import nullcontext
 
@@ -331,6 +332,13 @@ class ShardedSearchService:
         self._op_seq = 0
         self._qid_seq = 0
         self._closed = False
+        # Serialises every pipe-touching entry point (search waves and
+        # ingest).  Re-entrant so the HTTP front door can hold it across
+        # a whole coalesced plan — including a nested
+        # MultiQueryEngine scan over self.index — without deadlocking on
+        # the service's own acquisition.  Single-threaded callers never
+        # contend on it.
+        self.lock = threading.RLock()
         self._test_kill_during_catchup: int | None = None
         self._wave_obs: _WaveObs | None = None
         # Wall-clock time of each shard's last successful reply; read by
@@ -682,7 +690,13 @@ class ShardedSearchService:
         ``ingest`` returns see the new state bit-identically to a
         single-process index that applied the same records.  Returns the
         number of records applied.
+
+        Thread-safe: serialised against search waves by ``self.lock``.
         """
+        with self.lock:
+            return self._ingest_locked(records)
+
+    def _ingest_locked(self, records) -> int:
         if self._closed:
             raise ReproError("service is closed")
         applied = 0
@@ -868,7 +882,30 @@ class ShardedSearchService:
         under it, and the finished tree lands in the telemetry's trace
         store under one trace id.  ``deadline_ms`` is advisory: results
         stay bit-identical, overruns are flagged/counted.
+
+        Thread-safe: the wave holds ``self.lock`` (re-entrant), so
+        concurrent callers and ``ingest`` are serialised.
         """
+        with self.lock:
+            return self._search_batch_locked(
+                queries, k, p=p, cap=cap, radius=radius, telemetry=telemetry,
+                request_id=request_id, trace_context=trace_context,
+                deadline_ms=deadline_ms,
+            )
+
+    def _search_batch_locked(
+        self,
+        queries,
+        k: int | None = None,
+        *,
+        p: float = 1.0,
+        cap: float | None = None,
+        radius: float | None = None,
+        telemetry=None,
+        request_id: str | None = None,
+        trace_context=None,
+        deadline_ms: float | None = None,
+    ) -> list[SearchResult]:
         if self._closed:
             raise ReproError("service is closed")
         if isinstance(queries, SearchRequest):

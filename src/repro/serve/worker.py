@@ -77,6 +77,7 @@ import traceback
 
 import numpy as np
 
+from repro.errors import ReproError
 from repro.metrics.lp import lp_distance
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace_context import TraceContext
@@ -218,7 +219,7 @@ class ShardSearcher:
                     np.asarray(delta["gids"], dtype=np.int64)
                 )
             else:
-                raise ValueError(f"unknown update op {delta['op']!r}")
+                raise ReproError(f"unknown update op {delta['op']!r}")
             self.acked_lsn = lsn
             self.epoch = int(delta["epoch"])
             applied = True
@@ -812,7 +813,7 @@ def worker_main(conn, spec: ShardSpec | MmapShardSpec) -> None:
                 conn.send((op_id, "ok", {"busy": 0.0, "result": None}))
                 break
             else:
-                raise ValueError(f"unknown worker op {op!r}")
+                raise ReproError(f"unknown worker op {op!r}")
             reply = {"busy": time.perf_counter() - t0, "result": result}
             if obs_delta is not None:
                 reply["obs"] = obs_delta

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import InvalidParameterError
+
 
 @dataclass
 class IOStats:
@@ -21,13 +23,13 @@ class IOStats:
     def add_sequential(self, count: int = 1) -> None:
         """Record ``count`` sequential block reads."""
         if count < 0:
-            raise ValueError(f"I/O count must be >= 0, got {count}")
+            raise InvalidParameterError(f"I/O count must be >= 0, got {count}")
         self.sequential += count
 
     def add_random(self, count: int = 1) -> None:
         """Record ``count`` random object reads."""
         if count < 0:
-            raise ValueError(f"I/O count must be >= 0, got {count}")
+            raise InvalidParameterError(f"I/O count must be >= 0, got {count}")
         self.random += count
 
     @property
@@ -71,7 +73,7 @@ class IOStats:
             sequential=int(record["sequential"]), random=int(record["random"])
         )
         if stats.sequential < 0 or stats.random < 0:
-            raise ValueError(f"I/O counts must be >= 0, got {record}")
+            raise InvalidParameterError(f"I/O counts must be >= 0, got {record}")
         return stats
 
     def __sub__(self, other: "IOStats") -> "IOStats":

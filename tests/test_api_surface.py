@@ -90,7 +90,7 @@ class TestPublicModulesDocumented:
 
 class TestResultTypes:
     def test_knn_result_types(self, built_index, small_split):
-        result = built_index.knn(small_split.queries[0], 3, 1.0)
+        result = built_index.knn(small_split.queries[0], 3, p=1.0)
         assert result.ids.dtype == np.int64
         assert result.distances.dtype == np.float64
         assert isinstance(result.io.sequential, int)

@@ -44,19 +44,19 @@ class TestBuild:
 
 class TestL1Queries:
     def test_result_sorted(self, c2, c2_split):
-        result = c2.knn(c2_split.queries[0], 10, 1.0)
+        result = c2.knn(c2_split.queries[0], 10, p=1.0)
         assert (np.diff(result.distances) >= 0).all()
         assert result.p == 1.0
 
     def test_quality_within_guarantee(self, c2, c2_split):
         _, true_dists = exact_knn(c2_split.data, c2_split.queries, 10, 1.0)
         for qi, query in enumerate(c2_split.queries):
-            result = c2.knn(query, 10, 1.0)
+            result = c2.knn(query, 10, p=1.0)
             assert overall_ratio(result.distances, true_dists[qi]) < 3.0
 
     def test_k_validation(self, c2, c2_split):
         with pytest.raises(InvalidParameterError):
-            c2.knn(c2_split.queries[0], 0, 1.0)
+            c2.knn(c2_split.queries[0], 0, p=1.0)
 
 
 class TestFractionalRerank:
@@ -64,14 +64,14 @@ class TestFractionalRerank:
         from repro.metrics.lp import lp_distance
 
         query = c2_split.queries[1]
-        result = c2.knn(query, 5, 0.5)
+        result = c2.knn(query, 5, p=0.5)
         recomputed = lp_distance(c2_split.data[result.ids], query, 0.5)
         np.testing.assert_allclose(result.distances, recomputed)
         assert result.p == 0.5
 
     def test_rerank_pool_is_k_plus_100(self, c2, c2_split):
         # With a 997-point dataset the pool of k+100 caps at n.
-        result = c2.knn(c2_split.queries[0], 5, 0.5)
+        result = c2.knn(c2_split.queries[0], 5, p=0.5)
         assert result.ids.shape == (5,)
 
     def test_rerank_extra_zero_degrades(self, c2, c2_split):
@@ -79,21 +79,21 @@ class TestFractionalRerank:
         # a larger pool (both measured against the true lp neighbours).
         query = c2_split.queries[2]
         _, true_dists = exact_knn(c2_split.data, query, 10, 0.5)
-        pooled = c2.knn(query, 10, 0.5, rerank_extra=100)
-        bare = c2.knn(query, 10, 0.5, rerank_extra=0)
+        pooled = c2.knn(query, 10, p=0.5, rerank_extra=100)
+        bare = c2.knn(query, 10, p=0.5, rerank_extra=0)
         r_pooled = overall_ratio(pooled.distances, true_dists[0])
         r_bare = overall_ratio(bare.distances, true_dists[0])
         assert r_pooled <= r_bare + 1e-9
 
     def test_negative_extra_rejected(self, c2, c2_split):
         with pytest.raises(InvalidParameterError):
-            c2.knn(c2_split.queries[0], 5, 0.5, rerank_extra=-1)
+            c2.knn(c2_split.queries[0], 5, p=0.5, rerank_extra=-1)
 
 
 class TestIOAccounting:
     def test_io_positive_and_accumulated(self, c2_split):
         c2 = C2LSH(C2LSHConfig(c=3.0, seed=11)).build(c2_split.data)
-        result = c2.knn(c2_split.queries[0], 5, 1.0)
+        result = c2.knn(c2_split.queries[0], 5, p=1.0)
         assert result.io.sequential > 0
         assert result.io.random > 0
         assert c2.io_stats.total == result.io.total
@@ -101,8 +101,8 @@ class TestIOAccounting:
     def test_rerank_costs_no_extra_io(self, c2, c2_split):
         # The lp re-rank happens on already-fetched candidates.
         query = c2_split.queries[0]
-        l1_io = c2.knn(query, 105, 1.0).io
-        lp_io = c2.knn(query, 5, 0.5).io
+        l1_io = c2.knn(query, 105, p=1.0).io
+        lp_io = c2.knn(query, 5, p=0.5).io
         assert lp_io.total == l1_io.total
 
 
@@ -110,6 +110,6 @@ class TestDeterminism:
     def test_same_seed_same_answers(self, c2_split):
         a = C2LSH(C2LSHConfig(c=3.0, seed=4)).build(c2_split.data)
         b = C2LSH(C2LSHConfig(c=3.0, seed=4)).build(c2_split.data)
-        ra = a.knn(c2_split.queries[0], 10, 0.7)
-        rb = b.knn(c2_split.queries[0], 10, 0.7)
+        ra = a.knn(c2_split.queries[0], 10, p=0.7)
+        rb = b.knn(c2_split.queries[0], 10, p=0.7)
         np.testing.assert_array_equal(ra.ids, rb.ids)

@@ -26,7 +26,7 @@ class TestInsert:
         assert index.num_points == 505
         # Each inserted point is its own nearest neighbour.
         for offset, point in enumerate(new_points):
-            result = index.knn(point, 1, 1.0)
+            result = index.knn(point, 1, p=1.0)
             assert result.ids[0] == 500 + offset
             assert result.distances[0] == pytest.approx(0.0)
 
@@ -34,7 +34,7 @@ class TestInsert:
         index, _data = dyn_index
         point = np.full(12, 150.0)
         (new_id,) = index.insert(point)
-        result = index.knn(point, 1, 0.7)
+        result = index.knn(point, 1, p=0.7)
         assert result.ids[0] == new_id
 
     def test_insert_single_vector(self, dyn_index):
@@ -66,7 +66,7 @@ class TestInsert:
         full = np.vstack([data, new_points])
         query = rng.uniform(0, 300, size=12)
         true_ids, true_dists = exact_knn(full, query, 5, 1.0)
-        result = index.knn(query, 5, 1.0)
+        result = index.knn(query, 5, p=1.0)
         # Approximate, but within the c-guarantee of the *updated* truth.
         assert result.distances[0] <= 3.0 * true_dists[0, 0] + 1e-9
 
@@ -75,9 +75,9 @@ class TestRemove:
     def test_removed_point_never_returned(self, dyn_index):
         index, data = dyn_index
         query = data[42]
-        assert index.knn(query, 1, 1.0).ids[0] == 42
+        assert index.knn(query, 1, p=1.0).ids[0] == 42
         index.remove(42)
-        result = index.knn(query, 1, 1.0)
+        result = index.knn(query, 1, p=1.0)
         assert result.ids[0] != 42
         assert index.num_points == 499
         assert index.num_rows == 500
@@ -86,7 +86,7 @@ class TestRemove:
         index, _data = dyn_index
         index.remove([1, 2, 3])
         assert index.num_points == 497
-        for result_id in index.knn(_data[1], 10, 1.0).ids:
+        for result_id in index.knn(_data[1], 10, p=1.0).ids:
             assert result_id not in (1, 2, 3)
 
     def test_double_remove_rejected(self, dyn_index):
@@ -148,7 +148,7 @@ class TestRemove:
         index, data = dyn_index
         index.remove(list(range(100)))
         with pytest.raises(InvalidParameterError):
-            index.knn(data[200], 401, 1.0)
+            index.knn(data[200], 401, p=1.0)
 
     def test_empty_removal_is_noop(self, dyn_index):
         index, _data = dyn_index
@@ -175,9 +175,9 @@ class TestCompact:
     def test_query_results_survive_compaction(self, dyn_index):
         index, data = dyn_index
         index.remove([3, 7])
-        before = index.knn(data[100], 5, 1.0)
+        before = index.knn(data[100], 5, p=1.0)
         mapping = index.compact()
-        after = index.knn(data[100], 5, 1.0)
+        after = index.knn(data[100], 5, p=1.0)
         np.testing.assert_array_equal(mapping[before.ids], after.ids)
         np.testing.assert_allclose(before.distances, after.distances)
 
@@ -194,7 +194,7 @@ class TestCompact:
         index.compact()
         (new_id,) = index.insert(np.full(12, 5.0))
         assert new_id == index.num_rows - 1
-        result = index.knn(np.full(12, 5.0), 1, 1.0)
+        result = index.knn(np.full(12, 5.0), 1, p=1.0)
         assert result.ids[0] == new_id
 
 
@@ -203,7 +203,7 @@ class TestInsertRemoveLifecycle:
         index, data = dyn_index
         index.remove(42)
         (new_id,) = index.insert(data[42])
-        result = index.knn(data[42], 1, 1.0)
+        result = index.knn(data[42], 1, p=1.0)
         assert result.ids[0] == new_id
         assert result.distances[0] == pytest.approx(0.0)
 
@@ -215,7 +215,7 @@ class TestInsertRemoveLifecycle:
         restored = load_index(path)
         assert restored.num_points == index.num_points
         assert restored.num_rows == index.num_rows
-        result = restored.knn(data[5], 3, 1.0)
+        result = restored.knn(data[5], 3, p=1.0)
         assert 5 not in result.ids and 6 not in result.ids
 
     def test_multiquery_respects_tombstones(self, dyn_index):
@@ -223,6 +223,6 @@ class TestInsertRemoveLifecycle:
 
         index, data = dyn_index
         index.remove(42)
-        batch = MultiQueryEngine(index).knn(data[42], 3, [0.7, 1.0])
+        batch = MultiQueryEngine(index).knn(data[42], 3, metrics=[0.7, 1.0])
         for p in (0.7, 1.0):
             assert 42 not in batch[p].ids

@@ -26,7 +26,7 @@ class TestDegenerateData:
         base = rng.uniform(0, 100, size=(50, 8))
         data = np.vstack([base, base])  # every point twice
         index = LazyLSH(_tiny_config()).build(data)
-        result = index.knn(base[0], 2, 1.0)
+        result = index.knn(base[0], 2, p=1.0)
         # Both copies are at distance zero.
         np.testing.assert_allclose(result.distances, [0.0, 0.0])
         assert set(result.ids.tolist()) == {0, 50}
@@ -36,20 +36,20 @@ class TestDegenerateData:
         data = rng.uniform(0, 100, size=(80, 6))
         data[:, 2] = 42.0  # one dead dimension
         index = LazyLSH(_tiny_config()).build(data)
-        result = index.knn(data[3], 3, 0.8)
+        result = index.knn(data[3], 3, p=0.8)
         assert result.ids[0] == 3
 
     def test_all_identical_points(self):
         data = np.full((30, 5), 7.0)
         index = LazyLSH(_tiny_config()).build(data)
-        result = index.knn(data[0], 5, 1.0)
+        result = index.knn(data[0], 5, p=1.0)
         np.testing.assert_allclose(result.distances, 0.0)
 
     def test_negative_coordinates(self):
         rng = np.random.default_rng(73)
         data = rng.uniform(-500, -100, size=(100, 6))
         index = LazyLSH(_tiny_config()).build(data)
-        result = index.knn(data[10], 3, 1.0)
+        result = index.knn(data[10], 3, p=1.0)
         assert result.ids[0] == 10
 
     def test_mixed_scale_coordinates(self):
@@ -57,19 +57,19 @@ class TestDegenerateData:
         data = rng.uniform(0, 1, size=(100, 6))
         data[:, 0] *= 1e6  # one dominating dimension
         index = LazyLSH(_tiny_config()).build(data)
-        result = index.knn(data[4], 3, 1.0)
+        result = index.knn(data[4], 3, p=1.0)
         assert result.ids[0] == 4
 
     def test_two_point_dataset(self):
         data = np.array([[0.0, 0.0], [10.0, 10.0]])
         index = LazyLSH(_tiny_config()).build(data)
-        result = index.knn(np.array([1.0, 1.0]), 1, 1.0)
+        result = index.knn(np.array([1.0, 1.0]), 1, p=1.0)
         assert result.ids[0] == 0
 
     def test_single_point_dataset(self):
         data = np.array([[5.0, 5.0, 5.0]])
         index = LazyLSH(_tiny_config()).build(data)
-        result = index.knn(np.array([0.0, 0.0, 0.0]), 1, 1.0)
+        result = index.knn(np.array([0.0, 0.0, 0.0]), 1, p=1.0)
         assert result.ids[0] == 0
 
     def test_single_dimension(self):
@@ -77,7 +77,7 @@ class TestDegenerateData:
         data = rng.uniform(0, 1000, size=(200, 1))
         index = LazyLSH(_tiny_config()).build(data)
         query = np.array([500.0])
-        result = index.knn(query, 3, 1.0)
+        result = index.knn(query, 3, p=1.0)
         true_order = np.argsort(np.abs(data[:, 0] - 500.0))[:3]
         # 1-d space: the window scan should find the true neighbours.
         assert result.ids[0] == true_order[0]
@@ -136,7 +136,7 @@ class TestQueryRobustness:
         data = rng.uniform(0, 100, size=(150, 6))
         index = LazyLSH(_tiny_config()).build(data)
         query = np.full(6, 1e5)  # far away from everything
-        result = index.knn(query, 3, 1.0)
+        result = index.knn(query, 3, p=1.0)
         assert result.ids.shape == (3,)
         assert np.isfinite(result.distances).all()
 
@@ -145,7 +145,7 @@ class TestQueryRobustness:
         data = rng.uniform(0, 100, size=(150, 6))
         index = LazyLSH(_tiny_config()).build(data)
         query = data[0]
-        first = index.knn(query, 5, 1.0)
-        second = index.knn(query, 5, 1.0)
+        first = index.knn(query, 5, p=1.0)
+        second = index.knn(query, 5, p=1.0)
         np.testing.assert_array_equal(first.ids, second.ids)
         assert first.io.total == second.io.total

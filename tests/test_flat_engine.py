@@ -79,8 +79,8 @@ class TestFlatMatchesScalar:
     @pytest.mark.parametrize("p", P_VALUES)
     def test_knn_identical(self, dual_index, engine_split, p):
         for query in engine_split.queries:
-            flat = dual_index.knn(query, 10, p, engine="flat")
-            scalar = dual_index.knn(query, 10, p, engine="scalar")
+            flat = dual_index.knn(query, 10, p=p, engine="flat")
+            scalar = dual_index.knn(query, 10, p=p, engine="scalar")
             assert_results_identical(flat, scalar)
 
     @pytest.mark.parametrize("rehashing", ["query_centric", "original"])
@@ -92,8 +92,8 @@ class TestFlatMatchesScalar:
         index.insert(engine_split.data[600:680])
         for p in P_VALUES:
             for query in engine_split.queries:
-                flat = index.knn(query, 8, p, engine="flat")
-                scalar = index.knn(query, 8, p, engine="scalar")
+                flat = index.knn(query, 8, p=p, engine="flat")
+                scalar = index.knn(query, 8, p=p, engine="scalar")
                 assert_results_identical(flat, scalar)
 
 
@@ -102,8 +102,8 @@ class TestMultiQuery:
         index = LazyLSH(_config()).build(engine_split.data)
         engine = MultiQueryEngine(index)
         for query in engine_split.queries:
-            flat = engine.knn(query, 10, P_VALUES, engine="flat")
-            scalar = engine.knn(query, 10, P_VALUES, engine="scalar")
+            flat = engine.knn(query, 10, metrics=P_VALUES, engine="flat")
+            scalar = engine.knn(query, 10, metrics=P_VALUES, engine="scalar")
             assert flat.metrics == scalar.metrics == sorted(P_VALUES)
             for p in P_VALUES:
                 assert_results_identical(flat[p], scalar[p])
@@ -116,8 +116,8 @@ class TestMultiQuery:
 class TestBatchApi:
     def test_single_metric_matches_scalar_loop(self, engine_split):
         index = LazyLSH(_config()).build(engine_split.data)
-        flat = knn_batch(index, engine_split.queries, 10, 0.5)
-        scalar = knn_batch(index, engine_split.queries, 10, 0.5, engine="scalar")
+        flat = knn_batch(index, engine_split.queries, 10, p=0.5)
+        scalar = knn_batch(index, engine_split.queries, 10, p=0.5, engine="scalar")
         assert len(flat) == len(scalar) == len(engine_split.queries)
         for a, b in zip(flat, scalar):
             assert_results_identical(a, b)
@@ -138,9 +138,9 @@ class TestBatchApi:
 
     def test_share_pages_identical_results_fewer_reads(self, engine_split):
         index = LazyLSH(_config()).build(engine_split.data)
-        plain = knn_batch(index, engine_split.queries, 10, 0.5)
+        plain = knn_batch(index, engine_split.queries, 10, p=0.5)
         shared = knn_batch(
-            index, engine_split.queries, 10, 0.5, share_pages=True
+            index, engine_split.queries, 10, p=0.5, share_pages=True
         )
         for a, b in zip(plain, shared):
             assert np.array_equal(a.ids, b.ids)
@@ -158,9 +158,9 @@ class TestTraceEquivalence:
     def test_knn_traces_identical(self, dual_index, engine_split, p):
         for query in engine_split.queries:
             tf, ts = Telemetry(), Telemetry()
-            flat = dual_index.knn(query, 10, p, engine="flat", telemetry=tf)
+            flat = dual_index.knn(query, 10, p=p, engine="flat", telemetry=tf)
             scalar = dual_index.knn(
-                query, 10, p, engine="scalar", telemetry=ts
+                query, 10, p=p, engine="scalar", telemetry=ts
             )
             assert_results_identical(flat, scalar)
             assert len(tf.traces) == len(ts.traces) == 1
@@ -171,9 +171,9 @@ class TestTraceEquivalence:
 
     def test_traced_run_matches_untraced(self, dual_index, engine_split):
         for query in engine_split.queries:
-            plain = dual_index.knn(query, 10, 0.5)
+            plain = dual_index.knn(query, 10, p=0.5)
             traced = dual_index.knn(
-                query, 10, 0.5, telemetry=Telemetry()
+                query, 10, p=0.5, telemetry=Telemetry()
             )
             assert_results_identical(plain, traced)
 
@@ -182,8 +182,8 @@ class TestTraceEquivalence:
         engine = MultiQueryEngine(index)
         for query in engine_split.queries:
             tf, ts = Telemetry(), Telemetry()
-            engine.knn(query, 10, P_VALUES, engine="flat", telemetry=tf)
-            engine.knn(query, 10, P_VALUES, engine="scalar", telemetry=ts)
+            engine.knn(query, 10, metrics=P_VALUES, engine="flat", telemetry=tf)
+            engine.knn(query, 10, metrics=P_VALUES, engine="scalar", telemetry=ts)
             assert len(tf.traces) == len(ts.traces) == len(P_VALUES)
             by_p = lambda t: t.p  # noqa: E731
             for a, b in zip(
@@ -195,7 +195,7 @@ class TestTraceEquivalence:
         index = LazyLSH(_config()).build(engine_split.data)
         telemetry = Telemetry()
         batch = knn_batch(
-            index, engine_split.queries, 10, 0.5, telemetry=telemetry
+            index, engine_split.queries, 10, p=0.5, telemetry=telemetry
         )
         assert len(telemetry.traces) == len(engine_split.queries)
         assert [t.query_id for t in telemetry.traces] == list(
@@ -206,7 +206,7 @@ class TestTraceEquivalence:
             index,
             engine_split.queries,
             10,
-            0.5,
+            p=0.5,
             engine="scalar",
             telemetry=scalar_tel,
         )
@@ -221,11 +221,11 @@ class TestTraceEquivalence:
 class TestValidation:
     def test_knn_rejects_unknown_engine(self, dual_index, engine_split):
         with pytest.raises(InvalidParameterError, match="engine"):
-            dual_index.knn(engine_split.queries[0], 5, 0.5, engine="warp")
+            dual_index.knn(engine_split.queries[0], 5, p=0.5, engine="warp")
 
     def test_knn_batch_rejects_unknown_engine(self, dual_index, engine_split):
         with pytest.raises(InvalidParameterError, match="engine"):
-            knn_batch(dual_index, engine_split.queries, 5, 0.5, engine="warp")
+            knn_batch(dual_index, engine_split.queries, 5, p=0.5, engine="warp")
 
     def test_share_pages_incompatible_with_scalar(self, dual_index, engine_split):
         with pytest.raises(InvalidParameterError, match="share_pages"):
@@ -233,7 +233,7 @@ class TestValidation:
                 dual_index,
                 engine_split.queries,
                 5,
-                0.5,
+                p=0.5,
                 engine="scalar",
                 share_pages=True,
             )

@@ -44,7 +44,7 @@ class TestApproximationGuarantee:
         violations = 0
         total = 0
         for qi, query in enumerate(split.queries):
-            result = index.knn(query, k, p)
+            result = index.knn(query, k, p=p)
             for rank in range(k):
                 total += 1
                 if result.distances[rank] > index.config.c * true_dists[qi, rank]:
@@ -62,14 +62,14 @@ class TestApproximationGuarantee:
         k = 10
         cap = k + index.beta * n
         for query in split.queries:
-            result = index.knn(query, k, 1.0)
+            result = index.knn(query, k, p=1.0)
             assert result.candidates <= cap + n * 0.1
 
     def test_random_io_equals_candidates(self, guarantee_setup):
         # Every candidate costs exactly one random I/O, never more.
         index, split = guarantee_setup
         for query in split.queries[:4]:
-            result = index.knn(query, 5, 0.8)
+            result = index.knn(query, 5, p=0.8)
             assert result.io.random == result.candidates
 
 
@@ -81,7 +81,7 @@ class TestThetaCalibration:
         found = 0
         for query in split.queries:
             true_ids, _ = exact_knn(split.data, query, 1, 0.8)
-            result = index.knn(query, 10, 0.8)
+            result = index.knn(query, 10, p=0.8)
             if true_ids[0, 0] in result.ids:
                 found += 1
         assert found >= 8  # 10 queries, epsilon = 0.05 plus slack
@@ -89,6 +89,6 @@ class TestThetaCalibration:
     def test_reported_distances_match_recomputation(self, guarantee_setup):
         index, split = guarantee_setup
         for p in (0.6, 1.0):
-            result = index.knn(split.queries[0], 5, p)
+            result = index.knn(split.queries[0], 5, p=p)
             recomputed = lp_distance(index.data[result.ids], split.queries[0], p)
             np.testing.assert_allclose(result.distances, recomputed)

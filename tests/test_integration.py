@@ -35,7 +35,7 @@ class TestRetrievalPipeline:
         for p in (0.5, 1.0):
             _, true_dists = exact_knn(feature_split.data, feature_split.queries, 10, p)
             for qi, query in enumerate(feature_split.queries):
-                result = lazy_index.knn(query, 10, p)
+                result = lazy_index.knn(query, 10, p=p)
                 random_ids = rng.choice(feature_split.data.shape[0], 10, replace=False)
                 from repro.metrics.lp import lp_distance
 
@@ -52,10 +52,10 @@ class TestRetrievalPipeline:
         srs = SRS(SRSConfig(seed=19)).build(feature_split.data)
         scan = LinearScan(feature_split.data)
         query = feature_split.data[0]  # indexed point: NN is itself
-        assert lazy_index.knn(query, 1, 1.0).ids[0] == 0
-        assert c2.knn(query, 1, 1.0).ids[0] == 0
-        assert srs.knn(query, 1, 2.0).ids[0] == 0
-        assert scan.knn(query, 1, 1.0).ids[0] == 0
+        assert lazy_index.knn(query, 1, p=1.0).ids[0] == 0
+        assert c2.knn(query, 1, p=1.0).ids[0] == 0
+        assert srs.knn(query, 1, p=2.0).ids[0] == 0
+        assert scan.knn(query, 1, p=1.0).ids[0] == 0
 
     def test_io_ordering_matches_figure9(self, lazy_index, feature_split):
         # Fractional queries pay more I/O than l1 queries on the same
@@ -63,7 +63,7 @@ class TestRetrievalPipeline:
         io_by_p = {}
         for p in (0.5, 0.7, 1.0):
             totals = [
-                lazy_index.knn(q, 10, p).io.total for q in feature_split.queries
+                lazy_index.knn(q, 10, p=p).io.total for q in feature_split.queries
             ]
             io_by_p[p] = float(np.mean(totals))
         assert io_by_p[0.5] > io_by_p[0.7] > io_by_p[1.0]
@@ -72,7 +72,7 @@ class TestRetrievalPipeline:
         true_ids, _ = exact_knn(feature_split.data, feature_split.queries, 100, 0.5)
         recalls = []
         for qi, query in enumerate(feature_split.queries):
-            result = lazy_index.knn(query, 100, 0.5)
+            result = lazy_index.knn(query, 100, p=0.5)
             recalls.append(recall_at_k(result.ids, true_ids[qi]))
         assert float(np.mean(recalls)) > 0.5
 
@@ -82,9 +82,9 @@ class TestMultiQueryPipeline:
         engine = MultiQueryEngine(lazy_index)
         metrics = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
         for query in feature_split.queries[:2]:
-            batch = engine.knn(query, 10, metrics)
-            single = lazy_index.knn(query, 10, 0.5)
-            separate = sum(lazy_index.knn(query, 10, p).io.total for p in metrics)
+            batch = engine.knn(query, 10, metrics=metrics)
+            single = lazy_index.knn(query, 10, p=0.5)
+            separate = sum(lazy_index.knn(query, 10, p=p).io.total for p in metrics)
             # Batch is close to the single l0.5 cost and far below the
             # separate-queries cost.
             assert batch.io.total < 0.6 * separate
@@ -128,6 +128,6 @@ class TestIndexReuseAcrossMetrics:
         eta_before = lazy_index.eta
         size_before = lazy_index.index_size_mb()
         for p in (0.5, 0.6, 0.8, 1.0):
-            lazy_index.knn(feature_split.queries[0], 5, p)
+            lazy_index.knn(feature_split.queries[0], 5, p=p)
         assert lazy_index.eta == eta_before
         assert lazy_index.index_size_mb() == size_before

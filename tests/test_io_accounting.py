@@ -34,7 +34,7 @@ class TestPageGranularity:
         layout = index.store.layout
         pages_per_function = -(-index.store.num_points // layout.entries_per_page)
         max_pages = index.eta * pages_per_function
-        result = index.knn(split.queries[0], 10, 1.0)
+        result = index.knn(split.queries[0], 10, p=1.0)
         assert result.io.sequential <= max_pages
 
     def test_larger_page_size_means_fewer_ios(self):
@@ -52,8 +52,8 @@ class TestPageGranularity:
                 mc_samples=10_000, mc_buckets=60,
             )
         ).build(split.data)
-        io_small = small.knn(split.queries[0], 5, 1.0).io.sequential
-        io_large = large.knn(split.queries[0], 5, 1.0).io.sequential
+        io_small = small.knn(split.queries[0], 5, p=1.0).io.sequential
+        io_large = large.knn(split.queries[0], 5, p=1.0).io.sequential
         assert io_large < io_small
 
     def test_index_size_scales_with_entry_size(self):
@@ -76,8 +76,8 @@ class TestBufferPoolSemantics:
 
     def test_distinct_queries_do_not_share_cache(self, io_setup):
         index, split = io_setup
-        a = index.knn(split.queries[0], 5, 1.0)
-        b = index.knn(split.queries[0], 5, 1.0)
+        a = index.knn(split.queries[0], 5, p=1.0)
+        b = index.knn(split.queries[0], 5, p=1.0)
         # Same query re-run pays full price again: the pool is per-query.
         assert b.io.sequential == a.io.sequential
 
@@ -87,10 +87,10 @@ class TestFigureRelationships:
         # The Figure 9 relationship on a fresh small index.
         index, split = io_setup
         io_low = np.mean(
-            [index.knn(q, 10, 0.8).io.total for q in split.queries]
+            [index.knn(q, 10, p=0.8).io.total for q in split.queries]
         )
         io_base = np.mean(
-            [index.knn(q, 10, 1.0).io.total for q in split.queries]
+            [index.knn(q, 10, p=1.0).io.total for q in split.queries]
         )
         assert io_low > io_base
 

@@ -68,17 +68,17 @@ class TestMetricSupport:
         )
         index = LazyLSH(cfg).build(small_split.data)
         with pytest.raises(UnsupportedMetricError) as exc_info:
-            index.knn(small_split.queries[0], 5, 0.5)
+            index.knn(small_split.queries[0], 5, p=0.5)
         assert "rebuild with a smaller p_min" in str(exc_info.value)
 
     def test_insensitive_metric_rejected(self, built_index):
         with pytest.raises(UnsupportedMetricError):
-            built_index.knn(np.zeros(16), 5, 0.2)
+            built_index.knn(np.zeros(16), 5, p=0.2)
 
 
 class TestKnnQueries:
     def test_result_shape_and_order(self, built_index, small_split):
-        result = built_index.knn(small_split.queries[0], 10, 0.7)
+        result = built_index.knn(small_split.queries[0], 10, p=0.7)
         assert result.ids.shape == (10,)
         assert result.distances.shape == (10,)
         assert (np.diff(result.distances) >= 0).all()
@@ -87,16 +87,16 @@ class TestKnnQueries:
 
     def test_distances_are_true_lp_distances(self, built_index, small_split):
         query = small_split.queries[1]
-        result = built_index.knn(query, 5, 0.8)
+        result = built_index.knn(query, 5, p=0.8)
         recomputed = lp_distance(built_index.data[result.ids], query, 0.8)
         np.testing.assert_allclose(result.distances, recomputed)
 
     def test_ids_unique(self, built_index, small_split):
-        result = built_index.knn(small_split.queries[2], 20, 1.0)
+        result = built_index.knn(small_split.queries[2], 20, p=1.0)
         assert len(set(result.ids.tolist())) == 20
 
     def test_io_accounting_positive(self, built_index, small_split):
-        result = built_index.knn(small_split.queries[0], 5, 1.0)
+        result = built_index.knn(small_split.queries[0], 5, p=1.0)
         assert result.io.sequential > 0
         assert result.io.random >= 5
         assert result.candidates >= 5
@@ -104,9 +104,9 @@ class TestKnnQueries:
     def test_global_io_counter_accumulates(self, small_config, small_split):
         index = LazyLSH(small_config).build(small_split.data)
         assert index.io_stats.total == 0
-        r1 = index.knn(small_split.queries[0], 5, 1.0)
+        r1 = index.knn(small_split.queries[0], 5, p=1.0)
         assert index.io_stats.total == r1.io.total
-        r2 = index.knn(small_split.queries[1], 5, 1.0)
+        r2 = index.knn(small_split.queries[1], 5, p=1.0)
         assert index.io_stats.total == r1.io.total + r2.io.total
 
     def test_approximation_quality(self, built_index, small_split):
@@ -118,7 +118,7 @@ class TestKnnQueries:
             )
             ratios = []
             for qi, query in enumerate(small_split.queries):
-                result = built_index.knn(query, 10, p)
+                result = built_index.knn(query, 10, p=p)
                 ratios.append(overall_ratio(result.distances, true_dists[qi]))
             assert np.mean(ratios) < 1.5
             assert np.max(ratios) < built_index.config.c
@@ -126,34 +126,34 @@ class TestKnnQueries:
     def test_exact_match_found_for_indexed_point(self, built_index):
         # Querying with an indexed point must find it at distance zero.
         point = built_index.data[17]
-        result = built_index.knn(point, 1, 1.0)
+        result = built_index.knn(point, 1, p=1.0)
         assert result.distances[0] == pytest.approx(0.0)
         assert result.ids[0] == 17
 
     def test_k_validation(self, built_index, small_split):
         q = small_split.queries[0]
         with pytest.raises(InvalidParameterError):
-            built_index.knn(q, 0, 1.0)
+            built_index.knn(q, 0, p=1.0)
         with pytest.raises(InvalidParameterError):
-            built_index.knn(q, built_index.num_points + 1, 1.0)
+            built_index.knn(q, built_index.num_points + 1, p=1.0)
 
     def test_query_validation(self, built_index):
         with pytest.raises(DimensionalityMismatchError):
-            built_index.knn(np.zeros(7), 1, 1.0)
+            built_index.knn(np.zeros(7), 1, p=1.0)
         with pytest.raises(InvalidParameterError):
-            built_index.knn(np.full(16, np.inf), 1, 1.0)
+            built_index.knn(np.full(16, np.inf), 1, p=1.0)
         with pytest.raises(InvalidParameterError):
-            built_index.knn(np.zeros((2, 16)), 1, 1.0)
+            built_index.knn(np.zeros((2, 16)), 1, p=1.0)
 
     def test_k_equals_n(self, small_config):
         data = make_synthetic(60, 8, value_range=(0, 50), seed=3)
         index = LazyLSH(small_config).build(data)
-        result = index.knn(data[0], 60, 1.0)
+        result = index.knn(data[0], 60, p=1.0)
         assert result.ids.shape == (60,)
         assert sorted(result.ids.tolist()) == list(range(60))
 
     def test_rounds_grow_geometrically_bounded(self, built_index, small_split):
-        result = built_index.knn(small_split.queries[0], 5, 1.0)
+        result = built_index.knn(small_split.queries[0], 5, p=1.0)
         assert 1 <= result.rounds <= 64
 
 
@@ -189,7 +189,7 @@ class TestRangeQueries:
 class TestRehashingAblation:
     def test_original_mode_runs(self, small_config, small_split):
         index = LazyLSH(small_config, rehashing="original").build(small_split.data)
-        result = index.knn(small_split.queries[0], 10, 1.0)
+        result = index.knn(small_split.queries[0], 10, p=1.0)
         assert result.ids.shape == (10,)
         assert (np.diff(result.distances) >= 0).all()
 
@@ -203,8 +203,8 @@ class TestRehashingAblation:
         _, true_dists = exact_knn(small_split.data, small_split.queries, 10, 1.0)
         ratios_centric, ratios_original = [], []
         for qi, query in enumerate(small_split.queries):
-            rc = centric.knn(query, 10, 1.0)
-            ro = original.knn(query, 10, 1.0)
+            rc = centric.knn(query, 10, p=1.0)
+            ro = original.knn(query, 10, p=1.0)
             ratios_centric.append(overall_ratio(rc.distances, true_dists[qi]))
             ratios_original.append(overall_ratio(ro.distances, true_dists[qi]))
         assert np.mean(ratios_centric) <= np.mean(ratios_original) + 0.02
@@ -215,7 +215,7 @@ class TestDeterminism:
         cfg = LazyLSHConfig(c=3.0, seed=99, mc_samples=20_000, mc_buckets=100)
         a = LazyLSH(cfg).build(small_split.data)
         b = LazyLSH(cfg).build(small_split.data)
-        ra = a.knn(small_split.queries[0], 10, 0.7)
-        rb = b.knn(small_split.queries[0], 10, 0.7)
+        ra = a.knn(small_split.queries[0], 10, p=0.7)
+        rb = b.knn(small_split.queries[0], 10, p=0.7)
         np.testing.assert_array_equal(ra.ids, rb.ids)
         assert ra.io.total == rb.io.total

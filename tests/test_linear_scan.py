@@ -19,22 +19,22 @@ class TestExactness:
     def test_matches_bruteforce(self, scan):
         query = np.full(12, 50.0)
         for p in (0.5, 1.0, 2.0):
-            result = scan.knn(query, 5, p)
+            result = scan.knn(query, 5, p=p)
             dists = lp_distance(scan._data, query, p)
             want = np.sort(dists)[:5]
             np.testing.assert_allclose(result.distances, want)
 
     def test_sorted_output(self, scan):
-        result = scan.knn(np.zeros(12), 20, 0.7)
+        result = scan.knn(np.zeros(12), 20, p=0.7)
         assert (np.diff(result.distances) >= 0).all()
 
     def test_self_query_returns_self_first(self, scan):
-        result = scan.knn(scan._data[42], 3, 1.0)
+        result = scan.knn(scan._data[42], 3, p=1.0)
         assert result.ids[0] == 42
         assert result.distances[0] == 0.0
 
     def test_k_equals_n(self, scan):
-        result = scan.knn(np.zeros(12), 300, 1.0)
+        result = scan.knn(np.zeros(12), 300, p=1.0)
         assert sorted(result.ids.tolist()) == list(range(300))
 
 
@@ -44,16 +44,16 @@ class TestCostModel:
         assert scan.scan_cost_pages() == 4
 
     def test_every_query_pays_full_scan(self, scan):
-        r1 = scan.knn(np.zeros(12), 1, 1.0)
-        r2 = scan.knn(np.zeros(12), 100, 0.5)
+        r1 = scan.knn(np.zeros(12), 1, p=1.0)
+        r2 = scan.knn(np.zeros(12), 100, p=0.5)
         assert r1.io.sequential == r2.io.sequential == scan.scan_cost_pages()
         assert r1.io.random == 0
 
     def test_global_counter(self):
         data = make_synthetic(100, 4, seed=1)
         scan = LinearScan(data)
-        scan.knn(np.zeros(4), 1, 1.0)
-        scan.knn(np.zeros(4), 1, 1.0)
+        scan.knn(np.zeros(4), 1, p=1.0)
+        scan.knn(np.zeros(4), 1, p=1.0)
         assert scan.io_stats.sequential == 2 * scan.scan_cost_pages()
 
 
@@ -64,13 +64,13 @@ class TestValidation:
 
     def test_bad_k(self, scan):
         with pytest.raises(InvalidParameterError):
-            scan.knn(np.zeros(12), 0, 1.0)
+            scan.knn(np.zeros(12), 0, p=1.0)
         with pytest.raises(InvalidParameterError):
-            scan.knn(np.zeros(12), 301, 1.0)
+            scan.knn(np.zeros(12), 301, p=1.0)
 
     def test_bad_query_shape(self, scan):
         with pytest.raises(InvalidParameterError):
-            scan.knn(np.zeros(5), 1, 1.0)
+            scan.knn(np.zeros(5), 1, p=1.0)
 
     def test_properties(self, scan):
         assert scan.num_points == 300
@@ -80,8 +80,8 @@ class TestValidation:
 class TestBatch:
     def test_batch_matches_singles(self, scan):
         queries = np.vstack([np.zeros(12), np.full(12, 100.0)])
-        batch = scan.knn_batch(queries, 3, 1.0)
+        batch = scan.knn_batch(queries, 3, p=1.0)
         assert len(batch) == 2
         for q, res in zip(queries, batch):
-            single = scan.knn(q, 3, 1.0)
+            single = scan.knn(q, 3, p=1.0)
             np.testing.assert_array_equal(res.ids, single.ids)

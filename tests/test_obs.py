@@ -280,7 +280,7 @@ class TestTelemetryFacade:
     def test_record_updates_instruments(self, obs_index):
         index, split = obs_index
         telemetry = Telemetry()
-        index.knn(split.queries[0], 5, 0.5, telemetry=telemetry)
+        index.knn(split.queries[0], 5, p=0.5, telemetry=telemetry)
         queries = telemetry.registry.get("lazylsh_queries_total")
         assert queries.value(engine="flat", p="0.5") == 1
         trace = telemetry.traces[0]
@@ -295,7 +295,7 @@ class TestTelemetryFacade:
     def test_capture_traces_disabled_keeps_metrics(self, obs_index):
         index, split = obs_index
         telemetry = Telemetry(capture_traces=False)
-        index.knn(split.queries[0], 5, 0.5, telemetry=telemetry)
+        index.knn(split.queries[0], 5, p=0.5, telemetry=telemetry)
         assert telemetry.traces == []
         assert (
             telemetry.registry.get("lazylsh_queries_total").value(
@@ -307,8 +307,8 @@ class TestTelemetryFacade:
     def test_spans_wrap_query_entry_points(self, obs_index):
         index, split = obs_index
         telemetry = Telemetry()
-        index.knn(split.queries[0], 5, 0.5, telemetry=telemetry)
-        knn_batch(index, split.queries, 5, 0.5, telemetry=telemetry)
+        index.knn(split.queries[0], 5, p=0.5, telemetry=telemetry)
+        knn_batch(index, split.queries, 5, p=0.5, telemetry=telemetry)
         names = [s.name for s in telemetry.tracer.spans]
         assert "lazylsh.knn" in names and "knn_batch" in names
 
@@ -317,21 +317,21 @@ class TestTelemetryFacade:
         telemetry = Telemetry()
         observer = telemetry.observe_store(index.store)
         assert index.store.observer is observer
-        index.knn(split.queries[0], 5, 0.5)
+        index.knn(split.queries[0], 5, p=0.5)
         searches = telemetry.registry.get("lazylsh_store_searches_total")
         entries = telemetry.registry.get("lazylsh_store_entries_scanned_total")
         assert searches.value() > 0
         assert entries.value() > 0
         index.store.observer = None
         before = searches.value()
-        index.knn(split.queries[0], 5, 0.5)
+        index.knn(split.queries[0], 5, p=0.5)
         assert searches.value() == before
 
     def test_scalar_path_counts_window_reads(self, obs_index):
         index, split = obs_index
         telemetry = Telemetry()
         telemetry.observe_store(index.store)
-        index.knn(split.queries[0], 5, 0.5, engine="scalar")
+        index.knn(split.queries[0], 5, p=0.5, engine="scalar")
         index.store.observer = None
         windows = telemetry.registry.get("lazylsh_store_window_reads_total")
         assert windows.value() > 0
@@ -342,16 +342,16 @@ class TestNoOpGuard:
 
     def test_default_leaves_no_hooks(self, obs_index):
         index, split = obs_index
-        result = index.knn(split.queries[0], 5, 0.5)
+        result = index.knn(split.queries[0], 5, p=0.5)
         assert index.store.observer is None
         assert result.termination in (TERMINATION_K_WITHIN, TERMINATION_CAP)
 
     def test_results_identical_with_and_without_telemetry(self, obs_index):
         index, split = obs_index
         for engine in ("flat", "scalar"):
-            plain = index.knn(split.queries[1], 5, 0.5, engine=engine)
+            plain = index.knn(split.queries[1], 5, p=0.5, engine=engine)
             traced = index.knn(
-                split.queries[1], 5, 0.5, engine=engine, telemetry=Telemetry()
+                split.queries[1], 5, p=0.5, engine=engine, telemetry=Telemetry()
             )
             assert np.array_equal(plain.ids, traced.ids)
             assert plain.io.to_dict() == traced.io.to_dict()
@@ -359,7 +359,7 @@ class TestNoOpGuard:
 
     def test_batch_without_telemetry_records_nothing(self, obs_index):
         index, split = obs_index
-        knn_batch(index, split.queries, 5, 0.5)
+        knn_batch(index, split.queries, 5, p=0.5)
         assert index.store.observer is None
 
 

@@ -20,8 +20,8 @@ class TestRoundTrip:
         path = save_index(built_index, tmp_path / "index.npz")
         restored = load_index(path)
         for p in (0.5, 0.8, 1.0):
-            original = built_index.knn(small_split.queries[0], 10, p)
-            loaded = restored.knn(small_split.queries[0], 10, p)
+            original = built_index.knn(small_split.queries[0], 10, p=p)
+            loaded = restored.knn(small_split.queries[0], 10, p=p)
             np.testing.assert_array_equal(original.ids, loaded.ids)
             np.testing.assert_allclose(original.distances, loaded.distances)
             assert original.io.total == loaded.io.total

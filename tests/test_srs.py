@@ -55,12 +55,12 @@ class TestQueries:
     def test_l2_quality(self, srs, srs_split):
         _, true_dists = exact_knn(srs_split.data, srs_split.queries, 10, 2.0)
         for qi, query in enumerate(srs_split.queries):
-            result = srs.knn(query, 10, 2.0)
+            result = srs.knn(query, 10, p=2.0)
             # 2-stable projections make l2 recall strong.
             assert result.distances[0] <= true_dists[qi][0] * 2.0
 
     def test_early_stop_bounds_candidates(self, srs, srs_split):
-        result = srs.knn(srs_split.queries[1], 5, 2.0)
+        result = srs.knn(srs_split.queries[1], 5, p=2.0)
         assert result.candidates <= srs.num_points
         if result.stopped_early:
             assert result.candidates < srs.num_points
@@ -68,30 +68,30 @@ class TestQueries:
     def test_budget_respected(self, srs_split):
         srs = SRS(SRSConfig(max_fraction=0.02, early_stop_confidence=0.999, seed=2))
         srs.build(srs_split.data)
-        result = srs.knn(srs_split.queries[0], 5, 2.0)
+        result = srs.knn(srs_split.queries[0], 5, p=2.0)
         assert result.candidates <= max(5, int(np.ceil(0.02 * srs.num_points)))
 
     def test_fractional_rerank(self, srs, srs_split):
         from repro.metrics.lp import lp_distance
 
         query = srs_split.queries[2]
-        result = srs.knn(query, 5, 0.5)
+        result = srs.knn(query, 5, p=0.5)
         recomputed = lp_distance(srs_split.data[result.ids], query, 0.5)
         np.testing.assert_allclose(result.distances, recomputed)
 
     def test_random_io_per_candidate(self, srs, srs_split):
-        result = srs.knn(srs_split.queries[3], 5, 2.0)
+        result = srs.knn(srs_split.queries[3], 5, p=2.0)
         assert result.io.random == result.candidates
 
     def test_self_query(self, srs, srs_split):
         point = srs_split.data[7]
-        result = srs.knn(point, 1, 2.0)
+        result = srs.knn(point, 1, p=2.0)
         assert result.ids[0] == 7
         assert result.distances[0] == pytest.approx(0.0)
 
     def test_k_validation(self, srs, srs_split):
         with pytest.raises(InvalidParameterError):
-            srs.knn(srs_split.queries[0], 0, 2.0)
+            srs.knn(srs_split.queries[0], 0, p=2.0)
 
 
 class TestProjectionStatistics:

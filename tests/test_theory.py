@@ -138,7 +138,7 @@ class TestPropertyP1:
         params = index.metric_params(p)
         found = 0
         for qi, query in enumerate(queries):
-            result = index.knn(query, 1, p)
+            result = index.knn(query, 1, p=p)
             planted_id = n_background + qi
             planted_dist = float(lp_distance(full[planted_id], query, p))
             # The returned neighbour must be a c-approximation of the

@@ -1,9 +1,11 @@
 """Tests for the unified search API surface (repro.api).
 
 Covers the shared ``SearchRequest``/``SearchResult`` core: request
-dispatch on every query path, the deprecation of legacy positional
-tuning arguments, the common result protocol, and the streaming
-``IOStats.merge``/``aggregate_io`` aggregation.
+dispatch on every query path, the versioned wire codec, the deprecation
+of legacy positional tuning arguments (which escalate to errors under
+``REPRO_STRICT_API=1`` — these tests pass in either mode), the common
+result protocol, and the streaming ``IOStats.merge``/``aggregate_io``
+aggregation.
 """
 
 import contextlib
@@ -19,11 +21,12 @@ from repro import (
     MultiQueryEngine,
     MultiQueryResult,
     SearchRequest,
+    SearchResult,
     aggregate_io,
     knn_batch,
 )
-from repro.api import SearchResultLike
-from repro.errors import InvalidParameterError
+from repro.api import WIRE_VERSION, SearchResultLike, strict_api_enabled
+from repro.errors import InvalidParameterError, WireFormatError
 
 
 @contextlib.contextmanager
@@ -31,6 +34,17 @@ def _no_deprecations():
     with warnings.catch_warnings():
         warnings.simplefilter("error", DeprecationWarning)
         yield
+
+
+@contextlib.contextmanager
+def _expect_deprecated(match: str):
+    """The legacy form warns — or raises when REPRO_STRICT_API=1."""
+    if strict_api_enabled():
+        with pytest.raises(InvalidParameterError, match=match):
+            yield
+    else:
+        with pytest.warns(DeprecationWarning, match=match):
+            yield
 
 
 class TestSearchRequestValidation:
@@ -52,6 +66,119 @@ class TestSearchRequestValidation:
     def test_normalises_metrics_to_floats(self):
         request = SearchRequest(query=np.zeros(4), k=5, metrics=[1, 0.5])
         assert request.metrics == (1.0, 0.5)
+
+    def test_rejects_non_finite_queries(self):
+        with pytest.raises(InvalidParameterError, match="non-finite"):
+            SearchRequest(query=[1.0, np.nan, 3.0], k=1)
+        with pytest.raises(InvalidParameterError, match="non-finite"):
+            SearchRequest(query=[1.0, np.inf], k=1)
+        with pytest.raises(InvalidParameterError, match="non-finite"):
+            SearchRequest(query=np.array([[-np.inf, 0.0]]), k=1)
+
+    def test_rejects_malformed_queries(self):
+        with pytest.raises(InvalidParameterError):
+            SearchRequest(query=[], k=1)
+        with pytest.raises(InvalidParameterError):
+            SearchRequest(query=np.zeros((2, 2, 2)), k=1)
+        with pytest.raises(InvalidParameterError):
+            SearchRequest(query=["a", "b"], k=1)
+
+    def test_rejects_bad_deadline(self):
+        q = np.zeros(4)
+        with pytest.raises(InvalidParameterError, match="deadline_ms"):
+            SearchRequest(query=q, k=1, deadline_ms=0)
+        with pytest.raises(InvalidParameterError, match="deadline_ms"):
+            SearchRequest(query=q, k=1, deadline_ms=-10.0)
+        assert SearchRequest(query=q, k=1, deadline_ms=5.0).deadline_ms == 5.0
+
+    def test_rejects_non_hex_request_id(self):
+        q = np.zeros(4)
+        for bad in ("", "xyz", "dead-beef", "r1"):
+            with pytest.raises(InvalidParameterError, match="hex"):
+                SearchRequest(query=q, k=1, request_id=bad)
+        assert SearchRequest(query=q, k=1, request_id="aB12").request_id
+
+
+class TestWireCodec:
+    def test_round_trip_preserves_every_field(self):
+        request = SearchRequest(
+            query=[1.0, 2.0, 3.0], k=4, p=0.7, cap=9.0,
+            engine="scalar", request_id="c0ffee", deadline_ms=25.0,
+        )
+        record = request.to_dict()
+        assert record["v"] == WIRE_VERSION
+        decoded = SearchRequest.from_dict(record)
+        np.testing.assert_array_equal(decoded.query, request.query)
+        assert decoded.k == 4
+        assert decoded.p == 0.7
+        assert decoded.cap == 9.0
+        assert decoded.engine == "scalar"
+        assert decoded.request_id == "c0ffee"
+        assert decoded.deadline_ms == 25.0
+        assert decoded.to_dict() == record
+
+    def test_round_trip_metrics_and_trace_context(self):
+        from repro.obs.trace_context import TraceContext
+
+        ctx = TraceContext.new(sampled=True)
+        request = SearchRequest(
+            query=np.arange(3.0), k=2, metrics=(1.0, 0.5),
+            trace_context=ctx,
+        )
+        record = request.to_dict()
+        assert record["metrics"] == [1.0, 0.5]
+        assert "p" not in record  # metrics wins; only one is emitted
+        decoded = SearchRequest.from_dict(record)
+        assert decoded.metrics == (1.0, 0.5)
+        assert decoded.trace_context.trace_id == ctx.trace_id
+        assert decoded.trace_context.sampled
+
+    def test_rejects_unknown_keys(self):
+        record = {"v": 1, "query": [1.0], "k": 1, "K": 2, "qyery": [1.0]}
+        with pytest.raises(WireFormatError, match="unknown request field"):
+            SearchRequest.from_dict(record)
+
+    def test_rejects_missing_required_keys(self):
+        with pytest.raises(WireFormatError, match="version field"):
+            SearchRequest.from_dict({"query": [1.0], "k": 1})
+        with pytest.raises(WireFormatError, match="missing required"):
+            SearchRequest.from_dict({"v": 1, "k": 1})
+        with pytest.raises(WireFormatError, match="missing required"):
+            SearchRequest.from_dict({"v": 1, "query": [1.0]})
+
+    def test_rejects_wrong_version_and_shape(self):
+        with pytest.raises(WireFormatError, match="unsupported wire version"):
+            SearchRequest.from_dict({"v": 2, "query": [1.0], "k": 1})
+        with pytest.raises(WireFormatError, match="JSON object"):
+            SearchRequest.from_dict([1, 2, 3])
+        with pytest.raises(WireFormatError, match="k must be an integer"):
+            SearchRequest.from_dict({"v": 1, "query": [1.0], "k": "ten"})
+        with pytest.raises(WireFormatError, match="metrics"):
+            SearchRequest.from_dict(
+                {"v": 1, "query": [1.0], "k": 1, "metrics": "l2"}
+            )
+
+    def test_decoded_requests_still_validate_domains(self):
+        # Structural codec passes; the constructor's domain checks fire.
+        with pytest.raises(InvalidParameterError):
+            SearchRequest.from_dict({"v": 1, "query": [np.nan], "k": 1})
+        with pytest.raises(InvalidParameterError):
+            SearchRequest.from_dict({"v": 1, "query": [1.0], "k": 0})
+
+    def test_wire_format_error_is_a_value_error(self):
+        # Client code catching ValueError keeps working.
+        with pytest.raises(ValueError):
+            SearchRequest.from_dict("not a dict")
+
+    def test_search_result_wire_form_is_versioned(self):
+        result = SearchResult(
+            ids=np.array([3, 1]), distances=np.array([0.5, 1.5]),
+            p=1.0, k=2,
+        )
+        record = result.to_dict()
+        assert record["v"] == WIRE_VERSION
+        assert record["ids"] == [3, 1]
+        assert record["distances"] == [0.5, 1.5]
 
 
 class TestRequestDispatch:
@@ -98,40 +225,62 @@ class TestDeprecatedPositionals:
         self, built_index, small_split
     ):
         query = small_split.queries[0]
-        with pytest.warns(DeprecationWarning, match="positionally"):
-            legacy = built_index.knn(query, 5, 0.8)
         with _no_deprecations():
             keyword = built_index.knn(query, 5, p=0.8)
-        np.testing.assert_array_equal(legacy.ids, keyword.ids)
+        with _expect_deprecated("positionally"):
+            legacy = built_index.knn(query, 5, 0.8)
+            np.testing.assert_array_equal(legacy.ids, keyword.ids)
 
     def test_knn_batch_positional_p_warns_and_matches(
         self, built_index, small_split
     ):
         queries = small_split.queries[:2]
-        with pytest.warns(DeprecationWarning, match="positionally"):
-            legacy = knn_batch(built_index, queries, 5, 0.8)
         with _no_deprecations():
             keyword = knn_batch(built_index, queries, 5, p=0.8)
-        for a, b in zip(legacy.results, keyword.results):
-            np.testing.assert_array_equal(a.ids, b.ids)
+        with _expect_deprecated("positionally"):
+            legacy = knn_batch(built_index, queries, 5, 0.8)
+            for a, b in zip(legacy.results, keyword.results):
+                np.testing.assert_array_equal(a.ids, b.ids)
 
     def test_multiquery_positional_metrics_warns_and_matches(
         self, built_index, small_split
     ):
         engine = MultiQueryEngine(built_index)
         query = small_split.queries[0]
-        with pytest.warns(DeprecationWarning, match="positionally"):
-            legacy = engine.knn(query, 5, (0.5, 1.0))
         with _no_deprecations():
             keyword = engine.knn(query, 5, metrics=(0.5, 1.0))
-        assert legacy.metrics == keyword.metrics
+        with _expect_deprecated("positionally"):
+            legacy = engine.knn(query, 5, (0.5, 1.0))
+            assert legacy.metrics == keyword.metrics
 
     def test_multiquery_p_values_keyword_warns(
         self, built_index, small_split
     ):
         engine = MultiQueryEngine(built_index)
-        with pytest.warns(DeprecationWarning, match="p_values"):
+        with _expect_deprecated("p_values"):
             engine.knn(small_split.queries[0], 5, p_values=(0.5, 1.0))
+
+    def test_strict_mode_escalates_to_error(
+        self, built_index, small_split, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_STRICT_API", "1")
+        assert strict_api_enabled()
+        query = small_split.queries[0]
+        with pytest.raises(InvalidParameterError, match="REPRO_STRICT_API"):
+            built_index.knn(query, 5, 0.8)
+        with pytest.raises(InvalidParameterError, match="REPRO_STRICT_API"):
+            MultiQueryEngine(built_index).knn(
+                query, 5, p_values=(0.5, 1.0)
+            )
+        # The keyword forms stay valid under strict mode.
+        with _no_deprecations():
+            built_index.knn(query, 5, p=0.8)
+
+    def test_strict_mode_off_by_default_values(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STRICT_API", "0")
+        assert not strict_api_enabled()
+        monkeypatch.delenv("REPRO_STRICT_API")
+        assert not strict_api_enabled()
 
     def test_extra_positionals_are_type_errors(
         self, built_index, small_split

@@ -15,7 +15,9 @@ closed-loop client that only sends when the previous answer is back:
   the result cache).  Reported per offered rate: sustained
   ``queries_per_second``, arrival-to-response ``p50_seconds`` /
   ``p99_seconds``, the coalesce ratio (requests answered per index
-  scan), the cache hit rate and the 429 shed count.
+  scan), the cache hit rate — overall and split by bucket heat (the
+  workload analytics' hot-bucket view of each lookup) — and the 429
+  shed count.
 
 Run ``--smoke`` for the seconds-scale CI version (writes
 ``BENCH_frontend.smoke.json``); the full run writes
@@ -206,6 +208,15 @@ def run_open_loop(
     )
     hits = stats_after["cache"]["hits"] - stats_before["cache"]["hits"]
     misses = stats_after["cache"]["misses"] - stats_before["cache"]["misses"]
+
+    def heat_rate(heat: str) -> float | None:
+        """Cache hit rate for this rate step, hot/cold buckets apart."""
+        before = stats_before["workload"]["cache"][heat]
+        after = stats_after["workload"]["cache"][heat]
+        d_hits = after["hits"] - before["hits"]
+        d_lookups = d_hits + after["misses"] - before["misses"]
+        return (d_hits / d_lookups) if d_lookups else None
+
     ordered = sorted(latencies)
 
     def quantile(q: float) -> float:
@@ -231,6 +242,8 @@ def run_open_loop(
         "cache_hit_rate": (
             hits / (hits + misses) if (hits + misses) else 0.0
         ),
+        "cache_hit_rate_hot": heat_rate("hot"),
+        "cache_hit_rate_cold": heat_rate("cold"),
         "counters": {
             "scans": scans,
             "scanned_requests": scanned,
@@ -277,6 +290,11 @@ def run_report(workload: dict) -> dict:
     return report
 
 
+def _rate(value: float | None) -> str:
+    """A hit rate cell; '-' when that heat class saw no lookups."""
+    return f"{value:.1%}" if value is not None else "-"
+
+
 def _print_summary(report: dict) -> None:
     identity = report["identity"]
     print(
@@ -290,7 +308,9 @@ def _print_summary(report: dict) -> None:
             f"{row['p50_seconds'] * 1e3:7.2f} ms  p99 "
             f"{row['p99_seconds'] * 1e3:7.2f} ms | coalesce "
             f"{row['coalesce_ratio']:5.2f}x | cache hit "
-            f"{row['cache_hit_rate']:5.1%} | shed {row['rejected_429']}"
+            f"{row['cache_hit_rate']:5.1%} (hot {_rate(row['cache_hit_rate_hot'])}"
+            f" cold {_rate(row['cache_hit_rate_cold'])}) | "
+            f"shed {row['rejected_429']}"
         )
 
 
@@ -303,7 +323,7 @@ def run():
         "HTTP front door under open-loop load (smoke scale)",
         [
             "offered qps", "sustained qps", "p50 ms", "p99 ms",
-            "coalesce", "cache hit", "shed",
+            "coalesce", "cache hit", "hot/cold hit", "shed",
         ],
     )
     for row in report["rates"]:
@@ -315,6 +335,8 @@ def run():
                 f"{row['p99_seconds'] * 1e3:.2f}",
                 f"{row['coalesce_ratio']:.2f}x",
                 f"{row['cache_hit_rate']:.1%}",
+                f"{_rate(row['cache_hit_rate_hot'])}/"
+                f"{_rate(row['cache_hit_rate_cold'])}",
                 str(row["rejected_429"]),
             ]
         )

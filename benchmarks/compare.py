@@ -57,7 +57,10 @@ _HIGHER_TOKENS = (
 
 #: Path components that are workload / configuration descriptors, never
 #: performance signals, even when their names contain a token above
-#: (e.g. ``workload.n_queries``).
+#: (e.g. ``workload.n_queries``).  ``overhead``/``placebo`` cover the
+#: telemetry-overhead calibration block: those are noise-floor readings
+#: gated by obs_smoke's own placebo-aware logic, and diffing near-zero
+#: fractions across machines would flap on every run.
 _NEUTRAL_TOKENS = (
     "workload",
     "host",
@@ -69,6 +72,8 @@ _NEUTRAL_TOKENS = (
     "eta",
     "shard_points",
     "cpu_count",
+    "overhead",
+    "placebo",
 )
 
 

@@ -58,6 +58,7 @@ _WIRE_REQUEST_KEYS = frozenset(
         "request_id",
         "trace_context",
         "deadline_ms",
+        "explain",
     )
 )
 
@@ -129,6 +130,13 @@ class SearchRequest:
         overruns are flagged on the result, counted in
         ``lazylsh_deadline_overruns_total`` and trip the flight
         recorder.
+    explain:
+        Request a structured EXPLAIN record (DESIGN §15) on
+        ``SearchResult.explain``: per-round windows scanned, candidates
+        promoted, termination-counter progress, I/O deltas and (for
+        sharded runs) shard skew.  Answers stay bit-identical; only the
+        report rides along.  Currently honoured by the sharded service
+        and its HTTP front door.
     """
 
     query: Any
@@ -141,6 +149,7 @@ class SearchRequest:
     request_id: str | None = None
     trace_context: Any = None
     deadline_ms: float | None = None
+    explain: bool = False
 
     def __post_init__(self) -> None:
         if int(self.k) < 1:
@@ -195,6 +204,7 @@ class SearchRequest:
             raise InvalidParameterError(
                 f"deadline_ms must be > 0, got {self.deadline_ms}"
             )
+        object.__setattr__(self, "explain", bool(self.explain))
 
     # -- versioned wire codec (DESIGN §14) -----------------------------
 
@@ -227,6 +237,8 @@ class SearchRequest:
             record["trace_context"] = self.trace_context.to_traceparent()
         if self.deadline_ms is not None:
             record["deadline_ms"] = float(self.deadline_ms)
+        if self.explain:
+            record["explain"] = True
         return record
 
     @classmethod
@@ -289,6 +301,7 @@ class SearchRequest:
             request_id=record.get("request_id"),
             trace_context=record.get("trace_context"),
             deadline_ms=record.get("deadline_ms"),
+            explain=bool(record.get("explain", False)),
         )
 
 
@@ -305,7 +318,10 @@ class SearchResult:
     ``trace_id`` echo the request's correlation ids when it was traced
     (``/trace/<trace_id>`` then serves the full span tree);
     ``deadline_exceeded`` is True when the request carried a
-    ``deadline_ms`` and the search overran it.
+    ``deadline_ms`` and the search overran it.  ``explain`` carries the
+    structured EXPLAIN record (a plain dict conforming to
+    :data:`~repro.obs.explain.EXPLAIN_SCHEMA`) when the request set
+    ``explain=True``.
     """
 
     ids: IdArray
@@ -321,6 +337,7 @@ class SearchResult:
     request_id: str | None = None
     trace_id: str | None = None
     deadline_exceeded: bool = False
+    explain: dict | None = None
 
     def to_dict(self) -> dict:
         """JSON-serialisable form (used by the CLI and the service)."""
@@ -343,6 +360,8 @@ class SearchResult:
             record["trace_id"] = self.trace_id
         if self.deadline_exceeded:
             record["deadline_exceeded"] = True
+        if self.explain is not None:
+            record["explain"] = self.explain
         return record
 
 

@@ -32,14 +32,24 @@ Commands
     service, answer a query workload through it and print the merged
     results plus per-shard service stats as JSON.  ``--metrics-port``
     additionally starts the ops exporter (``/metrics``, ``/healthz``,
-    ``/slowlog``), ``--audit-rate`` the online guarantee auditor, and
-    ``--http-port`` the async HTTP front door (``POST /v1/search`` with
-    request coalescing and an epoch-invalidated result cache).
+    ``/slowlog``, ``/profile``) plus the workload-analytics sketches,
+    ``--profile-hz`` the continuous sampling profiler, ``--audit-rate``
+    the online guarantee auditor, and ``--http-port`` the async HTTP
+    front door (``POST /v1/search`` with request coalescing and an
+    epoch-invalidated result cache).  ``--log-level``/``--log-json``
+    configure structured logging for the ``repro.*`` namespace.
+
+``explain``
+    Run one or more queries with ``explain=True`` through the sharded
+    service (or a running front door via ``--url``) and render the
+    per-round plan/cost report — windows scanned, candidates promoted,
+    termination progress, per-shard skew.
 
 ``top``
     Live one-screen operations view: polls a running exporter's
-    ``/metrics`` + ``/healthz`` and renders per-shard QPS, p50/p99
-    latency, I/O and audit recall.
+    ``/metrics`` + ``/healthz`` (+ ``/slowlog``) and renders per-shard
+    QPS, p50/p99 latency, I/O, audit recall, profiler phase mix,
+    workload demand and recent slow queries with trace links.
 
 ``bench-serve``
     Run the sharded-service benchmark (wall-clock + load-balance model,
@@ -427,7 +437,9 @@ def cmd_recover(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.logconfig import configure_logging
     from repro.obs import (
+        ContinuousProfiler,
         FlightRecorder,
         GuaranteeAuditor,
         ObsExporter,
@@ -436,12 +448,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         SLOSpec,
         SlowQueryLog,
         TraceStore,
+        WorkloadAnalytics,
         counter_ratio_sli,
         error_rate_sli,
         latency_sli,
     )
     from repro.obs.telemetry import LATENCY_BUCKETS
     from repro.serve import Frontend, ShardedSearchService
+
+    configure_logging(args.log_level, json_format=args.log_json)
 
     feed = None
     base_lsn = 0
@@ -486,6 +501,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     frontend = None
     telemetry = auditor = exporter = slowlog = None
     trace_store = flight = slo = paging = None
+    profiler = workload = None
     if ops_plane:
         slowlog = SlowQueryLog(
             capacity=128,
@@ -507,6 +523,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
             dump_dir=args.flight_dir,
         )
         telemetry.flight_recorder = flight
+        workload = WorkloadAnalytics(registry=telemetry.registry)
+        telemetry.workload = workload
+        profiler = ContinuousProfiler(
+            registry=telemetry.registry,
+            hz=args.profile_hz if args.profile_hz > 0 else 29.0,
+        )
+        if args.profile_hz > 0:
+            # Continuous sampling; with --profile-hz 0 the profiler is
+            # still attached so /profile?seconds=N captures on demand.
+            profiler.start()
         if args.audit_rate > 0:
             auditor = GuaranteeAuditor(
                 index,
@@ -609,11 +635,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     slowlog=slowlog,
                     trace_store=trace_store,
                     slo=slo,
+                    profiler=profiler,
                     port=args.metrics_port,
                 ).start()
                 print(f"ops endpoints: {exporter.url}/metrics "
                       f"{exporter.url}/healthz {exporter.url}/slowlog "
-                      f"{exporter.url}/trace",
+                      f"{exporter.url}/trace {exporter.url}/profile",
                       file=sys.stderr)
             if args.http_port is not None:
                 frontend = Frontend(
@@ -652,6 +679,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 report["slo"] = slo.tick()
                 report["flight"] = flight.stats()
                 report["traces"] = trace_store.stats()
+                report["workload"] = workload.stats()
+                report["profile"] = profiler.stats()
             if frontend is not None:
                 report["frontend"] = frontend.stats()
             if args.linger:
@@ -698,9 +727,83 @@ def cmd_serve(args: argparse.Namespace) -> int:
             frontend.stop()
         if exporter is not None:
             exporter.stop()
+        if profiler is not None:
+            profiler.stop()
         if auditor is not None:
             auditor.close()
     print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Run queries with EXPLAIN and render the plan/cost reports."""
+    from repro.obs.explain import (
+        render_explain,
+        validate_explain_dict,
+    )
+
+    metrics = _parse_p_list(args.p)
+    if len(metrics) != 1:
+        raise ReproError("explain answers one metric per run; pass one --p")
+    p = metrics[0]
+    records: list[dict] = []
+    if args.url:
+        import urllib.request
+
+        if not args.query_file:
+            raise ReproError("explain --url needs --query-file")
+        queries = np.atleast_2d(np.load(args.query_file))
+        base = args.url.rstrip("/")
+        for query in queries:
+            body = json.dumps(
+                {
+                    "query": [float(x) for x in query],
+                    "k": args.k,
+                    "p": p,
+                    "explain": True,
+                }
+            ).encode()
+            req = urllib.request.Request(
+                base + "/v1/search",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(req, timeout=30) as fh:
+                    payload = json.loads(fh.read().decode())
+            except OSError as exc:
+                raise ReproError(
+                    f"cannot reach {base}/v1/search: {exc}"
+                ) from exc
+            record = payload.get("explain")
+            if record is None:
+                raise ReproError(
+                    "the front door answered without an explain section; "
+                    "is it running a build that predates explain?"
+                )
+            records.append(record)
+    else:
+        if args.index is None:
+            raise ReproError("explain needs an index path or --url")
+        from repro.serve import ShardedSearchService
+
+        index = load_index(args.index, backend=args.backend)
+        queries = _workload_queries(index, args)
+        with ShardedSearchService(
+            index,
+            n_shards=args.shards,
+            attach="mmap" if args.backend == "mmap" else "shm",
+        ) as service:
+            results = service.search_batch(
+                queries, args.k, p=p, explain=True
+            )
+        records = [result.explain for result in results]
+    for record in records:
+        validate_explain_dict(record)
+        if args.format == "json":
+            print(json.dumps(record, indent=2, sort_keys=True))
+        else:
+            print(render_explain(record))
     return 0
 
 
@@ -724,11 +827,16 @@ def _shard_labels(samples: dict, name: str) -> list[str]:
     )
 
 
+#: How many slowlog rows ``repro top`` shows per refresh.
+_SLOWLOG_ROWS = 5
+
+
 def _render_top(
     samples: dict,
     prev: dict | None,
     dt: float | None,
     health: dict | None,
+    slowlog: list | None = None,
 ) -> str:
     from repro.obs.exporter import histogram_quantile
 
@@ -861,6 +969,70 @@ def _render_top(
             f"{_metric_total(samples, 'lazylsh_minor_faults_total'):.0f}"
             f"{resident_text}"
         )
+    profile = samples.get("lazylsh_profile_samples_total", [])
+    if profile:
+        by_phase = {
+            labels.get("phase", "?"): value for labels, value in profile
+        }
+        total = sum(by_phase.values())
+        if total:
+            parts = [
+                f"{phase} {count / total:.0%}"
+                for phase, count in sorted(
+                    by_phase.items(), key=lambda kv: -kv[1]
+                )
+                if count
+            ]
+            lines.append(
+                f"profile: {total:.0f} samples | " + " ".join(parts)
+            )
+    demand = samples.get("lazylsh_workload_queries_total", [])
+    if demand:
+        ranked = sorted(demand, key=lambda kv: -kv[1])[:4]
+        parts = [
+            f"p={labels.get('p', '?')} k={labels.get('k', '?')} "
+            f"({value:.0f})"
+            for labels, value in ranked
+        ]
+        heat_parts = []
+        for heat in ("hot", "cold"):
+            hits = _metric_total(
+                samples, "lazylsh_workload_cache_lookups_total",
+                heat=heat, outcome="hit",
+            )
+            misses = _metric_total(
+                samples, "lazylsh_workload_cache_lookups_total",
+                heat=heat, outcome="miss",
+            )
+            if hits + misses:
+                heat_parts.append(
+                    f"{heat} {hits / (hits + misses):.0%}"
+                )
+        heat_text = (
+            " | cache " + " ".join(heat_parts) if heat_parts else ""
+        )
+        lines.append("workload: " + " ".join(parts) + heat_text)
+    if slowlog:
+        table = ResultTable(
+            "slow queries (newest last)",
+            ["query", "ms", "rounds", "termination", "request", "trace"],
+        )
+        for entry in slowlog[-_SLOWLOG_ROWS:]:
+            table.add_row(
+                [
+                    entry.get("query_id", "-"),
+                    round(float(entry.get("elapsed_seconds", 0.0)) * 1e3, 2),
+                    entry.get("rounds", "-"),
+                    entry.get("termination", "-"),
+                    entry.get("request_id") or "-",
+                    (
+                        f"/trace/{entry['trace_id']}"
+                        if entry.get("trace_id")
+                        else "-"
+                    ),
+                ]
+            )
+        lines.append(table.render())
     return "\n".join(lines)
 
 
@@ -896,11 +1068,17 @@ def cmd_top(args: argparse.Namespace) -> int:
                 health = None
         except (urllib.error.URLError, OSError):
             health = None
+        slowlog = None
+        try:
+            with urllib.request.urlopen(base + "/slowlog", timeout=5) as fh:
+                slowlog = json.loads(fh.read().decode())
+        except (urllib.error.URLError, OSError, ValueError):
+            slowlog = None
         if not args.no_clear and iteration:
             print("\x1b[2J\x1b[H", end="")
         print(_render_top(
             samples, prev, now - prev_t if prev_t is not None else None,
-            health,
+            health, slowlog,
         ))
         prev, prev_t = samples, now
         iteration += 1
@@ -1260,7 +1438,58 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.99,
         help="target good-fraction for the latency SLO (default 0.99)",
     )
+    p_serve.add_argument(
+        "--profile-hz",
+        type=float,
+        default=0.0,
+        help="continuous sampling-profiler rate in Hz (0 = no background "
+        "sampling; /profile?seconds=N on-demand capture always works "
+        "when --metrics-port is set)",
+    )
+    p_serve.add_argument(
+        "--log-level",
+        default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="log level for the repro.* namespace (default info)",
+    )
+    p_serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit one JSON object per log line instead of text",
+    )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="run queries with EXPLAIN and render the plan/cost report",
+    )
+    p_explain.add_argument(
+        "index", nargs="?", default=None, help="index .npz path"
+    )
+    p_explain.add_argument("--k", type=int, default=10)
+    p_explain.add_argument("--p", default="1.0", help="single metric")
+    p_explain.add_argument(
+        "--row", type=int, default=0, help="use this indexed row as the query"
+    )
+    p_explain.add_argument(
+        "--query-file", default=None, help=".npy file of query vectors"
+    )
+    p_explain.add_argument(
+        "--shards", type=int, default=2, help="shard/worker count"
+    )
+    p_explain.add_argument(
+        "--backend", choices=("eager", "mmap"), default="eager"
+    )
+    p_explain.add_argument(
+        "--url",
+        default=None,
+        help="POST to a running front door at this base URL instead of "
+        "loading the index locally (needs --query-file)",
+    )
+    p_explain.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    p_explain.set_defaults(func=cmd_explain)
 
     p_top = sub.add_parser(
         "top", help="live ops view of a running exporter"

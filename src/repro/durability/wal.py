@@ -46,6 +46,7 @@ throughput ablation ``benchmarks/bench_wal.py`` measures.
 
 from __future__ import annotations
 
+import logging
 import os
 import struct
 import time
@@ -57,6 +58,8 @@ from typing import Callable, Iterator
 import numpy as np
 
 from repro.errors import InvalidParameterError, ReproError
+
+logger = logging.getLogger("repro.durability.wal")
 
 #: Operation codes stored in record bodies.
 OP_INSERT = 1
@@ -307,6 +310,11 @@ class WriteAheadLog:
                         "was lost"
                     )
                 dropped = size - end
+                logger.warning(
+                    "truncating torn tail of WAL segment %s: dropping "
+                    "%d byte(s) after offset %d",
+                    path.name, dropped, end,
+                )
                 with open(path, "r+b") as fh:
                     fh.truncate(end)
                     fh.flush()
@@ -322,6 +330,11 @@ class WriteAheadLog:
                     )
                 expected += 1
         self.last_lsn = expected - 1
+        if segments:
+            logger.info(
+                "opened WAL: %d segment(s), LSN range [%d, %d]",
+                len(segments), self.first_lsn, self.last_lsn,
+            )
         if self._metrics is not None:
             self._metrics.last_lsn.set(self.last_lsn)
         if segments:
@@ -339,6 +352,7 @@ class WriteAheadLog:
             os.fsync(self._file.fileno())
             self._file.close()
         path = self.directory / segment_name(first_lsn)
+        logger.debug("rotating WAL to segment %s", path.name)
         self._file = open(path, "ab")
         self._file_size = 0
         if self.sync:

@@ -1,0 +1,113 @@
+"""Structured logging for the ``repro.*`` namespace.
+
+Every serving-plane module logs through the stdlib :mod:`logging`
+machinery under the ``repro.`` namespace (``repro.serve.service``,
+``repro.serve.frontend``, ``repro.durability.wal``, ...).  Nothing in
+the library configures handlers — importing :mod:`repro` must never
+hijack an application's logging setup — so by default those records go
+to the stdlib's last-resort handler (WARNING and above on stderr).
+
+Entry points that *own* the process (``repro serve``) call
+:func:`configure_logging` to attach a single stderr handler with either
+a human-readable line format or a JSON-per-line format suitable for log
+shippers.  The function is idempotent: re-configuring replaces the
+handler it previously installed rather than stacking duplicates.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+__all__ = ["JsonFormatter", "configure_logging"]
+
+#: Logger that roots the repro namespace; handlers attach here so that
+#: third-party libraries keep their own configuration.
+ROOT_LOGGER_NAME = "repro"
+
+#: Marker attribute so configure_logging can find (and replace) the
+#: handler it installed on a previous call.
+_HANDLER_MARK = "_repro_logconfig_handler"
+
+_TEXT_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+class _StderrHandler(logging.StreamHandler):
+    """A stream handler that resolves ``sys.stderr`` at emit time.
+
+    Binding the stream once at configuration time breaks when the
+    process later swaps stderr — daemonisation, ``redirect_stderr``,
+    test harnesses that capture and close per-test streams — leaving
+    the handler writing to (or crashing on) a dead file object.
+    """
+
+    def __init__(self) -> None:
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self):  # type: ignore[override]
+        return sys.stderr
+
+
+class JsonFormatter(logging.Formatter):
+    """Format records as one JSON object per line.
+
+    The envelope keeps the same fields the text format shows — ``ts``
+    (ISO-8601, UTC), ``level``, ``logger``, ``msg`` — plus exception
+    text under ``exc`` when present.  Values are rendered with
+    ``default=str`` so a stray non-serialisable argument degrades to
+    its ``repr`` instead of crashing the logging call.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            )
+            + f".{int(record.msecs):03d}Z",
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def configure_logging(
+    level: str | int = "info", *, json_format: bool = False
+) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` logger namespace.
+
+    ``level`` accepts either a logging constant or a (case-insensitive)
+    name such as ``"debug"``/``"warning"``.  ``json_format`` switches
+    the handler to :class:`JsonFormatter`.  Returns the configured
+    ``repro`` root logger.  Raises :class:`ValueError` for an unknown
+    level name.
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level: {level!r}")
+        level = resolved
+
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(level)
+    # Records stop here; the application's root logger keeps whatever
+    # configuration it already had.
+    root.propagate = False
+
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            root.removeHandler(handler)
+            handler.close()
+
+    handler = _StderrHandler()
+    handler.setFormatter(
+        JsonFormatter() if json_format else logging.Formatter(_TEXT_FORMAT)
+    )
+    setattr(handler, _HANDLER_MARK, True)
+    root.addHandler(handler)
+    return root

@@ -31,6 +31,17 @@ And the incident plane (DESIGN §13):
 * :mod:`repro.obs.procstat` — real paging metrics (major faults,
   page-cache residency) beside the simulated I/O charge.
 
+And the workload intelligence plane (DESIGN §15):
+
+* :mod:`repro.obs.profiler` — :class:`ContinuousProfiler`, a
+  daemon-thread sampling profiler with folded-stack output and
+  per-phase (hash/scan/merge/wave) attribution, served at ``/profile``;
+* :mod:`repro.obs.explain` — query EXPLAIN records built from
+  :class:`QueryTrace` round data (``SearchRequest(explain=True)``);
+* :mod:`repro.obs.workload` — :class:`WorkloadAnalytics` with
+  Space-Saving heavy-hitter sketches over query digests and base
+  buckets, rolling ``(p, k)`` demand and cache-efficacy-by-heat stats.
+
 :class:`Telemetry` bundles all of it and is what the query entry points
 accept::
 
@@ -58,12 +69,21 @@ from repro.obs.query_trace import (
     write_traces_jsonl,
 )
 from repro.obs.auditor import GuaranteeAuditor
+from repro.obs.explain import (
+    EXPLAIN_SCHEMA,
+    EXPLAIN_VERSION,
+    ExplainSchemaError,
+    build_explain,
+    render_explain,
+    validate_explain_dict,
+)
 from repro.obs.exporter import (
     ObsExporter,
     histogram_quantile,
     parse_prometheus_text,
 )
 from repro.obs.flight_recorder import FlightRecorder
+from repro.obs.profiler import PHASES, ContinuousProfiler, classify_frames
 from repro.obs.procstat import PagingMetrics, read_fault_counts, residency_ratio
 from repro.obs.registry import (
     Counter,
@@ -92,17 +112,23 @@ from repro.obs.trace_context import (
     validate_span_dict,
 )
 from repro.obs.tracer import Span, SpanTracer, load_spans_jsonl
+from repro.obs.workload import SpaceSavingSketch, WorkloadAnalytics
 
 __all__ = [
     "BurnWindow",
+    "ContinuousProfiler",
     "Counter",
     "DEFAULT_WINDOWS",
+    "EXPLAIN_SCHEMA",
+    "EXPLAIN_VERSION",
+    "ExplainSchemaError",
     "FlightRecorder",
     "Gauge",
     "GuaranteeAuditor",
     "Histogram",
     "MetricsRegistry",
     "ObsExporter",
+    "PHASES",
     "PagingMetrics",
     "QueryTrace",
     "QueryTraceBuilder",
@@ -110,6 +136,7 @@ __all__ = [
     "SLOEngine",
     "SLOSpec",
     "SlowQueryLog",
+    "SpaceSavingSketch",
     "Span",
     "SpanTracer",
     "SpanSchemaError",
@@ -124,7 +151,10 @@ __all__ = [
     "TraceContext",
     "TraceSchemaError",
     "TraceStore",
+    "WorkloadAnalytics",
+    "build_explain",
     "build_trace_tree",
+    "classify_frames",
     "counter_ratio_sli",
     "error_rate_sli",
     "get_default_registry",
@@ -134,7 +164,9 @@ __all__ = [
     "load_traces_jsonl",
     "parse_prometheus_text",
     "read_fault_counts",
+    "render_explain",
     "residency_ratio",
+    "validate_explain_dict",
     "validate_span_dict",
     "validate_trace_dict",
     "write_traces_jsonl",

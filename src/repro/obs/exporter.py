@@ -18,6 +18,12 @@ observability objects:
     The :class:`~repro.obs.trace_context.TraceStore`: the bare route
     lists stored trace ids, the id route returns one reconstructed
     cross-process span tree (404 for evicted/unknown ids).
+``/profile`` and ``/profile?seconds=N``
+    The :class:`~repro.obs.profiler.ContinuousProfiler`: the bare route
+    returns the continuous aggregate as flamegraph-ready folded-stack
+    text; ``?seconds=N`` blocks for a fresh N-second on-demand capture
+    (N in (0, 60]) and returns only that window.  Sampler state rides
+    along in an ``X-Profile-Stats`` JSON header.
 
 Lifetime rules (see DESIGN §10): the exporter owns only its HTTP
 server, never the registry/health/slowlog objects it reads — callers
@@ -37,8 +43,12 @@ import http.server
 import json
 import re
 import threading
+import urllib.parse
 from typing import Any, Callable, Mapping
 
+from repro.errors import InvalidParameterError
+
+from repro.obs.profiler import ContinuousProfiler
 from repro.obs.registry import MetricsRegistry
 from repro.obs.slo import SLOEngine
 from repro.obs.slowlog import SlowQueryLog
@@ -69,6 +79,9 @@ class ObsExporter:
         gauges in the scrape are current) and ``/healthz`` gains an
         ``"slo"`` section; an open SLO alert episode flips ``healthy``
         to false (and the status code to 503).
+    profiler:
+        Optional :class:`~repro.obs.profiler.ContinuousProfiler`
+        served at ``/profile``.  Omitted → 404 on that route.
     host / port:
         Bind address; ``port=0`` (default) lets the OS pick a free
         port — read it back from :attr:`port` or :attr:`url`.
@@ -82,6 +95,7 @@ class ObsExporter:
         slowlog: SlowQueryLog | None = None,
         trace_store: TraceStore | None = None,
         slo: SLOEngine | None = None,
+        profiler: ContinuousProfiler | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
@@ -90,6 +104,7 @@ class ObsExporter:
         self.slowlog = slowlog
         self.trace_store = trace_store
         self.slo = slo
+        self.profiler = profiler
         self.host = host
         self._requested_port = port
         self._server: http.server.ThreadingHTTPServer | None = None
@@ -135,7 +150,7 @@ class ObsExporter:
                 self.wfile.write(body)
 
             def do_GET(self) -> None:  # noqa: N802 (stdlib API name)
-                path = self.path.split("?", 1)[0]
+                path, _, raw_query = self.path.partition("?")
                 try:
                     if path == "/metrics":
                         if exporter.slo is not None:
@@ -199,11 +214,49 @@ class ObsExporter:
                         else:
                             body = json.dumps(tree, indent=2).encode()
                             self._send(200, body, "application/json")
+                    elif path == "/profile":
+                        if exporter.profiler is None:
+                            self._send(
+                                404,
+                                b"no profiler attached\n",
+                                "text/plain",
+                            )
+                        else:
+                            params = urllib.parse.parse_qs(raw_query)
+                            seconds_raw = params.get("seconds", [None])[0]
+                            try:
+                                if seconds_raw is None:
+                                    text = exporter.profiler.folded()
+                                else:
+                                    text = exporter.profiler.capture(
+                                        float(seconds_raw)
+                                    )
+                            except (ValueError, InvalidParameterError) as bad:
+                                self._send(
+                                    400,
+                                    f"bad seconds: {bad}\n".encode(),
+                                    "text/plain",
+                                )
+                                return
+                            self.send_response(200)
+                            self.send_header(
+                                "Content-Type", "text/plain; charset=utf-8"
+                            )
+                            body = text.encode()
+                            self.send_header(
+                                "Content-Length", str(len(body))
+                            )
+                            self.send_header(
+                                "X-Profile-Stats",
+                                json.dumps(exporter.profiler.stats()),
+                            )
+                            self.end_headers()
+                            self.wfile.write(body)
                     else:
                         self._send(
                             404,
                             b"not found; endpoints: /metrics /healthz "
-                            b"/slowlog /trace /trace/<id>\n",
+                            b"/slowlog /trace /trace/<id> /profile\n",
                             "text/plain",
                         )
                 except BrokenPipeError:

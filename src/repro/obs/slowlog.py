@@ -80,12 +80,23 @@ class SlowQueryLog:
             return True
         return False
 
-    def offer(self, trace: QueryTrace, *, shard_io: Any = None) -> bool:
+    def offer(
+        self,
+        trace: QueryTrace,
+        *,
+        shard_io: Any = None,
+        request_id: str | None = None,
+        trace_id: str | None = None,
+    ) -> bool:
         """Consider one finished trace; capture it if it is slow.
 
         ``shard_io`` is the sharded service's per-shard
         :class:`~repro.storage.io_stats.IOStats` list (None for
-        single-process engines).  Returns True when captured.
+        single-process engines).  ``request_id`` / ``trace_id`` link
+        the entry back to its request and its ``/trace/<id>`` span
+        tree when the query ran under a sampled trace context, so a
+        slow query found in ``/slowlog`` is one hop from its full
+        cross-process timeline.  Returns True when captured.
         """
         with self._lock:
             self._offered += 1
@@ -94,6 +105,8 @@ class SlowQueryLog:
             entry = {
                 "captured_at": time.time(),
                 "query_id": trace.query_id,
+                "request_id": request_id,
+                "trace_id": trace_id,
                 "elapsed_seconds": trace.elapsed_seconds,
                 "io": trace.io.to_dict(),
                 "trace": trace.to_dict(),

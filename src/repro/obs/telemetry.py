@@ -52,6 +52,7 @@ from repro.obs.tracer import SpanTracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.flight_recorder import FlightRecorder
+    from repro.obs.workload import WorkloadAnalytics
 
 #: Rehashing rounds per query; the engine caps rounds at 128.
 ROUND_BUCKETS = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128)
@@ -158,6 +159,11 @@ class Telemetry:
         Optional :class:`~repro.obs.flight_recorder.FlightRecorder`;
         tripped with reason ``slowlog_admission`` whenever the slow-query
         log admits a trace.
+    workload:
+        Optional :class:`~repro.obs.workload.WorkloadAnalytics`; when
+        attached, :meth:`record` feeds each query's digest, base
+        bucket and ``(p, k)`` into the heavy-hitter sketches (callers
+        supply ``query_digest``/``bucket`` — the service does).
     """
 
     def __init__(
@@ -170,6 +176,7 @@ class Telemetry:
         trace_store: TraceStore | None = None,
         trace_sample: float = 0.0,
         flight_recorder: "FlightRecorder | None" = None,
+        workload: "WorkloadAnalytics | None" = None,
     ) -> None:
         if not 0.0 <= trace_sample <= 1.0:
             raise InvalidParameterError(
@@ -182,6 +189,7 @@ class Telemetry:
         self.trace_store = trace_store
         self.trace_sample = float(trace_sample)
         self.flight_recorder = flight_recorder
+        self.workload = workload
         self._sampler = random.Random(0xC0FFEE)
         self.traces: list[QueryTrace] = []
         self._auto_query_id = 0
@@ -307,12 +315,24 @@ class Telemetry:
             p=p, k=k, engine=engine, rehashing=rehashing, query_id=query_id
         )
 
-    def record(self, trace: QueryTrace, *, shard_io=None) -> QueryTrace:
+    def record(
+        self,
+        trace: QueryTrace,
+        *,
+        shard_io=None,
+        request_id: str | None = None,
+        trace_id: str | None = None,
+        query_digest: str | None = None,
+        bucket: bytes | None = None,
+    ) -> QueryTrace:
         """Fold one finished trace into the registry (and keep it).
 
         ``shard_io`` is the per-shard I/O list of a sharded run; it is
         only forwarded to the slow-query log (the registry's per-shard
-        series are fed by the service itself).
+        series are fed by the service itself).  ``request_id`` /
+        ``trace_id`` ride into the slowlog entry so a slow query links
+        to its ``/trace/<id>`` tree; ``query_digest`` / ``bucket``
+        feed the attached :class:`WorkloadAnalytics` when present.
         """
         self._queries.inc(engine=trace.engine, p=f"{trace.p:g}")
         self._terminations.inc(reason=trace.termination)
@@ -321,14 +341,28 @@ class Telemetry:
         self._io_sequential.observe(trace.io.sequential)
         self._io_random.observe(trace.io.random)
         self._latency.observe(trace.elapsed_seconds)
+        if self.workload is not None and query_digest is not None:
+            self.workload.observe_query(
+                digest=query_digest,
+                bucket=bucket if bucket is not None else b"",
+                p=trace.p,
+                k=trace.k,
+            )
         if self.slowlog is not None:
-            admitted = self.slowlog.offer(trace, shard_io=shard_io)
+            admitted = self.slowlog.offer(
+                trace,
+                shard_io=shard_io,
+                request_id=request_id,
+                trace_id=trace_id,
+            )
             if admitted and self.flight_recorder is not None:
                 self.flight_recorder.trigger(
                     "slowlog_admission",
                     query_id=trace.query_id,
                     elapsed_seconds=trace.elapsed_seconds,
                     engine=trace.engine,
+                    request_id=request_id,
+                    trace_id=trace_id,
                 )
         if self.capture_traces:
             self.traces.append(trace)

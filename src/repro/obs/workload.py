@@ -1,0 +1,274 @@
+"""Workload analytics: heavy hitters, demand histograms, cache efficacy.
+
+ROADMAP's remaining frontiers — weighted per-user ``lp`` functions and
+multi-family search — all start with the same question: *what does the
+live workload actually look like?*  This module answers it with three
+bounded-memory summaries maintained on the query hot path:
+
+* **Heavy hitters** over (a) exact query digests and (b) round-0 base
+  buckets (the untrimmed ``hash_points`` signature that round 0 scans),
+  via the Space-Saving sketch of Metwally, Agrawal & El Abbadi (2005).
+  With capacity ``m``, after ``N`` observations every reported count
+  over-estimates its key's true frequency by at most ``N / m`` (the
+  tracked ``error`` field bounds it per key), and any key with true
+  frequency above ``N / m`` is guaranteed to be in the sketch.  64
+  counters therefore pin down every bucket hotter than ~1.6% of
+  traffic, in O(m) memory regardless of workload size.
+* **Demand histograms** over a rolling window of ``(p, k)`` pairs — the
+  distribution the multi-metric frontend and any future family-picker
+  would route on.
+* **Cache efficacy by heat**: the frontend reports every result-cache
+  lookup with the query's base bucket; hit rates split into *hot*
+  (bucket currently a top heavy hitter) vs *cold* tell us whether cache
+  admission favouring hot buckets is actually paying off.
+
+Everything is exported as ``lazylsh_workload_*`` metrics, summarised by
+:meth:`WorkloadAnalytics.stats` (surfaced at ``/v1/stats`` and in
+``repro top``), and consulted by the frontend's cache-eviction policy
+via :meth:`WorkloadAnalytics.is_hot`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Hashable
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.obs.registry import MetricsRegistry
+
+
+class SpaceSavingSketch:
+    """Space-Saving heavy-hitter sketch (Metwally et al., 2005).
+
+    Tracks at most ``capacity`` keys.  A new key arriving at a full
+    sketch evicts the minimum-count entry and inherits its count (plus
+    the new weight), recording that minimum as its ``error`` —
+    the classic over-estimate bound.  ``top(n)`` reports
+    ``(key, count, error)`` descending; the true frequency of ``key``
+    lies in ``[count - error, count]``.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise InvalidParameterError(
+                f"sketch capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = int(capacity)
+        self._counts: dict[Hashable, int] = {}
+        self._errors: dict[Hashable, int] = {}
+        self.total = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def observe(self, key: Hashable, weight: int = 1) -> None:
+        """Count one occurrence of ``key`` (``weight`` of them)."""
+        weight = int(weight)
+        if weight <= 0:
+            raise InvalidParameterError(
+                f"sketch weight must be >= 1, got {weight}"
+            )
+        self.total += weight
+        if key in self._counts:
+            self._counts[key] += weight
+            return
+        if len(self._counts) < self.capacity:
+            self._counts[key] = weight
+            self._errors[key] = 0
+            return
+        victim = min(self._counts, key=self._counts.__getitem__)
+        floor = self._counts.pop(victim)
+        self._errors.pop(victim)
+        self.evictions += 1
+        self._counts[key] = floor + weight
+        self._errors[key] = floor
+
+    def count(self, key: Hashable) -> int:
+        """Tracked (over-estimated) count for ``key``; 0 if untracked."""
+        return self._counts.get(key, 0)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._counts
+
+    def top(self, n: int) -> list[tuple[Hashable, int, int]]:
+        """The ``n`` heaviest tracked keys as ``(key, count, error)``."""
+        ranked = sorted(
+            self._counts.items(), key=lambda kv: kv[1], reverse=True
+        )
+        return [(key, count, self._errors[key]) for key, count in ranked[:n]]
+
+    def error_bound(self) -> float:
+        """Max over-estimate any reported count can carry: ``N / m``."""
+        return self.total / self.capacity
+
+
+class WorkloadAnalytics:
+    """Live workload summary shared by the service and the frontend.
+
+    Thread-safe: the service's merge loop and the frontend's planner
+    both feed it (``observe_query`` / ``note_cache``) while ``stats``
+    and ``is_hot`` read concurrently.  All state is O(sketch capacity +
+    demand window) regardless of traffic.
+
+    The canonical *bucket* key is the raw ``.tobytes()`` of the full
+    (untrimmed) int64 ``hash_points`` column of the query — the round-0
+    base bucket every metric's scan starts from — so the service-side
+    and frontend-side feeds agree on identity.  Bytes keep the hot-path
+    feed to one memcpy per query (a Python int tuple over ``eta`` ~1000
+    hash values costs ~10x more per wave); :meth:`heavy_hitters`
+    decodes them back to int lists for display.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        *,
+        sketch_capacity: int = 64,
+        demand_window: int = 2048,
+        hot_buckets: int = 8,
+    ) -> None:
+        if hot_buckets < 1:
+            raise InvalidParameterError(
+                f"hot_buckets must be >= 1, got {hot_buckets}"
+            )
+        if demand_window < 1:
+            raise InvalidParameterError(
+                f"demand_window must be >= 1, got {demand_window}"
+            )
+        self.hot_buckets = int(hot_buckets)
+        self._lock = threading.Lock()
+        self._digests = SpaceSavingSketch(sketch_capacity)
+        self._buckets = SpaceSavingSketch(sketch_capacity)
+        self._demand: deque[tuple[float, int]] = deque(maxlen=demand_window)
+        self._cache: dict[tuple[str, str], int] = {}
+        self._observed = 0
+        self._c_queries = None
+        self._c_cache = None
+        self._g_tracked = None
+        if registry is not None:
+            self._c_queries = registry.counter(
+                "lazylsh_workload_queries_total",
+                "Queries observed by workload analytics, by (p, k)",
+            )
+            self._c_cache = registry.counter(
+                "lazylsh_workload_cache_lookups_total",
+                "Frontend cache lookups by bucket heat and outcome",
+            )
+            self._g_tracked = registry.gauge(
+                "lazylsh_workload_tracked_keys",
+                "Keys currently tracked by the heavy-hitter sketches",
+            )
+
+    # -- write side ------------------------------------------------------
+
+    def observe_query(
+        self,
+        *,
+        digest: str,
+        bucket: bytes,
+        p: float,
+        k: int,
+    ) -> None:
+        """Feed one executed query into the sketches and histograms."""
+        with self._lock:
+            self._digests.observe(digest)
+            self._buckets.observe(bucket)
+            self._demand.append((float(p), int(k)))
+            self._observed += 1
+            observed = self._observed
+        if self._c_queries is not None:
+            self._c_queries.inc(p=f"{float(p):g}", k=str(int(k)))
+        # The tracked-key gauges only move while the sketches are still
+        # filling, so refreshing them on every query buys nothing once
+        # they saturate; sampling every 32nd keeps the per-query feed to
+        # two counter bumps.
+        if self._g_tracked is not None and observed % 32 == 1:
+            self._g_tracked.set(len(self._digests), sketch="digests")
+            self._g_tracked.set(len(self._buckets), sketch="buckets")
+
+    def note_cache(self, bucket: bytes, *, hit: bool) -> str:
+        """Record a frontend cache lookup; returns the bucket's heat."""
+        heat = "hot" if self.is_hot(bucket) else "cold"
+        outcome = "hit" if hit else "miss"
+        with self._lock:
+            key = (heat, outcome)
+            self._cache[key] = self._cache.get(key, 0) + 1
+        if self._c_cache is not None:
+            self._c_cache.inc(heat=heat, outcome=outcome)
+        return heat
+
+    # -- read side -------------------------------------------------------
+
+    def is_hot(self, bucket: bytes) -> bool:
+        """Whether ``bucket`` is currently a top-``hot_buckets`` hitter."""
+        with self._lock:
+            top = self._buckets.top(self.hot_buckets)
+        return any(key == bucket for key, _, _ in top)
+
+    @staticmethod
+    def _decode_bucket(key: Hashable) -> list:
+        """Canonical int64-bytes keys back to int lists for display."""
+        if isinstance(key, bytes):
+            return np.frombuffer(key, dtype=np.int64).tolist()
+        return list(key)  # tolerate tuple keys from hand-fed sketches
+
+    def heavy_hitters(self, n: int = 10) -> dict:
+        """Top query digests and base buckets with error bounds."""
+        with self._lock:
+            return {
+                "digests": [
+                    {"digest": key, "count": count, "error": error}
+                    for key, count, error in self._digests.top(n)
+                ],
+                "buckets": [
+                    {
+                        "bucket": self._decode_bucket(key),
+                        "count": count,
+                        "error": error,
+                    }
+                    for key, count, error in self._buckets.top(n)
+                ],
+                "total": self._buckets.total,
+                "error_bound": self._buckets.error_bound(),
+            }
+
+    def demand(self) -> dict:
+        """Rolling ``(p, k)`` demand histogram over the window."""
+        with self._lock:
+            window = list(self._demand)
+        p_hist: dict[str, int] = {}
+        k_hist: dict[str, int] = {}
+        for p, k in window:
+            p_key = f"{p:g}"
+            k_key = str(k)
+            p_hist[p_key] = p_hist.get(p_key, 0) + 1
+            k_hist[k_key] = k_hist.get(k_key, 0) + 1
+        return {"window": len(window), "p": p_hist, "k": k_hist}
+
+    def cache_efficacy(self) -> dict:
+        """Cache hit rates split by bucket heat (hot vs cold)."""
+        with self._lock:
+            counts = dict(self._cache)
+        out = {}
+        for heat in ("hot", "cold"):
+            hits = counts.get((heat, "hit"), 0)
+            misses = counts.get((heat, "miss"), 0)
+            lookups = hits + misses
+            out[heat] = {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": (hits / lookups) if lookups else None,
+            }
+        return out
+
+    def stats(self) -> dict:
+        """Full JSON-serialisable summary (``/v1/stats``, ``repro top``)."""
+        return {
+            "heavy_hitters": self.heavy_hitters(),
+            "demand": self.demand(),
+            "cache": self.cache_efficacy(),
+        }

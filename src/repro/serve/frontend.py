@@ -42,7 +42,9 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import itertools
 import json
+import logging
 import threading
 import time
 from collections import OrderedDict
@@ -62,6 +64,9 @@ from repro.errors import (
 )
 from repro.obs.registry import MetricsRegistry
 from repro.obs.telemetry import LATENCY_BUCKETS
+from repro.obs.workload import WorkloadAnalytics
+
+logger = logging.getLogger("repro.serve.frontend")
 
 #: Error ``code`` → HTTP status.  Codes missing here are server faults
 #: (500).  The mapping is append-only: a shipped code never changes its
@@ -147,6 +152,12 @@ class Frontend:
     registry:
         Metrics registry to instrument; defaults to the service
         telemetry's registry when present, else a private one.
+    workload:
+        :class:`~repro.obs.workload.WorkloadAnalytics` feeding the
+        hot-bucket cache-admission policy and the cache-efficacy-by-heat
+        stats.  Defaults to the service telemetry's workload when one is
+        attached (so the service-side query feed and the frontend-side
+        cache feed share sketches), else a private instance.
     """
 
     def __init__(
@@ -159,6 +170,7 @@ class Frontend:
         max_pending: int = 256,
         cache_capacity: int = 1024,
         registry: MetricsRegistry | None = None,
+        workload: WorkloadAnalytics | None = None,
     ) -> None:
         if coalesce_ms < 0:
             raise InvalidParameterError(
@@ -185,6 +197,19 @@ class Frontend:
                 else MetricsRegistry()
             )
         self.registry = registry
+        if workload is None:
+            telemetry = getattr(service, "telemetry", None)
+            workload = getattr(telemetry, "workload", None)
+        if workload is None:
+            workload = WorkloadAnalytics(registry=self.registry)
+        self.workload = workload
+        # When the service's telemetry shares this workload object it
+        # observes every scanned query itself; otherwise the frontend
+        # feeds the sketches for the scans it issues.
+        self._service_feeds_workload = (
+            getattr(getattr(service, "telemetry", None), "workload", None)
+            is workload
+        )
         self._cache: OrderedDict[tuple, _CacheEntry] = OrderedDict()
         self._queue: list[_Pending] = []
         self._flush_scheduled = False
@@ -281,7 +306,9 @@ class Frontend:
         if self._startup_error is not None:
             error = self._startup_error
             self.stop()
+            logger.error("front door failed to start: %s", error)
             raise error
+        logger.info("front door listening on %s", self.url)
         return self
 
     def stop(self) -> None:
@@ -376,6 +403,7 @@ class Frontend:
                 "misses": int(misses),
                 "hit_rate": (hits / looked_up) if looked_up else 0.0,
             },
+            "workload": self.workload.stats(),
             "service": self.service.stats(),
         }
 
@@ -576,6 +604,11 @@ class Frontend:
             exc = fut.exception()
             if exc is None:
                 return
+            logger.error(
+                "plan execution failed for a %d-request flush: %s",
+                len(items),
+                exc,
+            )
             for item in items:  # plan-level fault: fail the whole batch
                 if not item.future.done():
                     item.future.set_exception(exc)
@@ -590,17 +623,23 @@ class Frontend:
         The base bucket (the query's integer hash vector at ``delta_0``,
         Section 4.1) costs one matmul and no index I/O; the sha1 digest
         disambiguates colliding queries within a bucket, since distances
-        depend on the exact point.
+        depend on the exact point.  ``key[0]`` is the bucket as raw
+        int64 bytes — the same canonical form the workload sketches
+        track, so the eviction policy can ask
+        :meth:`WorkloadAnalytics.is_hot` about any cached entry.
+        Explain requests key separately (their results carry the
+        EXPLAIN payload).
         """
         query = np.ascontiguousarray(request.query, dtype=np.float64)
         bucket = self.service.index._bank.hash_points(query[None, :])[:, 0]
         return (
-            bucket.tobytes(),
+            np.ascontiguousarray(bucket).tobytes(),
             hashlib.sha1(query.tobytes()).hexdigest(),
             int(request.k),
             float(request.p),
             None if request.cap is None else float(request.cap),
             None if request.radius is None else float(request.radius),
+            bool(request.explain),
         )
 
     def _cache_get(self, key: tuple) -> SearchResult | None:
@@ -613,13 +652,30 @@ class Frontend:
         self._cache.move_to_end(key)
         return entry.result
 
+    #: Oldest entries inspected per eviction before falling back to
+    #: plain LRU; bounds the policy's cost per insert.
+    _EVICT_SCAN = 8
+
     def _cache_put(self, key: tuple, result: SearchResult) -> None:
         if self.cache_capacity == 0:
             return
         self._cache[key] = _CacheEntry(self.service.epoch, result)
         self._cache.move_to_end(key)
         while len(self._cache) > self.cache_capacity:
-            self._cache.popitem(last=False)
+            # Heat-aware eviction: prefer dropping a cold-bucket entry
+            # from the LRU end, keeping heavy-hitter buckets resident
+            # longer than plain LRU would.
+            victim = None
+            for old_key in itertools.islice(
+                self._cache.keys(), self._EVICT_SCAN
+            ):
+                if not self.workload.is_hot(old_key[0]):
+                    victim = old_key
+                    break
+            if victim is not None:
+                del self._cache[victim]
+            else:  # every inspected entry is hot: fall back to LRU
+                self._cache.popitem(last=False)
 
     def _resolve(self, item: _Pending, result: SearchResult) -> None:
         loop = self._loop
@@ -659,9 +715,18 @@ class Frontend:
                     self._fail(item, exc)
                     continue
                 cached = self._cache_get(key)
+                self.workload.note_cache(key[0], hit=cached is not None)
                 if cached is not None:
                     item.cache_hit = True
                     self._m_cache_hits.inc()
+                    # A hit never reaches the service, so feed the
+                    # sketches here to keep the bucket's heat live.
+                    self.workload.observe_query(
+                        digest=key[1],
+                        bucket=key[0],
+                        p=float(item.request.p),
+                        k=int(item.request.k),
+                    )
                     self._resolve(item, cached)
                 else:
                     self._m_cache_misses.inc()
@@ -678,7 +743,9 @@ class Frontend:
         by_point: dict[tuple, list[tuple[_Pending, tuple]]] = {}
         for item, key in misses:
             r = item.request
-            if self._multi is not None and r.radius is None:
+            # Explain requests stay out: the shared scan has no EXPLAIN
+            # surface, so they ride a batch wave instead.
+            if self._multi is not None and r.radius is None and not r.explain:
                 digest = key[1]  # exact-query sha1
                 cap = None if r.cap is None else float(r.cap)
                 by_point.setdefault(
@@ -713,6 +780,14 @@ class Frontend:
                 if key not in fanned:
                     fanned.add(key)
                     self._cache_put(key, part)
+                    # The shared scan bypasses the sharded service, so
+                    # the service-side workload feed never sees it.
+                    self.workload.observe_query(
+                        digest=key[1],
+                        bucket=key[0],
+                        p=float(item.request.p),
+                        k=int(item.request.k),
+                    )
                 self._resolve(item, part)
         for item, key in misses:
             if id(item) not in claimed:
@@ -725,9 +800,10 @@ class Frontend:
                 int(r.k), float(r.p),
                 None if r.cap is None else float(r.cap),
                 None if r.radius is None else float(r.radius),
+                bool(r.explain),
             )
             by_knobs.setdefault(knob, []).append((item, key))
-        for (k, p, cap, radius), group in by_knobs.items():
+        for (k, p, cap, radius, explain), group in by_knobs.items():
             rows: list[np.ndarray] = []
             row_of: dict[tuple, int] = {}
             for item, key in group:
@@ -738,7 +814,8 @@ class Frontend:
                     )
             try:
                 results = service.search_batch(
-                    np.stack(rows), k, p=p, cap=cap, radius=radius
+                    np.stack(rows), k, p=p, cap=cap, radius=radius,
+                    explain=explain,
                 )
             except ReproError as exc:
                 for item, _key in group:
@@ -755,4 +832,13 @@ class Frontend:
                 if key not in stored:
                     stored.add(key)
                     self._cache_put(key, result)
+                    if not self._service_feeds_workload:
+                        # The service's telemetry does not share this
+                        # workload object, so feed the scan here.
+                        self.workload.observe_query(
+                            digest=key[1],
+                            bucket=key[0],
+                            p=float(item.request.p),
+                            k=int(item.request.k),
+                        )
                 self._resolve(item, result)

@@ -53,6 +53,8 @@ failure raises :class:`~repro.errors.ReproError`.
 
 from __future__ import annotations
 
+import hashlib
+import logging
 import multiprocessing as mp
 import os
 import threading
@@ -73,11 +75,15 @@ from repro.errors import (
     ReproError,
 )
 from repro.metrics.lp import validate_p
+from repro.obs.explain import build_explain
+from repro.obs.query_trace import QueryTraceBuilder
 from repro.obs.trace_context import new_request_id
 from repro.obs.tracer import Span
 from repro.serve.sharding import MmapShardSpec, pack_shard, plan_shards
 from repro.serve.worker import worker_main
 from repro.storage.io_stats import IOStats
+
+logger = logging.getLogger("repro.serve.service")
 
 #: Mirror of the engine's round cap and hull sentinel (kept local so the
 #: service depends only on the engine's public charging primitive).
@@ -324,6 +330,7 @@ class ShardedSearchService:
         self._procs: list = [None] * self.n_shards
         self._conns: list = [None] * self.n_shards
         self.busy_seconds = [0.0] * self.n_shards
+        self.cpu_seconds = [0.0] * self.n_shards
         self.restarts = 0
         self.replays = 0
         self.queries_served = 0
@@ -395,6 +402,13 @@ class ShardedSearchService:
         if self._closed:
             return
         self._closed = True
+        logger.info(
+            "closing sharded service: %d shard(s), %d queries served, "
+            "%d restart(s)",
+            self.n_shards,
+            self.queries_served,
+            self.restarts,
+        )
         for conn in self._conns:
             if conn is None:
                 continue
@@ -434,6 +448,7 @@ class ShardedSearchService:
             "shard_ranges": [list(r) for r in self.ranges],
             "shard_points": [int(x) for x in self._shard_points],
             "busy_seconds": list(self.busy_seconds),
+            "cpu_seconds": list(self.cpu_seconds),
             "restarts": self.restarts,
             "replays": self.replays,
             "queries_served": self.queries_served,
@@ -534,6 +549,7 @@ class ShardedSearchService:
                 )
             if reply_id == op_id:
                 self.busy_seconds[sid] += payload["busy"]
+                self.cpu_seconds[sid] += payload.get("cpu", 0.0)
                 self._last_reply[sid] = time.time()
                 wave_obs = self._wave_obs
                 if wave_obs is not None:
@@ -591,6 +607,13 @@ class ShardedSearchService:
                     self.restarts += 1
                     respawned.append(sid)
                 all_respawned.update(respawned)
+                if respawned:
+                    logger.warning(
+                        "respawned shard worker(s) %s after a death "
+                        "(restarts=%d)",
+                        respawned,
+                        self.restarts,
+                    )
                 known_dead = None
                 self._catch_up(respawned)
                 # Survivors may hold per-query state and queued replies
@@ -809,6 +832,7 @@ class ShardedSearchService:
         request_id: str | None = None,
         trace_context=None,
         deadline_ms: float | None = None,
+        explain: bool = False,
     ) -> SearchResult:
         """Answer one ``Np(q, k, c)`` query across all shards.
 
@@ -820,6 +844,8 @@ class ShardedSearchService:
         ``request_id``/``trace_context``/``deadline_ms`` (or the same
         fields of the SearchRequest) opt the query into distributed
         tracing and the advisory deadline — see :meth:`search_batch`.
+        ``explain=True`` attaches a structured EXPLAIN record (DESIGN
+        §15) to ``result.explain``; answers stay bit-identical.
         """
         if isinstance(query, SearchRequest):
             if k is not None:
@@ -842,6 +868,7 @@ class ShardedSearchService:
             request_id = request.request_id
             trace_context = request.trace_context
             deadline_ms = request.deadline_ms
+            explain = request.explain
         elif k is None:
             raise InvalidParameterError(
                 "k is required when not passing a SearchRequest"
@@ -851,6 +878,7 @@ class ShardedSearchService:
             query[None, :], k, p=p, cap=cap, radius=radius,
             telemetry=telemetry, request_id=request_id,
             trace_context=trace_context, deadline_ms=deadline_ms,
+            explain=explain,
         )[0]
 
     def search_batch(
@@ -865,6 +893,7 @@ class ShardedSearchService:
         request_id: str | None = None,
         trace_context=None,
         deadline_ms: float | None = None,
+        explain: bool = False,
     ) -> list[SearchResult]:
         """Answer a ``(m, d)`` matrix of queries as one synchronised wave.
 
@@ -881,7 +910,9 @@ class ShardedSearchService:
         the round payloads, workers open ``worker.round`` child spans
         under it, and the finished tree lands in the telemetry's trace
         store under one trace id.  ``deadline_ms`` is advisory: results
-        stay bit-identical, overruns are flagged/counted.
+        stay bit-identical, overruns are flagged/counted.  ``explain``
+        attaches one EXPLAIN record per result (DESIGN §15), built from
+        the same round records the trace plane emits.
 
         Thread-safe: the wave holds ``self.lock`` (re-entrant), so
         concurrent callers and ``ingest`` are serialised.
@@ -890,7 +921,7 @@ class ShardedSearchService:
             return self._search_batch_locked(
                 queries, k, p=p, cap=cap, radius=radius, telemetry=telemetry,
                 request_id=request_id, trace_context=trace_context,
-                deadline_ms=deadline_ms,
+                deadline_ms=deadline_ms, explain=explain,
             )
 
     def _search_batch_locked(
@@ -905,6 +936,7 @@ class ShardedSearchService:
         request_id: str | None = None,
         trace_context=None,
         deadline_ms: float | None = None,
+        explain: bool = False,
     ) -> list[SearchResult]:
         if self._closed:
             raise ReproError("service is closed")
@@ -929,6 +961,7 @@ class ShardedSearchService:
             request_id = request.request_id
             trace_context = request.trace_context
             deadline_ms = request.deadline_ms
+            explain = request.explain
         elif k is None:
             raise InvalidParameterError(
                 "k is required when not passing a SearchRequest"
@@ -975,7 +1008,9 @@ class ShardedSearchService:
                 else None
             )
             results = self._execute(
-                queries, k, p, params, cap_value, delta0, hashes, None
+                queries, k, p, params, cap_value, delta0, hashes, None,
+                explain=explain, request_id=request_id,
+                trace_id=ctx.trace_id if ctx is not None else None,
             )
         else:
             ctx = telemetry.maybe_sample_context(trace_context)
@@ -985,7 +1020,7 @@ class ShardedSearchService:
                 # legacy spans must not pile up in a long-lived service).
                 results = self._execute(
                     queries, k, p, params, cap_value, delta0, hashes,
-                    telemetry,
+                    telemetry, explain=explain, request_id=request_id,
                 )
             else:
                 if request_id is None:
@@ -1000,7 +1035,8 @@ class ShardedSearchService:
                     span.set(request_id=request_id)
                     results = self._execute(
                         queries, k, p, params, cap_value, delta0, hashes,
-                        telemetry,
+                        telemetry, explain=explain, request_id=request_id,
+                        trace_id=ctx.trace_id,
                     )
                 telemetry.finish_trace(ctx)
         if request_id is not None or ctx is not None:
@@ -1027,7 +1063,8 @@ class ShardedSearchService:
     # ------------------------------------------------------------------
 
     def _execute(
-        self, queries, k, p, params, cap_value, delta0, hashes, telemetry
+        self, queries, k, p, params, cap_value, delta0, hashes, telemetry,
+        *, explain=False, request_id=None, trace_id=None,
     ) -> list[SearchResult]:
         runs = None
         for attempt in range(2):
@@ -1051,6 +1088,14 @@ class ShardedSearchService:
                         p=p, k=k, engine="sharded",
                         rehashing=self.index.rehashing,
                     )
+            elif explain:
+                # EXPLAIN without telemetry: build the round records
+                # through the same hooks, just without recording them.
+                for run in runs:
+                    run.trace = QueryTraceBuilder(
+                        p=p, k=k, engine="sharded",
+                        rehashing=self.index.rehashing,
+                    )
             self._wave_obs = (
                 _WaveObs(self.n_shards) if telemetry is not None else None
             )
@@ -1068,6 +1113,11 @@ class ShardedSearchService:
                         "sharded service: worker died again after repair; "
                         "giving up on this wave"
                     ) from None
+                logger.warning(
+                    "worker for shard %d died mid-wave; repairing and "
+                    "replaying the wave",
+                    died.shard_id,
+                )
                 respawned = self._repair(known_dead=died.shard_id)
                 self.replays += 1
                 if telemetry is not None:
@@ -1087,18 +1137,49 @@ class ShardedSearchService:
             and wave_obs.trace is not None
             else nullcontext()
         )
+        workload = (
+            telemetry.workload
+            if telemetry is not None and telemetry.workload is not None
+            else None
+        )
         results = []
         with merge_cm:
-            for run in runs:
+            for j, run in enumerate(runs):
                 result = self._finish_run(run)
                 self.index.io_stats.merge(run.io)
-                if telemetry is not None:
+                if run.trace is not None:
                     result.trace = run.trace.finish(
                         termination=run.reason,
                         io=run.io,
                         candidates=run.n_cand,
                     )
-                    telemetry.record(result.trace, shard_io=result.shard_io)
+                    if explain:
+                        result.explain = build_explain(
+                            result.trace,
+                            shard_io=result.shard_io,
+                            cap=int(run.cap),
+                            request_id=request_id,
+                            trace_id=trace_id,
+                        )
+                if telemetry is not None:
+                    query_digest = bucket = None
+                    if workload is not None:
+                        # The canonical workload keys: the exact query
+                        # bytes and the full round-0 base bucket as raw
+                        # int64 bytes (the same identity the frontend's
+                        # cache uses; bytes keep this one memcpy).
+                        query_digest = hashlib.sha1(
+                            run.query.tobytes()
+                        ).hexdigest()
+                        bucket = hashes[:, j].tobytes()
+                    telemetry.record(
+                        result.trace,
+                        shard_io=result.shard_io,
+                        request_id=request_id,
+                        trace_id=trace_id,
+                        query_digest=query_digest,
+                        bucket=bucket,
+                    )
                 if self.auditor is not None:
                     self.auditor.observe(
                         run.query,

@@ -71,6 +71,7 @@ fast path inside the <= 3% overhead budget.
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 import traceback
@@ -88,6 +89,8 @@ from repro.serve.sharding import (
     attach_shard,
     open_mmap_shard,
 )
+
+logger = logging.getLogger("repro.serve.worker")
 
 #: Mirrors the engine's dead-row slack sentinel (see repro.core.engine):
 #: rows that can never cross the threshold again.
@@ -676,8 +679,9 @@ def worker_main(conn, spec: ShardSpec | MmapShardSpec) -> None:
 
     Attaches the shard, then serves ``(op_id, op, payload)`` requests
     until ``shutdown`` (or the pipe closes).  Every reply echoes the
-    ``op_id`` and carries the op's wall-clock ``busy`` seconds so the
-    coordinator can report per-shard utilisation.
+    ``op_id`` and carries the op's wall-clock ``busy`` seconds (for
+    per-shard utilisation) plus its ``cpu`` process-time seconds (for
+    scheduler-noise-immune cost accounting on oversubscribed hosts).
     """
     try:
         if isinstance(spec, MmapShardSpec):
@@ -705,6 +709,9 @@ def worker_main(conn, spec: ShardSpec | MmapShardSpec) -> None:
                 arrays["alive"],
             )
     except Exception:  # pragma: no cover - attach failures are fatal
+        logger.exception(
+            "shard %d worker failed to attach its segment", spec.shard_id
+        )
         conn.send((-1, "err", traceback.format_exc()))
         return
     # Worker-local observability: its own registry + tracer, shipped to
@@ -729,6 +736,7 @@ def worker_main(conn, spec: ShardSpec | MmapShardSpec) -> None:
         except (EOFError, OSError):  # parent went away
             break
         t0 = time.perf_counter()
+        c0 = time.process_time()
         try:
             obs_delta = None
             if op == "ping":
@@ -810,15 +818,27 @@ def worker_main(conn, spec: ShardSpec | MmapShardSpec) -> None:
                 else:
                     os._exit(1)
             elif op == "shutdown":
-                conn.send((op_id, "ok", {"busy": 0.0, "result": None}))
+                conn.send(
+                    (op_id, "ok", {"busy": 0.0, "cpu": 0.0, "result": None})
+                )
                 break
             else:
                 raise ReproError(f"unknown worker op {op!r}")
-            reply = {"busy": time.perf_counter() - t0, "result": result}
+            reply = {
+                "busy": time.perf_counter() - t0,
+                "cpu": time.process_time() - c0,
+                "result": result,
+            }
             if obs_delta is not None:
                 reply["obs"] = obs_delta
             conn.send((op_id, "ok", reply))
         except Exception:
+            logger.exception(
+                "shard %d worker op %r (op_id=%d) failed",
+                searcher.shard_id,
+                op,
+                op_id,
+            )
             try:
                 conn.send((op_id, "err", traceback.format_exc()))
             except (BrokenPipeError, OSError):  # pragma: no cover

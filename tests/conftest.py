@@ -7,8 +7,12 @@ query under a second while still exercising multi-round rehashing.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 import pytest
+
+from repro.logconfig import ROOT_LOGGER_NAME
 
 from repro import LazyLSH, LazyLSHConfig
 from repro.datasets import make_synthetic, sample_queries
@@ -17,6 +21,29 @@ from repro.datasets.queries import QuerySplit
 #: Monte-Carlo resolution used throughout the tests (fast but stable).
 MC_SAMPLES = 20_000
 MC_BUCKETS = 100
+
+
+@pytest.fixture(autouse=True)
+def _isolate_repro_logging():
+    """Restore the ``repro`` logger after every test.
+
+    CLI tests run ``repro serve`` in-process, which calls
+    ``configure_logging`` and flips the namespace root to
+    ``propagate=False`` with its own stderr handler — state that would
+    otherwise leak into later tests and starve ``caplog`` (records stop
+    propagating to the root logger pytest listens on).
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    handlers = list(root.handlers)
+    level, propagate = root.level, root.propagate
+    yield
+    for handler in list(root.handlers):
+        if handler not in handlers:
+            root.removeHandler(handler)
+            handler.close()
+    root.handlers = handlers
+    root.setLevel(level)
+    root.propagate = propagate
 
 
 @pytest.fixture(scope="session")

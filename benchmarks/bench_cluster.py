@@ -1,0 +1,389 @@
+"""Replication plane under live write load: lag, failover, identity.
+
+Runs a real 2-node cluster (DESIGN §16) the way an operator would — the
+leader is a separate *process* (durable writer + shard fleet + front
+door + WAL shipper), the follower bootstraps over the wire and tails
+the stream, and a router proxies ``/v1/search`` over both:
+
+* **Replication lag** — the leader stamps every commit's wall-clock
+  time; the parent polls the follower's applied LSN and reports the
+  commit-to-visible distribution (``p50_lag_seconds`` /
+  ``max_lag_seconds``) over a steady write window.
+* **Failover** — the leader process is SIGKILL'd mid-stream; reported
+  ``failover_seconds`` is kill-to-first-successful-router-answer, which
+  must be served by the follower.
+* **Bit identity** — after failover, the surviving node's answers are
+  compared to a single-process reference index replayed from the
+  leader's WAL up to the follower's acked LSN: ids *and* distances must
+  match exactly, or the run aborts.
+
+Run ``--smoke`` for the seconds-scale CI version (writes
+``BENCH_cluster.smoke.json``); the full run writes
+``BENCH_cluster.json``.  Both feed ``compare.py --baseline``
+(lag/failover are lower-is-better).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing as mp
+import os
+import platform
+import signal
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from repro import LazyLSH, LazyLSHConfig
+from repro.cluster import FollowerNode, Router
+from repro.durability import WAL_SUBDIR, WalFeed, create
+from repro.durability.wal import apply_record
+
+SEED = 23
+
+FULL = {
+    "n": 4_000,
+    "d": 16,
+    "shards": 1,
+    "k": 10,
+    "p": 1.0,
+    "batch_rows": 4,
+    "commit_interval_seconds": 0.01,
+    "steady_commits": 200,
+    "check_interval": 0.1,
+    "failure_threshold": 2,
+    "probe_timeout": 0.5,
+    "identity_queries": 8,
+}
+SMOKE = {
+    "n": 800,
+    "d": 10,
+    "shards": 1,
+    "k": 5,
+    "p": 1.0,
+    "batch_rows": 4,
+    "commit_interval_seconds": 0.01,
+    "steady_commits": 60,
+    "check_interval": 0.05,
+    "failure_threshold": 2,
+    "probe_timeout": 0.25,
+    "identity_queries": 4,
+}
+
+
+def _build_index(workload: dict):
+    rng = np.random.default_rng(SEED)
+    data = rng.uniform(0, 100, (workload["n"], workload["d"]))
+    index = LazyLSH(
+        LazyLSHConfig(
+            c=3.0, p_min=0.5, seed=SEED,
+            mc_samples=20_000, mc_buckets=100,
+        )
+    ).build(data)
+    return index, data
+
+
+def _post(url: str, body: dict, timeout: float = 10.0) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url + "/v1/search",
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _leader_main(home: str, workload: dict, ports_path: str) -> None:
+    """Leader node process: durable writer + fleet + door + shipper.
+
+    Commits a fresh batch every ``commit_interval_seconds`` and stamps
+    each commit's wall-clock time into ``commits.log`` beside the ports
+    file, so the parent can turn the follower's applied LSN into a
+    commit-to-visible lag sample.  Runs until SIGKILL'd.
+    """
+    from repro.cluster import WalShipper
+    from repro.durability import recover
+    from repro.serve import Frontend, ShardedSearchService
+
+    durable, _report = recover(home, sync=False)
+    index, _data = _build_index(workload)
+    # Fork the shard workers before any listening socket exists
+    # (DESIGN §16: inherited fds would pin the ports past our death).
+    service = ShardedSearchService(index, n_shards=workload["shards"])
+    feed = WalFeed(Path(home) / WAL_SUBDIR)
+    door = Frontend(service, port=0).start()
+    shipper = WalShipper(home, poll_interval=0.005).start()
+    commits_path = Path(ports_path).with_name("commits.log")
+    Path(ports_path).write_text(
+        json.dumps({"http": door.url, "ship": shipper.port})
+    )
+    rng = np.random.default_rng(SEED + 1)
+    lsn = 0
+    with commits_path.open("w", buffering=1) as commits:
+        while True:
+            lsn += 1
+            if lsn % 7 == 0:
+                durable.remove([int(rng.integers(workload["n"]))])
+            else:
+                durable.insert(
+                    rng.uniform(
+                        0, 100, (workload["batch_rows"], workload["d"])
+                    )
+                )
+            commits.write(f"{lsn} {time.time()}\n")
+            service.ingest(feed.poll())
+            time.sleep(
+                workload["commit_interval_seconds"]
+                if lsn < workload["steady_commits"] + 20
+                else 0.25
+            )
+
+
+def _measure_lag(
+    follower: FollowerNode, commits_path: Path, workload: dict
+) -> dict:
+    """Sample commit-to-visible lag until the steady window completes."""
+    target = workload["steady_commits"]
+    commit_times: dict[int, float] = {}
+    samples: list[float] = []
+    seen_lsn = 0
+    offset = 0
+    deadline = time.monotonic() + 120
+    while not commits_path.exists() and time.monotonic() < deadline:
+        time.sleep(0.01)
+    while seen_lsn < target and time.monotonic() < deadline:
+        with commits_path.open() as fh:
+            fh.seek(offset)
+            chunk = fh.read()
+            offset = fh.tell()
+        for line in chunk.splitlines():
+            lsn_text, _, stamp_text = line.partition(" ")
+            if stamp_text:
+                commit_times[int(lsn_text)] = float(stamp_text)
+        acked = follower.acked_lsn
+        now = time.time()
+        for lsn in range(seen_lsn + 1, acked + 1):
+            if lsn in commit_times:
+                samples.append(now - commit_times[lsn])
+        seen_lsn = max(seen_lsn, acked)
+        time.sleep(0.002)
+    if seen_lsn < target:
+        raise AssertionError(
+            f"follower only reached LSN {seen_lsn} of {target} "
+            f"within the measurement window"
+        )
+    ordered = sorted(samples)
+    return {
+        "records": seen_lsn,
+        "samples": len(ordered),
+        "p50_lag_seconds": ordered[len(ordered) // 2] if ordered else 0.0,
+        "max_lag_seconds": ordered[-1] if ordered else 0.0,
+    }
+
+
+def _check_identity(
+    router: Router,
+    follower: FollowerNode,
+    home: Path,
+    workload: dict,
+    data: np.ndarray,
+) -> dict:
+    """Surviving node == single-process reference at the acked LSN."""
+    reference, _data = _build_index(workload)
+    acked = follower.acked_lsn
+    for record in WalFeed(home / WAL_SUBDIR).poll():
+        if record.lsn <= acked:
+            apply_record(reference, record)
+    rng = np.random.default_rng(SEED + 2)
+    rows = rng.integers(len(data), size=workload["identity_queries"])
+    for row in rows:
+        query = data[int(row)]
+        status, payload = _post(
+            router.url,
+            {
+                "v": 1,
+                "query": query.tolist(),
+                "k": workload["k"],
+                "p": workload["p"],
+            },
+        )
+        if status != 200:
+            raise AssertionError(f"identity query failed: {payload}")
+        expected = reference.knn(query, workload["k"], p=workload["p"])
+        if payload["ids"] != [int(i) for i in expected.ids] or payload[
+            "distances"
+        ] != [float(d) for d in expected.distances]:
+            raise AssertionError(
+                f"post-failover answer diverged from the reference "
+                f"at LSN {acked}: {payload['ids']} vs {list(expected.ids)}"
+            )
+    return {
+        "queries": int(len(rows)),
+        "acked_lsn": int(acked),
+        "identical": True,
+    }
+
+
+def run_report(workload: dict) -> dict:
+    index, data = _build_index(workload)
+    report: dict = {
+        "workload": dict(workload),
+        "seed": SEED,
+        "python": platform.python_version(),
+    }
+    with tempfile.TemporaryDirectory(prefix="bench-cluster-") as tmp:
+        tmp_path = Path(tmp)
+        home = tmp_path / "leader"
+        create(index, home, sync=False).close()
+        ports_path = tmp_path / "ports.json"
+        ctx = mp.get_context("fork")
+        child = ctx.Process(
+            target=_leader_main,
+            args=(str(home), workload, str(ports_path)),
+            daemon=False,
+        )
+        child.start()
+        follower = router = None
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline and not ports_path.exists():
+                time.sleep(0.02)
+            ports = json.loads(ports_path.read_text())
+            follower = FollowerNode(
+                tmp_path / "follower",
+                ("127.0.0.1", ports["ship"]),
+                n_shards=workload["shards"],
+                http_port=0,
+                reconnect_min=0.02,
+            ).start()
+            report["replication"] = _measure_lag(
+                follower, tmp_path / "commits.log", workload
+            )
+            router = Router(
+                {"leader": ports["http"], "follower": follower.url},
+                leader="leader",
+                check_interval=workload["check_interval"],
+                failure_threshold=workload["failure_threshold"],
+                probe_timeout=workload["probe_timeout"],
+                proxy_timeout=2.0,
+            ).start()
+            probe = {
+                "v": 1,
+                "query": data[0].tolist(),
+                "k": workload["k"],
+                "p": workload["p"],
+            }
+            status, payload = _post(router.url, probe)
+            if status != 200 or payload.get("served_by") != "leader":
+                raise AssertionError(
+                    f"pre-failover routing broken: {status} {payload}"
+                )
+            os.kill(child.pid, signal.SIGKILL)
+            killed_at = time.perf_counter()
+            child.join(10)
+            first_answer = None
+            while time.perf_counter() - killed_at < 30:
+                status, payload = _post(router.url, probe, timeout=5.0)
+                if status == 200:
+                    first_answer = payload
+                    break
+                time.sleep(0.02)
+            if first_answer is None:
+                raise AssertionError("router never recovered after SIGKILL")
+            failover_seconds = time.perf_counter() - killed_at
+            if first_answer.get("served_by") != "follower":
+                raise AssertionError(
+                    f"post-failover answer served by "
+                    f"{first_answer.get('served_by')!r}, not the follower"
+                )
+            report["failover"] = {
+                "failover_seconds": failover_seconds,
+                "router_failovers": router.failovers,
+                "served_by": first_answer["served_by"],
+            }
+            report["identity"] = _check_identity(
+                router, follower, home, workload, data
+            )
+        finally:
+            if router is not None:
+                router.stop()
+            if follower is not None:
+                follower.stop()
+            if child.is_alive():
+                child.kill()
+                child.join(10)
+    return report
+
+
+def _print_summary(report: dict) -> None:
+    lag = report["replication"]
+    failover = report["failover"]
+    identity = report["identity"]
+    print(
+        f"replication: {lag['records']} records | lag p50 "
+        f"{lag['p50_lag_seconds'] * 1e3:.1f} ms  max "
+        f"{lag['max_lag_seconds'] * 1e3:.1f} ms "
+        f"({lag['samples']} samples)"
+    )
+    print(
+        f"failover: SIGKILL'd leader -> first answer in "
+        f"{failover['failover_seconds']:.2f} s "
+        f"(served by {failover['served_by']}, "
+        f"{failover['router_failovers']} failover)"
+    )
+    print(
+        f"identity: {identity['queries']} post-failover queries "
+        f"bit-identical to the LSN-{identity['acked_lsn']} reference"
+    )
+
+
+def run():
+    """run_all.py hook: smoke-scale run rendered as a table."""
+    from repro.eval.harness import ResultTable
+
+    report = run_report(SMOKE)
+    table = ResultTable(
+        "2-node replication plane (smoke scale)",
+        ["records", "lag p50 ms", "lag max ms", "failover s", "identity"],
+    )
+    table.add_row(
+        [
+            str(report["replication"]["records"]),
+            f"{report['replication']['p50_lag_seconds'] * 1e3:.1f}",
+            f"{report['replication']['max_lag_seconds'] * 1e3:.1f}",
+            f"{report['failover']['failover_seconds']:.2f}",
+            "bit-identical",
+        ]
+    )
+    return [table]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-scale CI version (writes BENCH_cluster.smoke.json)",
+    )
+    args = parser.parse_args()
+    workload = SMOKE if args.smoke else FULL
+    report = run_report(workload)
+    name = "BENCH_cluster.smoke.json" if args.smoke else "BENCH_cluster.json"
+    out_path = Path(__file__).parent / "results" / name
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    _print_summary(report)
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -42,6 +42,7 @@ _LOWER_TOKENS = (
     "restarts",
     "replays",
     "overhead",
+    "lag",
 )
 
 #: Path components implying "higher is better".

@@ -47,6 +47,7 @@ MODULES = [
     "bench_ablation_all_baselines",
     "bench_mmap",
     "bench_frontend",
+    "bench_cluster",
 ]
 
 

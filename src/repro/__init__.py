@@ -21,6 +21,7 @@ Quickstart
 """
 
 from repro.api import SearchRequest, SearchResult, aggregate_io
+from repro.cluster import FollowerNode, Router, WalShipper
 from repro.core.batch import BatchKnnResult, knn_batch
 from repro.durability import DurableIndex, WalFeed, WriteAheadLog
 from repro.core.config import LazyLSHConfig
@@ -35,7 +36,10 @@ from repro.errors import (
     OverloadedError,
     ReproError,
     ServiceUnhealthyError,
+    StaleReadError,
+    UnavailableError,
     UnsupportedMetricError,
+    WalGapError,
     WireFormatError,
 )
 from repro.metrics.lp import lp_distance, lp_distance_matrix, lp_norm
@@ -58,6 +62,7 @@ __all__ = [
     "DatasetError",
     "DimensionalityMismatchError",
     "DurableIndex",
+    "FollowerNode",
     "Frontend",
     "GuaranteeAuditor",
     "IOStats",
@@ -76,15 +81,20 @@ __all__ = [
     "QueryTrace",
     "RangeResult",
     "ReproError",
+    "Router",
     "SearchRequest",
     "SearchResult",
     "ServiceUnhealthyError",
     "ShardedSearchService",
     "SlowQueryLog",
     "SpanTracer",
+    "StaleReadError",
     "Telemetry",
+    "UnavailableError",
     "UnsupportedMetricError",
     "WalFeed",
+    "WalGapError",
+    "WalShipper",
     "WireFormatError",
     "WriteAheadLog",
     "aggregate_io",

@@ -59,6 +59,7 @@ _WIRE_REQUEST_KEYS = frozenset(
         "trace_context",
         "deadline_ms",
         "explain",
+        "max_lag_lsn",
     )
 )
 
@@ -137,6 +138,14 @@ class SearchRequest:
         sharded runs) shard skew.  Answers stay bit-identical; only the
         report rides along.  Currently honoured by the sharded service
         and its HTTP front door.
+    max_lag_lsn:
+        Optional staleness bound for cluster reads (DESIGN §16): the
+        request may be served by any replica whose acked LSN is within
+        this many records of the cluster commit point (``0`` = only a
+        fully caught-up node).  Enforced by the cluster router — a
+        single node accepts and ignores it (a lone node is its own
+        commit point).  Rejected with a typed ``stale_read`` error when
+        no eligible node qualifies.
     """
 
     query: Any
@@ -150,6 +159,7 @@ class SearchRequest:
     trace_context: Any = None
     deadline_ms: float | None = None
     explain: bool = False
+    max_lag_lsn: int | None = None
 
     def __post_init__(self) -> None:
         if int(self.k) < 1:
@@ -205,6 +215,19 @@ class SearchRequest:
                 f"deadline_ms must be > 0, got {self.deadline_ms}"
             )
         object.__setattr__(self, "explain", bool(self.explain))
+        if self.max_lag_lsn is not None:
+            try:
+                bound = int(self.max_lag_lsn)
+            except (TypeError, ValueError):
+                raise InvalidParameterError(
+                    f"max_lag_lsn must be an integer, got "
+                    f"{self.max_lag_lsn!r}"
+                ) from None
+            if bound < 0:
+                raise InvalidParameterError(
+                    f"max_lag_lsn must be >= 0, got {bound}"
+                )
+            object.__setattr__(self, "max_lag_lsn", bound)
 
     # -- versioned wire codec (DESIGN §14) -----------------------------
 
@@ -239,6 +262,8 @@ class SearchRequest:
             record["deadline_ms"] = float(self.deadline_ms)
         if self.explain:
             record["explain"] = True
+        if self.max_lag_lsn is not None:
+            record["max_lag_lsn"] = int(self.max_lag_lsn)
         return record
 
     @classmethod
@@ -302,6 +327,7 @@ class SearchRequest:
             trace_context=record.get("trace_context"),
             deadline_ms=record.get("deadline_ms"),
             explain=bool(record.get("explain", False)),
+            max_lag_lsn=record.get("max_lag_lsn"),
         )
 
 

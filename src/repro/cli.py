@@ -735,6 +735,199 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cluster_linger(linger: float | None, tick) -> None:
+    """Run ``tick()`` every loop until ``linger`` elapses (None = forever).
+
+    Ctrl-C exits cleanly in either mode — cluster roles are daemons, so
+    the default is to serve until interrupted; ``--linger N`` bounds the
+    run for smoke tests and benchmarks.
+    """
+    deadline = None if linger is None else time.monotonic() + float(linger)
+    try:
+        while deadline is None or time.monotonic() < deadline:
+            tick()
+    except KeyboardInterrupt:
+        pass
+
+
+def cmd_cluster_lead(args: argparse.Namespace) -> int:
+    """Serve a durable home as the cluster leader and ship its WAL."""
+    from repro.cluster import WalShipper
+    from repro.durability import (
+        CHECKPOINT_SUBDIR,
+        WAL_SUBDIR,
+        WalFeed,
+        latest_checkpoint,
+    )
+    from repro.logconfig import configure_logging
+    from repro.obs import MetricsRegistry, ObsExporter
+    from repro.serve import Frontend, ShardedSearchService
+
+    configure_logging(args.log_level, json_format=args.log_json)
+    home = Path(args.home)
+    found = latest_checkpoint(home / CHECKPOINT_SUBDIR)
+    if found is None:
+        raise ReproError(
+            f"{home} holds no loadable checkpoint; run `repro ingest "
+            f"{home} --init <dataset>` first"
+        )
+    base_lsn, ckpt_path = found
+    backend = args.backend if mmap_capable(ckpt_path) else "eager"
+    index = load_index(ckpt_path, backend=backend)
+    feed = WalFeed(home / WAL_SUBDIR, start_lsn=base_lsn)
+    registry = MetricsRegistry()
+    frontend = exporter = None
+    # Order matters: the service forks its shard workers BEFORE any
+    # listening socket exists, so no worker inherits (and pins) the
+    # replication or HTTP port — see DESIGN §16.
+    with ShardedSearchService(
+        index,
+        n_shards=args.shards,
+        base_lsn=base_lsn,
+        attach="mmap" if index.storage_info()["backend"] == "mmap" else "shm",
+    ) as service:
+        service.ingest(feed.poll())
+        shipper = WalShipper(
+            home,
+            host=args.host,
+            port=args.port,
+            poll_interval=args.poll_interval,
+            registry=registry,
+        )
+        try:
+            shipper.start()
+            frontend = Frontend(
+                service, port=args.http_port, registry=registry
+            ).start()
+            if args.metrics_port is not None:
+                exporter = ObsExporter(
+                    registry, health=service.health, port=args.metrics_port
+                ).start()
+                print(f"ops endpoints: {exporter.url}/metrics "
+                      f"{exporter.url}/healthz", file=sys.stderr)
+            print(
+                f"leading from {ckpt_path.name} (LSN {service.acked_lsn}): "
+                f"shipping WAL on {shipper.host}:{shipper.port}, "
+                f"front door {frontend.url}",
+                file=sys.stderr,
+            )
+
+            def tick() -> None:
+                applied = frontend.ingest(feed.poll())
+                if applied:
+                    print(
+                        f"applied {applied} WAL records "
+                        f"(now at LSN {service.acked_lsn})",
+                        file=sys.stderr,
+                    )
+                time.sleep(args.poll_interval)
+
+            _cluster_linger(args.linger, tick)
+            report = {
+                "role": "leader",
+                "acked_lsn": service.acked_lsn,
+                "ship_port": shipper.port,
+                "followers": shipper.followers(),
+                "frontend": frontend.stats(),
+            }
+        finally:
+            if frontend is not None:
+                frontend.stop()
+            if exporter is not None:
+                exporter.stop()
+            shipper.stop()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_cluster_follow(args: argparse.Namespace) -> int:
+    """Run a read replica tailing a leader's replication stream."""
+    from repro.cluster import FollowerNode
+    from repro.logconfig import configure_logging
+    from repro.obs import MetricsRegistry, ObsExporter
+
+    configure_logging(args.log_level, json_format=args.log_json)
+    host, _, port_text = args.leader.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise ReproError(
+            f"--leader must be host:port of the leader's replication "
+            f"socket, got {args.leader!r}"
+        )
+    registry = MetricsRegistry()
+    exporter = None
+    node = FollowerNode(
+        args.home,
+        (host, int(port_text)),
+        n_shards=args.shards,
+        http_port=args.http_port,
+        backend=args.backend,
+        registry=registry,
+    )
+    try:
+        node.start()
+        if args.metrics_port is not None:
+            exporter = ObsExporter(
+                registry, health=node.service.health, port=args.metrics_port
+            ).start()
+            print(f"ops endpoints: {exporter.url}/metrics "
+                  f"{exporter.url}/healthz", file=sys.stderr)
+        print(
+            f"following {host}:{port_text} from LSN {node.base_lsn}; "
+            f"front door {node.url}",
+            file=sys.stderr,
+        )
+        _cluster_linger(args.linger, lambda: time.sleep(0.2))
+        report = dict(node.status(), role="follower")
+    finally:
+        if exporter is not None:
+            exporter.stop()
+        node.stop()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_cluster_route(args: argparse.Namespace) -> int:
+    """Run the router tier over a set of node front doors."""
+    from repro.cluster import Router
+    from repro.logconfig import configure_logging
+    from repro.obs import MetricsRegistry
+
+    configure_logging(args.log_level, json_format=args.log_json)
+    nodes: dict[str, str] = {}
+    for spec in args.node:
+        name, sep, url = spec.partition("=")
+        if not sep or not name or not url:
+            raise ReproError(
+                f"--node takes name=http://host:port, got {spec!r}"
+            )
+        nodes[name] = url
+    router = Router(
+        nodes,
+        leader=args.leader,
+        host=args.host,
+        port=args.port,
+        check_interval=args.check_interval,
+        failure_threshold=args.failure_threshold,
+        probe_timeout=args.probe_timeout,
+        proxy_timeout=args.proxy_timeout,
+        registry=MetricsRegistry(),
+    )
+    try:
+        router.start()
+        print(
+            f"routing {sorted(nodes)} (leader {args.leader}) at "
+            f"{router.url}/v1/search — topology {router.url}/v1/cluster, "
+            f"metrics {router.url}/metrics",
+            file=sys.stderr,
+        )
+        _cluster_linger(args.linger, lambda: time.sleep(0.2))
+        report = router.describe()
+    finally:
+        router.stop()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_explain(args: argparse.Namespace) -> int:
     """Run queries with EXPLAIN and render the plan/cost reports."""
     from repro.obs.explain import (
@@ -943,6 +1136,44 @@ def _render_top(
                 f"[{state}]"
             )
         lines.append("slo: " + " | ".join(parts))
+    cluster_parts = []
+    if "lazylsh_cluster_followers" in samples:
+        cluster_parts.append(
+            f"followers "
+            f"{_metric_total(samples, 'lazylsh_cluster_followers'):.0f}"
+        )
+        cluster_parts.append(
+            f"shipped "
+            f"{_metric_total(samples, 'lazylsh_cluster_shipped_records_total'):.0f}"
+        )
+    if "lazylsh_replica_acked_lsn" in samples:
+        up = _metric_total(samples, "lazylsh_replica_connected")
+        cluster_parts.append(
+            f"replica lsn "
+            f"{_metric_total(samples, 'lazylsh_replica_acked_lsn'):.0f} "
+            f"({'stream up' if up else 'stream DOWN'})"
+        )
+        cluster_parts.append(
+            f"reconnects "
+            f"{_metric_total(samples, 'lazylsh_replica_reconnects_total'):.0f}"
+        )
+    if "lazylsh_cluster_commit_lsn" in samples:
+        cluster_parts.append(
+            f"commit lsn "
+            f"{_metric_total(samples, 'lazylsh_cluster_commit_lsn'):.0f}"
+        )
+        lags = [
+            value
+            for _labels, value in samples.get("lazylsh_replica_lag_lsn", [])
+        ]
+        if lags:
+            cluster_parts.append(f"lag max {max(lags):.0f}")
+        cluster_parts.append(
+            f"failovers "
+            f"{_metric_total(samples, 'lazylsh_cluster_failovers_total'):.0f}"
+        )
+    if cluster_parts:
+        lines.append("cluster: " + " | ".join(cluster_parts))
     if "lazylsh_flight_triggers_total" in samples:
         lines.append(
             f"flight: triggers "
@@ -1458,6 +1689,167 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit one JSON object per log line instead of text",
     )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="replication plane: lead, follow, or route (DESIGN §16)",
+    )
+    cluster_sub = p_cluster.add_subparsers(dest="role", required=True)
+
+    def _cluster_common(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--linger",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="serve this many seconds then exit with a JSON report "
+            "(default: until ctrl-C)",
+        )
+        parser.add_argument(
+            "--log-level",
+            default="info",
+            choices=("debug", "info", "warning", "error"),
+            help="log level for the repro.* namespace (default info)",
+        )
+        parser.add_argument(
+            "--log-json",
+            action="store_true",
+            help="emit one JSON object per log line instead of text",
+        )
+
+    p_lead = cluster_sub.add_parser(
+        "lead",
+        help="serve a durable home and ship its WAL to followers",
+    )
+    p_lead.add_argument("home", help="durable home (wal/ + checkpoints/)")
+    p_lead.add_argument(
+        "--host", default="127.0.0.1", help="replication bind address"
+    )
+    p_lead.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="replication (WAL-shipping) port; 0 picks a free one",
+    )
+    p_lead.add_argument(
+        "--http-port",
+        type=int,
+        default=0,
+        help="v1 front-door port (0 picks a free one)",
+    )
+    p_lead.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="serve /metrics and /healthz on this port",
+    )
+    p_lead.add_argument(
+        "--shards", type=int, default=2, help="local worker processes"
+    )
+    p_lead.add_argument(
+        "--backend",
+        default="mmap",
+        choices=("mmap", "eager"),
+        help="checkpoint open mode (old formats degrade to eager)",
+    )
+    p_lead.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="WAL tail/ship poll period; bounds replication lag",
+    )
+    _cluster_common(p_lead)
+    p_lead.set_defaults(func=cmd_cluster_lead)
+
+    p_follow = cluster_sub.add_parser(
+        "follow",
+        help="run a read replica tailing a leader's WAL stream",
+    )
+    p_follow.add_argument(
+        "home", help="local home for this replica's checkpoints"
+    )
+    p_follow.add_argument(
+        "--leader",
+        required=True,
+        metavar="HOST:PORT",
+        help="the leader's replication socket (repro cluster lead --port)",
+    )
+    p_follow.add_argument(
+        "--http-port",
+        type=int,
+        default=0,
+        help="v1 front-door port for follower reads (0 picks a free one)",
+    )
+    p_follow.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="serve /metrics and /healthz on this port",
+    )
+    p_follow.add_argument(
+        "--shards", type=int, default=2, help="local worker processes"
+    )
+    p_follow.add_argument(
+        "--backend",
+        default="eager",
+        choices=("eager", "mmap"),
+        help="bootstrap-checkpoint open mode",
+    )
+    _cluster_common(p_follow)
+    p_follow.set_defaults(func=cmd_cluster_follow)
+
+    p_route = cluster_sub.add_parser(
+        "route",
+        help="route /v1/search across nodes with staleness bounds "
+        "and failover",
+    )
+    p_route.add_argument(
+        "--node",
+        action="append",
+        required=True,
+        metavar="NAME=URL",
+        help="a node front door, e.g. leader=http://127.0.0.1:8301 "
+        "(repeatable)",
+    )
+    p_route.add_argument(
+        "--leader", required=True, help="configured leader's node name"
+    )
+    p_route.add_argument(
+        "--host", default="127.0.0.1", help="router bind address"
+    )
+    p_route.add_argument(
+        "--port", type=int, default=0, help="router port (0 picks one)"
+    )
+    p_route.add_argument(
+        "--check-interval",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="health-probe period",
+    )
+    p_route.add_argument(
+        "--failure-threshold",
+        type=int,
+        default=2,
+        help="consecutive probe failures before a node is marked down",
+    )
+    p_route.add_argument(
+        "--probe-timeout",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="per-probe HTTP timeout",
+    )
+    p_route.add_argument(
+        "--proxy-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="default per-request proxy timeout",
+    )
+    _cluster_common(p_route)
+    p_route.set_defaults(func=cmd_cluster_route)
 
     p_explain = sub.add_parser(
         "explain",

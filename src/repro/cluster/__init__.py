@@ -1,0 +1,62 @@
+"""Multi-node replication plane: WAL shipping, follower reads, routing.
+
+See DESIGN §16.  The leader ships its durable WAL to followers over a
+length-prefixed socket protocol (:mod:`repro.cluster.protocol`); each
+follower bootstraps from the newest v3 checkpoint (fetched over the
+wire when absent locally), tails the stream into
+``ShardedSearchService.ingest`` and serves reads on the standard v1
+wire; the router health-checks the fleet, keeps a consistent shard
+assignment, enforces per-request staleness bounds (``max_lag_lsn``)
+and fails over to the caught-up follower when the leader dies.  A
+2-node cluster answers bit-identically to the 1-process reference
+index at the acked LSN — the same identity discipline every other
+layer of the repo is pinned to.
+"""
+
+from repro.cluster.follower import FollowerNode
+from repro.cluster.leader import WalShipper
+from repro.cluster.protocol import (
+    MSG_ACK,
+    MSG_CKPT_CHUNK,
+    MSG_CKPT_DONE,
+    MSG_CKPT_META,
+    MSG_ERROR,
+    MSG_HELLO,
+    MSG_PING,
+    MSG_WAL,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_message,
+    send_error,
+    send_message,
+)
+from repro.cluster.router import (
+    DEFAULT_SLOTS,
+    NodeState,
+    Router,
+    assign_slots,
+    slot_of,
+)
+
+__all__ = [
+    "DEFAULT_SLOTS",
+    "MSG_ACK",
+    "MSG_CKPT_CHUNK",
+    "MSG_CKPT_DONE",
+    "MSG_CKPT_META",
+    "MSG_ERROR",
+    "MSG_HELLO",
+    "MSG_PING",
+    "MSG_WAL",
+    "PROTOCOL_VERSION",
+    "FollowerNode",
+    "NodeState",
+    "ProtocolError",
+    "Router",
+    "WalShipper",
+    "assign_slots",
+    "recv_message",
+    "send_error",
+    "send_message",
+    "slot_of",
+]

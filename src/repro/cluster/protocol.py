@@ -1,0 +1,162 @@
+"""Length-prefixed socket protocol for WAL shipping (DESIGN §16).
+
+One connection carries one replication stream between a follower and
+the leader's :class:`~repro.cluster.leader.WalShipper`.  Every message
+is a self-delimiting frame:
+
+.. code-block:: text
+
+    u32 meta_len | u32 blob_len | u8 kind | meta (JSON) | blob (bytes)
+
+(all integers little-endian).  ``meta`` is a small JSON object of
+per-message fields; ``blob`` is an opaque byte payload — a CRC-framed
+WAL record (byte-identical to the frame on the leader's disk, so the
+follower verifies the same CRC the durable log did) or a checkpoint
+file chunk.  The conversation:
+
+* follower → leader: ``HELLO {start_lsn, need_checkpoint}`` once, then
+  ``ACK {lsn}`` after applying records, or ``ERROR {code, ...}`` when
+  the stream is not applicable (e.g. a typed ``wal_gap``).
+* leader → follower: a checkpoint hand-off (``CKPT_META`` +
+  ``CKPT_CHUNK``\\ * + ``CKPT_DONE``) when requested, then ``WAL``
+  frames from the agreed LSN, ``PING`` heartbeats when idle, and
+  ``ERROR`` (e.g. ``wal_truncated``: the log no longer reaches back to
+  the follower's position and it must re-bootstrap).
+
+The framing is deliberately dumb: no negotiation beyond HELLO, no
+compression, no partial frames.  A short read means the peer died —
+:func:`recv_message` returns ``None`` on a clean EOF at a frame
+boundary and raises :class:`ProtocolError` mid-frame.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any
+
+from repro.errors import ReproError
+
+#: Protocol version exchanged in HELLO; bump with any frame change.
+PROTOCOL_VERSION = 1
+
+# Message kinds (u8 on the wire).
+MSG_HELLO = 1       # follower → leader: start of stream negotiation
+MSG_CKPT_META = 2   # leader → follower: checkpoint name/lsn/size follows
+MSG_CKPT_CHUNK = 3  # leader → follower: one checkpoint file chunk
+MSG_CKPT_DONE = 4   # leader → follower: checkpoint fully sent
+MSG_WAL = 5         # leader → follower: one CRC-framed WalRecord
+MSG_ACK = 6         # follower → leader: records applied through {lsn}
+MSG_ERROR = 7       # either way: typed error, connection unusable
+MSG_PING = 8        # leader → follower: heartbeat while the log is idle
+
+KIND_NAMES = {
+    MSG_HELLO: "hello",
+    MSG_CKPT_META: "ckpt_meta",
+    MSG_CKPT_CHUNK: "ckpt_chunk",
+    MSG_CKPT_DONE: "ckpt_done",
+    MSG_WAL: "wal",
+    MSG_ACK: "ack",
+    MSG_ERROR: "error",
+    MSG_PING: "ping",
+}
+
+_HEADER = struct.Struct("<IIB")
+
+#: Sanity bounds: meta is a handful of JSON fields; the blob is one WAL
+#: record or one checkpoint chunk, never a whole dataset.
+MAX_META_BYTES = 1 * 1024 * 1024
+MAX_BLOB_BYTES = 256 * 1024 * 1024
+
+#: Checkpoint files stream in chunks of this size.
+CKPT_CHUNK_BYTES = 256 * 1024
+
+
+class ProtocolError(ReproError):
+    """The replication stream violated the framing contract."""
+
+    code = "cluster_protocol"
+
+
+def send_message(
+    sock: socket.socket,
+    kind: int,
+    meta: dict[str, Any] | None = None,
+    blob: bytes = b"",
+) -> None:
+    """Serialise and send one frame (blocking, whole frame or raise)."""
+    meta_bytes = json.dumps(meta or {}).encode()
+    if len(meta_bytes) > MAX_META_BYTES:
+        raise ProtocolError(
+            f"meta too large: {len(meta_bytes)} bytes"
+        )
+    if len(blob) > MAX_BLOB_BYTES:
+        raise ProtocolError(f"blob too large: {len(blob)} bytes")
+    header = _HEADER.pack(len(meta_bytes), len(blob), kind)
+    sock.sendall(header + meta_bytes + blob)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; None on EOF before the first byte."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if not chunks:
+                return None
+            raise ProtocolError(
+                f"peer closed mid-frame ({n - remaining}/{n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks) if chunks else b""
+
+
+def recv_message(
+    sock: socket.socket,
+) -> tuple[int, dict[str, Any], bytes] | None:
+    """Receive one frame as ``(kind, meta, blob)``.
+
+    Returns ``None`` on a clean EOF at a frame boundary (the peer hung
+    up); raises :class:`ProtocolError` on a torn frame, oversized
+    lengths, an unknown kind or undecodable meta.  ``socket.timeout``
+    propagates so callers can poll.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    meta_len, blob_len, kind = _HEADER.unpack(header)
+    if meta_len > MAX_META_BYTES or blob_len > MAX_BLOB_BYTES:
+        raise ProtocolError(
+            f"frame header out of bounds: meta={meta_len} blob={blob_len}"
+        )
+    if kind not in KIND_NAMES:
+        raise ProtocolError(f"unknown message kind {kind}")
+    meta_bytes = _recv_exact(sock, meta_len) if meta_len else b"{}"
+    if meta_bytes is None:
+        raise ProtocolError("peer closed between header and meta")
+    blob = _recv_exact(sock, blob_len) if blob_len else b""
+    if blob is None:
+        raise ProtocolError("peer closed between meta and blob")
+    try:
+        meta = json.loads(meta_bytes.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable meta: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise ProtocolError(
+            f"meta must be a JSON object, got {type(meta).__name__}"
+        )
+    return kind, meta, blob
+
+
+def send_error(
+    sock: socket.socket, code: str, message: str, **fields: Any
+) -> None:
+    """Send a typed MSG_ERROR frame (best effort — swallow send races)."""
+    meta = {"code": code, "message": message, **fields}
+    try:
+        send_message(sock, MSG_ERROR, meta)
+    except OSError:  # pragma: no cover - peer already gone
+        pass

@@ -24,8 +24,11 @@ from repro.durability.wal import (
     DurableIndex,
     WalCorruptionError,
     WalRecord,
+    WalTruncatedError,
     WriteAheadLog,
     apply_record,
+    decode_wal_record,
+    encode_wal_record,
 )
 
 __all__ = [
@@ -36,10 +39,13 @@ __all__ = [
     "WalCorruptionError",
     "WalFeed",
     "WalRecord",
+    "WalTruncatedError",
     "WriteAheadLog",
     "apply_record",
     "checkpoint_now",
     "create",
+    "decode_wal_record",
+    "encode_wal_record",
     "latest_checkpoint",
     "list_checkpoints",
     "recover",

@@ -20,6 +20,7 @@ from pathlib import Path
 
 from repro.durability.wal import (
     WalRecord,
+    WalTruncatedError,
     iter_segment_records,
     list_segments,
 )
@@ -67,7 +68,11 @@ class WalFeed:
     def _locate(self) -> bool:
         """Position on the segment containing ``last_lsn + 1``.
 
-        Returns False when that segment does not exist yet.
+        Returns False when that segment does not exist yet.  Raises
+        :class:`~repro.durability.wal.WalTruncatedError` when every
+        surviving segment starts *beyond* the target: a checkpoint
+        pruned the records this feed still needed, and polling would
+        otherwise return empty forever while the log races ahead.
         """
         if not self.directory.is_dir():
             return False
@@ -82,7 +87,7 @@ class WalFeed:
             else:
                 break
         if best is None:
-            return False
+            raise WalTruncatedError(target, segments[0][0])
         if self._segment != best:
             self._segment = best
             self._offset = 0
@@ -92,10 +97,15 @@ class WalFeed:
         """All records committed since the last poll (possibly empty).
 
         Reads across segment rotations; stops at the first incomplete
-        frame (a write in progress) or after ``max_records``.
+        frame (a write in progress) or after ``max_records``.  Raises
+        :class:`~repro.durability.wal.WalTruncatedError` when the
+        writer's checkpoints pruned the log past this feed's position —
+        the consumer must re-bootstrap from a checkpoint, because the
+        missing records will never reappear.
         """
         out: list[WalRecord] = []
         drained: Path | None = None
+        relocations = 0
         while True:
             if not self._locate():
                 break
@@ -105,23 +115,38 @@ class WalFeed:
                 break
             seg = self._segment
             stop = False
-            for record, end in iter_segment_records(seg):
-                if end <= self._offset:
-                    continue
-                self._offset = end
-                if record.lsn <= self.last_lsn:
-                    continue
-                if record.lsn != self.last_lsn + 1:
-                    # Gap: the writer truncated segments under us or the
-                    # log is damaged.  Stop delivering rather than skip —
-                    # the consumer decides what to do.
-                    stop = True
+            try:
+                entries = iter_segment_records(seg)
+                for record, end in entries:
+                    if end <= self._offset:
+                        continue
+                    self._offset = end
+                    if record.lsn <= self.last_lsn:
+                        continue
+                    if record.lsn != self.last_lsn + 1:
+                        # Gap inside a located segment: the log is
+                        # damaged (segment LSNs are contiguous by
+                        # construction).  Stop delivering rather than
+                        # skip — the consumer decides what to do.
+                        stop = True
+                        break
+                    out.append(record)
+                    self.last_lsn = record.lsn
+                    if max_records is not None and len(out) >= max_records:
+                        stop = True
+                        break
+            except FileNotFoundError:
+                # The segment was pruned between _locate's listing and
+                # the read (checkpoint racing the poll).  Re-locate: if
+                # the records we still need survive elsewhere we step
+                # there; if they were pruned, _locate raises
+                # WalTruncatedError.
+                self._segment = None
+                self._offset = 0
+                relocations += 1
+                if relocations > 8:  # pragma: no cover - defensive
                     break
-                out.append(record)
-                self.last_lsn = record.lsn
-                if max_records is not None and len(out) >= max_records:
-                    stop = True
-                    break
+                continue
             if stop:
                 break
             drained = seg

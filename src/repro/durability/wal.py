@@ -91,6 +91,32 @@ class WalCorruptionError(ReproError):
     code = "wal_corruption"
 
 
+class WalTruncatedError(ReproError):
+    """The log no longer reaches back to the requested position.
+
+    Raised by :meth:`~repro.durability.feed.WalFeed.poll` when a
+    checkpoint pruned segments past the feed's resume point: the records
+    between ``last_lsn`` and the oldest surviving segment are gone, so
+    tailing cannot continue.  A replication consumer must re-bootstrap
+    from a checkpoint at or above :attr:`first_available` instead of
+    waiting for records that will never appear.
+    """
+
+    code = "wal_truncated"
+
+    def __init__(self, requested: int, first_available: int) -> None:
+        self.requested = int(requested)
+        self.first_available = int(first_available)
+        super().__init__(
+            f"WAL truncated: records from LSN {self.requested} were "
+            f"pruned by a checkpoint; the log now starts at LSN "
+            f"{self.first_available} — re-bootstrap from a checkpoint"
+        )
+
+    def __reduce__(self):
+        return (WalTruncatedError, (self.requested, self.first_available))
+
+
 @dataclass(frozen=True)
 class WalRecord:
     """One durably logged update.
@@ -134,6 +160,52 @@ def encode_record(lsn: int, op: int, payload: bytes) -> bytes:
     """Frame one record: CRC + length header over the body bytes."""
     body = _BODY.pack(lsn, op) + payload
     return _FRAME.pack(zlib.crc32(body) & 0xFFFFFFFF, len(body)) + body
+
+
+def encode_wal_record(record: WalRecord) -> bytes:
+    """One decoded :class:`WalRecord` back to its CRC-framed bytes.
+
+    The output is byte-identical to the frame the writer appended, so a
+    replication transport can ship frames verbatim and the follower can
+    verify the same CRC the durable log did.
+    """
+    if record.op == "insert":
+        assert record.points is not None
+        payload = _encode_insert(
+            np.asarray(record.points), np.asarray(record.ids)
+        )
+        return encode_record(int(record.lsn), OP_INSERT, payload)
+    if record.op == "remove":
+        payload = _encode_remove(np.asarray(record.ids))
+        return encode_record(int(record.lsn), OP_REMOVE, payload)
+    raise InvalidParameterError(f"unknown WAL op {record.op!r}")
+
+
+def decode_wal_record(frame: bytes) -> WalRecord:
+    """Decode one CRC-framed record (the inverse of
+    :func:`encode_wal_record`).
+
+    Raises :class:`WalCorruptionError` on a short frame, a CRC mismatch
+    or an undecodable body — a wire consumer has no "torn tail" excuse,
+    so every defect is fatal for the frame.
+    """
+    if len(frame) < _FRAME.size + _BODY.size:
+        raise WalCorruptionError(
+            f"WAL frame too short: {len(frame)} bytes"
+        )
+    crc, body_len = _FRAME.unpack_from(frame, 0)
+    body = frame[_FRAME.size:_FRAME.size + body_len]
+    if len(body) != body_len or _FRAME.size + body_len != len(frame):
+        raise WalCorruptionError(
+            f"WAL frame length mismatch: header says {body_len} body "
+            f"bytes, frame carries {len(frame) - _FRAME.size}"
+        )
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise WalCorruptionError("WAL frame CRC mismatch")
+    try:
+        return _decode_body(body)
+    except (ValueError, struct.error) as exc:
+        raise WalCorruptionError(f"undecodable WAL body: {exc}") from exc
 
 
 def _encode_insert(points: np.ndarray, ids: np.ndarray) -> bytes:

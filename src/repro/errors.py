@@ -101,3 +101,56 @@ class ServiceUnhealthyError(ReproError):
     """
 
     code = "unhealthy"
+
+
+class UnavailableError(ReproError):
+    """No node can serve the request right now (HTTP 503).
+
+    Raised by the front door while the backing service is mid-failover
+    (unhealthy fleet, bounded wait expired) and by the cluster router
+    when every candidate node is down or unreachable.  Transient: the
+    client should retry after a backoff — by then the router has either
+    failed over or the fleet has repaired itself.
+    """
+
+    code = "unavailable"
+
+
+class StaleReadError(ReproError):
+    """No replica satisfies the request's staleness bound (HTTP 503).
+
+    Raised by the cluster router when a request carries ``max_lag_lsn``
+    and every healthy node lags the cluster commit point by more than
+    that bound.  Distinct from :class:`UnavailableError`: nodes *are*
+    serving, just not fresh enough — retry, relax the bound, or wait
+    for replication to catch up.
+    """
+
+    code = "stale_read"
+
+
+class WalGapError(ReproError):
+    """The update stream skipped ahead of the service's acked LSN.
+
+    Raised by :meth:`~repro.serve.ShardedSearchService.ingest` when a
+    record arrives whose LSN is not ``acked_lsn + 1``.  Carries both
+    sides of the mismatch (:attr:`expected`, :attr:`received`) so a
+    replication follower can surface the gap as a typed wire error and
+    resume the stream from the right position instead of guessing from
+    the message text.
+    """
+
+    code = "wal_gap"
+
+    def __init__(self, expected: int, received: int) -> None:
+        self.expected = int(expected)
+        self.received = int(received)
+        super().__init__(
+            f"update gap: service expected LSN {self.expected} but "
+            f"received {self.received}; replay the WAL from the acked LSN"
+        )
+
+    def __reduce__(self):
+        # Exceptions pickle as ``cls(*args)``; args holds the rendered
+        # message, so rebuild from the structured fields instead.
+        return (WalGapError, (self.expected, self.received))

@@ -61,6 +61,7 @@ from repro.errors import (
     OverloadedError,
     ReproError,
     ServiceUnhealthyError,
+    UnavailableError,
 )
 from repro.obs.registry import MetricsRegistry
 from repro.obs.telemetry import LATENCY_BUCKETS
@@ -80,6 +81,8 @@ HTTP_STATUS_BY_CODE = {
     "overloaded": 429,
     "unhealthy": 503,
     "index_not_built": 503,
+    "unavailable": 503,
+    "stale_read": 503,
 }
 
 _MAX_BODY_BYTES = 8 * 1024 * 1024  # a 1M-dim float64 query is ~8 MB of JSON
@@ -552,6 +555,14 @@ class Frontend:
             )
         if self.service._closed:
             raise ServiceUnhealthyError("the sharded service is closed")
+        if not self.service.health().get("healthy", False):
+            # Mid-failover (dead worker, detached storage): reject with
+            # a retryable typed error instead of queueing a request the
+            # fleet may never answer.
+            raise UnavailableError(
+                "the shard fleet is unhealthy (mid-failover); retry "
+                "after a backoff"
+            )
         self._inflight += 1
         self._m_queue_depth.set(self._inflight)
         loop = asyncio.get_running_loop()
@@ -561,7 +572,7 @@ class Frontend:
             self._flush_scheduled = True
             loop.call_later(self.coalesce_ms / 1000.0, self._flush)
         try:
-            result = await item.future
+            result = await self._await_result(item)
         finally:
             self._inflight -= 1
             self._m_queue_depth.set(self._inflight)
@@ -586,6 +597,41 @@ class Frontend:
                     request_id=request.request_id,
                 )
         return 200, payload
+
+    async def _await_result(self, item: _Pending) -> SearchResult:
+        """Wait for the planned result; bounded when a deadline is set.
+
+        Deadlines stay *advisory* on a healthy fleet — the plan always
+        runs to completion and the result is returned however late, so
+        answers remain bit-identical.  But a request must not hang past
+        its deadline when the service dies under it mid-failover, so
+        once the budget expires the wait re-checks fleet health on
+        every tick and converts a dead fleet into a typed
+        ``unavailable`` error instead of waiting forever.
+        """
+        if item.request.deadline_ms is None:
+            return await item.future
+        # Re-check at least every 50 ms so a sub-ms deadline does not
+        # busy-spin; the shield keeps the underlying future alive for
+        # the next tick (wait_for cancels what it wraps).
+        interval = max(item.request.deadline_ms / 1000.0, 0.05)
+        while True:
+            try:
+                return await asyncio.wait_for(
+                    asyncio.shield(item.future), interval
+                )
+            except asyncio.TimeoutError:
+                if item.future.done():
+                    return item.future.result()
+                if self.service._closed or not self.service.health().get(
+                    "healthy", False
+                ):
+                    raise UnavailableError(
+                        "the backing service became unavailable while "
+                        "this request waited past its deadline of "
+                        f"{item.request.deadline_ms}ms; retry after a "
+                        "backoff"
+                    ) from None
 
     def _flush(self) -> None:
         """Coalescing-window timer fired: hand the batch to the planner."""

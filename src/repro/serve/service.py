@@ -73,6 +73,7 @@ from repro.errors import (
     IndexNotBuiltError,
     InvalidParameterError,
     ReproError,
+    WalGapError,
 )
 from repro.metrics.lp import validate_p
 from repro.obs.explain import build_explain
@@ -117,6 +118,23 @@ class _WorkerDied(Exception):
     def __init__(self, shard_id: int) -> None:
         super().__init__(f"worker for shard {shard_id} died")
         self.shard_id = shard_id
+
+
+def _worker_entry(conn, spec, parent_fd: int | None = None) -> None:
+    """Worker bootstrap that first sheds the inherited coordinator fd.
+
+    ``parent_fd`` is the coordinator's end of this worker's own pipe as
+    numbered in a fork child's inherited fd table.  Closing it here is
+    what lets ``conn.recv()`` observe EOF when the coordinator process
+    dies without running ``close()`` — without this, an orphaned worker
+    would hold its own pipe's write side open and wait forever.
+    """
+    if parent_fd is not None:
+        try:
+            os.close(parent_fd)
+        except OSError:  # pragma: no cover - already closed is fine
+            pass
+    worker_main(conn, spec)
 
 
 class _WaveObs:
@@ -380,9 +398,19 @@ class ShardedSearchService:
 
     def _spawn(self, sid: int) -> None:
         parent_conn, child_conn = self._ctx.Pipe()
+        # Under fork the child's fd table carries the coordinator's end
+        # of this very pipe; unless the worker drops it, coordinator
+        # death (SIGKILL included) never surfaces as EOF and an orphaned
+        # worker blocks in recv() forever.  spawn/forkserver children
+        # inherit nothing, so there is no fd to close there.
+        parent_fd = (
+            parent_conn.fileno()
+            if self._ctx.get_start_method() == "fork"
+            else None
+        )
         proc = self._ctx.Process(
-            target=worker_main,
-            args=(child_conn, self._specs[sid]),
+            target=_worker_entry,
+            args=(child_conn, self._specs[sid], parent_fd),
             daemon=True,
             name=f"repro-shard-{sid}",
         )
@@ -728,10 +756,7 @@ class ShardedSearchService:
             if lsn <= self.acked_lsn:
                 continue
             if lsn != self.acked_lsn + 1:
-                raise ReproError(
-                    f"update gap: service acked LSN {self.acked_lsn} but "
-                    f"received {lsn}; replay the WAL from the acked LSN"
-                )
+                raise WalGapError(self.acked_lsn + 1, lsn)
             if record.op == "insert":
                 start = self.index.num_rows
                 expected = np.arange(

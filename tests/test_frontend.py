@@ -230,6 +230,72 @@ class TestAdmissionControl:
         assert payload["error"]["code"] == "unhealthy"
 
 
+class TestMidFailover:
+    """The door during a fleet failover: fail fast, typed, no hangs."""
+
+    def test_health_and_admission_go_503_while_unhealthy(
+        self, stack, monkeypatch
+    ):
+        data, service, door = stack
+        report = dict(service.health(), healthy=False)
+        monkeypatch.setattr(service, "health", lambda: report)
+        status, body = _get(door.url, "/v1/health")
+        assert status == 503
+        assert body["healthy"] is False
+        status, body = _post(
+            door.url,
+            {"v": 1, "query": np.full(10, 41.5).tolist(), "k": K, "p": 1.0},
+        )
+        assert status == 503
+        assert body["error"]["code"] == "unavailable"
+        assert "retry" in body["error"]["message"]
+
+    def test_failover_mid_flight_bounded_by_deadline(
+        self, stack, monkeypatch
+    ):
+        # The fleet goes down *after* admission while the wave is stuck
+        # in the planner.  The client holds a deadline; the door must
+        # answer a typed ``unavailable`` error within a few poll
+        # intervals of it — never hang on the dead fleet.
+        import threading
+        import time
+
+        _data, service, door = stack
+        real_health = type(service).health
+        real_search = type(service).search_batch
+        release = threading.Event()
+        calls = {"n": 0}
+
+        def failing_health():
+            calls["n"] += 1
+            report = real_health(service)
+            if calls["n"] > 1:  # healthy at admission, dead afterwards
+                report["healthy"] = False
+            return report
+
+        def stuck_search(*args, **kwargs):
+            release.wait(10.0)
+            return real_search(service, *args, **kwargs)
+
+        monkeypatch.setattr(service, "health", failing_health)
+        monkeypatch.setattr(service, "search_batch", stuck_search)
+        try:
+            start = time.monotonic()
+            status, body = _post(
+                door.url,
+                {
+                    "v": 1, "query": np.full(10, 63.25).tolist(), "k": K,
+                    "p": 1.0, "deadline_ms": 200.0,
+                },
+            )
+            elapsed = time.monotonic() - start
+        finally:
+            release.set()
+        assert status == 503
+        assert body["error"]["code"] == "unavailable"
+        assert elapsed < 5.0  # deadline-paced polls, not the 10 s stall
+
+
 class TestWireErrors:
     def test_malformed_json_is_400(self, stack):
         _data, _service, door = stack

@@ -281,6 +281,123 @@ class TestWalFeed:
         feed = WalFeed(tmp_path, start_lsn=2)
         assert [r.lsn for r in feed.poll()] == [3, 4]
 
+    def test_resume_across_rotation_between_polls(self, tmp_path):
+        # Regression: the writer rotates to a new segment *between* two
+        # polls; the resumed poll must step from the drained segment to
+        # the new one without skipping or replaying a record.
+        wal = WriteAheadLog(tmp_path, sync=False, segment_bytes=256)
+        feed = WalFeed(tmp_path)
+        for i in range(3):
+            wal.append_remove(np.array([i]))
+        assert [r.lsn for r in feed.poll()] == [1, 2, 3]
+        before = len(list_segments(tmp_path))
+        lsn = 3
+        while len(list_segments(tmp_path)) == before:
+            lsn = wal.append_remove(np.array([lsn]))
+        assert [r.lsn for r in feed.poll()] == list(range(4, lsn + 1))
+        assert feed.poll() == [] and feed.lag() == 0
+        wal.close()
+
+    def test_max_records_stop_resumes_across_rotation(self, tmp_path):
+        # One-record polls walk the whole multi-segment log exactly
+        # once even though every poll stops mid-segment.
+        with WriteAheadLog(tmp_path, sync=False, segment_bytes=256) as wal:
+            for i in range(12):
+                wal.append_insert(
+                    _batch(2, seed=i), np.arange(2 * i, 2 * i + 2)
+                )
+        assert len(list_segments(tmp_path)) > 1
+        feed = WalFeed(tmp_path)
+        seen = []
+        while chunk := feed.poll(max_records=1):
+            seen.extend(r.lsn for r in chunk)
+        assert seen == list(range(1, 13))
+
+    def test_torn_tail_completed_between_polls(self, tmp_path):
+        from repro.durability import WalRecord, encode_wal_record
+
+        with WriteAheadLog(tmp_path, sync=False) as wal:
+            for i in range(3):
+                wal.append_remove(np.array([i]))
+        feed = WalFeed(tmp_path)
+        assert [r.lsn for r in feed.poll()] == [1, 2, 3]
+        frame = encode_wal_record(
+            WalRecord(lsn=4, op="remove", ids=np.array([9]))
+        )
+        segment = list_segments(tmp_path)[-1][1]
+        with segment.open("ab") as handle:
+            handle.write(frame[: len(frame) // 2])
+        assert feed.poll() == []  # torn tail: wait for the writer
+        with segment.open("ab") as handle:
+            handle.write(frame[len(frame) // 2 :])
+        assert [r.lsn for r in feed.poll()] == [4]
+
+    @staticmethod
+    def _write_segment(directory, lsns):
+        """Hand-build one segment file holding remove records ``lsns``."""
+        from repro.durability import WalRecord, encode_wal_record
+
+        path = directory / f"segment-{lsns[0]:020d}.wal"
+        path.write_bytes(
+            b"".join(
+                encode_wal_record(
+                    WalRecord(lsn=lsn, op="remove", ids=np.array([lsn]))
+                )
+                for lsn in lsns
+            )
+        )
+        return path
+
+    def test_prune_of_consumed_segments_relocates(self, tmp_path):
+        # Pruning a segment the feed already fully delivered must not
+        # disturb it: the next poll relocates to the surviving segment.
+        seg_a = self._write_segment(tmp_path, [1, 2, 3, 4])
+        self._write_segment(tmp_path, [5, 6, 7, 8])
+        feed = WalFeed(tmp_path)
+        assert [r.lsn for r in feed.poll(max_records=4)] == [1, 2, 3, 4]
+        seg_a.unlink()  # a checkpoint pruned the drained prefix
+        assert [r.lsn for r in feed.poll()] == [5, 6, 7, 8]
+
+    def test_poll_after_pruned_position_raises_typed_error(self, tmp_path):
+        # Regression: pruning the log past a feed's position used to
+        # make poll() return [] forever while lag() kept growing — the
+        # records were silently lost.  It must raise a typed error so
+        # the consumer re-bootstraps from a checkpoint.
+        from repro.durability import WalTruncatedError
+
+        seg_a = self._write_segment(tmp_path, [1, 2, 3, 4])
+        self._write_segment(tmp_path, [5, 6, 7, 8])
+        feed = WalFeed(tmp_path)
+        assert [r.lsn for r in feed.poll(max_records=2)] == [1, 2]
+        seg_a.unlink()  # records 3 and 4 will never reappear
+        with pytest.raises(WalTruncatedError) as excinfo:
+            feed.poll()
+        assert excinfo.value.code == "wal_truncated"
+        assert excinfo.value.requested == 3
+        assert excinfo.value.first_available == 5
+
+    def test_checkpoint_prune_past_live_feed_raises(self, tmp_path):
+        # Same contract through the real checkpoint path: insert-heavy
+        # records force rotation, checkpoint_now prunes everything but
+        # the tail, and a feed stuck in the pruned prefix must fail
+        # loudly instead of silently skipping records.
+        from repro.durability import WalTruncatedError
+
+        index, _ = _build()
+        durable = create(index, tmp_path, sync=False, segment_bytes=256)
+        feed = WalFeed(tmp_path / WAL_SUBDIR)
+        for i in range(8):
+            durable.insert(_batch(2, seed=i))
+        assert len(list_segments(tmp_path / WAL_SUBDIR)) > 2
+        assert [r.lsn for r in feed.poll(max_records=1)] == [1]
+        checkpoint_now(durable, tmp_path)  # prunes the acked prefix
+        durable.insert(_batch(1, seed=99))
+        with pytest.raises(WalTruncatedError) as excinfo:
+            feed.poll()
+        assert excinfo.value.requested == 2
+        assert excinfo.value.first_available > 2
+        durable.close()
+
 
 class TestLiveServicePropagation:
     """WAL-fed fleet must answer bit-identically to the writer's index."""
@@ -333,6 +450,24 @@ class TestLiveServicePropagation:
             record = WalRecord(lsn=5, op="remove", ids=np.array([1]))
             with pytest.raises(ReproError, match="update gap"):
                 svc.ingest([record])
+
+    def test_gap_error_is_typed_with_both_lsns(self, tmp_path):
+        # The gap error must carry the expected *and* received LSN so a
+        # replication follower can surface it as a typed wire error.
+        from repro.durability.wal import WalRecord
+        from repro.errors import WalGapError
+        from repro.serve import ShardedSearchService
+
+        index, _data = _build()
+        with ShardedSearchService(index, n_shards=2) as svc:
+            record = WalRecord(lsn=7, op="remove", ids=np.array([1]))
+            with pytest.raises(WalGapError) as excinfo:
+                svc.ingest([record])
+            assert excinfo.value.code == "wal_gap"
+            assert excinfo.value.expected == 1
+            assert excinfo.value.received == 7
+            assert "expected LSN 1" in str(excinfo.value)
+            assert "received 7" in str(excinfo.value)
 
     def test_respawned_workers_catch_up(self, tmp_path):
         from repro.serve import ShardedSearchService
